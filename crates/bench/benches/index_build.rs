@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark: index construction under each sequencing
+//! strategy (the build-cost side of Figure 14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xseq::datagen::{SyntheticDataset, SyntheticParams};
+use xseq::index::XmlIndex;
+use xseq::schema::{ProbabilityModel, WeightMap};
+use xseq::sequence::Strategy;
+use xseq::{PlanOptions, SymbolTable, ValueMode};
+
+fn bench_build(c: &mut Criterion) {
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let ds = SyntheticDataset::generate(&SyntheticParams::fig14a(), 5_000, 1, &mut symbols);
+
+    let mut group = c.benchmark_group("index_build_5k_docs");
+    for (name, make) in [
+        ("random", Strategy::Random { seed: 3 }),
+        ("breadth_first", Strategy::BreadthFirst),
+        ("depth_first", Strategy::DepthFirst),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &make, |b, strategy| {
+            b.iter(|| {
+                let mut paths = xseq::PathTable::new();
+                XmlIndex::build(&ds.docs, &mut paths, strategy.clone(), PlanOptions::default())
+                    .node_count()
+            })
+        });
+    }
+    group.bench_function("probability", |b| {
+        b.iter(|| {
+            let mut paths = xseq::PathTable::new();
+            let model = ProbabilityModel::estimate(&ds.docs, &mut paths, 1000);
+            let strategy = Strategy::Probability(model.priorities(&paths, &WeightMap::default()));
+            XmlIndex::build(&ds.docs, &mut paths, strategy, PlanOptions::default()).node_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_build
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: per-query latency of the four engines on a
+//! DBLP-shaped corpus (the engine comparison behind Table 8 and Figure 16).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xseq::baselines::{NodeIndex, PathIndex, VistIndex};
+use xseq::datagen::{queries, DblpGenerator};
+use xseq::index::XmlIndex;
+use xseq::schema::{ProbabilityModel, WeightMap};
+use xseq::sequence::Strategy;
+use xseq::{parse_xpath, Corpus, PlanOptions, ValueMode};
+
+fn bench_queries(c: &mut Criterion) {
+    let mut corpus = Corpus::new(ValueMode::Intern);
+    corpus.docs = DblpGenerator::new(7).generate(20_000, &mut corpus.symbols);
+
+    let path_idx = PathIndex::build(&corpus.docs, &mut corpus.paths);
+    let node_idx = NodeIndex::build(&corpus.docs);
+    let vist = VistIndex::build(&corpus.docs, &mut corpus.paths);
+    let model = ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, 2000);
+    let strategy = Strategy::Probability(model.priorities(&corpus.paths, &WeightMap::default()));
+    let cs = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, PlanOptions::default());
+
+    // the selective branching query is where the engines differ most
+    let pattern = parse_xpath(queries::DBLP_Q2, &mut corpus.symbols).unwrap();
+
+    let mut group = c.benchmark_group("dblp_q2_latency");
+    group.bench_function("path_index", |b| {
+        b.iter(|| path_idx.query(&pattern, &corpus.docs, &corpus.paths).0.len())
+    });
+    group.bench_function("node_index", |b| {
+        b.iter(|| node_idx.query(&pattern, &corpus.docs).0.len())
+    });
+    group.bench_function("vist", |b| {
+        b.iter(|| vist.query(&pattern, &corpus.docs, &mut corpus.paths).0.len())
+    });
+    group.bench_function("cs", |b| {
+        b.iter(|| cs.query(&pattern, &mut corpus.paths).docs.len())
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmark: sequencing throughput per strategy, and the
+//! Theorem 1 decoder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xseq::datagen::{SyntheticDataset, SyntheticParams};
+use xseq::schema::{ProbabilityModel, WeightMap};
+use xseq::sequence::{decode_f2, sequence_document, Strategy};
+use xseq::{SymbolTable, ValueMode};
+
+fn bench_sequencing(c: &mut Criterion) {
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let params = SyntheticParams {
+        identical_pct: 20,
+        ..SyntheticParams::fig14a()
+    };
+    let ds = SyntheticDataset::generate(&params, 2_000, 5, &mut symbols);
+    let mut paths = xseq::PathTable::new();
+    let model = ProbabilityModel::estimate(&ds.docs, &mut paths, 0);
+    let probability = Strategy::Probability(model.priorities(&paths, &WeightMap::default()));
+
+    let mut group = c.benchmark_group("sequence_2k_docs");
+    for (name, strategy) in [
+        ("depth_first", Strategy::DepthFirst),
+        ("random", Strategy::Random { seed: 1 }),
+        ("probability", probability),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, s| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for doc in &ds.docs {
+                    total += sequence_document(doc, &mut paths, s).len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+
+    // decoder throughput
+    let seqs: Vec<_> = ds
+        .docs
+        .iter()
+        .map(|d| sequence_document(d, &mut paths, &Strategy::DepthFirst))
+        .collect();
+    c.bench_function("decode_f2_2k_seqs", |b| {
+        b.iter(|| {
+            seqs.iter()
+                .map(|s| decode_f2(s, &paths).expect("valid").len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_sequencing
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p xseq-bench --bin repro -- all
+//! cargo run --release -p xseq-bench --bin repro -- table7 --scale 0.5
+//! ```
+
+use std::process::exit;
+
+/// Experiment registry: name → runner.
+type Experiment = (&'static str, fn(f64));
+
+const EXPERIMENTS: &[Experiment] = &[
+    ("fig14a", xseq_bench::fig14a),
+    ("fig14b", xseq_bench::fig14b),
+    ("fig15", xseq_bench::fig15),
+    ("table5", xseq_bench::table5),
+    ("table6", xseq_bench::table6),
+    ("table7", xseq_bench::table7),
+    ("table8", xseq_bench::table8),
+    ("fig16a", xseq_bench::fig16a),
+    ("fig16b", xseq_bench::fig16b),
+    ("fig16c", xseq_bench::fig16c),
+    ("fig16d", xseq_bench::fig16d),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro <experiment|all|check> [--scale X]");
+    eprintln!("experiments:");
+    for (name, _) in EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+    eprintln!("  all     run every experiment");
+    eprintln!("  check   tiny-scale sweep with agreement assertions");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = 1.0f64;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale = v.parse().unwrap_or_else(|_| usage());
+            }
+            "-h" | "--help" => usage(),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        usage();
+    }
+    for name in names {
+        match name.as_str() {
+            "all" => {
+                for (n, f) in EXPERIMENTS {
+                    eprintln!("[repro] running {n} (scale {scale}) ...");
+                    f(scale);
+                }
+            }
+            "check" => xseq_bench::check(),
+            other => match EXPERIMENTS.iter().find(|(n, _)| *n == other) {
+                Some((_, f)) => f(scale),
+                None => usage(),
+            },
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! # xseq-bench — the paper's evaluation, experiment by experiment
+//!
+//! One function per table/figure of Section 6.  Each regenerates the
+//! corresponding workload with the seeded generators, runs the same
+//! engines the paper ran, and prints a markdown table with the same rows
+//! and series the paper reports.  The `repro` binary dispatches on
+//! experiment name; `repro all` runs the lot.
+//!
+//! Absolute numbers will differ from a 2005 1.8 GHz Windows machine — the
+//! *shapes* (who wins, by what factor, where curves bend) are the
+//! reproduction target, recorded in `EXPERIMENTS.md`.
+
+use std::time::Instant;
+use xseq::baselines::{NodeIndex, PathIndex, VistIndex};
+use xseq::datagen::{
+    self, queries, random_query_tree, DblpGenerator, SyntheticDataset, SyntheticParams,
+    XmarkGenerator, XmarkOptions,
+};
+use xseq::index::{tree_search, QuerySequence, XmlIndex};
+use xseq::schema::{ProbabilityModel, WeightMap};
+use xseq::sequence::Strategy;
+use xseq::storage::{write_paged_trie, MemStore, PagedTrie};
+use xseq::xml::matcher::structure_match;
+use xseq::{
+    parse_xpath, Axis, Corpus, Document, PatternLabel, PlanOptions, SymbolTable, TreePattern,
+    ValueMode,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scales every dataset-size parameter (1.0 = defaults).
+pub fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale) as usize).max(100)
+}
+
+fn cs_strategy(docs: &[Document], paths: &mut xseq::PathTable, sample: usize) -> Strategy {
+    let model = ProbabilityModel::estimate(docs, paths, sample);
+    Strategy::Probability(model.priorities(paths, &WeightMap::default()))
+}
+
+/// Builds an exact child-axis pattern from a sampled subtree.
+pub fn pattern_of(doc: &Document) -> TreePattern {
+    let root = doc.root().expect("non-empty");
+    let label = |d: &Document, n: u32| match (d.sym(n).as_elem(), d.sym(n).as_value()) {
+        (Some(e), _) => PatternLabel::Elem(e),
+        (_, Some(v)) => PatternLabel::Value(v),
+        _ => unreachable!(),
+    };
+    let mut q = TreePattern::root(label(doc, root));
+    let mut map = vec![0u32; doc.len()];
+    for n in doc.preorder() {
+        if n == root {
+            continue;
+        }
+        let p = doc.parent(n).expect("non-root");
+        map[n as usize] = q.add(map[p as usize], Axis::Child, label(doc, n));
+    }
+    q
+}
+
+/// Random exact query patterns of roughly `len` nodes drawn from the data.
+pub fn random_patterns(docs: &[Document], len: usize, count: usize, seed: u64) -> Vec<TreePattern> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let src = &docs[(i * 131) % docs.len()];
+            pattern_of(&random_query_tree(src, len, &mut rng))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14: index size vs dataset size, four sequencing strategies
+// ---------------------------------------------------------------------------
+
+/// Shared body for Figures 14(a) and 14(b).
+fn fig14(params: SyntheticParams, scale: f64) {
+    println!("## Figure 14 — index size, dataset {}", params.name());
+    println!();
+    println!("| documents | avg seq len | Random | Breadth-first | Depth-first | Constraint (CS) |");
+    println!("|---|---|---|---|---|---|");
+    let base = scaled(20_000, scale);
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let mut ds = SyntheticDataset::generate(&params, base, 14, &mut symbols);
+    for step in 1..=5 {
+        if step > 1 {
+            ds.extend(base, 14 + step as u64);
+        }
+        let n = ds.docs.len();
+        let mut sizes = Vec::new();
+        for strategy in [
+            Strategy::Random { seed: 5 },
+            Strategy::BreadthFirst,
+            Strategy::DepthFirst,
+        ] {
+            let mut paths = xseq::PathTable::new();
+            let index = XmlIndex::build(&ds.docs, &mut paths, strategy, PlanOptions::default());
+            sizes.push(index.node_count());
+        }
+        {
+            // the probability strategy's PriorityMap is keyed by path ids,
+            // so estimation and build must share one PathTable
+            let mut paths = xseq::PathTable::new();
+            let cs = cs_strategy(&ds.docs, &mut paths, 2000);
+            let index = XmlIndex::build(&ds.docs, &mut paths, cs, PlanOptions::default());
+            sizes.push(index.node_count());
+        }
+        println!(
+            "| {} | {:.1} | {} | {} | {} | {} |",
+            n,
+            ds.avg_len(),
+            sizes[0],
+            sizes[1],
+            sizes[2],
+            sizes[3]
+        );
+    }
+    println!();
+}
+
+/// Figure 14(a): dataset `L3F5A25I0P40`.
+pub fn fig14a(scale: f64) {
+    fig14(SyntheticParams::fig14a(), scale);
+}
+
+/// Figure 14(b): dataset `L5F3A40I0P5`.
+pub fn fig14b(scale: f64) {
+    fig14(SyntheticParams::fig14b(), scale);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15: impact of identical sibling nodes on index size
+// ---------------------------------------------------------------------------
+
+/// Figure 15: `L3F5A25I?P40`, `I` from 0% to 100%, DF vs CS.
+pub fn fig15(scale: f64) {
+    println!("## Figure 15 — impact of identical sibling nodes (L3F5A25I?P40)");
+    println!();
+    println!("| I (%) | avg seq len | Depth-first | Constraint (CS) | CS/DF |");
+    println!("|---|---|---|---|---|");
+    let n = scaled(30_000, scale);
+    for i_pct in [0u8, 20, 40, 60, 80, 100] {
+        let params = SyntheticParams {
+            identical_pct: i_pct,
+            ..SyntheticParams::fig14a()
+        };
+        let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+        let ds = SyntheticDataset::generate(&params, n, 15, &mut symbols);
+        let mut paths = xseq::PathTable::new();
+        let df = XmlIndex::build(&ds.docs, &mut paths, Strategy::DepthFirst, PlanOptions::default());
+        let mut paths_cs = xseq::PathTable::new();
+        let cs_strat = cs_strategy(&ds.docs, &mut paths_cs, 2000);
+        let cs = XmlIndex::build(&ds.docs, &mut paths_cs, cs_strat, PlanOptions::default());
+        println!(
+            "| {} | {:.1} | {} | {} | {:.2} |",
+            i_pct,
+            ds.avg_len(),
+            df.node_count(),
+            cs.node_count(),
+            cs.node_count() as f64 / df.node_count() as f64
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Tables 5 and 6: XMark index sizes
+// ---------------------------------------------------------------------------
+
+fn xmark_table(title: &str, identical: bool, scale: f64) {
+    println!("## {title}");
+    println!();
+    println!("| Records | Nodes | DF | CS | CS/DF |");
+    println!("|---|---|---|---|---|");
+    for step in 1..=5 {
+        let n = scaled(10_000 * step, scale);
+        let mut corpus = Corpus::new(ValueMode::Intern);
+        corpus.docs = XmarkGenerator::new(8, XmarkOptions { identical_siblings: identical })
+            .generate(n, &mut corpus.symbols);
+        let nodes = corpus.total_nodes();
+        let mut paths = xseq::PathTable::new();
+        let df = XmlIndex::build(&corpus.docs, &mut paths, Strategy::DepthFirst, PlanOptions::default());
+        let mut paths_cs = xseq::PathTable::new();
+        let strat = cs_strategy(&corpus.docs, &mut paths_cs, 2000);
+        let cs = XmlIndex::build(&corpus.docs, &mut paths_cs, strat, PlanOptions::default());
+        println!(
+            "| {} | {} | {} | {} | {:.2} |",
+            n,
+            nodes,
+            df.node_count(),
+            cs.node_count(),
+            cs.node_count() as f64 / df.node_count() as f64
+        );
+    }
+    println!();
+}
+
+/// Table 5: XMark index size with identical sibling nodes.
+pub fn table5(scale: f64) {
+    xmark_table("Table 5 — XMark index size (identical sibling nodes)", true, scale);
+}
+
+/// Table 6: XMark index size without identical sibling nodes.
+pub fn table6(scale: f64) {
+    xmark_table("Table 6 — XMark index size (no identical sibling nodes)", false, scale);
+}
+
+// ---------------------------------------------------------------------------
+// Table 7: query performance on XMark
+// ---------------------------------------------------------------------------
+
+/// Table 7: Q1–Q3 on XMark — query length, result size, disk accesses,
+/// elapsed time.
+pub fn table7(scale: f64) {
+    println!("## Table 7 — query performance on XMark");
+    println!();
+    let n = scaled(60_000, scale);
+    let mut corpus = Corpus::new(ValueMode::Intern);
+    corpus.docs =
+        XmarkGenerator::new(8, XmarkOptions::default()).generate(n, &mut corpus.symbols);
+    let strat = cs_strategy(&corpus.docs, &mut corpus.paths, 2000);
+    let index = XmlIndex::build(&corpus.docs, &mut corpus.paths, strat, PlanOptions::default());
+
+    let mut store = MemStore::new();
+    let pages = write_paged_trie(index.trie(), &mut store).expect("in-memory store");
+    let paged = PagedTrie::open(store, 4096).expect("valid layout");
+    println!(
+        "{n} records, {} trie nodes, paged into {pages} × 4 KiB pages",
+        index.node_count()
+    );
+    println!();
+
+    // Q3's constants are instantiated from the generated data (the paper's
+    // person11304 existed in *their* XMark instance).
+    let (q3_person, q3_date) =
+        datagen::xmark::q3_constants(&corpus.docs, &corpus.symbols).expect("closed auctions exist");
+    let q3 = format!("//closed_auction[seller/person='{q3_person}']/date[text='{q3_date}']");
+    let qs: Vec<(&str, String)> = vec![
+        ("Q1", queries::XMARK_Q1.to_string()),
+        ("Q2", queries::XMARK_Q2.to_string()),
+        ("Q3", q3),
+    ];
+
+    println!("| query | query length | result size | # disk accesses | time (ms) |");
+    println!("|---|---|---|---|---|");
+    for (name, expr) in &qs {
+        let pattern = parse_xpath(expr, &mut corpus.symbols).expect("paper query parses");
+        let t0 = Instant::now();
+        let outcome = index.query(&pattern, &mut corpus.paths);
+        let elapsed = t0.elapsed();
+
+        paged.reset_pool();
+        let concrete = xseq::index::instantiate(
+            &pattern,
+            &corpus.paths,
+            index.data_paths(),
+            index.options(),
+        );
+        let mut disk_docs = Vec::new();
+        for qdoc in &concrete {
+            let qseq = QuerySequence::from_document(qdoc, &mut corpus.paths, index.strategy());
+            let (docs, _) = tree_search(&paged, &qseq);
+            disk_docs.extend(docs);
+        }
+        disk_docs.sort_unstable();
+        disk_docs.dedup();
+        assert_eq!(disk_docs, outcome.docs, "paged agrees with memory");
+
+        println!(
+            "| {} | {} | {} | {} | {:.2} |",
+            name,
+            pattern.len(),
+            outcome.docs.len(),
+            paged.pool_stats().misses,
+            elapsed.as_secs_f64() * 1e3
+        );
+    }
+    println!();
+    println!("(Q3 instantiated as: {})", qs[2].1);
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Table 8: query performance on DBLP, engine comparison
+// ---------------------------------------------------------------------------
+
+/// Table 8: Q1–Q4 on DBLP — path index vs node index vs CS (plus ViST).
+pub fn table8(scale: f64) {
+    println!("## Table 8 — query performance on DBLP (ms)");
+    println!();
+    let n = scaled(100_000, scale);
+    let mut corpus = Corpus::new(ValueMode::Intern);
+    corpus.docs = DblpGenerator::new(7).generate(n, &mut corpus.symbols);
+    println!(
+        "{n} records, avg {:.1} nodes/record",
+        corpus.total_nodes() as f64 / n as f64
+    );
+    println!();
+
+    let path_idx = PathIndex::build(&corpus.docs, &mut corpus.paths);
+    let node_idx = NodeIndex::build(&corpus.docs);
+    let vist = VistIndex::build(&corpus.docs, &mut corpus.paths);
+    let strat = cs_strategy(&corpus.docs, &mut corpus.paths, 2000);
+    let cs = XmlIndex::build(&corpus.docs, &mut corpus.paths, strat, PlanOptions::default());
+
+    println!("| query | results | paths | nodes | ViST | CS | expression |");
+    println!("|---|---|---|---|---|---|---|");
+    for (name, expr) in queries::DBLP_QUERIES {
+        let pattern = parse_xpath(expr, &mut corpus.symbols).expect("paper query parses");
+
+        let t = Instant::now();
+        let (r1, _) = path_idx.query(&pattern, &corpus.docs, &corpus.paths);
+        let t1 = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let (r2, _) = node_idx.query(&pattern, &corpus.docs);
+        let t2 = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let (r3, _) = vist.query(&pattern, &corpus.docs, &mut corpus.paths);
+        let t3 = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let r4 = cs.query(&pattern, &mut corpus.paths).docs;
+        let t4 = t.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(r1, r2);
+        assert_eq!(r2, r3);
+        assert_eq!(r3, r4);
+        println!(
+            "| {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | `{}` |",
+            name,
+            r4.len(),
+            t1,
+            t2,
+            t3,
+            t4,
+            expr
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16: synthetic query performance
+// ---------------------------------------------------------------------------
+
+/// Figure 16(a): CS vs ViST query time as the dataset grows
+/// (`L3F5A25I10P40`, query length 5).
+pub fn fig16a(scale: f64) {
+    println!("## Figure 16(a) — CS vs ViST, scaling dataset (L3F5A25I10P40, query length 5)");
+    println!();
+    println!("| documents | ViST (µs/query) | CS (µs/query) | speedup |");
+    println!("|---|---|---|---|");
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let base = scaled(50_000, scale);
+    let mut ds = SyntheticDataset::generate(&SyntheticParams::fig16(), base, 16, &mut symbols);
+    for step in 1..=4 {
+        if step > 1 {
+            ds.extend(ds.docs.len(), 16 + step as u64); // double each step
+        }
+        let (v, c) = cs_vs_vist(&ds.docs, 5, 30);
+        println!(
+            "| {} | {:.1} | {:.1} | {:.1}× |",
+            ds.docs.len(),
+            v,
+            c,
+            v / c.max(0.001)
+        );
+    }
+    println!();
+}
+
+/// Figure 16(b): CS vs ViST as query length grows (fixed dataset).
+pub fn fig16b(scale: f64) {
+    println!("## Figure 16(b) — CS vs ViST, query length sweep (L3F5A25I10P40)");
+    println!();
+    println!("| query length | ViST (µs/query) | CS (µs/query) | speedup |");
+    println!("|---|---|---|---|");
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let n = scaled(200_000, scale);
+    let ds = SyntheticDataset::generate(&SyntheticParams::fig16(), n, 16, &mut symbols);
+    for len in [2usize, 4, 6, 8, 10, 12] {
+        let (v, c) = cs_vs_vist(&ds.docs, len, 20);
+        println!("| {} | {:.1} | {:.1} | {:.1}× |", len, v, c, v / c.max(0.001));
+    }
+    println!();
+}
+
+/// Shared CS-vs-ViST timing: mean microseconds per query.
+fn cs_vs_vist(docs: &[Document], len: usize, count: usize) -> (f64, f64) {
+    let mut paths = xseq::PathTable::new();
+    let vist = VistIndex::build(docs, &mut paths);
+    let mut paths_cs = xseq::PathTable::new();
+    let strat = cs_strategy(docs, &mut paths_cs, 2000);
+    let cs = XmlIndex::build(docs, &mut paths_cs, strat, PlanOptions::default());
+    let patterns = random_patterns(docs, len, count, 4242);
+
+    let t = Instant::now();
+    let mut vist_results = 0usize;
+    for q in &patterns {
+        vist_results += vist.query(q, docs, &mut paths).0.len();
+    }
+    let tv = t.elapsed().as_secs_f64() * 1e6 / patterns.len() as f64;
+
+    let t = Instant::now();
+    let mut cs_results = 0usize;
+    for q in &patterns {
+        cs_results += cs.query(q, &mut paths_cs).docs.len();
+    }
+    let tc = t.elapsed().as_secs_f64() * 1e6 / patterns.len() as f64;
+    assert_eq!(vist_results, cs_results, "engines agree");
+    (tv, tc)
+}
+
+/// Figure 16(c)/(d) shared body: I/O cost (pages) and time vs query length.
+fn fig16cd(title: &str, identical_pct: u8, scale: f64) {
+    println!("## {title}");
+    println!();
+    println!("| query length | I/O cost (pages) | time (µs/query) |");
+    println!("|---|---|---|");
+    let n = scaled(100_000, scale);
+    let params = SyntheticParams {
+        identical_pct,
+        ..SyntheticParams::fig14a()
+    };
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let ds = SyntheticDataset::generate(&params, n, 18, &mut symbols);
+    let mut paths = xseq::PathTable::new();
+    let strat = cs_strategy(&ds.docs, &mut paths, 2000);
+    let index = XmlIndex::build(&ds.docs, &mut paths, strat, PlanOptions::default());
+    let mut store = MemStore::new();
+    write_paged_trie(index.trie(), &mut store).expect("in-memory store");
+    let paged = PagedTrie::open(store, 1 << 20).expect("valid layout");
+
+    for len in [2usize, 4, 6, 8, 10, 12] {
+        let patterns = random_patterns(&ds.docs, len, 20, 777);
+        let mut total_pages = 0u64;
+        let t = Instant::now();
+        for q in &patterns {
+            let concrete =
+                xseq::index::instantiate(q, &paths, index.data_paths(), index.options());
+            paged.reset_pool();
+            for qdoc in &concrete {
+                let qseq = QuerySequence::from_document(qdoc, &mut paths, index.strategy());
+                let _ = tree_search(&paged, &qseq);
+            }
+            total_pages += paged.pool_stats().misses;
+        }
+        let per_query = t.elapsed().as_secs_f64() * 1e6 / patterns.len() as f64;
+        println!(
+            "| {} | {:.1} | {:.1} |",
+            len,
+            total_pages as f64 / patterns.len() as f64,
+            per_query
+        );
+    }
+    println!();
+}
+
+/// Figure 16(c): no identical sibling nodes.
+pub fn fig16c(scale: f64) {
+    fig16cd(
+        "Figure 16(c) — I/O and time vs query length (no identical siblings)",
+        0,
+        scale,
+    );
+}
+
+/// Figure 16(d): with identical sibling nodes.
+pub fn fig16d(scale: f64) {
+    fig16cd(
+        "Figure 16(d) — I/O and time vs query length (identical siblings, I=25)",
+        25,
+        scale,
+    );
+}
+
+/// Sanity sweep used by `repro check`: every experiment at tiny scale, with
+/// engine-agreement assertions active throughout.
+pub fn check() {
+    let s = 0.02;
+    fig14a(s);
+    fig14b(s);
+    fig15(s);
+    table5(s);
+    table6(s);
+    table7(s);
+    table8(s);
+    fig16a(s);
+    fig16b(s);
+    fig16c(s);
+    fig16d(s);
+    // extra safety: CS answers equal brute force on a fresh corpus
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let ds = SyntheticDataset::generate(&SyntheticParams::fig16(), 300, 1, &mut symbols);
+    let mut paths = xseq::PathTable::new();
+    let strat = cs_strategy(&ds.docs, &mut paths, 0);
+    let index = XmlIndex::build(&ds.docs, &mut paths, strat, PlanOptions::default());
+    for q in random_patterns(&ds.docs, 4, 25, 3) {
+        let got = index.query(&q, &mut paths).docs;
+        let expect: Vec<u32> = ds
+            .docs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| structure_match(&q, d))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, expect);
+    }
+    println!("check: all experiments ran, all agreement assertions held");
+}

@@ -1,0 +1,357 @@
+//! # xseq — sequence-based XML indexing via constraint sequences
+//!
+//! A from-scratch implementation of Wang & Meng, *On the Sequencing of Tree
+//! Structures for XML Indexing* (ICDE 2005): XML documents and queries are
+//! transformed into **constraint sequences** of path-encoded nodes, and
+//! structured queries are answered *holistically* through constraint
+//! subsequence matching — no join operations, no per-document
+//! post-processing, no false alarms:
+//!
+//! ```text
+//! Tree Pattern ⇒ P(Doc Ids)
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xseq::{Database, DatabaseBuilder, Sequencing};
+//!
+//! let mut db = DatabaseBuilder::new()
+//!     .sequencing(Sequencing::Probability) // the paper's g_best
+//!     .build_from_xml([
+//!         "<project><research><loc>newyork</loc></research></project>",
+//!         "<project><develop><loc>boston</loc></develop></project>",
+//!     ])
+//!     .unwrap();
+//!
+//! let hits = db.query_xpath("/project//loc[text='boston']").unwrap();
+//! assert_eq!(hits, vec![1]);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`xml`] — documents, parsing, designators, path encoding, patterns,
+//!   the brute-force ground-truth matcher.
+//! * [`sequence`] — constraints (`f1`, forward prefix `f2`), the Theorem 1
+//!   decoder, sequencing strategies (DF/BF/Random/probability-ordered),
+//!   Prüfer codes, isomorphic expansion.
+//! * [`schema`] — occurrence probabilities `p(C|root)` (estimated or
+//!   declared) and query-tuning weights `w(C)` (Eq. 6).
+//! * [`index`] — the trie + path-link index, Algorithm 1 and the order-free
+//!   `tree_search`, wildcard planning.
+//! * [`query`] — the XPath-subset parser.
+//! * [`storage`] — 4 KiB pages, buffer pool, the disk layout (`TrieView`
+//!   over pages) used for the I/O experiments.
+//! * [`baselines`] — DataGuide-, XISS- and ViST-style comparators.
+//! * [`datagen`] — deterministic synthetic / DBLP-like / XMark-like
+//!   workload generators and the paper's query sets.
+
+pub use xseq_baselines as baselines;
+pub use xseq_datagen as datagen;
+pub use xseq_index as index;
+pub use xseq_query as query;
+pub use xseq_schema as schema;
+pub use xseq_sequence as sequence;
+pub use xseq_storage as storage;
+pub use xseq_xml as xml;
+
+pub use xseq_index::{PlanOptions, QueryOutcome, QueryStats, SearchStats, XmlIndex};
+pub use xseq_query::{parse_xpath, ParseError};
+pub use xseq_schema::{ProbabilityModel, SchemaTree, WeightMap};
+pub use xseq_sequence::{PriorityMap, Sequence, Strategy};
+pub use xseq_xml::{
+    Axis, Corpus, DocId, Document, PathId, PathTable, PatternLabel, SymbolTable, TreePattern,
+    ValueMode, XmlError,
+};
+
+use std::fmt;
+
+/// Unified error type for the high-level API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// XML parsing failed.
+    Xml(XmlError),
+    /// Query parsing failed.
+    Query(ParseError),
+    /// The database has no documents.
+    EmptyDatabase,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml(e) => write!(f, "xml: {e}"),
+            Error::Query(e) => write!(f, "query: {e}"),
+            Error::EmptyDatabase => write!(f, "no documents to index"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<XmlError> for Error {
+    fn from(e: XmlError) -> Self {
+        Error::Xml(e)
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Query(e)
+    }
+}
+
+/// Which sequencing strategy the database uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sequencing {
+    /// Canonical depth-first (ViST's ordering).
+    DepthFirst,
+    /// The paper's performance-oriented `g_best`: probability-ordered
+    /// constraint sequences, with probabilities estimated by sampling.
+    Probability,
+}
+
+/// Builder for a [`Database`].
+#[derive(Debug)]
+pub struct DatabaseBuilder {
+    sequencing: Sequencing,
+    value_mode: ValueMode,
+    plan: PlanOptions,
+    sample_cap: usize,
+    boosts: Vec<(String, f64)>,
+}
+
+impl Default for DatabaseBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DatabaseBuilder {
+    /// A builder with the paper's defaults: probability sequencing, exact
+    /// value interning.
+    pub fn new() -> Self {
+        DatabaseBuilder {
+            sequencing: Sequencing::Probability,
+            value_mode: ValueMode::Intern,
+            plan: PlanOptions::default(),
+            sample_cap: 0,
+            boosts: Vec::new(),
+        }
+    }
+
+    /// Chooses the sequencing strategy.
+    pub fn sequencing(mut self, s: Sequencing) -> Self {
+        self.sequencing = s;
+        self
+    }
+
+    /// Chooses how attribute/text values become designators.
+    pub fn value_mode(mut self, m: ValueMode) -> Self {
+        self.value_mode = m;
+        self
+    }
+
+    /// Caps how many documents the probability estimator samples
+    /// (0 = all).
+    pub fn sample_cap(mut self, cap: usize) -> Self {
+        self.sample_cap = cap;
+        self
+    }
+
+    /// Overrides the planner caps.
+    pub fn plan_options(mut self, plan: PlanOptions) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Boosts the sequencing weight `w(C)` of the node addressed by a simple
+    /// slash path (e.g. `"/site/item/location"`) — the paper's tunable
+    /// mechanism for frequently queried, highly selective elements.
+    pub fn boost(mut self, path: &str, weight: f64) -> Self {
+        self.boosts.push((path.to_owned(), weight));
+        self
+    }
+
+    /// Parses and indexes the given XML documents.
+    pub fn build_from_xml<'a>(
+        self,
+        xmls: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Database, Error> {
+        let mut corpus = Corpus::new(self.value_mode);
+        for xml in xmls {
+            corpus.parse_and_push(xml)?;
+        }
+        self.build_from_corpus(corpus)
+    }
+
+    /// Indexes an already-built corpus.
+    pub fn build_from_corpus(self, mut corpus: Corpus) -> Result<Database, Error> {
+        if corpus.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        let strategy = match self.sequencing {
+            Sequencing::DepthFirst => Strategy::DepthFirst,
+            Sequencing::Probability => {
+                let model =
+                    ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, self.sample_cap);
+                let mut weights = WeightMap::default();
+                for (path, w) in &self.boosts {
+                    if let Some(p) = resolve_simple_path(path, &corpus.symbols, &corpus.paths) {
+                        weights.set(p, *w);
+                    }
+                }
+                Strategy::Probability(model.priorities(&corpus.paths, &weights))
+            }
+        };
+        let index = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, self.plan);
+        Ok(Database { corpus, index })
+    }
+}
+
+/// Resolves `/a/b/c` to an interned path id, if every step exists.
+fn resolve_simple_path(path: &str, symbols: &SymbolTable, paths: &PathTable) -> Option<PathId> {
+    let mut cur = PathId::ROOT;
+    for step in path.split('/').filter(|s| !s.is_empty()) {
+        let d = symbols.lookup_designator(step)?;
+        cur = paths.child(cur, xseq_xml::Symbol::elem(d))?;
+    }
+    Some(cur)
+}
+
+/// A corpus plus its constraint-sequence index: the top-level handle.
+#[derive(Debug)]
+pub struct Database {
+    /// The indexed documents with their shared interners.
+    pub corpus: Corpus,
+    index: XmlIndex,
+}
+
+impl Database {
+    /// Answers an XPath-subset query with document ids.
+    pub fn query_xpath(&mut self, expr: &str) -> Result<Vec<DocId>, Error> {
+        Ok(self.query_xpath_full(expr)?.docs)
+    }
+
+    /// Like [`Database::query_xpath`] but returns the work counters too.
+    pub fn query_xpath_full(&mut self, expr: &str) -> Result<QueryOutcome, Error> {
+        let pattern = parse_xpath(expr, &mut self.corpus.symbols)?;
+        Ok(self.index.query(&pattern, &mut self.corpus.paths))
+    }
+
+    /// Answers a pre-built tree pattern.
+    pub fn query_pattern(&mut self, pattern: &TreePattern) -> QueryOutcome {
+        self.index.query(pattern, &mut self.corpus.paths)
+    }
+
+    /// Adds one more document and refreshes the index labels.
+    pub fn insert_xml(&mut self, xml: &str) -> Result<DocId, Error> {
+        let id = self.corpus.parse_and_push(xml)?;
+        let doc = &self.corpus.docs[id as usize];
+        self.index.insert(doc, id, &mut self.corpus.paths);
+        self.index.refresh();
+        Ok(id)
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &XmlIndex {
+        &self.index
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// True when the database holds no documents (never, post-build).
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_flow() {
+        let mut db = DatabaseBuilder::new()
+            .build_from_xml([
+                "<project><research><loc>newyork</loc></research></project>",
+                "<project><develop><loc>boston</loc></develop></project>",
+            ])
+            .unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.query_xpath("/project//loc[text='boston']").unwrap(), vec![1]);
+        assert_eq!(db.query_xpath("//loc").unwrap(), vec![0, 1]);
+        assert_eq!(db.query_xpath("/project/research").unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn depth_first_database() {
+        let mut db = DatabaseBuilder::new()
+            .sequencing(Sequencing::DepthFirst)
+            .build_from_xml(["<a><b/></a>", "<a><c/></a>"])
+            .unwrap();
+        assert_eq!(db.query_xpath("/a/b").unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn empty_database_is_an_error() {
+        assert_eq!(
+            DatabaseBuilder::new().build_from_xml([]).err(),
+            Some(Error::EmptyDatabase)
+        );
+    }
+
+    #[test]
+    fn bad_xml_and_bad_query_errors() {
+        let err = DatabaseBuilder::new().build_from_xml(["<a>"]).unwrap_err();
+        assert!(matches!(err, Error::Xml(_)));
+        let mut db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
+        assert!(matches!(db.query_xpath("a"), Err(Error::Query(_))));
+    }
+
+    #[test]
+    fn insert_then_query() {
+        let mut db = DatabaseBuilder::new()
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        let id = db.insert_xml("<a><c/></a>").unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(db.query_xpath("/a/c").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn boost_changes_sequences_not_answers() {
+        let xmls = [
+            "<p><a><x/></a><b/></p>",
+            "<p><a/><b/></p>",
+            "<p><b/></p>",
+        ];
+        let mut plain = DatabaseBuilder::new().build_from_xml(xmls).unwrap();
+        let mut boosted = DatabaseBuilder::new()
+            .boost("/p/a/x", 100.0)
+            .build_from_xml(xmls)
+            .unwrap();
+        for q in ["/p/a", "/p/b", "/p/a/x", "//x"] {
+            assert_eq!(
+                plain.query_xpath(q).unwrap(),
+                boosted.query_xpath(q).unwrap(),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn hashed_value_mode() {
+        let mut db = DatabaseBuilder::new()
+            .value_mode(ValueMode::Hashed { range: 64 })
+            .build_from_xml(["<a><l>boston</l></a>", "<a><l>newyork</l></a>"])
+            .unwrap();
+        let hits = db.query_xpath("/a/l[text='boston']").unwrap();
+        // hashed designators may collide, but boston's own document is
+        // always included
+        assert!(hits.contains(&0));
+    }
+}

@@ -1,0 +1,426 @@
+//! The paper's synthetic tree generator (Section 6.1).
+//!
+//! "The generation of synthetic tree structures takes three steps.  First,
+//! we generate a random DTD schema based on user-provided parameters
+//! [L, F, A, I].  Second, we assign an occurrence probability with a uniform
+//! distribution in the range of `[P%, 1.0]` to each node.  Finally, we
+//! generate N tree structures based on the schema, and determine the
+//! existence of their tree nodes by the occurrence probabilities."
+//!
+//! Occurrence probabilities are *root* probabilities, clamped to be
+//! monotone down the schema (a node cannot be more probable than its
+//! parent); a node is included, given its parent, with probability
+//! `p(node|root) / p(parent|root)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xseq_xml::{Document, NodeId, Symbol, SymbolTable};
+
+/// Parameters of the synthetic generator, named like the paper's datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticParams {
+    /// `L` — maximum tree height (root has depth 1).
+    pub max_height: u16,
+    /// `F` — maximum fanout of a node.
+    pub max_fanout: u16,
+    /// `A` — percentage of value child nodes (0–100).
+    pub value_pct: u8,
+    /// `I` — percentage of identical sibling nodes (0–100).
+    pub identical_pct: u8,
+    /// `P` — lower bound of the occurrence probability range, in percent.
+    pub prob_floor_pct: u8,
+}
+
+impl SyntheticParams {
+    /// The paper's dataset naming: `L3F5A25I0P40`.
+    pub fn name(&self) -> String {
+        format!(
+            "L{}F{}A{}I{}P{}",
+            self.max_height, self.max_fanout, self.value_pct, self.identical_pct, self.prob_floor_pct
+        )
+    }
+
+    /// Figure 14(a)'s dataset.
+    pub fn fig14a() -> Self {
+        SyntheticParams {
+            max_height: 3,
+            max_fanout: 5,
+            value_pct: 25,
+            identical_pct: 0,
+            prob_floor_pct: 40,
+        }
+    }
+
+    /// Figure 14(b)'s dataset.
+    pub fn fig14b() -> Self {
+        SyntheticParams {
+            max_height: 5,
+            max_fanout: 3,
+            value_pct: 40,
+            identical_pct: 0,
+            prob_floor_pct: 5,
+        }
+    }
+
+    /// Figure 16's dataset (`L3F5A25I10P40`).
+    pub fn fig16() -> Self {
+        SyntheticParams {
+            max_height: 3,
+            max_fanout: 5,
+            value_pct: 25,
+            identical_pct: 10,
+            prob_floor_pct: 40,
+        }
+    }
+}
+
+/// One node of the generated DTD schema.
+#[derive(Debug, Clone)]
+enum SchemaNode {
+    Element {
+        sym: Symbol,
+        /// Root occurrence probability.
+        prob: f64,
+        children: Vec<SchemaNode>,
+    },
+    /// A value slot: a pool of possible value symbols, one of which appears
+    /// (if the slot fires).
+    ValueSlot {
+        pool: Vec<Symbol>,
+        prob: f64,
+    },
+}
+
+impl SchemaNode {
+    fn prob(&self) -> f64 {
+        match self {
+            SchemaNode::Element { prob, .. } | SchemaNode::ValueSlot { prob, .. } => *prob,
+        }
+    }
+}
+
+/// A generated synthetic dataset: schema + documents.
+#[derive(Debug)]
+pub struct SyntheticDataset {
+    /// The generated documents.
+    pub docs: Vec<Document>,
+    /// Dataset name (`L3F5A25I0P40`).
+    pub name: String,
+    schema: SchemaNode,
+}
+
+impl SyntheticDataset {
+    /// Generates `n` documents from a fresh random schema.
+    ///
+    /// The base schema is drawn from a RNG stream that depends only on
+    /// `seed` and the non-`I` parameters; identical siblings are then
+    /// *injected* from a second stream.  Sweeping `I` with a fixed seed
+    /// therefore varies exactly one thing — the identical-sibling share —
+    /// which is what Figure 15 requires.
+    pub fn generate(
+        params: &SyntheticParams,
+        n: usize,
+        seed: u64,
+        symbols: &mut SymbolTable,
+    ) -> Self {
+        let base = SyntheticParams {
+            identical_pct: 0,
+            ..*params
+        };
+        let mut schema_rng = StdRng::seed_from_u64(seed);
+        let mut counter = 0u32;
+        let mut schema = gen_schema(&base, 1, 1.0, &mut counter, &mut schema_rng, symbols);
+        if params.identical_pct > 0 {
+            let mut dup_rng = StdRng::seed_from_u64(seed ^ 0x1de0_71ca1);
+            inject_identicals(&mut schema, params, 1.0, &mut dup_rng);
+        }
+        let mut doc_rng = StdRng::seed_from_u64(seed ^ 0xd0c5);
+        let mut docs = Vec::with_capacity(n);
+        for _ in 0..n {
+            docs.push(gen_doc(&schema, &mut doc_rng));
+        }
+        SyntheticDataset {
+            docs,
+            name: params.name(),
+            schema,
+        }
+    }
+
+    /// Generates `extra` additional documents from the same schema (for
+    /// dataset-size sweeps that must share one schema).
+    pub fn extend(&mut self, extra: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        for _ in 0..extra {
+            self.docs.push(gen_doc(&self.schema, &mut rng));
+        }
+    }
+
+    /// Average document size in nodes (= average sequence length).
+    pub fn avg_len(&self) -> f64 {
+        if self.docs.is_empty() {
+            return 0.0;
+        }
+        self.docs.iter().map(|d| d.len()).sum::<usize>() as f64 / self.docs.len() as f64
+    }
+
+    /// Total nodes across documents.
+    pub fn total_nodes(&self) -> usize {
+        self.docs.iter().map(|d| d.len()).sum()
+    }
+}
+
+fn gen_schema(
+    params: &SyntheticParams,
+    depth: u16,
+    parent_prob: f64,
+    counter: &mut u32,
+    rng: &mut StdRng,
+    symbols: &mut SymbolTable,
+) -> SchemaNode {
+    let sym = symbols.elem(&format!("e{}", *counter));
+    *counter += 1;
+    let prob = if depth == 1 {
+        1.0
+    } else {
+        draw_prob(params, parent_prob, rng)
+    };
+    let mut children = Vec::new();
+    if depth < params.max_height {
+        let f = params.max_fanout.max(1);
+        let fanout = rng.gen_range(f / 2 + 1..=f);
+        while (children.len() as u16) < fanout {
+            if rng.gen_range(0..100) < params.value_pct as u32 {
+                let pool_size = 1usize << rng.gen_range(3..=6); // 8..64 values
+                let slot = *counter;
+                *counter += 1;
+                let pool = (0..pool_size)
+                    .map(|k| symbols.val(&format!("v{slot}_{k}")))
+                    .collect();
+                children.push(SchemaNode::ValueSlot {
+                    pool,
+                    prob: draw_prob(params, prob, rng),
+                });
+            } else {
+                children.push(gen_schema(params, depth + 1, prob, counter, rng, symbols));
+            }
+        }
+    }
+    SchemaNode::Element {
+        sym,
+        prob,
+        children,
+    }
+}
+
+/// Root probability of a child: uniform in `[P%, 1]`, clamped by the parent
+/// (monotonicity).
+fn draw_prob(params: &SyntheticParams, parent_prob: f64, rng: &mut StdRng) -> f64 {
+    let floor = params.prob_floor_pct as f64 / 100.0;
+    rng.gen_range(floor..=1.0f64).min(parent_prob)
+}
+
+/// Post-pass adding identical siblings: each element child gains, with
+/// probability `I`%, a duplicate sibling (same designators and value
+/// domains, re-drawn occurrence probabilities).  Applied to the `I = 0`
+/// base schema, so a fixed seed sweeps `I` while holding the underlying
+/// structure and value variety constant — a duplicate never *removes*
+/// variety the way in-place replacement would.
+fn inject_identicals(
+    node: &mut SchemaNode,
+    params: &SyntheticParams,
+    parent_prob: f64,
+    rng: &mut StdRng,
+) {
+    let SchemaNode::Element { children, prob, .. } = node else {
+        return;
+    };
+    let prob = *prob;
+    let mut extra = Vec::new();
+    for c in children.iter() {
+        if matches!(c, SchemaNode::Element { .. })
+            && rng.gen_range(0..100) < params.identical_pct as u32
+        {
+            extra.push(reprob(c.clone(), params, prob, rng));
+        }
+    }
+    children.extend(extra);
+    let _ = parent_prob;
+    for c in children.iter_mut() {
+        inject_identicals(c, params, prob, rng);
+    }
+}
+
+/// Re-draws the probabilities of a duplicated subtree (identical siblings
+/// share designators, not fate).
+fn reprob(node: SchemaNode, params: &SyntheticParams, parent_prob: f64, rng: &mut StdRng) -> SchemaNode {
+    match node {
+        SchemaNode::Element { sym, children, .. } => {
+            let prob = draw_prob(params, parent_prob, rng);
+            let children = children
+                .into_iter()
+                .map(|c| reprob(c, params, prob, rng))
+                .collect();
+            SchemaNode::Element {
+                sym,
+                prob,
+                children,
+            }
+        }
+        SchemaNode::ValueSlot { pool, .. } => SchemaNode::ValueSlot {
+            pool,
+            prob: draw_prob(params, parent_prob, rng),
+        },
+    }
+}
+
+fn gen_doc(schema: &SchemaNode, rng: &mut StdRng) -> Document {
+    let SchemaNode::Element { sym, children, prob } = schema else {
+        unreachable!("schema root is an element");
+    };
+    let mut doc = Document::with_root(*sym);
+    let root = doc.root().expect("created");
+    for c in children {
+        gen_node(c, *prob, root, &mut doc, rng);
+    }
+    doc
+}
+
+fn gen_node(
+    schema: &SchemaNode,
+    parent_prob: f64,
+    parent: NodeId,
+    doc: &mut Document,
+    rng: &mut StdRng,
+) {
+    let cond = (schema.prob() / parent_prob).min(1.0);
+    if rng.gen_range(0.0..1.0f64) >= cond {
+        return;
+    }
+    match schema {
+        SchemaNode::Element { sym, prob, children } => {
+            let n = doc.child(parent, *sym);
+            for c in children {
+                gen_node(c, *prob, n, doc, rng);
+            }
+        }
+        SchemaNode::ValueSlot { pool, .. } => {
+            let v = pool[rng.gen_range(0..pool.len())];
+            doc.child(parent, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseq_xml::ValueMode;
+
+    fn st() -> SymbolTable {
+        SymbolTable::with_value_mode(ValueMode::Intern)
+    }
+
+    #[test]
+    fn naming_matches_paper() {
+        assert_eq!(SyntheticParams::fig14a().name(), "L3F5A25I0P40");
+        assert_eq!(SyntheticParams::fig14b().name(), "L5F3A40I0P5");
+        assert_eq!(SyntheticParams::fig16().name(), "L3F5A25I10P40");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut s1 = st();
+        let mut s2 = st();
+        let d1 = SyntheticDataset::generate(&SyntheticParams::fig14a(), 50, 9, &mut s1);
+        let d2 = SyntheticDataset::generate(&SyntheticParams::fig14a(), 50, 9, &mut s2);
+        assert_eq!(d1.docs, d2.docs);
+        let d3 = SyntheticDataset::generate(&SyntheticParams::fig14a(), 50, 10, &mut s2);
+        assert_ne!(d1.docs, d3.docs);
+    }
+
+    #[test]
+    fn height_and_root_invariants() {
+        let mut s = st();
+        let ds = SyntheticDataset::generate(&SyntheticParams::fig14b(), 100, 3, &mut s);
+        for doc in &ds.docs {
+            assert!(doc.height() <= 5 + 1, "value leaves may add one level");
+            assert!(!doc.is_empty(), "root always exists");
+        }
+        assert!(ds.avg_len() >= 1.0);
+    }
+
+    #[test]
+    fn value_percentage_zero_means_no_values() {
+        let mut s = st();
+        let params = SyntheticParams {
+            value_pct: 0,
+            ..SyntheticParams::fig14a()
+        };
+        let ds = SyntheticDataset::generate(&params, 30, 5, &mut s);
+        for doc in &ds.docs {
+            for n in doc.node_ids() {
+                assert!(doc.sym(n).is_elem());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_siblings_appear_when_requested() {
+        let mut s = st();
+        let params = SyntheticParams {
+            identical_pct: 80,
+            max_fanout: 4,
+            ..SyntheticParams::fig14a()
+        };
+        let ds = SyntheticDataset::generate(&params, 60, 11, &mut s);
+        let has_identical = ds.docs.iter().any(|doc| {
+            doc.node_ids().any(|n| {
+                let kids = doc.children(n);
+                kids.iter().enumerate().any(|(i, &a)| {
+                    kids[i + 1..]
+                        .iter()
+                        .any(|&b| doc.sym(a) == doc.sym(b) && doc.sym(a).is_elem())
+                })
+            })
+        });
+        assert!(has_identical);
+
+        // and I=0 never produces identical element siblings
+        let params0 = SyntheticParams::fig14a();
+        let ds0 = SyntheticDataset::generate(&params0, 60, 11, &mut s);
+        let none = ds0.docs.iter().all(|doc| {
+            doc.node_ids().all(|n| {
+                let kids: Vec<_> = doc
+                    .children(n)
+                    .iter()
+                    .filter(|&&c| doc.sym(c).is_elem())
+                    .collect();
+                let mut syms: Vec<_> = kids.iter().map(|&&c| doc.sym(c)).collect();
+                syms.sort();
+                syms.windows(2).all(|w| w[0] != w[1])
+            })
+        });
+        assert!(none, "I=0 must not create identical element siblings");
+    }
+
+    #[test]
+    fn extend_grows_dataset_with_same_schema() {
+        let mut s = st();
+        let mut ds = SyntheticDataset::generate(&SyntheticParams::fig14a(), 10, 1, &mut s);
+        let before = ds.docs.len();
+        ds.extend(15, 2);
+        assert_eq!(ds.docs.len(), before + 15);
+        // new docs use existing designators only (schema shared)
+        let count = s.designator_count();
+        ds.extend(5, 3);
+        assert_eq!(s.designator_count(), count);
+    }
+
+    #[test]
+    fn average_lengths_are_in_a_sane_band() {
+        let mut s = st();
+        let a = SyntheticDataset::generate(&SyntheticParams::fig14a(), 300, 21, &mut s);
+        let b = SyntheticDataset::generate(&SyntheticParams::fig14b(), 300, 21, &mut s);
+        assert!(a.avg_len() > 4.0, "fig14a avg {}", a.avg_len());
+        assert!(b.avg_len() > 4.0, "fig14b avg {}", b.avg_len());
+    }
+}

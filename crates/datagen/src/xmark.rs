@@ -1,0 +1,348 @@
+//! XMark-shaped substructures.
+//!
+//! "An XMARK document consists of sub structures such as item (objects for
+//! sale), person (buyers and sellers), open auction, closed auction, etc.
+//! We convert each instance of these sub structures into a constraint
+//! sequence." (Section 6.1.)  Tables 5/6 index these substructures with and
+//! without identical sibling nodes; Table 7 runs Q1–Q3 against them, so the
+//! value pools contain the constants those queries use (`United States`,
+//! `07/05/2000`-style dates, `personNNNNN` ids, ages including `32`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xseq_xml::{Document, NodeId, SymbolTable};
+
+/// Generator options.
+#[derive(Debug, Clone, Copy)]
+pub struct XmarkOptions {
+    /// Allow repeated elements (incategory*, bidder*, mail*) — the
+    /// "identical sibling nodes" variant of Table 5.  When false every
+    /// repeatable element is capped at one occurrence (Table 6).
+    pub identical_siblings: bool,
+}
+
+impl Default for XmarkOptions {
+    fn default() -> Self {
+        XmarkOptions {
+            identical_siblings: true,
+        }
+    }
+}
+
+/// Generator for XMark substructure records.
+#[derive(Debug)]
+pub struct XmarkGenerator {
+    rng: StdRng,
+    opts: XmarkOptions,
+    person_counter: u32,
+}
+
+const COUNTRIES: &[&str] = &[
+    "United States", "Germany", "China", "France", "Japan", "Brazil", "India", "Canada",
+];
+
+const CATEGORIES: &[&str] = &[
+    "category1", "category2", "category3", "category4", "category5", "category6",
+];
+
+const CITIES: &[&str] = &["Seattle", "Berlin", "Shanghai", "Paris", "Tokyo", "Toronto"];
+
+impl XmarkGenerator {
+    /// A seeded generator.
+    pub fn new(seed: u64, opts: XmarkOptions) -> Self {
+        XmarkGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            opts,
+            person_counter: 0,
+        }
+    }
+
+    /// Generates `n` substructure records under a shared `site` root,
+    /// cycling through the four substructure kinds.  Each record is one
+    /// indexed document, exactly as the paper decomposes XMark.
+    pub fn generate(&mut self, n: usize, symbols: &mut SymbolTable) -> Vec<Document> {
+        (0..n)
+            .map(|i| match i % 4 {
+                0 => self.item(symbols),
+                1 => self.person(symbols),
+                2 => self.open_auction(symbols),
+                _ => self.closed_auction(symbols),
+            })
+            .collect()
+    }
+
+    fn repeat(&mut self, max: u32) -> u32 {
+        if self.opts.identical_siblings {
+            1 + self.rng.gen_range(0..max)
+        } else {
+            1
+        }
+    }
+
+    fn date(&mut self) -> String {
+        // the pool includes Q1's 07/05/2000 and Q3's 12/15/1999
+        let m = self.rng.gen_range(1..=12);
+        let d = self.rng.gen_range(1..=28);
+        let y = self.rng.gen_range(1998..=2001);
+        format!("{m:02}/{d:02}/{y}")
+    }
+
+    fn person_ref(&mut self) -> String {
+        // existing-person skew, bounded so that Q3's person11304 exists once
+        // a few thousand records are generated
+        let id = self.rng.gen_range(0..(self.person_counter + 50) * 3 / 2);
+        format!("person{id}")
+    }
+
+    fn text_leaf(&mut self, doc: &mut Document, parent: NodeId, name: &str, value: &str, st: &mut SymbolTable) {
+        let n = doc.child(parent, st.elem(name));
+        let v = st.val(value);
+        doc.child(n, v);
+    }
+
+    /// `site/regions/.../item` substructure.
+    fn item(&mut self, st: &mut SymbolTable) -> Document {
+        let mut doc = Document::with_root(st.elem("site"));
+        let root = doc.root().expect("created");
+        let item = doc.child(root, st.elem("item"));
+        let loc = COUNTRIES[self.rng.gen_range(0..COUNTRIES.len())];
+        self.text_leaf(&mut doc, item, "location", loc, st);
+        let quantity = format!("{}", self.rng.gen_range(1..5));
+        self.text_leaf(&mut doc, item, "quantity", &quantity, st);
+        let name = format!("item name {}", self.rng.gen_range(0..5000));
+        self.text_leaf(&mut doc, item, "name", &name, st);
+        self.text_leaf(&mut doc, item, "payment", "Creditcard", st);
+        for _ in 0..self.repeat(4) {
+            let inc = doc.child(item, st.elem("incategory"));
+            let v = st.val(CATEGORIES[self.rng.gen_range(0..CATEGORIES.len())]);
+            doc.child(inc, v);
+        }
+        let mailbox = doc.child(item, st.elem("mailbox"));
+        for _ in 0..self.repeat(3) {
+            let mail = doc.child(mailbox, st.elem("mail"));
+            let from = self.person_ref();
+            self.text_leaf(&mut doc, mail, "from", &from, st);
+            let to = self.person_ref();
+            self.text_leaf(&mut doc, mail, "to", &to, st);
+            let date = self.date();
+            self.text_leaf(&mut doc, mail, "date", &date, st);
+            let body = format!("mail body {}", self.rng.gen_range(0..1000));
+            self.text_leaf(&mut doc, mail, "text", &body, st);
+        }
+        doc
+    }
+
+    /// `site/people/person` substructure.
+    fn person(&mut self, st: &mut SymbolTable) -> Document {
+        let id = self.person_counter;
+        self.person_counter += 1;
+        let mut doc = Document::with_root(st.elem("site"));
+        let root = doc.root().expect("created");
+        let person = doc.child(root, st.elem("person"));
+        self.text_leaf(&mut doc, person, "id", &format!("person{id}"), st);
+        let pname = format!("name {}", self.rng.gen_range(0..20000));
+        self.text_leaf(&mut doc, person, "name", &pname, st);
+        let email = format!("mailto:u{}@example.com", self.rng.gen_range(0..20000));
+        self.text_leaf(&mut doc, person, "emailaddress", &email, st);
+        if self.rng.gen_bool(0.6) {
+            let addr = doc.child(person, st.elem("address"));
+            let street = format!("{} Main St", self.rng.gen_range(1..999));
+            self.text_leaf(&mut doc, addr, "street", &street, st);
+            let city = CITIES[self.rng.gen_range(0..CITIES.len())];
+            self.text_leaf(&mut doc, addr, "city", city, st);
+            let country = COUNTRIES[self.rng.gen_range(0..COUNTRIES.len())];
+            self.text_leaf(&mut doc, addr, "country", country, st);
+        }
+        let profile = doc.child(person, st.elem("profile"));
+        for _ in 0..self.repeat(3) {
+            let interest = doc.child(profile, st.elem("interest"));
+            let v = st.val(CATEGORIES[self.rng.gen_range(0..CATEGORIES.len())]);
+            doc.child(interest, v);
+        }
+        // Q2 filters //person/*/age[text='32']: age sits under profile
+        if self.rng.gen_bool(0.7) {
+            let age = format!("{}", 18 + self.rng.gen_range(0..50));
+            self.text_leaf(&mut doc, profile, "age", &age, st);
+        }
+        doc
+    }
+
+    /// `site/open_auctions/open_auction` substructure.
+    fn open_auction(&mut self, st: &mut SymbolTable) -> Document {
+        let mut doc = Document::with_root(st.elem("site"));
+        let root = doc.root().expect("created");
+        let oa = doc.child(root, st.elem("open_auction"));
+        let initial = format!("{}.{:02}", self.rng.gen_range(1..200), self.rng.gen_range(0..100));
+        self.text_leaf(&mut doc, oa, "initial", &initial, st);
+        if self.rng.gen_bool(0.5) {
+            let reserve = format!("{}", self.rng.gen_range(10..500));
+            self.text_leaf(&mut doc, oa, "reserve", &reserve, st);
+        }
+        for _ in 0..self.repeat(4) {
+            let bidder = doc.child(oa, st.elem("bidder"));
+            let date = self.date();
+            self.text_leaf(&mut doc, bidder, "date", &date, st);
+            let pref = self.person_ref();
+            self.text_leaf(&mut doc, bidder, "personref", &pref, st);
+            let inc = format!("{}.00", self.rng.gen_range(1..30));
+            self.text_leaf(&mut doc, bidder, "increase", &inc, st);
+        }
+        let current = format!("{}", self.rng.gen_range(10..900));
+        self.text_leaf(&mut doc, oa, "current", &current, st);
+        let seller = doc.child(oa, st.elem("seller"));
+        let sp = self.person_ref();
+        self.text_leaf(&mut doc, seller, "person", &sp, st);
+        let itemref = format!("item{}", self.rng.gen_range(0..30000));
+        self.text_leaf(&mut doc, oa, "itemref", &itemref, st);
+        doc
+    }
+
+    /// `site/closed_auctions/closed_auction` substructure.
+    fn closed_auction(&mut self, st: &mut SymbolTable) -> Document {
+        let mut doc = Document::with_root(st.elem("site"));
+        let root = doc.root().expect("created");
+        let ca = doc.child(root, st.elem("closed_auction"));
+        let seller = doc.child(ca, st.elem("seller"));
+        let sp = self.person_ref();
+        self.text_leaf(&mut doc, seller, "person", &sp, st);
+        let buyer = doc.child(ca, st.elem("buyer"));
+        let bp = self.person_ref();
+        self.text_leaf(&mut doc, buyer, "person", &bp, st);
+        let itemref = format!("item{}", self.rng.gen_range(0..30000));
+        self.text_leaf(&mut doc, ca, "itemref", &itemref, st);
+        let price = format!("{}.{:02}", self.rng.gen_range(5..999), self.rng.gen_range(0..100));
+        self.text_leaf(&mut doc, ca, "price", &price, st);
+        let date = self.date();
+        self.text_leaf(&mut doc, ca, "date", &date, st);
+        let quantity = format!("{}", self.rng.gen_range(1..4));
+        self.text_leaf(&mut doc, ca, "quantity", &quantity, st);
+        doc
+    }
+}
+
+/// Finds an actual `(seller person, date)` pair from a generated
+/// closed-auction record, for instantiating Table 4's Q3 with constants
+/// that exist in this (seeded) dataset — the paper queried `person11304`
+/// because it existed in *their* XMark instance.
+pub fn q3_constants(docs: &[Document], st: &SymbolTable) -> Option<(String, String)> {
+    let ca = st.lookup_designator("closed_auction")?;
+    let seller = st.lookup_designator("seller")?;
+    let person = st.lookup_designator("person")?;
+    let date = st.lookup_designator("date")?;
+    for doc in docs {
+        let root = doc.root()?;
+        let Some(&can) = doc
+            .children(root)
+            .iter()
+            .find(|&&n| doc.sym(n).as_elem() == Some(ca))
+        else {
+            continue;
+        };
+        let mut person_val = None;
+        let mut date_val = None;
+        for &c in doc.children(can) {
+            if doc.sym(c).as_elem() == Some(seller) {
+                for &p in doc.children(c) {
+                    if doc.sym(p).as_elem() == Some(person) {
+                        let v = doc.sym(doc.children(p)[0]).as_value()?;
+                        person_val = st.values.resolve(v).map(str::to_owned);
+                    }
+                }
+            }
+            if doc.sym(c).as_elem() == Some(date) {
+                let v = doc.sym(doc.children(c)[0]).as_value()?;
+                date_val = st.values.resolve(v).map(str::to_owned);
+            }
+        }
+        if let (Some(p), Some(d)) = (person_val, date_val) {
+            return Some((p, d));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseq_xml::ValueMode;
+
+    fn st() -> SymbolTable {
+        SymbolTable::with_value_mode(ValueMode::Intern)
+    }
+
+    #[test]
+    fn generates_all_substructures() {
+        let mut s = st();
+        let docs = XmarkGenerator::new(1, XmarkOptions::default()).generate(40, &mut s);
+        assert_eq!(docs.len(), 40);
+        for name in ["item", "person", "open_auction", "closed_auction", "site"] {
+            assert!(s.lookup_designator(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn no_identical_siblings_variant() {
+        let mut s = st();
+        let docs = XmarkGenerator::new(2, XmarkOptions { identical_siblings: false })
+            .generate(200, &mut s);
+        for doc in &docs {
+            for n in doc.node_ids() {
+                let kids = doc.children(n);
+                for (i, &a) in kids.iter().enumerate() {
+                    for &b in &kids[i + 1..] {
+                        assert_ne!(
+                            doc.sym(a),
+                            doc.sym(b),
+                            "no identical siblings in the Table 6 variant"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_siblings_variant_has_repeats() {
+        let mut s = st();
+        let docs =
+            XmarkGenerator::new(3, XmarkOptions::default()).generate(200, &mut s);
+        let some_repeat = docs.iter().any(|doc| {
+            doc.node_ids().any(|n| {
+                let kids = doc.children(n);
+                kids.iter()
+                    .enumerate()
+                    .any(|(i, &a)| kids[i + 1..].iter().any(|&b| doc.sym(a) == doc.sym(b)))
+            })
+        });
+        assert!(some_repeat);
+    }
+
+    #[test]
+    fn query_constants_exist() {
+        let mut s = st();
+        let _docs = XmarkGenerator::new(4, XmarkOptions::default()).generate(4000, &mut s);
+        assert!(s.values.lookup("United States").is_some());
+        assert!(s.lookup_designator("location").is_some());
+        assert!(s.lookup_designator("age").is_some());
+        // at least one age of 32 in 4000 records (50 ages uniform)
+        assert!(s.values.lookup("32").is_some());
+    }
+
+    #[test]
+    fn q3_constants_found() {
+        let mut s = st();
+        let docs = XmarkGenerator::new(5, XmarkOptions::default()).generate(100, &mut s);
+        let (person, date) = q3_constants(&docs, &s).expect("closed auctions exist");
+        assert!(person.starts_with("person"));
+        assert!(date.contains('/'));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut s1 = st();
+        let mut s2 = st();
+        let a = XmarkGenerator::new(9, XmarkOptions::default()).generate(60, &mut s1);
+        let b = XmarkGenerator::new(9, XmarkOptions::default()).generate(60, &mut s2);
+        assert_eq!(a, b);
+    }
+}

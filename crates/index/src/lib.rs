@@ -1,0 +1,384 @@
+//! # xseq-index — the constraint-sequence XML index
+//!
+//! The paper's index (Section 4): a trie over constraint sequences with
+//! preorder range labels and horizontal path links ([`trie`]), searched by
+//! constraint subsequence matching ([`search`], Algorithm 1), fed by a query
+//! planner that instantiates wildcards against the path dictionary
+//! ([`plan`]).
+//!
+//! [`XmlIndex`] packages the pieces behind the interface the paper
+//! advertises in its introduction:
+//!
+//! ```text
+//! Tree Pattern ⇒ P(Doc Ids)
+//! ```
+//!
+//! — the tree pattern is the basic query unit; no join operations, no
+//! per-document post-processing, no false alarms.
+
+pub mod plan;
+pub mod search;
+pub mod trie;
+
+pub use plan::{instantiate, PlanOptions};
+pub use search::{constraint_search, naive_search, tree_search, QuerySequence, SearchStats};
+pub use trie::{LinkEntry, SequenceTrie, TrieNodeId, TrieView, NIL};
+
+use std::collections::HashSet;
+use xseq_sequence::{isomorphic_variants, sequence_document, Strategy};
+use xseq_xml::{DocId, Document, PathId, PathTable, TreePattern};
+
+/// Aggregated statistics of one pattern query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Concrete instantiations produced by the planner.
+    pub instantiations: u32,
+    /// Total sequence variants searched (instantiations × isomorphisms).
+    pub variants: u32,
+    /// Summed matcher counters.
+    pub search: SearchStats,
+}
+
+/// Result of a pattern query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutcome {
+    /// Matching document ids, sorted, deduplicated.
+    pub docs: Vec<DocId>,
+    /// Work counters.
+    pub stats: QueryStats,
+}
+
+impl QueryOutcome {
+    fn absorb(&mut self, docs: Vec<DocId>, st: SearchStats) {
+        self.stats.variants += 1;
+        self.stats.search.candidates += st.candidates;
+        self.stats.search.cover_rejections += st.cover_rejections;
+        self.stats.search.completions += st.completions;
+        self.docs.extend(docs);
+    }
+}
+
+/// Which matching algorithm a query runs.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    TreeSearch,
+    Ordered,
+    Naive,
+}
+
+/// The sequence-based XML index.
+#[derive(Debug)]
+pub struct XmlIndex {
+    trie: SequenceTrie,
+    strategy: Strategy,
+    /// Distinct path encodings of indexed data — the path dictionary used
+    /// for wildcard instantiation.
+    data_paths: HashSet<PathId>,
+    options: PlanOptions,
+}
+
+impl XmlIndex {
+    /// Builds an index over `docs` with the given sequencing strategy.
+    ///
+    /// Sequences every document, bulk-loads the trie (sorted insertion) and
+    /// freezes it (labels + path links), so the index is immediately
+    /// queryable.
+    pub fn build(
+        docs: &[Document],
+        paths: &mut PathTable,
+        strategy: Strategy,
+        options: PlanOptions,
+    ) -> Self {
+        let mut index = XmlIndex {
+            trie: SequenceTrie::new(),
+            strategy,
+            data_paths: HashSet::new(),
+            options,
+        };
+        let mut seqs = Vec::with_capacity(docs.len());
+        for (id, doc) in docs.iter().enumerate() {
+            let seq = sequence_document(doc, paths, &index.strategy);
+            index.data_paths.extend(seq.elems().iter().copied());
+            seqs.push((seq, id as DocId));
+        }
+        index.trie.bulk_load(seqs);
+        index.trie.freeze();
+        index
+    }
+
+    /// Inserts one more document (dynamic maintenance).  Labels are
+    /// invalidated; call [`XmlIndex::refresh`] (or let the next build step)
+    /// before querying again.
+    pub fn insert(&mut self, doc: &Document, id: DocId, paths: &mut PathTable) {
+        let seq = sequence_document(doc, paths, &self.strategy);
+        self.data_paths.extend(seq.elems().iter().copied());
+        self.trie.insert(&seq, id);
+    }
+
+    /// Recomputes labels and path links after insertions.
+    pub fn refresh(&mut self) {
+        self.trie.freeze();
+    }
+
+    /// Answers a tree-pattern query by order-free constraint matching
+    /// ([`search::tree_search`]): wildcard instantiation against the path
+    /// dictionary, one search per concrete query tree, union.
+    ///
+    /// Sound and complete for every valid sequencing strategy, with no
+    /// isomorphism expansion (see the `tree_search` docs for why the
+    /// order-free formulation subsumes it).
+    pub fn query(&self, pattern: &TreePattern, paths: &mut PathTable) -> QueryOutcome {
+        self.run_query(pattern, paths, Mode::TreeSearch)
+    }
+
+    /// The paper's Algorithm 1 verbatim: left-to-right constraint
+    /// subsequence matching plus isomorphic query expansion.  Complete only
+    /// for order-consistent strategies (canonical depth-first); kept for
+    /// faithfulness experiments and the ViST-style baseline.
+    pub fn query_ordered(&self, pattern: &TreePattern, paths: &mut PathTable) -> QueryOutcome {
+        self.run_query(pattern, paths, Mode::Ordered)
+    }
+
+    /// Naïve subsequence matching (no constraint check) — the ViST query
+    /// primitive, which suffers false alarms that a ViST-style system must
+    /// repair with joins or per-document post-processing.
+    pub fn query_naive(&self, pattern: &TreePattern, paths: &mut PathTable) -> QueryOutcome {
+        self.run_query(pattern, paths, Mode::Naive)
+    }
+
+    fn run_query(&self, pattern: &TreePattern, paths: &mut PathTable, mode: Mode) -> QueryOutcome {
+        let mut outcome = QueryOutcome::default();
+        let concrete = instantiate(pattern, paths, &self.data_paths, &self.options);
+        outcome.stats.instantiations = concrete.len() as u32;
+        for qdoc in &concrete {
+            match mode {
+                Mode::TreeSearch => {
+                    let qs = QuerySequence::from_document(qdoc, paths, &self.strategy);
+                    let (docs, st) = search::tree_search(&self.trie, &qs);
+                    outcome.absorb(docs, st);
+                }
+                Mode::Ordered | Mode::Naive => {
+                    for variant in isomorphic_variants(qdoc, self.options.max_isomorphs) {
+                        let qs = QuerySequence::from_document(&variant, paths, &self.strategy);
+                        let (docs, st) = if matches!(mode, Mode::Ordered) {
+                            constraint_search(&self.trie, &qs)
+                        } else {
+                            naive_search(&self.trie, &qs)
+                        };
+                        outcome.absorb(docs, st);
+                    }
+                }
+            }
+        }
+        outcome.docs.sort_unstable();
+        outcome.docs.dedup();
+        outcome
+    }
+
+    /// Runs a single pre-built query sequence (no instantiation) — the
+    /// primitive used by the synthetic query-performance experiments.
+    pub fn query_sequence(&self, q: &QuerySequence) -> (Vec<DocId>, SearchStats) {
+        search::tree_search(&self.trie, q)
+    }
+
+    /// The sequencing strategy in use.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Number of trie nodes — the index-size metric of Figure 14 and
+    /// Tables 5/6.
+    pub fn node_count(&self) -> usize {
+        self.trie.node_count()
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.trie.sequence_count()
+    }
+
+    /// Access to the underlying trie (storage layer, baselines, tests).
+    pub fn trie(&self) -> &SequenceTrie {
+        &self.trie
+    }
+
+    /// The path dictionary (distinct data paths).
+    pub fn data_paths(&self) -> &HashSet<PathId> {
+        &self.data_paths
+    }
+
+    /// Planner caps in use.
+    pub fn options(&self) -> &PlanOptions {
+        &self.options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseq_xml::{parse_document, Axis, PatternLabel, SymbolTable, ValueMode};
+
+    fn corpus(xmls: &[&str]) -> (SymbolTable, PathTable, Vec<Document>) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let docs: Vec<Document> = xmls
+            .iter()
+            .map(|x| parse_document(x, &mut st).unwrap())
+            .collect();
+        (st, PathTable::new(), docs)
+    }
+
+    #[test]
+    fn end_to_end_exact_pattern() {
+        let (mut st, mut pt, docs) = corpus(&[
+            "<p><r><l>boston</l></r></p>",
+            "<p><d><l>boston</l></d></p>",
+            "<p><r><l>newyork</l></r></p>",
+        ]);
+        let index = XmlIndex::build(&docs, &mut pt, Strategy::DepthFirst, PlanOptions::default());
+        assert_eq!(index.doc_count(), 3);
+
+        let p = st.designator("p");
+        let r = st.designator("r");
+        let l = st.designator("l");
+        let boston = st.values.lookup("boston").unwrap();
+        let mut q = TreePattern::root(PatternLabel::Elem(p));
+        let rn = q.add(q.root_id(), Axis::Child, PatternLabel::Elem(r));
+        let ln = q.add(rn, Axis::Child, PatternLabel::Elem(l));
+        q.add(ln, Axis::Child, PatternLabel::Value(boston));
+
+        let out = index.query(&q, &mut pt);
+        assert_eq!(out.docs, vec![0]);
+    }
+
+    #[test]
+    fn end_to_end_wildcards() {
+        let (mut st, mut pt, docs) = corpus(&[
+            "<p><r><l>boston</l></r></p>",
+            "<p><d><l>boston</l></d></p>",
+            "<p><r><l>newyork</l></r></p>",
+        ]);
+        let index = XmlIndex::build(&docs, &mut pt, Strategy::DepthFirst, PlanOptions::default());
+
+        let p = st.designator("p");
+        let l = st.designator("l");
+        let boston = st.values.lookup("boston").unwrap();
+        // /p/*[l = 'boston']
+        let mut q = TreePattern::root(PatternLabel::Elem(p));
+        let star = q.add(q.root_id(), Axis::Child, PatternLabel::AnyElem);
+        let ln = q.add(star, Axis::Child, PatternLabel::Elem(l));
+        q.add(ln, Axis::Child, PatternLabel::Value(boston));
+        let out = index.query(&q, &mut pt);
+        assert_eq!(out.docs, vec![0, 1]);
+        assert_eq!(out.stats.instantiations, 2);
+
+        // //l
+        let q2 = TreePattern::with_root_axis(PatternLabel::Elem(l), Axis::Descendant);
+        let out2 = index.query(&q2, &mut pt);
+        assert_eq!(out2.docs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn probability_strategy_end_to_end() {
+        let (mut st, mut pt, docs) = corpus(&[
+            "<p><a/><b><c/></b></p>",
+            "<p><b><c/></b></p>",
+            "<p><a/></p>",
+        ]);
+        // hand-made priorities: p > b > c > a
+        let p = st.elem("p");
+        let a = st.elem("a");
+        let b = st.elem("b");
+        let c = st.elem("c");
+        let pp = pt.intern(&[p]);
+        let pa = pt.intern(&[p, a]);
+        let pb = pt.intern(&[p, b]);
+        let pbc = pt.intern(&[p, b, c]);
+        let mut pm = xseq_sequence::PriorityMap::new(0.0);
+        pm.insert(pp, 1.0);
+        pm.insert(pb, 0.9);
+        pm.insert(pbc, 0.8);
+        pm.insert(pa, 0.1);
+        let index = XmlIndex::build(
+            &docs,
+            &mut pt,
+            Strategy::Probability(pm),
+            PlanOptions::default(),
+        );
+
+        let pd = st.designator("p");
+        let bd = st.designator("b");
+        let cd = st.designator("c");
+        let mut q = TreePattern::root(PatternLabel::Elem(pd));
+        let bn = q.add(q.root_id(), Axis::Child, PatternLabel::Elem(bd));
+        q.add(bn, Axis::Child, PatternLabel::Elem(cd));
+        let out = index.query(&q, &mut pt);
+        assert_eq!(out.docs, vec![0, 1]);
+
+        let ad = st.designator("a");
+        let mut q2 = TreePattern::root(PatternLabel::Elem(pd));
+        q2.add(q2.root_id(), Axis::Child, PatternLabel::Elem(ad));
+        let out2 = index.query(&q2, &mut pt);
+        assert_eq!(out2.docs, vec![0, 2]);
+    }
+
+    #[test]
+    fn incremental_insert_and_refresh() {
+        let (mut st, mut pt, docs) = corpus(&["<p><a/></p>"]);
+        let mut index =
+            XmlIndex::build(&docs, &mut pt, Strategy::DepthFirst, PlanOptions::default());
+        let doc2 = parse_document("<p><b/></p>", &mut st).unwrap();
+        index.insert(&doc2, 1, &mut pt);
+        index.refresh();
+
+        let pd = st.designator("p");
+        let bd = st.designator("b");
+        let mut q = TreePattern::root(PatternLabel::Elem(pd));
+        q.add(q.root_id(), Axis::Child, PatternLabel::Elem(bd));
+        assert_eq!(index.query(&q, &mut pt).docs, vec![1]);
+    }
+
+    #[test]
+    fn sibling_order_mismatch_is_no_false_dismissal() {
+        // Data doc P(L(B), L(S)) with the query's sibling order reversed:
+        // P(L(S), L(B)).  The order-free search needs no isomorphism
+        // expansion; the paper-faithful ordered search needs it — both must
+        // answer correctly.
+        let (mut st, mut pt, docs) = corpus(&["<p><l><b/></l><l><s/></l></p>"]);
+        let index = XmlIndex::build(&docs, &mut pt, Strategy::DepthFirst, PlanOptions::default());
+        let pd = st.designator("p");
+        let ld = st.designator("l");
+        let sd = st.designator("s");
+        let bd = st.designator("b");
+        let mut q = TreePattern::root(PatternLabel::Elem(pd));
+        let l1 = q.add(q.root_id(), Axis::Child, PatternLabel::Elem(ld));
+        q.add(l1, Axis::Child, PatternLabel::Elem(sd));
+        let l2 = q.add(q.root_id(), Axis::Child, PatternLabel::Elem(ld));
+        q.add(l2, Axis::Child, PatternLabel::Elem(bd));
+        let out = index.query(&q, &mut pt);
+        assert_eq!(out.docs, vec![0]);
+        assert_eq!(out.stats.variants, 1, "tree_search needs no expansion");
+        let ordered = index.query_ordered(&q, &mut pt);
+        assert_eq!(ordered.docs, vec![0]);
+        assert!(
+            ordered.stats.variants >= 2,
+            "Algorithm 1 relies on isomorphic expansion here"
+        );
+    }
+
+    #[test]
+    fn naive_query_reports_false_alarms() {
+        let (mut st, mut pt, docs) = corpus(&["<p><l><s/></l><l><b/></l></p>"]);
+        let index = XmlIndex::build(&docs, &mut pt, Strategy::DepthFirst, PlanOptions::default());
+        let pd = st.designator("p");
+        let ld = st.designator("l");
+        let sd = st.designator("s");
+        let bd = st.designator("b");
+        // P(L(S,B)) — not contained.
+        let mut q = TreePattern::root(PatternLabel::Elem(pd));
+        let ln = q.add(q.root_id(), Axis::Child, PatternLabel::Elem(ld));
+        q.add(ln, Axis::Child, PatternLabel::Elem(sd));
+        q.add(ln, Axis::Child, PatternLabel::Elem(bd));
+        assert!(index.query(&q, &mut pt).docs.is_empty());
+        assert_eq!(index.query_naive(&q, &mut pt).docs, vec![0]);
+    }
+}

@@ -1,0 +1,534 @@
+//! Query planning: from a [`TreePattern`] to concrete query trees.
+//!
+//! The trie matches *concrete* constraint sequences, so wildcards must be
+//! instantiated first — the paper: queries with `*` or `//` become
+//! subsequences "once `*` is instantialized to symbol D".  Instantiation
+//! enumerates, against the index's *path dictionary* (the set of distinct
+//! path encodings of the data, a DataGuide in disguise):
+//!
+//! 1. **Assignments** — a concrete [`PathId`] per pattern node, consistent
+//!    with the axes: `Child` extends the parent path by one matching symbol,
+//!    `Descendant` by any matching dictionary descendant.
+//! 2. **Merge variants** — a `//` edge materializes a chain of intermediate
+//!    nodes; when two sibling chains share a prefix, the data may satisfy
+//!    them through one shared instance or through distinct instances.
+//!    All instance-sharing choices (set partitions per step, with the rule
+//!    that two *pattern* nodes never share an instance) are enumerated, so
+//!    the union over variants equals the embedding semantics of the
+//!    brute-force matcher.
+//!
+//! Every enumeration is capped ([`PlanOptions`]); realistic queries produce
+//! a handful of variants.
+
+use std::collections::{HashMap, HashSet};
+use xseq_xml::{
+    Axis, Document, NodeId, PathId, PathTable, PatternLabel, PatternNodeId, Symbol, TreePattern,
+};
+
+/// Caps for the query-planning enumerations.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// Maximum wildcard assignments per query.
+    pub max_assignments: usize,
+    /// Maximum merge variants per assignment.
+    pub max_merges: usize,
+    /// Maximum isomorphic sibling orderings per concrete tree (used by the
+    /// caller; carried here so one options struct configures the pipeline).
+    pub max_isomorphs: usize,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            max_assignments: 4096,
+            max_merges: 256,
+            max_isomorphs: 64,
+        }
+    }
+}
+
+/// Enumerates the concrete query trees of `pattern` against the dictionary
+/// (`data_paths` filters the path table down to paths that actually occur in
+/// indexed data).  Deduplicated; order deterministic.
+pub fn instantiate(
+    pattern: &TreePattern,
+    paths: &PathTable,
+    data_paths: &HashSet<PathId>,
+    options: &PlanOptions,
+) -> Vec<Document> {
+    let mut assignments = Vec::new();
+    let mut current = vec![PathId::ROOT; pattern.len()];
+    assign(
+        pattern,
+        paths,
+        data_paths,
+        pattern.root_id(),
+        &mut current,
+        &mut assignments,
+        options.max_assignments,
+    );
+
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    for asg in &assignments {
+        for doc in merge_variants(pattern, paths, asg, options.max_merges) {
+            if seen.insert(shape_key(&doc)) {
+                out.push(doc);
+            }
+        }
+    }
+    out
+}
+
+/// Depth-first assignment enumeration over pattern nodes (ids are already in
+/// parents-before-children order).
+fn assign(
+    pattern: &TreePattern,
+    paths: &PathTable,
+    data_paths: &HashSet<PathId>,
+    node: PatternNodeId,
+    current: &mut Vec<PathId>,
+    out: &mut Vec<Vec<PathId>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    let parent_path = match pattern.parent(node) {
+        None => PathId::ROOT,
+        Some(p) => current[p as usize],
+    };
+    let label = pattern.label(node);
+    let candidates: Vec<PathId> = match pattern.axis(node) {
+        Axis::Child => paths
+            .children(parent_path)
+            .iter()
+            .copied()
+            .filter(|&c| data_paths.contains(&c) && label_fits(label, paths.last(c)))
+            .collect(),
+        Axis::Descendant => {
+            let mut v: Vec<PathId> = paths
+                .descendants(parent_path)
+                .into_iter()
+                .filter(|&c| data_paths.contains(&c) && label_fits(label, paths.last(c)))
+                .collect();
+            v.sort();
+            v
+        }
+    };
+    for c in candidates {
+        current[node as usize] = c;
+        // advance to the next pattern node in preorder
+        match next_node(pattern, node) {
+            None => {
+                out.push(current.clone());
+                if out.len() >= cap {
+                    return;
+                }
+            }
+            Some(next) => assign(pattern, paths, data_paths, next, current, out, cap),
+        }
+    }
+}
+
+/// The next pattern node in id order (ids are preorder-compatible).
+fn next_node(pattern: &TreePattern, node: PatternNodeId) -> Option<PatternNodeId> {
+    let next = node + 1;
+    if (next as usize) < pattern.len() {
+        Some(next)
+    } else {
+        None
+    }
+}
+
+fn label_fits(label: PatternLabel, last: Option<Symbol>) -> bool {
+    let Some(sym) = last else {
+        return false;
+    };
+    match label {
+        PatternLabel::Elem(d) => sym.as_elem() == Some(d),
+        PatternLabel::AnyElem => sym.is_elem(),
+        PatternLabel::Value(v) => sym.as_value() == Some(v),
+    }
+}
+
+/// One chain of symbols still to materialize, ending at a pattern node.
+#[derive(Debug, Clone)]
+struct Item {
+    /// Remaining symbols from the current anchor down to the pattern node.
+    chain: Vec<Symbol>,
+    pattern_node: PatternNodeId,
+}
+
+/// Work unit: sibling items hanging under one materialized node, all sharing
+/// the same first symbol (groups with distinct first symbols never interact,
+/// so they become separate units).
+#[derive(Debug, Clone)]
+struct Unit {
+    parent: NodeId,
+    items: Vec<Item>,
+}
+
+/// Enumerates the instance-sharing variants of one assignment.
+fn merge_variants(
+    pattern: &TreePattern,
+    paths: &PathTable,
+    assignment: &[PathId],
+    cap: usize,
+) -> Vec<Document> {
+    // The root pattern node's chain from ε.
+    let root_path = assignment[pattern.root_id() as usize];
+    let root_chain = paths.symbols(root_path);
+    debug_assert!(!root_chain.is_empty());
+
+    let mut out = Vec::new();
+    // Seed: a document with just the first symbol of the root chain, and one
+    // item for the rest (or, if the chain is length 1, the root pattern node
+    // is materialized immediately and its children become units).
+    let doc = Document::with_root(root_chain[0]);
+    let root_node = doc.root().expect("root created");
+    let mut units = Vec::new();
+    if root_chain.len() == 1 {
+        let mut acc = HashMap::new();
+        collect_child_items(pattern, paths, assignment, pattern.root_id(), &mut acc);
+        flush_units(root_node, acc, &mut units);
+    } else {
+        units.push(Unit {
+            parent: root_node,
+            items: vec![Item {
+                chain: root_chain[1..].to_vec(),
+                pattern_node: pattern.root_id(),
+            }],
+        });
+    }
+    expand(pattern, paths, assignment, doc, units, &mut out, cap);
+    out
+}
+
+/// When pattern node `pn` has just been materialized, collect items for its
+/// pattern children into `acc`, grouped by the first symbol of their chains.
+fn collect_child_items(
+    pattern: &TreePattern,
+    paths: &PathTable,
+    assignment: &[PathId],
+    pn: PatternNodeId,
+    acc: &mut HashMap<Symbol, Vec<Item>>,
+) {
+    let base = assignment[pn as usize];
+    let base_depth = paths.depth(base);
+    for &c in pattern.children(pn) {
+        let target = assignment[c as usize];
+        let full = paths.symbols(target);
+        let chain: Vec<Symbol> = full[base_depth as usize..].to_vec();
+        debug_assert!(!chain.is_empty(), "child path must be deeper than parent");
+        acc.entry(chain[0]).or_default().push(Item {
+            chain,
+            pattern_node: c,
+        });
+    }
+}
+
+/// Converts a symbol-grouped item accumulator into work units under `node`,
+/// in deterministic symbol order.  Items sharing a first symbol MUST land in
+/// one unit: the partition enumeration below is what decides which of them
+/// share an instance of that symbol.
+fn flush_units(node: NodeId, mut acc: HashMap<Symbol, Vec<Item>>, units: &mut Vec<Unit>) {
+    let mut keys: Vec<Symbol> = acc.keys().copied().collect();
+    keys.sort();
+    for k in keys {
+        units.push(Unit {
+            parent: node,
+            items: acc.remove(&k).expect("key exists"),
+        });
+    }
+}
+
+/// Recursive variant expansion: pop one unit, enumerate the valid set
+/// partitions of its items (each block shares one instance of the step
+/// symbol; at most one item per block may *end* at this step, because
+/// distinct pattern nodes are distinct instances), and recurse.
+fn expand(
+    pattern: &TreePattern,
+    paths: &PathTable,
+    assignment: &[PathId],
+    doc: Document,
+    mut units: Vec<Unit>,
+    out: &mut Vec<Document>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    let Some(unit) = units.pop() else {
+        out.push(doc);
+        return;
+    };
+    let sym = unit.items[0].chain[0];
+    debug_assert!(unit.items.iter().all(|it| it.chain[0] == sym));
+
+    for partition in partitions(unit.items.len()) {
+        // validity: at most one ender per block
+        let mut ender_count = vec![0usize; unit.items.len()];
+        let mut valid = true;
+        for (item_idx, &block) in partition.iter().enumerate() {
+            if unit.items[item_idx].chain.len() == 1 {
+                ender_count[block] += 1;
+                if ender_count[block] > 1 {
+                    valid = false;
+                    break;
+                }
+            }
+        }
+        if !valid {
+            continue;
+        }
+
+        let mut d2 = doc.clone();
+        let mut u2 = units.clone();
+        let block_count = partition.iter().max().map(|&b| b + 1).unwrap_or(0);
+        for block in 0..block_count {
+            let node = d2.child(unit.parent, sym);
+            // All items hanging under this instance — the materialized
+            // pattern node's children and the continuing chains — share one
+            // accumulator so that same-symbol items end up in ONE unit and
+            // their instance-sharing gets enumerated too.
+            let mut acc: HashMap<Symbol, Vec<Item>> = HashMap::new();
+            for (item_idx, &b) in partition.iter().enumerate() {
+                if b != block {
+                    continue;
+                }
+                let item = &unit.items[item_idx];
+                if item.chain.len() == 1 {
+                    // pattern node materialized here
+                    collect_child_items(pattern, paths, assignment, item.pattern_node, &mut acc);
+                } else {
+                    let rest = item.chain[1..].to_vec();
+                    acc.entry(rest[0]).or_default().push(Item {
+                        chain: rest,
+                        pattern_node: item.pattern_node,
+                    });
+                }
+            }
+            flush_units(node, acc, &mut u2);
+        }
+        expand(pattern, paths, assignment, d2, u2, out, cap);
+        if out.len() >= cap {
+            return;
+        }
+    }
+}
+
+/// All set partitions of `n` items, as block indices per item (block ids are
+/// in order of first appearance, so the enumeration has no duplicates).
+fn partitions(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = vec![0usize; n];
+    fn rec(i: usize, n: usize, max_block: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if i == n {
+            out.push(current.clone());
+            return;
+        }
+        for b in 0..=max_block {
+            current[i] = b;
+            rec(i + 1, n, max_block.max(b + 1), current, out);
+        }
+    }
+    rec(0, n, 0, &mut current, &mut out);
+    out
+}
+
+/// Order-sensitive shape key for deduplication.
+fn shape_key(doc: &Document) -> Vec<u32> {
+    let mut out = Vec::with_capacity(doc.len() * 2);
+    let Some(root) = doc.root() else {
+        return out;
+    };
+    fn rec(doc: &Document, n: NodeId, out: &mut Vec<u32>) {
+        out.push(doc.sym(n).raw());
+        out.push(u32::MAX); // open
+        for &c in doc.children(n) {
+            rec(doc, c, out);
+        }
+        out.push(u32::MAX - 1); // close
+    }
+    rec(doc, root, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseq_xml::SymbolTable;
+
+    struct Fx {
+        st: SymbolTable,
+        pt: PathTable,
+        data: HashSet<PathId>,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            Fx {
+                st: SymbolTable::default(),
+                pt: PathTable::new(),
+                data: HashSet::new(),
+            }
+        }
+        /// Registers a data path like "a.b.c" (values prefixed with ').
+        fn add(&mut self, spec: &str) {
+            let syms: Vec<Symbol> = spec
+                .split('.')
+                .map(|p| {
+                    if let Some(v) = p.strip_prefix('\'') {
+                        self.st.val(v)
+                    } else {
+                        self.st.elem(p)
+                    }
+                })
+                .collect();
+            // register all prefixes, as real data would
+            for i in 1..=syms.len() {
+                let id = self.pt.intern(&syms[..i]);
+                self.data.insert(id);
+            }
+        }
+        fn d(&mut self, name: &str) -> xseq_xml::Designator {
+            self.st.designator(name)
+        }
+    }
+
+    fn render_all(docs: &[Document], st: &SymbolTable) -> Vec<String> {
+        let mut v: Vec<String> = docs.iter().map(|d| xseq_xml::write_document(d, st)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn exact_pattern_single_instantiation() {
+        let mut fx = Fx::new();
+        fx.add("a.b.c");
+        let a = fx.d("a");
+        let b = fx.d("b");
+        let mut q = TreePattern::root(PatternLabel::Elem(a));
+        q.add(q.root_id(), Axis::Child, PatternLabel::Elem(b));
+        let docs = instantiate(&q, &fx.pt, &fx.data, &PlanOptions::default());
+        assert_eq!(render_all(&docs, &fx.st), vec!["<a><b/></a>"]);
+    }
+
+    #[test]
+    fn missing_path_yields_no_instantiation() {
+        let mut fx = Fx::new();
+        fx.add("a.b");
+        let a = fx.d("a");
+        let z = fx.d("z");
+        let mut q = TreePattern::root(PatternLabel::Elem(a));
+        q.add(q.root_id(), Axis::Child, PatternLabel::Elem(z));
+        let docs = instantiate(&q, &fx.pt, &fx.data, &PlanOptions::default());
+        assert!(docs.is_empty());
+    }
+
+    #[test]
+    fn star_wildcard_instantiates_each_element() {
+        // /a/*/c over data paths a.b.c and a.d.c and a.'v.c(!) — the value
+        // step must not instantiate '*'.
+        let mut fx = Fx::new();
+        fx.add("a.b.c");
+        fx.add("a.d.c");
+        fx.add("a.'v");
+        let a = fx.d("a");
+        let c = fx.d("c");
+        let mut q = TreePattern::root(PatternLabel::Elem(a));
+        let star = q.add(q.root_id(), Axis::Child, PatternLabel::AnyElem);
+        q.add(star, Axis::Child, PatternLabel::Elem(c));
+        let docs = instantiate(&q, &fx.pt, &fx.data, &PlanOptions::default());
+        assert_eq!(
+            render_all(&docs, &fx.st),
+            vec!["<a><b><c/></b></a>", "<a><d><c/></d></a>"]
+        );
+    }
+
+    #[test]
+    fn descendant_axis_materializes_intermediates() {
+        // //c over data a.b.c: instantiation builds the full chain a(b(c)).
+        let mut fx = Fx::new();
+        fx.add("a.b.c");
+        let c = fx.d("c");
+        let q = TreePattern::with_root_axis(PatternLabel::Elem(c), Axis::Descendant);
+        let docs = instantiate(&q, &fx.pt, &fx.data, &PlanOptions::default());
+        assert_eq!(render_all(&docs, &fx.st), vec!["<a><b><c/></b></a>"]);
+    }
+
+    #[test]
+    fn descendant_branches_enumerate_shared_and_split() {
+        // a[.//x][.//y] with both x and y reachable through b:
+        // merged a(b(x,y)) and split a(b(x), b(y)) variants must both exist.
+        let mut fx = Fx::new();
+        fx.add("a.b.x");
+        fx.add("a.b.y");
+        let a = fx.d("a");
+        let x = fx.d("x");
+        let y = fx.d("y");
+        let mut q = TreePattern::root(PatternLabel::Elem(a));
+        q.add(q.root_id(), Axis::Descendant, PatternLabel::Elem(x));
+        q.add(q.root_id(), Axis::Descendant, PatternLabel::Elem(y));
+        let docs = instantiate(&q, &fx.pt, &fx.data, &PlanOptions::default());
+        assert_eq!(docs.len(), 2, "merged and split variants");
+        let merged = xseq_xml::parse_document("<a><b><x/><y/></b></a>", &mut fx.st).unwrap();
+        let split = xseq_xml::parse_document("<a><b><x/></b><b><y/></b></a>", &mut fx.st).unwrap();
+        assert!(docs.iter().any(|d| d.structurally_eq(&merged)));
+        assert!(docs.iter().any(|d| d.structurally_eq(&split)));
+    }
+
+    #[test]
+    fn identical_pattern_nodes_never_merge() {
+        // a with two identical child tests b: both instances required.
+        let mut fx = Fx::new();
+        fx.add("a.b");
+        let a = fx.d("a");
+        let b = fx.d("b");
+        let mut q = TreePattern::root(PatternLabel::Elem(a));
+        q.add(q.root_id(), Axis::Child, PatternLabel::Elem(b));
+        q.add(q.root_id(), Axis::Child, PatternLabel::Elem(b));
+        let docs = instantiate(&q, &fx.pt, &fx.data, &PlanOptions::default());
+        assert_eq!(render_all(&docs, &fx.st), vec!["<a><b/><b/></a>"]);
+    }
+
+    #[test]
+    fn value_tests_instantiate() {
+        let mut fx = Fx::new();
+        fx.add("a.l.'boston");
+        let a = fx.d("a");
+        let l = fx.d("l");
+        let v = fx.st.values.lookup("boston").unwrap();
+        let mut q = TreePattern::root(PatternLabel::Elem(a));
+        let ln = q.add(q.root_id(), Axis::Child, PatternLabel::Elem(l));
+        q.add(ln, Axis::Child, PatternLabel::Value(v));
+        let docs = instantiate(&q, &fx.pt, &fx.data, &PlanOptions::default());
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].len(), 3);
+    }
+
+    #[test]
+    fn caps_are_respected() {
+        let mut fx = Fx::new();
+        for i in 0..20 {
+            fx.add(&format!("a.m{i}.x"));
+        }
+        let x = fx.d("x");
+        let q = TreePattern::with_root_axis(PatternLabel::Elem(x), Axis::Descendant);
+        let opts = PlanOptions {
+            max_assignments: 5,
+            ..Default::default()
+        };
+        let docs = instantiate(&q, &fx.pt, &fx.data, &opts);
+        assert_eq!(docs.len(), 5);
+    }
+
+    #[test]
+    fn partitions_count_is_bell_number() {
+        assert_eq!(partitions(1).len(), 1);
+        assert_eq!(partitions(2).len(), 2);
+        assert_eq!(partitions(3).len(), 5);
+        assert_eq!(partitions(4).len(), 15);
+    }
+}

@@ -1,0 +1,591 @@
+//! Constraint subsequence matching (Section 4.2, Algorithm 1).
+//!
+//! Matching walks the query sequence element by element; for element `i` the
+//! candidates are the entries of its horizontal path link whose serial lies
+//! in `(v⊢, v⊣]` for the previously matched node `v` (binary search — the
+//! links are in ascending serial order).  Matched nodes therefore lie on a
+//! single root-to-leaf trie path, with nested label ranges.
+//!
+//! **Naïve** matching stops there and suffers the Figure 4 false alarms.
+//! **Constraint** matching additionally enforces criterion 2 of
+//! Definition 3: for each query element, the matched node's *closest
+//! same-path trie ancestor* for its query-tree parent path must be exactly
+//! the node matched for that parent — the "not sibling-covered" condition of
+//! Definition 4/Theorem 3 (in a trie merged across documents, same-path
+//! nodes inside a range may sit on disjoint branches, so the ancestor walk
+//! is the faithful generalization of the consecutive-link-entry check).
+//! Following Algorithm 1's `ins` set, the check is only evaluated when the
+//! anchor node *embeds identical siblings*; otherwise it holds vacuously.
+
+use crate::trie::{TrieNodeId, TrieView, NIL};
+use std::collections::HashMap;
+use xseq_sequence::{sequence_nodes, Sequence, Strategy};
+use xseq_xml::{DocId, Document, PathId, PathTable};
+
+/// A query sequence with its tree-parent structure: `parent_pos[i]` is the
+/// sequence position of element `i`'s parent in the query tree (`None` for
+/// the query root).
+#[derive(Debug, Clone)]
+pub struct QuerySequence {
+    /// Path encodings in match order.
+    pub paths: Vec<PathId>,
+    /// Position of each element's query-tree parent.
+    pub parent_pos: Vec<Option<u32>>,
+}
+
+impl QuerySequence {
+    /// Sequences a concrete query tree with the index's strategy and records
+    /// the parent positions.
+    pub fn from_document(doc: &Document, paths: &mut PathTable, strategy: &Strategy) -> Self {
+        let (seq, nodes) = sequence_nodes(doc, paths, strategy);
+        let pos_of: HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        let parent_pos = nodes
+            .iter()
+            .map(|&n| doc.parent(n).map(|p| pos_of[&p]))
+            .collect();
+        QuerySequence {
+            paths: seq.0,
+            parent_pos,
+        }
+    }
+
+    /// A raw sequence where each element's parent is its path-parent's most
+    /// recent earlier occurrence — correct for sequences of full documents
+    /// where ancestors precede descendants (used by tests and the ViST
+    /// baseline, whose query sequences are depth-first).
+    pub fn from_sequence(seq: &Sequence, paths: &PathTable) -> Self {
+        let mut last: HashMap<PathId, u32> = HashMap::new();
+        let mut parent_pos = Vec::with_capacity(seq.len());
+        for (i, &p) in seq.elems().iter().enumerate() {
+            let t = paths.parent(p);
+            parent_pos.push(if t == PathId::ROOT {
+                None
+            } else {
+                last.get(&t).copied()
+            });
+            last.insert(p, i as u32);
+        }
+        QuerySequence {
+            paths: seq.elems().to_vec(),
+            parent_pos,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True for the empty query.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Counters describing one search's work, for the performance experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidate link entries examined.
+    pub candidates: u32,
+    /// Candidates rejected by the sibling-cover (constraint) check.
+    pub cover_rejections: u32,
+    /// Match completions (alignments reaching the end of the query).
+    pub completions: u32,
+}
+
+/// Runs constraint subsequence matching (Algorithm 1): returns the ids of
+/// the documents containing the query structure, deduplicated and sorted.
+pub fn constraint_search<V: TrieView + ?Sized>(
+    trie: &V,
+    q: &QuerySequence,
+) -> (Vec<DocId>, SearchStats) {
+    search(trie, q, true)
+}
+
+/// Naïve subsequence matching (ViST-style): no constraint check, so the
+/// result may contain false alarms when identical sibling nodes exist.
+pub fn naive_search<V: TrieView + ?Sized>(
+    trie: &V,
+    q: &QuerySequence,
+) -> (Vec<DocId>, SearchStats) {
+    search(trie, q, false)
+}
+
+/// Order-free constraint matching.
+///
+/// Algorithm 1 aligns the query sequence left to right, which is complete
+/// only when the sequencing strategy orders any two distinct paths the same
+/// way in every document and query.  The probability strategy does *not*
+/// guarantee that: Algorithm 2 emits an identical-sibling subtree
+/// contiguously, so where a low-priority node lands relative to unrelated
+/// paths depends on subtree content, and a structurally-present query can
+/// fail to align (a false dismissal the paper's isomorphism expansion does
+/// not cover).
+///
+/// The fix follows from the proof of Theorem 3 itself: a document matches
+/// iff the query elements can be assigned — *in any order* — to distinct
+/// trie nodes that (a) lie on one root-to-leaf chain reaching the document,
+/// (b) carry the right paths, and (c) have, for each query-tree edge
+/// `a → b`, the closest same-path trie ancestor of `m(b)` for `a`'s path
+/// equal to `m(a)` (the not-sibling-covered condition).  Any valid
+/// constraint sequence of a containing document admits such an assignment
+/// regardless of emission order, so this search is complete for every valid
+/// strategy and needs no isomorphic query expansion at all.
+pub fn tree_search<V: TrieView + ?Sized>(trie: &V, q: &QuerySequence) -> (Vec<DocId>, SearchStats) {
+    let mut out = Vec::new();
+    let mut stats = SearchStats::default();
+    if q.is_empty() {
+        return (out, stats);
+    }
+    // Because the search is order-free, we are free to process the most
+    // *selective* elements first (shortest path links), subject only to
+    // parents-before-children — exactly the paper's "Impact 2": highly
+    // selective elements early shrink the search space.
+    let n = q.len();
+    let lens: Vec<usize> = q.paths.iter().map(|&p| trie.link_len(p)).collect();
+    if lens.contains(&0) {
+        return (out, stats); // some required path never occurs in the data
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for e in 0..n {
+            if placed[e] {
+                continue;
+            }
+            let ready = match q.parent_pos[e] {
+                None => true,
+                Some(pp) => placed[pp as usize],
+            };
+            if ready && best.is_none_or(|b| lens[e] < lens[b]) {
+                best = Some(e);
+            }
+        }
+        let e = best.expect("parents precede children in the element list");
+        placed[e] = true;
+        order.push(e);
+    }
+
+    let mut matched: Vec<TrieNodeId> = vec![NIL; n];
+    let mut used: Vec<TrieNodeId> = Vec::with_capacity(n);
+    tree_go(
+        trie,
+        q,
+        &order,
+        0,
+        trie.root(),
+        &mut matched,
+        &mut used,
+        &mut out,
+        &mut stats,
+    );
+    out.sort_unstable();
+    out.dedup();
+    (out, stats)
+}
+
+/// One step of the order-free search: processing slot `k` selects element
+/// `order[k]` (the order puts parents first and selective elements early);
+/// `tip` is the deepest matched trie node.
+#[allow(clippy::too_many_arguments)]
+fn tree_go<V: TrieView + ?Sized>(
+    trie: &V,
+    q: &QuerySequence,
+    order: &[usize],
+    k: usize,
+    tip: TrieNodeId,
+    matched: &mut Vec<TrieNodeId>,
+    used: &mut Vec<TrieNodeId>,
+    out: &mut Vec<DocId>,
+    stats: &mut SearchStats,
+) {
+    if k == order.len() {
+        stats.completions += 1;
+        let (ts, tm) = trie.label(tip);
+        trie.collect_docs_in_range(ts, tm, out);
+        return;
+    }
+    let i = order[k];
+    let path = q.paths[i];
+    let (anchor, anchor_path) = match q.parent_pos[i] {
+        None => (trie.root(), None),
+        Some(pp) => (matched[pp as usize], Some(q.paths[pp as usize])),
+    };
+    let (anchor_serial, _) = trie.label(anchor);
+    let (tip_serial, tip_max) = trie.label(tip);
+
+    // A valid candidate must: carry `path`; be a strict descendant of
+    // `anchor`; satisfy the closest-ancestor constraint; be unused; and be
+    // chain-comparable with `tip` (an ancestor of it, or a descendant).
+    let try_candidate = |r: TrieNodeId,
+                             matched: &mut Vec<TrieNodeId>,
+                             used: &mut Vec<TrieNodeId>,
+                             out: &mut Vec<DocId>,
+                             stats: &mut SearchStats| {
+        stats.candidates += 1;
+        if used.contains(&r) {
+            return;
+        }
+        if let Some(ap) = anchor_path {
+            if trie.embeds_identical(anchor)
+                && trie.nearest_ancestor_with_path(r, ap) != Some(anchor)
+            {
+                stats.cover_rejections += 1;
+                return;
+            }
+        }
+        let (rs, _) = trie.label(r);
+        let new_tip = if rs > tip_serial { r } else { tip };
+        matched[i] = r;
+        used.push(r);
+        tree_go(trie, q, order, k + 1, new_tip, matched, used, out, stats);
+        used.pop();
+        matched[i] = NIL;
+    };
+
+    // (1) candidates below the tip: link range (tip⊢, tip⊣].
+    let len = trie.link_len(path);
+    let mut idx = trie.link_lower_bound(path, tip_serial);
+    while idx < len {
+        let e = trie.link_entry(path, idx);
+        if e.serial > tip_max {
+            break;
+        }
+        try_candidate(e.node, matched, used, out, stats);
+        idx += 1;
+    }
+    // (2) candidates on the chain above the tip, strictly below the anchor.
+    let mut cur = trie.parent(tip);
+    while cur != NIL {
+        let (cs, _) = trie.label(cur);
+        if cs <= anchor_serial {
+            break;
+        }
+        if trie.path(cur) == path {
+            try_candidate(cur, matched, used, out, stats);
+        }
+        cur = trie.parent(cur);
+    }
+}
+
+fn search<V: TrieView + ?Sized>(trie: &V, q: &QuerySequence, check: bool) -> (Vec<DocId>, SearchStats) {
+    let mut out = Vec::new();
+    let mut stats = SearchStats::default();
+    if q.is_empty() {
+        return (out, stats);
+    }
+    let (rs, rm) = trie.label(trie.root());
+    let mut matched: Vec<TrieNodeId> = Vec::with_capacity(q.len());
+    go(trie, q, 0, rs, rm, check, &mut matched, &mut out, &mut stats);
+    out.sort_unstable();
+    out.dedup();
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn go<V: TrieView + ?Sized>(
+    trie: &V,
+    q: &QuerySequence,
+    i: usize,
+    v_serial: u32,
+    v_max: u32,
+    check: bool,
+    matched: &mut Vec<TrieNodeId>,
+    out: &mut Vec<DocId>,
+    stats: &mut SearchStats,
+) {
+    if i == q.len() {
+        stats.completions += 1;
+        trie.collect_docs_in_range(v_serial, v_max, out);
+        return;
+    }
+    let path = q.paths[i];
+    // candidates: serial ∈ (v⊢, v⊣]
+    let len = trie.link_len(path);
+    let mut idx = trie.link_lower_bound(path, v_serial);
+    while idx < len {
+        let e = trie.link_entry(path, idx);
+        if e.serial > v_max {
+            break;
+        }
+        idx += 1;
+        stats.candidates += 1;
+        if check {
+            if let Some(pp) = q.parent_pos[i] {
+                let anchor = matched[pp as usize];
+                if trie.embeds_identical(anchor)
+                    && trie.nearest_ancestor_with_path(e.node, q.paths[pp as usize])
+                        != Some(anchor)
+                {
+                    stats.cover_rejections += 1;
+                    continue;
+                }
+            }
+        }
+        matched.push(e.node);
+        go(trie, q, i + 1, e.serial, e.max_desc, check, matched, out, stats);
+        matched.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::SequenceTrie;
+    use xseq_xml::{Symbol, SymbolTable, ValueMode};
+
+    struct Fx {
+        st: SymbolTable,
+        pt: PathTable,
+        trie: SequenceTrie,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            Fx {
+                st: SymbolTable::with_value_mode(ValueMode::Intern),
+                pt: PathTable::new(),
+                trie: SequenceTrie::new(),
+            }
+        }
+        fn p(&mut self, spec: &str) -> PathId {
+            let syms: Vec<Symbol> = spec.split('.').map(|s| self.st.elem(s)).collect();
+            self.pt.intern(&syms)
+        }
+        fn seq(&mut self, specs: &[&str]) -> Sequence {
+            Sequence(specs.iter().map(|s| self.p(s)).collect())
+        }
+        fn insert(&mut self, specs: &[&str], doc: DocId) {
+            let s = self.seq(specs);
+            self.trie.insert(&s, doc);
+        }
+        fn query(&mut self, specs: &[&str]) -> QuerySequence {
+            let s = self.seq(specs);
+            QuerySequence::from_sequence(&s, &self.pt)
+        }
+    }
+
+    #[test]
+    fn simple_subsequence_match() {
+        let mut fx = Fx::new();
+        fx.insert(&["P", "P.R", "P.R.L", "P.D", "P.D.L"], 1);
+        fx.insert(&["P", "P.D", "P.D.M"], 2);
+        fx.trie.freeze();
+
+        let q = fx.query(&["P", "P.D", "P.D.L"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert_eq!(docs, vec![1]);
+
+        let q = fx.query(&["P", "P.D"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert_eq!(docs, vec![1, 2]);
+
+        let q = fx.query(&["P", "P.X"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert!(docs.is_empty());
+    }
+
+    #[test]
+    fn figure4_false_alarm_rejected_by_constraint_match() {
+        // D = ⟨P, PL, PLS, PL, PLB⟩ (P with L(S) and L(B));
+        // Q = ⟨P, PL, PLS, PLB⟩ (P with one L(S, B)).
+        // Naïve matching accepts (false alarm); constraint matching must not.
+        let mut fx = Fx::new();
+        fx.insert(&["P", "P.L", "P.L.S", "P.L", "P.L.B"], 7);
+        fx.trie.freeze();
+
+        let q = fx.query(&["P", "P.L", "P.L.S", "P.L.B"]);
+        let (naive, _) = naive_search(&fx.trie, &q);
+        assert_eq!(naive, vec![7], "naïve matching triggers the false alarm");
+        let (constrained, stats) = constraint_search(&fx.trie, &q);
+        assert!(constrained.is_empty(), "constraint match rejects it");
+        assert!(stats.cover_rejections > 0);
+    }
+
+    #[test]
+    fn true_match_with_identical_siblings_accepted() {
+        // D = P(L(S,B)) — the query structure actually present.
+        let mut fx = Fx::new();
+        fx.insert(&["P", "P.L", "P.L.S", "P.L.B"], 3);
+        // plus a decoy doc with split L's
+        fx.insert(&["P", "P.L", "P.L.S", "P.L", "P.L.B"], 4);
+        fx.trie.freeze();
+
+        let q = fx.query(&["P", "P.L", "P.L.S", "P.L.B"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert_eq!(docs, vec![3]);
+    }
+
+    #[test]
+    fn query_with_two_identical_siblings() {
+        // Q = P(L(S), L(B)) = ⟨P, PL, PLS, PL, PLB⟩ matches the split doc
+        // but not the joint one (which has only one L).
+        let mut fx = Fx::new();
+        fx.insert(&["P", "P.L", "P.L.S", "P.L.B"], 3);
+        fx.insert(&["P", "P.L", "P.L.S", "P.L", "P.L.B"], 4);
+        fx.trie.freeze();
+
+        let q = fx.query(&["P", "P.L", "P.L.S", "P.L", "P.L.B"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert_eq!(docs, vec![4]);
+    }
+
+    #[test]
+    fn result_is_subtree_union() {
+        // A query matching an interior node returns every doc whose sequence
+        // passes through it.
+        let mut fx = Fx::new();
+        fx.insert(&["P", "P.A"], 1);
+        fx.insert(&["P", "P.A", "P.A.X"], 2);
+        fx.insert(&["P", "P.A", "P.A.Y"], 3);
+        fx.insert(&["P", "P.B"], 4);
+        fx.trie.freeze();
+        let q = fx.query(&["P", "P.A"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert_eq!(docs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn gap_alignment_is_explored() {
+        // The query's second element may match deeper than the immediately
+        // next trie level.
+        let mut fx = Fx::new();
+        fx.insert(&["P", "P.A", "P.B", "P.C"], 1);
+        fx.trie.freeze();
+        let q = fx.query(&["P", "P.C"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert_eq!(docs, vec![1]);
+    }
+
+    #[test]
+    fn naive_equals_constraint_without_identical_siblings() {
+        let mut fx = Fx::new();
+        fx.insert(&["P", "P.A", "P.A.X", "P.B"], 1);
+        fx.insert(&["P", "P.B", "P.B.Y"], 2);
+        fx.insert(&["P", "P.A", "P.B"], 3);
+        fx.trie.freeze();
+        for qspec in [
+            vec!["P"],
+            vec!["P", "P.A"],
+            vec!["P", "P.B"],
+            vec!["P", "P.A", "P.B"],
+            vec!["P", "P.A", "P.A.X"],
+        ] {
+            let q = fx.query(&qspec);
+            let (a, _) = constraint_search(&fx.trie, &q);
+            let (b, _) = naive_search(&fx.trie, &q);
+            assert_eq!(a, b, "{qspec:?}");
+        }
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let mut fx = Fx::new();
+        fx.insert(&["P"], 1);
+        fx.trie.freeze();
+        let q = QuerySequence {
+            paths: vec![],
+            parent_pos: vec![],
+        };
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert!(docs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_results_are_deduplicated() {
+        // Two alignments can reach overlapping ranges; each doc must appear
+        // once.
+        let mut fx = Fx::new();
+        fx.insert(&["P", "P.A", "P.A.X", "P.A", "P.A.X"], 1);
+        fx.trie.freeze();
+        let q = fx.query(&["P", "P.A"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert_eq!(docs, vec![1]);
+    }
+
+    #[test]
+    fn deep_nesting_three_identical_levels() {
+        // Document with three nested identical-path chains (via three L
+        // siblings each repeated): stress the ancestor walk.
+        let mut fx = Fx::new();
+        fx.insert(
+            &[
+                "P", "P.L", "P.L.S", "P.L", "P.L.S", "P.L", "P.L.B",
+            ],
+            1,
+        );
+        fx.trie.freeze();
+        // P(L(S), L(S), L(B)): present.
+        let q = fx.query(&["P", "P.L", "P.L.S", "P.L", "P.L.S", "P.L", "P.L.B"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert_eq!(docs, vec![1]);
+        // P(L(S, B)): absent.
+        let q = fx.query(&["P", "P.L", "P.L.S", "P.L.B"]);
+        let (docs, _) = constraint_search(&fx.trie, &q);
+        assert!(docs.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod query_sequence_tests {
+    use super::*;
+    use xseq_sequence::Strategy;
+    use xseq_xml::{Document, SymbolTable, ValueMode};
+
+    #[test]
+    fn from_document_records_tree_parents() {
+        // P(A(X), A(Y)): the two A elements are identical siblings; each
+        // child's parent_pos must point at ITS OWN A, not the other one.
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let p = st.elem("P");
+        let a = st.elem("A");
+        let x = st.elem("X");
+        let y = st.elem("Y");
+        let mut doc = Document::with_root(p);
+        let root = doc.root().unwrap();
+        let a1 = doc.child(root, a);
+        doc.child(a1, x);
+        let a2 = doc.child(root, a);
+        doc.child(a2, y);
+
+        let mut paths = PathTable::new();
+        let qs = QuerySequence::from_document(&doc, &mut paths, &Strategy::DepthFirst);
+        assert_eq!(qs.len(), 5);
+        assert_eq!(qs.parent_pos[0], None, "root has no parent");
+        // find the X and Y elements and check their parents carry path PA
+        for i in 0..qs.len() {
+            if let Some(pp) = qs.parent_pos[i] {
+                assert!(
+                    paths.is_proper_prefix(qs.paths[pp as usize], qs.paths[i]),
+                    "parent path must prefix child path"
+                );
+            }
+        }
+        // X's parent and Y's parent are DIFFERENT positions
+        let pa = {
+            let sym_a = st.elem("A");
+            let sym_p = st.elem("P");
+            paths.lookup(&[sym_p, sym_a]).unwrap()
+        };
+        let a_positions: Vec<usize> = (0..qs.len()).filter(|&i| qs.paths[i] == pa).collect();
+        assert_eq!(a_positions.len(), 2);
+        let leaf_parents: Vec<u32> = (0..qs.len())
+            .filter(|&i| paths.depth(qs.paths[i]) == 3)
+            .map(|i| qs.parent_pos[i].unwrap())
+            .collect();
+        assert_eq!(leaf_parents.len(), 2);
+        assert_ne!(leaf_parents[0], leaf_parents[1], "distinct A instances");
+    }
+
+    #[test]
+    fn empty_document_gives_empty_query_sequence() {
+        let mut paths = PathTable::new();
+        let qs = QuerySequence::from_document(&Document::new(), &mut paths, &Strategy::DepthFirst);
+        assert!(qs.is_empty());
+    }
+}

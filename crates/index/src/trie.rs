@@ -1,0 +1,625 @@
+//! The trie-like index structure (Section 4.1).
+//!
+//! Index construction takes the paper's three steps:
+//!
+//! 1. **Sequence insertion** — every document's constraint sequence is
+//!    inserted into a trie; the document id is appended to the id list of
+//!    the node where the insertion ends (Figure 7).
+//! 2. **Tree labeling** — each node `n` gets `(n⊢, n⊣)`: its preorder serial
+//!    number and the largest serial among its descendants, so `x` is a
+//!    descendant of `y` iff `x⊢ ∈ (y⊢, y⊣]` (Figure 8).
+//! 3. **Path linking** — a horizontal link per distinct path collects the
+//!    labels of all trie nodes carrying that path encoding, in ascending
+//!    serial order, ready for binary search (Figure 9).
+//!
+//! Steps 2–3 are performed by [`SequenceTrie::freeze`]; insertions after a
+//! freeze simply invalidate the labels, and the next freeze relabels
+//! (incremental maintenance of preorder labels is orthogonal to the paper).
+
+use std::collections::HashMap;
+use xseq_sequence::Sequence;
+use xseq_xml::{DocId, PathId};
+
+/// Index of a node within the trie arena.
+pub type TrieNodeId = u32;
+
+/// Sentinel for "no node".
+pub const NIL: TrieNodeId = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct TrieNode {
+    path: PathId,
+    parent: TrieNodeId,
+    first_child: TrieNodeId,
+    next_sibling: TrieNodeId,
+}
+
+/// One entry of a horizontal path link: the label of a trie node carrying
+/// this path, plus the node itself (for constraint checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkEntry {
+    /// `n⊢` — preorder serial.
+    pub serial: u32,
+    /// `n⊣` — largest descendant serial.
+    pub max_desc: u32,
+    /// The trie node.
+    pub node: TrieNodeId,
+}
+
+/// Labels, links and end-node registry built by [`SequenceTrie::freeze`].
+#[derive(Debug, Default)]
+pub struct Frozen {
+    /// Per node: preorder serial `n⊢` (root = 0).
+    pub serial: Vec<u32>,
+    /// Per node: `n⊣`.
+    pub max_desc: Vec<u32>,
+    /// Per node: does its range contain another node with the same path?
+    /// (Nodes that "embed identical siblings" in Algorithm 1's sense.)
+    pub embeds_identical: Vec<bool>,
+    /// Horizontal path links, ascending by serial.
+    pub links: HashMap<PathId, Vec<LinkEntry>>,
+    /// Nodes owning document id lists, ascending by serial.
+    pub end_nodes: Vec<(u32, TrieNodeId)>,
+}
+
+/// Read access to a frozen trie — everything the matching algorithms need.
+///
+/// Implemented by the in-memory [`SequenceTrie`] and by the paged
+/// (disk-layout) trie in `xseq-storage`, so one search implementation serves
+/// both and the storage layer's page-touch counters measure the real access
+/// pattern of Algorithm 1.
+pub trait TrieView {
+    /// The virtual root node.
+    fn root(&self) -> TrieNodeId;
+    /// The label `(n⊢, n⊣)` of a node.
+    fn label(&self, n: TrieNodeId) -> (u32, u32);
+    /// The path encoding of a node.
+    fn path(&self, n: TrieNodeId) -> PathId;
+    /// The parent of a node (`NIL` for the virtual root).
+    fn parent(&self, n: TrieNodeId) -> TrieNodeId;
+    /// Whether the node's range contains another node with the same path.
+    fn embeds_identical(&self, n: TrieNodeId) -> bool;
+    /// Number of entries in the horizontal link of `path` (0 if absent).
+    fn link_len(&self, path: PathId) -> usize;
+    /// Entry `idx` of the link of `path` (ascending serial order).
+    fn link_entry(&self, path: PathId, idx: usize) -> LinkEntry;
+    /// Appends the doc ids of end nodes with serial in `[lo, hi]`.
+    fn collect_docs_in_range(&self, lo: u32, hi: u32, out: &mut Vec<DocId>);
+
+    /// Walks up from `n` to the nearest proper ancestor whose path is `t`.
+    fn nearest_ancestor_with_path(&self, n: TrieNodeId, t: PathId) -> Option<TrieNodeId> {
+        let mut cur = self.parent(n);
+        while cur != NIL {
+            if self.path(cur) == t {
+                return Some(cur);
+            }
+            cur = self.parent(cur);
+        }
+        None
+    }
+
+    /// First link index of `path` with serial strictly greater than `s`.
+    fn link_lower_bound(&self, path: PathId, s: u32) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.link_len(path);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.link_entry(path, mid).serial <= s {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// The trie over constraint sequences.
+#[derive(Debug)]
+pub struct SequenceTrie {
+    nodes: Vec<TrieNode>,
+    /// Child lookup: (parent, path) → child.
+    edges: HashMap<(TrieNodeId, PathId), TrieNodeId>,
+    /// Document id lists, keyed by end node (sparse — most nodes have none).
+    docs: HashMap<TrieNodeId, Vec<DocId>>,
+    frozen: Option<Frozen>,
+    seq_count: usize,
+}
+
+impl Default for SequenceTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SequenceTrie {
+    /// Creates an empty trie (just the virtual root, which carries the empty
+    /// path and range `[0, ∞)` until frozen).
+    pub fn new() -> Self {
+        SequenceTrie {
+            nodes: vec![TrieNode {
+                path: PathId::ROOT,
+                parent: NIL,
+                first_child: NIL,
+                next_sibling: NIL,
+            }],
+            edges: HashMap::new(),
+            docs: HashMap::new(),
+            frozen: None,
+            seq_count: 0,
+        }
+    }
+
+    /// The virtual root node.
+    pub fn root(&self) -> TrieNodeId {
+        0
+    }
+
+    /// Number of real trie nodes (excluding the virtual root) — the metric
+    /// of Figure 14 and Tables 5/6.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Number of inserted sequences (documents).
+    pub fn sequence_count(&self) -> usize {
+        self.seq_count
+    }
+
+    /// The path encoding of a node.
+    #[inline]
+    pub fn path(&self, n: TrieNodeId) -> PathId {
+        self.nodes[n as usize].path
+    }
+
+    /// The parent of a node (`NIL` for the virtual root).
+    #[inline]
+    pub fn parent(&self, n: TrieNodeId) -> TrieNodeId {
+        self.nodes[n as usize].parent
+    }
+
+    /// Document ids whose sequences end at `n`.
+    pub fn docs_at(&self, n: TrieNodeId) -> &[DocId] {
+        self.docs.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Inserts a document's constraint sequence (Figure 7).
+    ///
+    /// Invalidates any previous freeze.
+    pub fn insert(&mut self, seq: &Sequence, doc: DocId) {
+        self.frozen = None;
+        let mut cur = self.root();
+        for &p in seq.elems() {
+            cur = match self.edges.get(&(cur, p)) {
+                Some(&c) => c,
+                None => {
+                    let id = self.nodes.len() as TrieNodeId;
+                    let first = self.nodes[cur as usize].first_child;
+                    self.nodes.push(TrieNode {
+                        path: p,
+                        parent: cur,
+                        first_child: NIL,
+                        next_sibling: first,
+                    });
+                    self.nodes[cur as usize].first_child = id;
+                    self.edges.insert((cur, p), id);
+                    id
+                }
+            };
+        }
+        self.docs.entry(cur).or_default().push(doc);
+        self.seq_count += 1;
+    }
+
+    /// Bulk load: sorts the sequences first ("if we are indexing static
+    /// data ... we can 'bulk load' the index by sorting the sequences first
+    /// to improve performance") and inserts them in order, which maximizes
+    /// locality of the shared-prefix walk.
+    pub fn bulk_load(&mut self, mut seqs: Vec<(Sequence, DocId)>) {
+        seqs.sort_by(|a, b| a.0.elems().cmp(b.0.elems()));
+        for (seq, doc) in seqs {
+            self.insert(&seq, doc);
+        }
+    }
+
+    /// Labels the trie and builds the path links (Sections 4.1 steps 2–3).
+    /// Idempotent; call again after further insertions.
+    pub fn freeze(&mut self) {
+        if self.frozen.is_some() {
+            return;
+        }
+        let n = self.nodes.len();
+        let mut serial = vec![0u32; n];
+        let mut max_desc = vec![0u32; n];
+        let mut embeds = vec![false; n];
+        let mut links: HashMap<PathId, Vec<LinkEntry>> = HashMap::new();
+        let mut end_nodes: Vec<(u32, TrieNodeId)> = Vec::with_capacity(self.docs.len());
+
+        // Iterative preorder DFS.  `path_stack` tracks, per path, the chain
+        // of open (not yet exited) nodes carrying it, to mark
+        // `embeds_identical`.
+        let mut next_serial = 0u32;
+        let mut path_stack: HashMap<PathId, Vec<TrieNodeId>> = HashMap::new();
+        // stack of (node, entered?)
+        enum Ev {
+            Enter(TrieNodeId),
+            Exit(TrieNodeId),
+        }
+        let mut stack = vec![Ev::Enter(self.root())];
+        while let Some(ev) = stack.pop() {
+            match ev {
+                Ev::Enter(node) => {
+                    serial[node as usize] = next_serial;
+                    next_serial += 1;
+                    if node != self.root() {
+                        let p = self.nodes[node as usize].path;
+                        let open = path_stack.entry(p).or_default();
+                        for &anc in open.iter() {
+                            embeds[anc as usize] = true;
+                        }
+                        open.push(node);
+                        if self.docs.contains_key(&node) {
+                            end_nodes.push((serial[node as usize], node));
+                        }
+                    }
+                    stack.push(Ev::Exit(node));
+                    let mut c = self.nodes[node as usize].first_child;
+                    while c != NIL {
+                        stack.push(Ev::Enter(c));
+                        c = self.nodes[c as usize].next_sibling;
+                    }
+                }
+                Ev::Exit(node) => {
+                    max_desc[node as usize] = next_serial - 1;
+                    if node != self.root() {
+                        let p = self.nodes[node as usize].path;
+                        path_stack
+                            .get_mut(&p)
+                            .expect("opened on enter")
+                            .pop();
+                    }
+                }
+            }
+        }
+
+        // Path links in ascending serial order: collect then sort (the DFS
+        // above visits children in arbitrary sibling order, which is already
+        // preorder-consistent, but sorting keeps the invariant explicit and
+        // cheap — the vectors are built once).
+        for (idx, node) in self.nodes.iter().enumerate().skip(1) {
+            links.entry(node.path).or_default().push(LinkEntry {
+                serial: serial[idx],
+                max_desc: max_desc[idx],
+                node: idx as TrieNodeId,
+            });
+        }
+        for link in links.values_mut() {
+            link.sort_by_key(|e| e.serial);
+        }
+        end_nodes.sort_by_key(|&(s, _)| s);
+
+        self.frozen = Some(Frozen {
+            serial,
+            max_desc,
+            embeds_identical: embeds,
+            links,
+            end_nodes,
+        });
+    }
+
+    /// The frozen labels/links; panics if [`SequenceTrie::freeze`] has not
+    /// been called since the last insertion.
+    pub fn frozen(&self) -> &Frozen {
+        self.frozen
+            .as_ref()
+            .expect("trie must be frozen before querying")
+    }
+
+    /// True when labels are current.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// The label `(n⊢, n⊣)` of a node.
+    pub fn label(&self, n: TrieNodeId) -> (u32, u32) {
+        let f = self.frozen();
+        (f.serial[n as usize], f.max_desc[n as usize])
+    }
+
+    /// Walks up from `n` to the nearest proper ancestor whose path is `t`
+    /// (the "closest same-path ancestor" used by the sibling-cover check).
+    pub fn nearest_ancestor_with_path(&self, n: TrieNodeId, t: PathId) -> Option<TrieNodeId> {
+        let mut cur = self.nodes[n as usize].parent;
+        while cur != NIL {
+            if self.nodes[cur as usize].path == t {
+                return Some(cur);
+            }
+            cur = self.nodes[cur as usize].parent;
+        }
+        None
+    }
+
+    /// All document ids in end nodes with serial in `[lo, hi]`.
+    pub fn collect_docs_in_range(&self, lo: u32, hi: u32, out: &mut Vec<DocId>) {
+        let f = self.frozen();
+        let start = f.end_nodes.partition_point(|&(s, _)| s < lo);
+        for &(s, node) in &f.end_nodes[start..] {
+            if s > hi {
+                break;
+            }
+            out.extend_from_slice(self.docs_at(node));
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (nodes + edges + links),
+    /// used by the index-size experiments alongside the node count.
+    pub fn approx_bytes(&self) -> usize {
+        let node_bytes = self.nodes.len() * std::mem::size_of::<TrieNode>();
+        let edge_bytes = self.edges.len() * (8 + 4 + 8); // key + value + overhead
+        let link_bytes = self
+            .frozen
+            .as_ref()
+            .map(|f| {
+                f.links
+                    .values()
+                    .map(|v| v.len() * std::mem::size_of::<LinkEntry>())
+                    .sum::<usize>()
+            })
+            .unwrap_or(0);
+        node_bytes + edge_bytes + link_bytes
+    }
+}
+
+impl TrieView for SequenceTrie {
+    fn root(&self) -> TrieNodeId {
+        SequenceTrie::root(self)
+    }
+    fn label(&self, n: TrieNodeId) -> (u32, u32) {
+        SequenceTrie::label(self, n)
+    }
+    fn path(&self, n: TrieNodeId) -> PathId {
+        SequenceTrie::path(self, n)
+    }
+    fn parent(&self, n: TrieNodeId) -> TrieNodeId {
+        SequenceTrie::parent(self, n)
+    }
+    fn embeds_identical(&self, n: TrieNodeId) -> bool {
+        self.frozen().embeds_identical[n as usize]
+    }
+    fn link_len(&self, path: PathId) -> usize {
+        self.frozen().links.get(&path).map(Vec::len).unwrap_or(0)
+    }
+    fn link_entry(&self, path: PathId, idx: usize) -> LinkEntry {
+        self.frozen().links[&path][idx]
+    }
+    fn collect_docs_in_range(&self, lo: u32, hi: u32, out: &mut Vec<DocId>) {
+        SequenceTrie::collect_docs_in_range(self, lo, hi, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseq_xml::PathTable;
+    use xseq_xml::{Symbol, SymbolTable, ValueMode};
+
+    struct Fx {
+        st: SymbolTable,
+        pt: PathTable,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            Fx {
+                st: SymbolTable::with_value_mode(ValueMode::Intern),
+                pt: PathTable::new(),
+            }
+        }
+        fn p(&mut self, spec: &str) -> PathId {
+            let syms: Vec<Symbol> = spec
+                .split('.')
+                .map(|s| self.st.elem(s))
+                .collect();
+            self.pt.intern(&syms)
+        }
+        fn seq(&mut self, specs: &[&str]) -> Sequence {
+            Sequence(specs.iter().map(|s| self.p(s)).collect())
+        }
+    }
+
+    #[test]
+    fn insert_shares_prefixes() {
+        let mut fx = Fx::new();
+        let s1 = fx.seq(&["P", "P.A", "P.A.X"]);
+        let s2 = fx.seq(&["P", "P.A", "P.A.Y"]);
+        let mut trie = SequenceTrie::new();
+        trie.insert(&s1, 0);
+        trie.insert(&s2, 1);
+        // shared: P, P.A; distinct: X, Y → 4 nodes
+        assert_eq!(trie.node_count(), 4);
+        assert_eq!(trie.sequence_count(), 2);
+    }
+
+    #[test]
+    fn identical_sequences_share_everything() {
+        let mut fx = Fx::new();
+        let s = fx.seq(&["P", "P.A"]);
+        let mut trie = SequenceTrie::new();
+        trie.insert(&s, 0);
+        trie.insert(&s, 1);
+        assert_eq!(trie.node_count(), 2);
+        trie.freeze();
+        // both docs on the same end node
+        let f = trie.frozen();
+        assert_eq!(f.end_nodes.len(), 1);
+        let (_, node) = f.end_nodes[0];
+        assert_eq!(trie.docs_at(node), &[0, 1]);
+    }
+
+    #[test]
+    fn labels_are_preorder_ranges() {
+        let mut fx = Fx::new();
+        let s1 = fx.seq(&["P", "P.A", "P.A.X"]);
+        let s2 = fx.seq(&["P", "P.B"]);
+        let mut trie = SequenceTrie::new();
+        trie.insert(&s1, 0);
+        trie.insert(&s2, 1);
+        trie.freeze();
+        let f = trie.frozen();
+        // Every node's range contains its descendants' serials, and the
+        // root's range spans everything.
+        let (rs, rm) = trie.label(trie.root());
+        assert_eq!(rs, 0);
+        assert_eq!(rm as usize, trie.node_count());
+        for n in 1..=trie.node_count() as TrieNodeId {
+            let (s, m) = trie.label(n);
+            assert!(s <= m);
+            let parent = trie.parent(n);
+            let (ps, pm) = trie.label(parent);
+            assert!(ps < s && m <= pm, "child range nested in parent");
+        }
+        let _ = f;
+    }
+
+    #[test]
+    fn path_links_ascending_and_complete() {
+        let mut fx = Fx::new();
+        let s1 = fx.seq(&["P", "P.A", "P.A.X"]);
+        let s2 = fx.seq(&["P", "P.A", "P.A.Y"]);
+        let s3 = fx.seq(&["P", "P.B", "P.A"]);
+        let mut trie = SequenceTrie::new();
+        trie.insert(&s1, 0);
+        trie.insert(&s2, 1);
+        trie.insert(&s3, 2);
+        trie.freeze();
+        let pa = fx.p("P.A");
+        let link = &trie.frozen().links[&pa];
+        // two P.A trie nodes: the shared second-position one and s3's third
+        assert_eq!(link.len(), 2);
+        assert!(link.windows(2).all(|w| w[0].serial < w[1].serial));
+        // total link entries == node count
+        let total: usize = trie.frozen().links.values().map(Vec::len).sum();
+        assert_eq!(total, trie.node_count());
+    }
+
+    #[test]
+    fn embeds_identical_detection() {
+        let mut fx = Fx::new();
+        // ⟨P, PL, PLS, PL, PLB⟩ — inserting this one sequence nests the
+        // second PL under the first (Figure 10).
+        let s = fx.seq(&["P", "P.L", "P.L.S", "P.L", "P.L.B"]);
+        let mut trie = SequenceTrie::new();
+        trie.insert(&s, 0);
+        trie.freeze();
+        let pl = fx.p("P.L");
+        let link = &trie.frozen().links[&pl];
+        assert_eq!(link.len(), 2);
+        // ranges nest: first PL covers the second
+        let (a, b) = (link[0], link[1]);
+        assert!(a.serial < b.serial && b.max_desc <= a.max_desc);
+        // the outer PL embeds an identical sibling; the inner does not
+        assert!(trie.frozen().embeds_identical[a.node as usize]);
+        assert!(!trie.frozen().embeds_identical[b.node as usize]);
+    }
+
+    #[test]
+    fn nearest_ancestor_with_path() {
+        let mut fx = Fx::new();
+        let s = fx.seq(&["P", "P.L", "P.L.S", "P.L", "P.L.B"]);
+        let mut trie = SequenceTrie::new();
+        trie.insert(&s, 0);
+        trie.freeze();
+        let pl = fx.p("P.L");
+        let plb = fx.p("P.L.B");
+        let link_plb = &trie.frozen().links[&plb];
+        let b_node = link_plb[0].node;
+        let link_pl = &trie.frozen().links[&pl];
+        // PLB's nearest PL ancestor is the *second* PL
+        assert_eq!(
+            trie.nearest_ancestor_with_path(b_node, pl),
+            Some(link_pl[1].node)
+        );
+    }
+
+    #[test]
+    fn collect_docs_in_range() {
+        let mut fx = Fx::new();
+        let s1 = fx.seq(&["P", "P.A"]);
+        let s2 = fx.seq(&["P", "P.A", "P.A.X"]);
+        let s3 = fx.seq(&["P", "P.B"]);
+        let mut trie = SequenceTrie::new();
+        trie.insert(&s1, 10);
+        trie.insert(&s2, 20);
+        trie.insert(&s3, 30);
+        trie.freeze();
+        let mut out = Vec::new();
+        let (rs, rm) = trie.label(trie.root());
+        trie.collect_docs_in_range(rs, rm, &mut out);
+        out.sort();
+        assert_eq!(out, vec![10, 20, 30]);
+
+        // only the P.A subtree
+        let pa = fx.p("P.A");
+        let e = trie.frozen().links[&pa]
+            .iter()
+            .find(|e| {
+                // the depth-2 P.A (child of P)
+                trie.parent(e.node) != trie.root()
+            })
+            .copied();
+        let _ = e;
+        let first_pa = trie.frozen().links[&pa][0];
+        out.clear();
+        trie.collect_docs_in_range(first_pa.serial, first_pa.max_desc, &mut out);
+        out.sort();
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental() {
+        let mut fx = Fx::new();
+        let seqs = vec![
+            (fx.seq(&["P", "P.B"]), 0),
+            (fx.seq(&["P", "P.A", "P.A.X"]), 1),
+            (fx.seq(&["P", "P.A"]), 2),
+        ];
+        let mut a = SequenceTrie::new();
+        for (s, d) in &seqs {
+            a.insert(s, *d);
+        }
+        let mut b = SequenceTrie::new();
+        b.bulk_load(seqs);
+        assert_eq!(a.node_count(), b.node_count());
+        a.freeze();
+        b.freeze();
+        let mut da = Vec::new();
+        let mut db = Vec::new();
+        a.collect_docs_in_range(0, u32::MAX, &mut da);
+        b.collect_docs_in_range(0, u32::MAX, &mut db);
+        da.sort();
+        db.sort();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn insert_after_freeze_invalidates() {
+        let mut fx = Fx::new();
+        let s = fx.seq(&["P"]);
+        let mut trie = SequenceTrie::new();
+        trie.insert(&s, 0);
+        trie.freeze();
+        assert!(trie.is_frozen());
+        let s2 = fx.seq(&["P", "P.A"]);
+        trie.insert(&s2, 1);
+        assert!(!trie.is_frozen());
+        trie.freeze();
+        assert_eq!(trie.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be frozen")]
+    fn query_before_freeze_panics() {
+        let trie = SequenceTrie::new();
+        let _ = trie.frozen();
+    }
+}

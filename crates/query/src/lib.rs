@@ -1,0 +1,534 @@
+//! # xseq-query — an XPath-subset front end for tree patterns
+//!
+//! The paper expresses its workload as XPath-style path expressions with
+//! branching predicates, values and wildcards (Tables 4 and 8):
+//!
+//! ```text
+//! /site//item[location='United States']/mail/date[text='07/05/2000']
+//! /site//person/*/age[text='32']
+//! //closed_auction[seller/person='person11304']/date[text='12/15/1999']
+//! /book[key='Maier']/author
+//! ```
+//!
+//! This crate parses that dialect into [`TreePattern`]s — the tree pattern
+//! is the index's basic query unit, so the front end's only job is building
+//! the tree.  Grammar:
+//!
+//! ```text
+//! query     := step+
+//! step      := ('/' | '//') nametest predicate*
+//! nametest  := NAME | '*'
+//! predicate := '[' 'text' '=' value ']'
+//!            | '[' relpath ('=' value)? ']'
+//! relpath   := ('.')? step+            (a relative branch)
+//! value     := '…' | '…' | "…"        (straight or typographic quotes)
+//! ```
+//!
+//! Semantics: steps extend the spine; each predicate hangs a branch off the
+//! current node; `[p = 'v']` adds a value leaf under the branch tip;
+//! `[text='v']` adds a value leaf directly under the current node.  An `@`
+//! before a name is accepted and ignored (attributes are ordinary child
+//! nodes in this data model).
+
+use std::fmt;
+use xseq_xml::{Axis, PatternLabel, PatternNodeId, SymbolTable, TreePattern};
+
+/// Errors from the XPath-subset parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unexpected character.
+    Unexpected {
+        /// Byte offset.
+        offset: usize,
+        /// What was found (or `None` at end of input).
+        found: Option<char>,
+        /// What the parser wanted.
+        expected: &'static str,
+    },
+    /// The expression was empty.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Unexpected {
+                offset,
+                found,
+                expected,
+            } => match found {
+                Some(c) => write!(f, "unexpected {c:?} at byte {offset}, expected {expected}"),
+                None => write!(f, "unexpected end of input, expected {expected}"),
+            },
+            ParseError::Empty => write!(f, "empty path expression"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an XPath-subset expression into a tree pattern, interning names
+/// and values into `symbols`.
+pub fn parse_xpath(input: &str, symbols: &mut SymbolTable) -> Result<TreePattern, ParseError> {
+    let mut p = Parser {
+        chars: input.char_indices().collect(),
+        pos: 0,
+        symbols,
+    };
+    p.skip_ws();
+    let (axis, label) = p.parse_step_head()?;
+    let mut pattern = TreePattern::with_root_axis(label, axis);
+    let mut spine = pattern.root_id();
+    p.parse_predicates(&mut pattern, spine)?;
+    loop {
+        p.skip_ws();
+        if p.eof() {
+            return Ok(pattern);
+        }
+        let (axis, label) = p.parse_step_head()?;
+        spine = pattern.add(spine, axis, label);
+        p.parse_predicates(&mut pattern, spine)?;
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    symbols: &'a mut SymbolTable,
+}
+
+impl<'a> Parser<'a> {
+    fn eof(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(o, _)| o)
+            .unwrap_or_else(|| self.chars.last().map(|&(o, c)| o + c.len_utf8()).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, expected: &'static str) -> ParseError {
+        ParseError::Unexpected {
+            offset: self.offset(),
+            found: self.peek(),
+            expected,
+        }
+    }
+
+    /// Parses `('/' | '//') nametest`, returning axis and label.
+    fn parse_step_head(&mut self) -> Result<(Axis, PatternLabel), ParseError> {
+        self.skip_ws();
+        if self.peek() != Some('/') {
+            return Err(self.err("'/' or '//'"));
+        }
+        self.pos += 1;
+        let axis = if self.peek() == Some('/') {
+            self.pos += 1;
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        self.skip_ws();
+        // tolerate "/[pred]" (the paper writes /book/[key='Maier']/author):
+        // a missing name before '[' means the predicate applies to the
+        // previous step — signalled to the caller via Wild marker? Instead,
+        // treat "/[" as if the slash were absent by rewinding; the caller
+        // sees no new step.  Simpler: skip the stray slash by parsing the
+        // name as AnyElem only for explicit '*'.
+        let label = self.parse_nametest()?;
+        Ok((axis, label))
+    }
+
+    fn parse_nametest(&mut self) -> Result<PatternLabel, ParseError> {
+        self.skip_ws();
+        if self.peek() == Some('*') {
+            self.pos += 1;
+            return Ok(PatternLabel::AnyElem);
+        }
+        if self.peek() == Some('@') {
+            self.pos += 1;
+        }
+        let name = self.parse_name()?;
+        Ok(PatternLabel::Elem(self.symbols.designator(&name)))
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':' {
+                out.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if out.is_empty() {
+            return Err(self.err("a name"));
+        }
+        Ok(out)
+    }
+
+    /// Parses zero or more `[...]` predicates attached to `node`.
+    fn parse_predicates(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PatternNodeId,
+    ) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            // the paper's stray-slash form: "/book/[key='Maier']" — accept a
+            // '/' immediately followed by '['
+            let mark = self.pos;
+            if self.peek() == Some('/') {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() != Some('[') {
+                    self.pos = mark;
+                    return Ok(());
+                }
+            }
+            if self.peek() != Some('[') {
+                return Ok(());
+            }
+            self.pos += 1;
+            self.parse_predicate_body(pattern, node)?;
+            self.skip_ws();
+            if self.bump() != Some(']') {
+                return Err(self.err("']'"));
+            }
+        }
+    }
+
+    fn parse_predicate_body(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PatternNodeId,
+    ) -> Result<(), ParseError> {
+        self.skip_ws();
+        // optional leading "./" or "."
+        if self.peek() == Some('.') {
+            self.pos += 1;
+        }
+        // `text = 'v'` / `text ^= 'v'` (starts-with) special forms
+        let mark = self.pos;
+        if let Ok(word) = self.parse_name() {
+            if word == "text" {
+                self.skip_ws();
+                if let Some(prefix_only) = self.parse_eq_op() {
+                    let v = self.parse_value()?;
+                    self.attach_value_test(pattern, node, &v, prefix_only);
+                    return Ok(());
+                }
+            }
+        }
+        self.pos = mark;
+
+        // relative path branch: steps with optional leading axis (default
+        // child), e.g. `seller/person` or `//keyword` or `*/age`; each step
+        // may carry nested predicates, as in the paper's
+        // `/Project[Research[Loc=newyork]]/Develop[Loc=boston]`.
+        let mut cur = node;
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            let axis = if self.peek() == Some('/') {
+                self.pos += 1;
+                if self.peek() == Some('/') {
+                    self.pos += 1;
+                    Axis::Descendant
+                } else {
+                    Axis::Child
+                }
+            } else if first {
+                Axis::Child
+            } else {
+                break;
+            };
+            let label = self.parse_nametest()?;
+            cur = pattern.add(cur, axis, label);
+            first = false;
+            self.parse_predicates(pattern, cur)?;
+        }
+        self.skip_ws();
+        if let Some(prefix_only) = self.parse_eq_op() {
+            let v = self.parse_value()?;
+            self.attach_value_test(pattern, cur, &v, prefix_only);
+        }
+        Ok(())
+    }
+
+    /// Parses `=` (exact) or `^=` (starts-with), returning
+    /// `Some(prefix_only)`; `None` when neither operator follows.
+    fn parse_eq_op(&mut self) -> Option<bool> {
+        self.skip_ws();
+        match self.peek() {
+            Some('=') => {
+                self.pos += 1;
+                Some(false)
+            }
+            Some('^') => {
+                let mark = self.pos;
+                self.pos += 1;
+                if self.peek() == Some('=') {
+                    self.pos += 1;
+                    Some(true)
+                } else {
+                    self.pos = mark;
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Attaches a value test under `node` per the value mode: a single leaf
+    /// for `Intern`/`Hashed` (where `^=` degrades to `=` — whole values are
+    /// atomic designators), or a per-character chain for `Chars`, terminated
+    /// unless `prefix_only` (the paper's second representation: "allow
+    /// subsequence matching inside the attribute values").
+    fn attach_value_test(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PatternNodeId,
+        value: &str,
+        prefix_only: bool,
+    ) {
+        use xseq_xml::ValueMode;
+        match self.symbols.values.mode() {
+            ValueMode::Intern | ValueMode::Hashed { .. } => {
+                let vid = self.symbols.values.intern(value);
+                pattern.add(node, Axis::Child, PatternLabel::Value(vid));
+            }
+            ValueMode::Chars => {
+                let chain = if prefix_only {
+                    self.symbols.values.chain_prefix(value)
+                } else {
+                    self.symbols.values.chain(value)
+                };
+                let mut cur = node;
+                for v in chain {
+                    cur = pattern.add(cur, Axis::Child, PatternLabel::Value(v));
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let open = self.bump().ok_or_else(|| self.err("a quoted value"))?;
+        let close = match open {
+            '\'' => '\'',
+            '"' => '"',
+            '‘' => '’',
+            '’' => '’', // the paper sometimes opens with a right quote
+            _ => return Err(self.err("a quoted value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("closing quote")),
+                Some(c) if c == close => return Ok(out),
+                Some(c) => out.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseq_xml::{ValueMode};
+
+    fn st() -> SymbolTable {
+        SymbolTable::with_value_mode(ValueMode::Intern)
+    }
+
+    #[test]
+    fn simple_path() {
+        let mut s = st();
+        let q = parse_xpath("/inproceedings/title", &mut s).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.axis(0), Axis::Child);
+        assert_eq!(q.render(&s), "/inproceedings/title");
+    }
+
+    #[test]
+    fn descendant_root() {
+        let mut s = st();
+        let q = parse_xpath("//author[text='David']", &mut s).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.axis(0), Axis::Descendant);
+        let v = s.values.lookup("David").unwrap();
+        assert_eq!(q.label(1), PatternLabel::Value(v));
+    }
+
+    #[test]
+    fn star_step() {
+        let mut s = st();
+        let q = parse_xpath("/*/author[text='David']", &mut s).unwrap();
+        assert_eq!(q.label(0), PatternLabel::AnyElem);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn paper_q1_structure() {
+        let mut s = st();
+        let q = parse_xpath(
+            "/site//item[location='United States']/mail/date[text='07/05/2000']",
+            &mut s,
+        )
+        .unwrap();
+        // nodes: site, item, location, 'United States', mail, date, '07/05/2000'
+        assert_eq!(q.len(), 7);
+        let site = q.root_id();
+        assert_eq!(q.children(site).len(), 1);
+        let item = q.children(site)[0];
+        assert_eq!(q.axis(item), Axis::Descendant);
+        assert_eq!(q.children(item).len(), 2, "location branch + mail spine");
+    }
+
+    #[test]
+    fn paper_q2_structure() {
+        let mut s = st();
+        let q = parse_xpath("/site//person/*/age[text='32']", &mut s).unwrap();
+        assert_eq!(q.len(), 5);
+        // site → person(desc) → *(child) → age(child) → '32'
+        let star = 2;
+        assert_eq!(q.label(star), PatternLabel::AnyElem);
+    }
+
+    #[test]
+    fn paper_q3_structure() {
+        let mut s = st();
+        let q = parse_xpath(
+            "//closed_auction[seller/person='person11304']/date[text='12/15/1999']",
+            &mut s,
+        )
+        .unwrap();
+        // closed_auction, seller, person, 'person11304', date, '12/15/1999'
+        assert_eq!(q.len(), 6);
+        let ca = q.root_id();
+        assert_eq!(q.axis(ca), Axis::Descendant);
+        assert_eq!(q.children(ca).len(), 2);
+    }
+
+    #[test]
+    fn stray_slash_before_predicate() {
+        // the paper's /book/[key='Maier']/author
+        let mut s = st();
+        let q = parse_xpath("/book/[key='Maier']/author", &mut s).unwrap();
+        assert_eq!(q.len(), 4);
+        let book = q.root_id();
+        assert_eq!(q.children(book).len(), 2);
+        let rendered = q.render(&s);
+        assert!(rendered.contains("book"), "{rendered}");
+        assert!(rendered.contains("author"), "{rendered}");
+    }
+
+    #[test]
+    fn typographic_quotes() {
+        let mut s = st();
+        let q = parse_xpath("/site//item[location=‘United States’]", &mut s).unwrap();
+        let v = s.values.lookup("United States").unwrap();
+        assert!(q.node_ids().any(|n| q.label(n) == PatternLabel::Value(v)));
+    }
+
+    #[test]
+    fn descendant_inside_predicate() {
+        let mut s = st();
+        let q = parse_xpath("/a[//b='x']", &mut s).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.axis(1), Axis::Descendant);
+    }
+
+    #[test]
+    fn multiple_predicates() {
+        let mut s = st();
+        let q = parse_xpath("/a[b='1'][c='2']/d", &mut s).unwrap();
+        // a, b, '1', c, '2', d
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.children(q.root_id()).len(), 3);
+    }
+
+    #[test]
+    fn attribute_syntax_accepted() {
+        let mut s = st();
+        let q = parse_xpath("/item[@id='7']", &mut s).unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn existence_predicate_without_value() {
+        let mut s = st();
+        let q = parse_xpath("/a[b/c]", &mut s).unwrap();
+        assert_eq!(q.len(), 3);
+        // c has no value child
+        assert!(q.children(2).is_empty());
+    }
+
+    #[test]
+    fn nested_predicates_paper_section31() {
+        // /Project[Research[Loc='newyork']]/Develop[Loc='boston']
+        let mut s = st();
+        let q = parse_xpath(
+            "/Project[Research[Loc='newyork']]/Develop[Loc='boston']",
+            &mut s,
+        )
+        .unwrap();
+        // Project, Research, Loc, 'newyork', Develop, Loc, 'boston'
+        assert_eq!(q.len(), 7);
+        let root = q.root_id();
+        assert_eq!(q.children(root).len(), 2);
+        let research = q.children(root)[0];
+        let develop = q.children(root)[1];
+        assert_eq!(q.children(research).len(), 1);
+        let loc1 = q.children(research)[0];
+        assert_eq!(q.children(loc1).len(), 1, "value under the nested Loc");
+        assert_eq!(q.children(develop).len(), 1);
+    }
+
+    #[test]
+    fn deeply_nested_predicates() {
+        let mut s = st();
+        let q = parse_xpath("/a[b[c[d='x']]]/e", &mut s).unwrap();
+        // a, b, c, d, 'x', e
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn errors() {
+        let mut s = st();
+        assert!(parse_xpath("", &mut s).is_err());
+        assert!(parse_xpath("a/b", &mut s).is_err(), "must start with /");
+        assert!(parse_xpath("/a[b='x'", &mut s).is_err(), "unclosed bracket");
+        assert!(parse_xpath("/a[b='x]", &mut s).is_err(), "unclosed quote");
+        assert!(parse_xpath("/a/", &mut s).is_err(), "trailing slash");
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let mut s = st();
+        let q = parse_xpath("  /a [ b = 'x' ] / c ", &mut s).unwrap();
+        assert_eq!(q.len(), 4);
+    }
+}

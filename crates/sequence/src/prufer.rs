@@ -1,0 +1,223 @@
+//! Prüfer codes — the "more succinct" ad hoc tree encoding the paper
+//! contrasts with (Section 1, Tree Representation; used by PRIX).
+//!
+//! The paper's variant deletes leaves until a single node remains, so a tree
+//! of `n` labelled nodes encodes to `n − 1` parent labels (one more than the
+//! classic Prüfer code): "repeatedly delete the leaf node that has the
+//! smallest label and append the label of its parent to the sequence."
+
+use std::collections::BTreeMap;
+use std::fmt;
+use xseq_xml::{Document, NodeId};
+
+/// Errors decoding a Prüfer sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PruferError {
+    /// A label in the sequence does not belong to the label universe.
+    UnknownLabel(u64),
+    /// The sequence cannot be realized by any tree over the universe.
+    Malformed,
+    /// Duplicate labels in the universe.
+    DuplicateLabel(u64),
+}
+
+impl fmt::Display for PruferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruferError::UnknownLabel(l) => write!(f, "label {l} not in universe"),
+            PruferError::Malformed => write!(f, "sequence is not a valid Prüfer code"),
+            PruferError::DuplicateLabel(l) => write!(f, "duplicate label {l}"),
+        }
+    }
+}
+
+impl std::error::Error for PruferError {}
+
+/// Encodes a document whose node `n` carries label `labels[n]` into the
+/// paper's Prüfer sequence.  Labels must be distinct.
+pub fn prufer_encode(doc: &Document, labels: &[u64]) -> Result<Vec<u64>, PruferError> {
+    assert_eq!(labels.len(), doc.len(), "one label per node");
+    let mut seen = std::collections::HashSet::new();
+    for &l in labels {
+        if !seen.insert(l) {
+            return Err(PruferError::DuplicateLabel(l));
+        }
+    }
+    if doc.len() <= 1 {
+        return Ok(Vec::new());
+    }
+
+    let mut remaining_children: Vec<usize> =
+        doc.node_ids().map(|n| doc.children(n).len()).collect();
+    // current leaves, ordered by label
+    let mut leaves: BTreeMap<u64, NodeId> = doc
+        .node_ids()
+        .filter(|&n| doc.children(n).is_empty())
+        .map(|n| (labels[n as usize], n))
+        .collect();
+
+    let mut out = Vec::with_capacity(doc.len() - 1);
+    // When the root's last child is deleted every other node is gone, so the
+    // loop guard stops before the root could ever be popped as a "leaf".
+    while out.len() < doc.len() - 1 {
+        let (&label, &leaf) = leaves.iter().next().expect("a leaf must exist");
+        leaves.remove(&label);
+        let parent = doc
+            .parent(leaf)
+            .expect("the root is never popped; see loop guard");
+        out.push(labels[parent as usize]);
+        remaining_children[parent as usize] -= 1;
+        if remaining_children[parent as usize] == 0 {
+            leaves.insert(labels[parent as usize], parent);
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes the paper's Prüfer sequence over a label universe back into
+/// `(child, parent)` edges.  The universe has `seq.len() + 1` labels; the
+/// node never deleted is the root and appears in no edge as a child.
+pub fn prufer_decode(seq: &[u64], universe: &[u64]) -> Result<Vec<(u64, u64)>, PruferError> {
+    if universe.len() != seq.len() + 1 {
+        return Err(PruferError::Malformed);
+    }
+    let mut degree: BTreeMap<u64, usize> = BTreeMap::new();
+    for &l in universe {
+        if degree.insert(l, 1).is_some() {
+            return Err(PruferError::DuplicateLabel(l));
+        }
+    }
+    for &s in seq {
+        match degree.get_mut(&s) {
+            Some(d) => *d += 1,
+            None => return Err(PruferError::UnknownLabel(s)),
+        }
+    }
+
+    // A label is a current leaf iff its degree (1 + remaining occurrences as
+    // a parent) is exactly 1.
+    let mut leaves: std::collections::BTreeSet<u64> = degree
+        .iter()
+        .filter(|&(_, &d)| d == 1)
+        .map(|(&l, _)| l)
+        .collect();
+
+    let mut edges = Vec::with_capacity(seq.len());
+    for &parent in seq {
+        let &leaf = leaves.iter().next().ok_or(PruferError::Malformed)?;
+        leaves.remove(&leaf);
+        edges.push((leaf, parent));
+        let d = degree.get_mut(&parent).expect("validated above");
+        *d -= 1;
+        if *d == 1 {
+            leaves.insert(parent);
+        }
+    }
+    Ok(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseq_xml::{Document, SymbolTable};
+
+    /// Figure 2(a) with the labelling that yields the paper's sequence
+    /// ⟨5, 6, 2, 6, 6⟩: L=1, D₂=2, R=3, M=4, D₁=5, P=6.
+    fn fig2a_labeled() -> (Document, Vec<u64>) {
+        let mut st = SymbolTable::default();
+        let p = st.elem("P");
+        let r = st.elem("R");
+        let d = st.elem("D");
+        let l = st.elem("L");
+        let m = st.elem("M");
+        let mut doc = Document::with_root(p); // node 0
+        let root = doc.root().unwrap();
+        doc.child(root, r); // node 1
+        let d1 = doc.child(root, d); // node 2
+        doc.child(d1, l); // node 3
+        let d2 = doc.child(root, d); // node 4
+        doc.child(d2, m); // node 5
+        // labels per node id: P=6, R=3, D1=5, L=1, D2=2, M=4
+        (doc, vec![6, 3, 5, 1, 2, 4])
+    }
+
+    #[test]
+    fn paper_example_sequence() {
+        let (doc, labels) = fig2a_labeled();
+        let seq = prufer_encode(&doc, &labels).unwrap();
+        assert_eq!(seq, vec![5, 6, 2, 6, 6]);
+    }
+
+    #[test]
+    fn decode_paper_example() {
+        let edges = prufer_decode(&[5, 6, 2, 6, 6], &[1, 2, 3, 4, 5, 6]).unwrap();
+        let mut sorted = edges.clone();
+        sorted.sort();
+        // L(1)→D1(5), R(3)→P(6), M(4)→D2(2), D2(2)→P(6), D1(5)→P(6)
+        assert_eq!(sorted, vec![(1, 5), (2, 6), (3, 6), (4, 2), (5, 6)]);
+    }
+
+    #[test]
+    fn roundtrip_random_trees() {
+        // Build a few deterministic random trees and round-trip them.
+        let mut st = SymbolTable::default();
+        let a = st.elem("a");
+        for n in 2..30u64 {
+            let mut doc = Document::with_root(a);
+            for i in 1..n {
+                // parent chosen pseudo-randomly among existing nodes
+                let parent = ((i * 2654435761) % i) as u32;
+                doc.child(parent, a);
+            }
+            let labels: Vec<u64> = (0..n).map(|i| i * 3 + 7).collect();
+            let seq = prufer_encode(&doc, &labels).unwrap();
+            assert_eq!(seq.len() as u64, n - 1);
+            let mut universe = labels.clone();
+            universe.sort();
+            let edges = prufer_decode(&seq, &universe).unwrap();
+            // edge set must equal the document's parent relation
+            let mut expect: Vec<(u64, u64)> = doc
+                .node_ids()
+                .filter_map(|c| {
+                    doc.parent(c)
+                        .map(|p| (labels[c as usize], labels[p as usize]))
+                })
+                .collect();
+            expect.sort();
+            let mut got = edges;
+            got.sort();
+            assert_eq!(got, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn single_node_encodes_empty() {
+        let mut st = SymbolTable::default();
+        let a = st.elem("a");
+        let doc = Document::with_root(a);
+        assert_eq!(prufer_encode(&doc, &[9]).unwrap(), Vec::<u64>::new());
+        assert_eq!(prufer_decode(&[], &[9]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let (doc, _) = fig2a_labeled();
+        assert_eq!(
+            prufer_encode(&doc, &[1, 1, 2, 3, 4, 5]),
+            Err(PruferError::DuplicateLabel(1))
+        );
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        assert_eq!(
+            prufer_decode(&[99], &[1, 2]),
+            Err(PruferError::UnknownLabel(99))
+        );
+    }
+
+    #[test]
+    fn wrong_universe_size_rejected() {
+        assert_eq!(prufer_decode(&[1], &[1]), Err(PruferError::Malformed));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for constraint sequencing: Theorem 1 (unique decoding)
+//! must hold for every tree and every strategy.
+
+use proptest::prelude::*;
+use xseq_sequence::{
+    constraint::f1_applicable, decode_f2, isomorphic_variants, prufer_decode, prufer_encode,
+    sequence_document, validate_f2, PriorityMap, Strategy as SeqStrategy,
+};
+use xseq_xml::{Document, PathTable, SymbolTable, ValueMode};
+
+/// A compact recipe for a random tree: for node `i` (1-based), attach under
+/// node `parent[i] % i` with label `label[i] % alphabet`.
+#[derive(Debug, Clone)]
+struct TreeRecipe {
+    parents: Vec<u32>,
+    labels: Vec<u8>,
+    alphabet: u8,
+}
+
+fn tree_recipe(max_nodes: usize, max_alpha: u8) -> impl Strategy<Value = TreeRecipe> {
+    (1..max_nodes, 1..max_alpha).prop_flat_map(|(n, alpha)| {
+        (
+            proptest::collection::vec(any::<u32>(), n),
+            proptest::collection::vec(any::<u8>(), n + 1),
+        )
+            .prop_map(move |(parents, labels)| TreeRecipe {
+                parents,
+                labels,
+                alphabet: alpha,
+            })
+    })
+}
+
+fn build(recipe: &TreeRecipe, st: &mut SymbolTable) -> Document {
+    let syms: Vec<_> = (0..recipe.alphabet)
+        .map(|i| st.elem(&format!("e{i}")))
+        .collect();
+    let lab = |i: usize| syms[(recipe.labels[i] % recipe.alphabet) as usize];
+    let mut doc = Document::with_root(lab(0));
+    for i in 1..=recipe.parents.len() {
+        let parent = recipe.parents[i - 1] % i as u32;
+        doc.child(parent, lab(i));
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_depth_first(recipe in tree_recipe(40, 5)) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let mut paths = PathTable::new();
+        let seq = sequence_document(&doc, &mut paths, &SeqStrategy::DepthFirst);
+        prop_assert_eq!(seq.len(), doc.len());
+        prop_assert!(validate_f2(&seq, &mut paths).is_ok());
+        let back = decode_f2(&seq, &paths).unwrap();
+        prop_assert!(back.structurally_eq(&doc));
+    }
+
+    #[test]
+    fn roundtrip_random_strategy(recipe in tree_recipe(40, 5), seed in any::<u64>()) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let mut paths = PathTable::new();
+        let seq = sequence_document(&doc, &mut paths, &SeqStrategy::Random { seed });
+        prop_assert!(validate_f2(&seq, &mut paths).is_ok());
+        let back = decode_f2(&seq, &paths).unwrap();
+        prop_assert!(back.structurally_eq(&doc));
+    }
+
+    #[test]
+    fn roundtrip_probability_strategy(recipe in tree_recipe(40, 5), pris in proptest::collection::vec(0.0f64..1.0, 64)) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let mut paths = PathTable::new();
+        // priorities keyed by path — derive from a random table
+        let enc = doc.path_encode(&mut paths);
+        let mut pm = PriorityMap::new(0.0);
+        for &p in &enc {
+            pm.insert(p, pris[(p.0 as usize) % pris.len()]);
+        }
+        let seq = sequence_document(&doc, &mut paths, &SeqStrategy::Probability(pm));
+        prop_assert!(validate_f2(&seq, &mut paths).is_ok());
+        let back = decode_f2(&seq, &paths).unwrap();
+        prop_assert!(back.structurally_eq(&doc));
+    }
+
+    #[test]
+    fn f1_applicable_iff_no_duplicate_paths(recipe in tree_recipe(30, 4)) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let mut paths = PathTable::new();
+        let seq = sequence_document(&doc, &mut paths, &SeqStrategy::DepthFirst);
+        let mut sorted: Vec<_> = seq.elems().to_vec();
+        sorted.sort();
+        let has_dup = sorted.windows(2).any(|w| w[0] == w[1]);
+        prop_assert_eq!(f1_applicable(&seq), !has_dup);
+    }
+
+    #[test]
+    fn prufer_roundtrip(recipe in tree_recipe(40, 3)) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let labels: Vec<u64> = (0..doc.len() as u64).map(|i| i * 7 + 3).collect();
+        let seq = prufer_encode(&doc, &labels).unwrap();
+        let mut universe = labels.clone();
+        universe.sort();
+        let edges = prufer_decode(&seq, &universe).unwrap();
+        let mut expect: Vec<(u64, u64)> = doc
+            .node_ids()
+            .filter_map(|c| doc.parent(c).map(|p| (labels[c as usize], labels[p as usize])))
+            .collect();
+        expect.sort();
+        let mut got = edges;
+        got.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn isomorphic_variants_are_isomorphic(recipe in tree_recipe(14, 3)) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let vars = isomorphic_variants(&doc, 32);
+        prop_assert!(!vars.is_empty());
+        // every variant is structurally the same tree, and they all decode
+        // back to it
+        let mut paths = PathTable::new();
+        for v in &vars {
+            prop_assert!(v.structurally_eq(&doc));
+            let s = sequence_document(v, &mut paths, &SeqStrategy::DepthFirst);
+            let back = decode_f2(&s, &paths).unwrap();
+            prop_assert!(back.structurally_eq(&doc));
+        }
+        // the original ordering is always among the variants
+        let s0 = sequence_document(&doc, &mut paths, &SeqStrategy::DepthFirst);
+        let found = vars.iter().any(|v| {
+            sequence_document(v, &mut paths, &SeqStrategy::DepthFirst).0 == s0.0
+        });
+        prop_assert!(found, "original ordering must be covered");
+    }
+
+    #[test]
+    fn sequences_of_same_doc_decode_identically(recipe in tree_recipe(25, 4), s1 in any::<u64>(), s2 in any::<u64>()) {
+        // Many-to-one: different valid sequences of one tree decode to the
+        // same structure (the crux of constraint sequencing).
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let mut paths = PathTable::new();
+        let a = sequence_document(&doc, &mut paths, &SeqStrategy::Random { seed: s1 });
+        let b = sequence_document(&doc, &mut paths, &SeqStrategy::Random { seed: s2 });
+        let da = decode_f2(&a, &paths).unwrap();
+        let db = decode_f2(&b, &paths).unwrap();
+        prop_assert!(da.structurally_eq(&db));
+    }
+}

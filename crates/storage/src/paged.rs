@@ -1,0 +1,548 @@
+//! On-page layout of a frozen trie, and a [`TrieView`] over it.
+//!
+//! Sections (all records fixed-width little-endian, densely packed, never
+//! straddling a page boundary):
+//!
+//! ```text
+//! page 0            header: magic, counts, section start pages
+//! nodes_start…      node records    (path, parent, serial, max, flags) 20 B
+//! dir_start…        link directory  (path, entry_start, entry_len)     12 B, sorted by path
+//! entries_start…    link entries    (serial, max, node)                12 B
+//! ends_start…       end-node records (serial, node, doc_off, doc_len)  16 B, sorted by serial
+//! docs_start…       document ids    (u32)
+//! ```
+//!
+//! The link *directory* (the path dictionary) is loaded into memory at open
+//! time — it plays the role of a catalog and is small; node records, link
+//! entries, end nodes and document lists are fetched through the buffer
+//! pool, so the pool's miss counter measures exactly the page-touch pattern
+//! of the matching algorithms ("# disk accesses", Table 7; "I/O cost",
+//! Figure 16).
+//!
+//! I/O errors in this layer are treated as fatal (panic): the store is a
+//! local page file this library itself wrote, and threading `Result`
+//! through the infallible [`TrieView`] API would tax every probe of the hot
+//! search loop for a can't-happen case.
+
+use crate::page::{get_u32, get_u64, locate, new_page, put_u32, put_u64, PageId, PAGE_SIZE};
+use crate::pool::BufferPool;
+use crate::store::PageStore;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io;
+use xseq_index::{LinkEntry, SequenceTrie, TrieNodeId, TrieView};
+use xseq_xml::{DocId, PathId};
+
+const MAGIC: u64 = 0x3130_4750_5145_5358; // "XSEQPG01" LE
+
+const NODE_REC: usize = 20;
+const NODES_PER_PAGE: usize = PAGE_SIZE / NODE_REC;
+const DIR_REC: usize = 12;
+const DIR_PER_PAGE: usize = PAGE_SIZE / DIR_REC;
+const ENTRY_REC: usize = 12;
+const ENTRIES_PER_PAGE: usize = PAGE_SIZE / ENTRY_REC;
+const END_REC: usize = 16;
+const ENDS_PER_PAGE: usize = PAGE_SIZE / END_REC;
+const DOCS_PER_PAGE: usize = PAGE_SIZE / 4;
+
+/// Serializes a frozen [`SequenceTrie`] into `store`.
+///
+/// Returns the number of pages written.
+pub fn write_paged_trie<S: PageStore>(trie: &SequenceTrie, store: &mut S) -> io::Result<PageId> {
+    let frozen = trie.frozen();
+    let node_count = trie.node_count() + 1; // + virtual root
+
+    // ---- gather sections ----
+    // directory sorted by path id for binary search / deterministic layout
+    let mut dir: Vec<(PathId, u32, u32)> = Vec::with_capacity(frozen.links.len());
+    let mut entries: Vec<LinkEntry> = Vec::new();
+    {
+        let mut paths: Vec<PathId> = frozen.links.keys().copied().collect();
+        paths.sort();
+        for p in paths {
+            let link = &frozen.links[&p];
+            dir.push((p, entries.len() as u32, link.len() as u32));
+            entries.extend_from_slice(link);
+        }
+    }
+    let mut ends: Vec<(u32, TrieNodeId, u32, u32)> = Vec::with_capacity(frozen.end_nodes.len());
+    let mut docs: Vec<DocId> = Vec::new();
+    for &(serial, node) in &frozen.end_nodes {
+        let list = trie.docs_at(node);
+        ends.push((serial, node, docs.len() as u32, list.len() as u32));
+        docs.extend_from_slice(list);
+    }
+
+    // ---- layout ----
+    let nodes_pages = node_count.div_ceil(NODES_PER_PAGE) as PageId;
+    let dir_pages = dir.len().div_ceil(DIR_PER_PAGE).max(1) as PageId;
+    let entry_pages = entries.len().div_ceil(ENTRIES_PER_PAGE).max(1) as PageId;
+    let end_pages = ends.len().div_ceil(ENDS_PER_PAGE).max(1) as PageId;
+    let doc_pages = docs.len().div_ceil(DOCS_PER_PAGE).max(1) as PageId;
+    let nodes_start: PageId = 1;
+    let dir_start = nodes_start + nodes_pages;
+    let entries_start = dir_start + dir_pages;
+    let ends_start = entries_start + entry_pages;
+    let docs_start = ends_start + end_pages;
+    let total = docs_start + doc_pages;
+
+    // ---- header ----
+    let mut page = new_page();
+    put_u64(&mut page, 0, MAGIC);
+    put_u32(&mut page, 8, node_count as u32);
+    put_u32(&mut page, 12, dir.len() as u32);
+    put_u32(&mut page, 16, entries.len() as u32);
+    put_u32(&mut page, 20, ends.len() as u32);
+    put_u32(&mut page, 24, docs.len() as u32);
+    put_u32(&mut page, 28, nodes_start);
+    put_u32(&mut page, 32, dir_start);
+    put_u32(&mut page, 36, entries_start);
+    put_u32(&mut page, 40, ends_start);
+    put_u32(&mut page, 44, docs_start);
+    store.write_page(0, &page)?;
+
+    // ---- node records ----
+    let mut writer = SectionWriter::new(store, nodes_start);
+    for n in 0..node_count as TrieNodeId {
+        let (serial, max) = trie.label(n);
+        let flags = u32::from(frozen.embeds_identical[n as usize]);
+        writer.record(NODE_REC, NODES_PER_PAGE, |page, off| {
+            put_u32(page, off, trie.path(n).0);
+            put_u32(page, off + 4, trie.parent(n));
+            put_u32(page, off + 8, serial);
+            put_u32(page, off + 12, max);
+            put_u32(page, off + 16, flags);
+        })?;
+    }
+    writer.flush()?;
+
+    let mut writer = SectionWriter::new(store, dir_start);
+    for &(p, start, len) in &dir {
+        writer.record(DIR_REC, DIR_PER_PAGE, |page, off| {
+            put_u32(page, off, p.0);
+            put_u32(page, off + 4, start);
+            put_u32(page, off + 8, len);
+        })?;
+    }
+    writer.flush()?;
+
+    let mut writer = SectionWriter::new(store, entries_start);
+    for e in &entries {
+        writer.record(ENTRY_REC, ENTRIES_PER_PAGE, |page, off| {
+            put_u32(page, off, e.serial);
+            put_u32(page, off + 4, e.max_desc);
+            put_u32(page, off + 8, e.node);
+        })?;
+    }
+    writer.flush()?;
+
+    let mut writer = SectionWriter::new(store, ends_start);
+    for &(serial, node, doc_off, doc_len) in &ends {
+        writer.record(END_REC, ENDS_PER_PAGE, |page, off| {
+            put_u32(page, off, serial);
+            put_u32(page, off + 4, node);
+            put_u32(page, off + 8, doc_off);
+            put_u32(page, off + 12, doc_len);
+        })?;
+    }
+    writer.flush()?;
+
+    let mut writer = SectionWriter::new(store, docs_start);
+    for &d in &docs {
+        writer.record(4, DOCS_PER_PAGE, |page, off| {
+            put_u32(page, off, d);
+        })?;
+    }
+    writer.flush()?;
+
+    Ok(total)
+}
+
+/// Buffered sequential writer for one section.
+struct SectionWriter<'a, S: PageStore> {
+    store: &'a mut S,
+    page: crate::page::Page,
+    page_id: PageId,
+    in_page: usize,
+    dirty: bool,
+}
+
+impl<'a, S: PageStore> SectionWriter<'a, S> {
+    fn new(store: &'a mut S, start: PageId) -> Self {
+        SectionWriter {
+            store,
+            page: new_page(),
+            page_id: start,
+            in_page: 0,
+            dirty: true, // always materialize at least one page per section
+        }
+    }
+
+    fn record(
+        &mut self,
+        rec: usize,
+        per_page: usize,
+        fill: impl FnOnce(&mut [u8; PAGE_SIZE], usize),
+    ) -> io::Result<()> {
+        if self.in_page == per_page {
+            self.store.write_page(self.page_id, &self.page)?;
+            self.page = new_page();
+            self.page_id += 1;
+            self.in_page = 0;
+        }
+        fill(&mut self.page, self.in_page * rec);
+        self.in_page += 1;
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dirty {
+            self.store.write_page(self.page_id, &self.page)?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+}
+
+/// A disk-resident trie: [`TrieView`] over a page file through a buffer
+/// pool.
+#[derive(Debug)]
+pub struct PagedTrie<S: PageStore> {
+    pool: RefCell<BufferPool<S>>,
+    node_count: u32,
+    end_count: u32,
+    nodes_start: PageId,
+    entries_start: PageId,
+    ends_start: PageId,
+    docs_start: PageId,
+    /// In-memory link directory (the catalog): path → (entry start, len).
+    dir: HashMap<PathId, (u32, u32)>,
+}
+
+impl<S: PageStore> PagedTrie<S> {
+    /// Opens a paged trie, loading the header and link directory.
+    pub fn open(store: S, pool_capacity: usize) -> io::Result<Self> {
+        let mut pool = BufferPool::new(store, pool_capacity);
+        let (magic, node_count, dir_count, end_count, starts) = pool.with_page(0, |p| {
+            (
+                get_u64(p, 0),
+                get_u32(p, 8),
+                get_u32(p, 12),
+                get_u32(p, 20),
+                [
+                    get_u32(p, 28),
+                    get_u32(p, 32),
+                    get_u32(p, 36),
+                    get_u32(p, 40),
+                    get_u32(p, 44),
+                ],
+            )
+        })?;
+        if magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut dir = HashMap::with_capacity(dir_count as usize);
+        for i in 0..dir_count as usize {
+            let (pg, off) = locate(starts[1], i, DIR_REC, DIR_PER_PAGE);
+            let (p, s, l) =
+                pool.with_page(pg, |page| (get_u32(page, off), get_u32(page, off + 4), get_u32(page, off + 8)))?;
+            dir.insert(PathId(p), (s, l));
+        }
+        // catalog loading is setup cost, not query cost
+        pool.clear();
+        Ok(PagedTrie {
+            pool: RefCell::new(pool),
+            node_count,
+            end_count,
+            nodes_start: starts[0],
+            entries_start: starts[2],
+            ends_start: starts[3],
+            docs_start: starts[4],
+            dir,
+        })
+    }
+
+    /// Buffer-pool counters (misses = disk accesses).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.borrow().stats()
+    }
+
+    /// Cold-starts the pool and zeroes the counters.
+    pub fn reset_pool(&self) {
+        self.pool.borrow_mut().clear();
+    }
+
+    /// Number of trie nodes (excluding the virtual root).
+    pub fn node_count(&self) -> usize {
+        self.node_count as usize - 1
+    }
+
+    fn node_field(&self, n: TrieNodeId, field: usize) -> u32 {
+        let (pg, off) = locate(self.nodes_start, n as usize, NODE_REC, NODES_PER_PAGE);
+        self.pool
+            .borrow_mut()
+            .with_page(pg, |p| get_u32(p, off + field))
+            .expect("paged trie I/O")
+    }
+
+    fn end_record(&self, i: usize) -> (u32, TrieNodeId, u32, u32) {
+        let (pg, off) = locate(self.ends_start, i, END_REC, ENDS_PER_PAGE);
+        self.pool
+            .borrow_mut()
+            .with_page(pg, |p| {
+                (
+                    get_u32(p, off),
+                    get_u32(p, off + 4),
+                    get_u32(p, off + 8),
+                    get_u32(p, off + 12),
+                )
+            })
+            .expect("paged trie I/O")
+    }
+}
+
+impl<S: PageStore> TrieView for PagedTrie<S> {
+    fn root(&self) -> TrieNodeId {
+        0
+    }
+
+    fn label(&self, n: TrieNodeId) -> (u32, u32) {
+        let (pg, off) = locate(self.nodes_start, n as usize, NODE_REC, NODES_PER_PAGE);
+        self.pool
+            .borrow_mut()
+            .with_page(pg, |p| (get_u32(p, off + 8), get_u32(p, off + 12)))
+            .expect("paged trie I/O")
+    }
+
+    fn path(&self, n: TrieNodeId) -> PathId {
+        PathId(self.node_field(n, 0))
+    }
+
+    fn parent(&self, n: TrieNodeId) -> TrieNodeId {
+        self.node_field(n, 4)
+    }
+
+    fn embeds_identical(&self, n: TrieNodeId) -> bool {
+        self.node_field(n, 16) != 0
+    }
+
+    fn link_len(&self, path: PathId) -> usize {
+        self.dir.get(&path).map(|&(_, l)| l as usize).unwrap_or(0)
+    }
+
+    fn link_entry(&self, path: PathId, idx: usize) -> LinkEntry {
+        let (start, len) = self.dir[&path];
+        assert!(idx < len as usize, "link index out of range");
+        let (pg, off) = locate(
+            self.entries_start,
+            start as usize + idx,
+            ENTRY_REC,
+            ENTRIES_PER_PAGE,
+        );
+        self.pool
+            .borrow_mut()
+            .with_page(pg, |p| LinkEntry {
+                serial: get_u32(p, off),
+                max_desc: get_u32(p, off + 4),
+                node: get_u32(p, off + 8),
+            })
+            .expect("paged trie I/O")
+    }
+
+    fn collect_docs_in_range(&self, lo: u32, hi: u32, out: &mut Vec<DocId>) {
+        // binary search the first end record with serial >= lo
+        let n = self.end_count as usize;
+        let mut a = 0usize;
+        let mut b = n;
+        while a < b {
+            let mid = (a + b) / 2;
+            if self.end_record(mid).0 < lo {
+                a = mid + 1;
+            } else {
+                b = mid;
+            }
+        }
+        let mut i = a;
+        while i < n {
+            let (serial, _, doc_off, doc_len) = self.end_record(i);
+            if serial > hi {
+                break;
+            }
+            for k in 0..doc_len as usize {
+                let (pg, off) = locate(self.docs_start, doc_off as usize + k, 4, DOCS_PER_PAGE);
+                let d = self
+                    .pool
+                    .borrow_mut()
+                    .with_page(pg, |p| get_u32(p, off))
+                    .expect("paged trie I/O");
+                out.push(d);
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{FileStore, MemStore};
+    use xseq_index::{constraint_search, tree_search, QuerySequence};
+    use xseq_sequence::Sequence;
+    use xseq_xml::{PathTable, Symbol, SymbolTable, ValueMode};
+
+    struct Fx {
+        st: SymbolTable,
+        pt: PathTable,
+        trie: SequenceTrie,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            Fx {
+                st: SymbolTable::with_value_mode(ValueMode::Intern),
+                pt: PathTable::new(),
+                trie: SequenceTrie::new(),
+            }
+        }
+        fn seq(&mut self, specs: &[&str]) -> Sequence {
+            Sequence(
+                specs
+                    .iter()
+                    .map(|s| {
+                        let syms: Vec<Symbol> =
+                            s.split('.').map(|x| self.st.elem(x)).collect();
+                        self.pt.intern(&syms)
+                    })
+                    .collect(),
+            )
+        }
+        fn load(&mut self) {
+            let data = vec![
+                (vec!["P", "P.A", "P.A.X"], 0),
+                (vec!["P", "P.A", "P.A.Y"], 1),
+                (vec!["P", "P.B"], 2),
+                (vec!["P", "P.L", "P.L.S", "P.L", "P.L.B"], 3),
+                (vec!["P", "P.L", "P.L.S", "P.L.B"], 4),
+            ];
+            for (specs, id) in data {
+                let s = self.seq(&specs);
+                self.trie.insert(&s, id);
+            }
+            self.trie.freeze();
+        }
+    }
+
+    fn paged(fx: &Fx, capacity: usize) -> PagedTrie<MemStore> {
+        let mut store = MemStore::new();
+        write_paged_trie(&fx.trie, &mut store).unwrap();
+        PagedTrie::open(store, capacity).unwrap()
+    }
+
+    #[test]
+    fn paged_view_mirrors_memory_view() {
+        let mut fx = Fx::new();
+        fx.load();
+        let pv = paged(&fx, 64);
+        assert_eq!(pv.node_count(), fx.trie.node_count());
+        for n in 0..=fx.trie.node_count() as TrieNodeId {
+            assert_eq!(TrieView::label(&pv, n), fx.trie.label(n));
+            assert_eq!(TrieView::path(&pv, n), fx.trie.path(n));
+            assert_eq!(TrieView::parent(&pv, n), fx.trie.parent(n));
+            assert_eq!(
+                TrieView::embeds_identical(&pv, n),
+                fx.trie.frozen().embeds_identical[n as usize]
+            );
+        }
+        // links agree
+        for (path, link) in &fx.trie.frozen().links {
+            assert_eq!(pv.link_len(*path), link.len());
+            for (i, e) in link.iter().enumerate() {
+                assert_eq!(pv.link_entry(*path, i), *e);
+            }
+        }
+    }
+
+    #[test]
+    fn same_answers_from_disk_and_memory() {
+        let mut fx = Fx::new();
+        fx.load();
+        let pv = paged(&fx, 8);
+        for qspec in [
+            vec!["P"],
+            vec!["P", "P.A"],
+            vec!["P", "P.L", "P.L.S", "P.L.B"],
+            vec!["P", "P.L", "P.L.S", "P.L", "P.L.B"],
+            vec!["P", "P.Z"],
+        ] {
+            let s = fx.seq(&qspec);
+            let q = QuerySequence::from_sequence(&s, &fx.pt);
+            let (mem, _) = tree_search(&fx.trie, &q);
+            let (disk, _) = tree_search(&pv, &q);
+            assert_eq!(mem, disk, "{qspec:?}");
+            let (mem_o, _) = constraint_search(&fx.trie, &q);
+            let (disk_o, _) = constraint_search(&pv, &q);
+            assert_eq!(mem_o, disk_o, "{qspec:?} ordered");
+        }
+    }
+
+    #[test]
+    fn disk_access_counting() {
+        let mut fx = Fx::new();
+        fx.load();
+        let pv = paged(&fx, 64);
+        pv.reset_pool();
+        let s = fx.seq(&["P", "P.A", "P.A.X"]);
+        let q = QuerySequence::from_sequence(&s, &fx.pt);
+        let (docs, _) = tree_search(&pv, &q);
+        assert_eq!(docs, vec![0]);
+        let stats = pv.pool_stats();
+        assert!(stats.misses > 0, "a cold query must touch disk");
+        // warm repeat: all hits
+        pv.reset_pool();
+        let _ = tree_search(&pv, &q);
+        let cold = pv.pool_stats().misses;
+        let _ = tree_search(&pv, &q);
+        let warm = pv.pool_stats();
+        assert_eq!(warm.misses, cold, "second run fully cached");
+    }
+
+    #[test]
+    fn file_backed_roundtrip() {
+        let mut fx = Fx::new();
+        fx.load();
+        let dir = std::env::temp_dir().join(format!("xseq-paged-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.pages");
+        {
+            let mut store = FileStore::create(&path).unwrap();
+            write_paged_trie(&fx.trie, &mut store).unwrap();
+        }
+        let store = FileStore::open(&path).unwrap();
+        let pv = PagedTrie::open(store, 16).unwrap();
+        let s = fx.seq(&["P", "P.L", "P.L.S", "P.L.B"]);
+        let q = QuerySequence::from_sequence(&s, &fx.pt);
+        let (docs, _) = tree_search(&pv, &q);
+        assert_eq!(docs, vec![4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mut store = MemStore::new();
+        store.write_page(0, &new_page()).unwrap();
+        assert!(PagedTrie::open(store, 4).is_err());
+    }
+
+    #[test]
+    fn tiny_pool_still_correct() {
+        let mut fx = Fx::new();
+        fx.load();
+        let pv = paged(&fx, 1);
+        let s = fx.seq(&["P", "P.L", "P.L.S", "P.L", "P.L.B"]);
+        let q = QuerySequence::from_sequence(&s, &fx.pt);
+        let (docs, _) = tree_search(&pv, &q);
+        assert_eq!(docs, vec![3]);
+        assert!(pv.pool_stats().evictions > 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! An LRU buffer pool with access accounting.
+//!
+//! The pool is the measurement instrument for the paper's I/O numbers: a
+//! *miss* is a disk access; Figure 16(c)/(d)'s "I/O cost (# of pages)" is
+//! the miss count of a query run against a cold pool.
+
+use crate::page::{new_page, Page, PageId, PAGE_SIZE};
+use crate::store::PageStore;
+use std::collections::HashMap;
+use std::io;
+
+/// Pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from the pool.
+    pub hits: u64,
+    /// Page requests that had to read the store — "disk accesses".
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+/// A fixed-capacity LRU cache of pages over a [`PageStore`].
+///
+/// Read-only from the caller's perspective (the index is immutable once
+/// written), so eviction never writes back.
+#[derive(Debug)]
+pub struct BufferPool<S: PageStore> {
+    store: S,
+    capacity: usize,
+    frames: HashMap<PageId, (Page, u64)>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Wraps a store with an LRU cache of `capacity` pages (minimum 1).
+    pub fn new(store: S, capacity: usize) -> Self {
+        BufferPool {
+            store,
+            capacity: capacity.max(1),
+            frames: HashMap::new(),
+            clock: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Fetches a page, reading through on a miss, and hands it to `f`.
+    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> io::Result<R> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some((page, used)) = self.frames.get_mut(&id) {
+            *used = clock;
+            self.stats.hits += 1;
+            return Ok(f(page));
+        }
+        self.stats.misses += 1;
+        let mut page = new_page();
+        self.store.read_page(id, &mut page)?;
+        if self.frames.len() >= self.capacity {
+            // evict the least recently used frame
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(&k, _)| k)
+                .expect("non-empty");
+            self.frames.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        let r = f(&page);
+        self.frames.insert(id, (page, clock));
+        Ok(r)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Zeroes the counters (e.g. between queries).
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    /// Drops every cached frame (cold start) and zeroes the counters.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.reset_stats();
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable access to the wrapped store (loading phase).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{get_u32, put_u32};
+    use crate::store::MemStore;
+
+    fn store_with(n: u32) -> MemStore {
+        let mut s = MemStore::new();
+        for i in 0..n {
+            let mut p = new_page();
+            put_u32(&mut p, 0, i * 10);
+            s.write_page(i, &p).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut pool = BufferPool::new(store_with(4), 2);
+        assert_eq!(pool.with_page(0, |p| get_u32(p, 0)).unwrap(), 0);
+        assert_eq!(pool.with_page(0, |p| get_u32(p, 0)).unwrap(), 0);
+        assert_eq!(pool.with_page(1, |p| get_u32(p, 0)).unwrap(), 10);
+        let st = pool.stats();
+        assert_eq!(st.misses, 2);
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.evictions, 0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut pool = BufferPool::new(store_with(4), 2);
+        pool.with_page(0, |_| ()).unwrap();
+        pool.with_page(1, |_| ()).unwrap();
+        pool.with_page(0, |_| ()).unwrap(); // 0 freshened, 1 is LRU
+        pool.with_page(2, |_| ()).unwrap(); // evicts 1
+        assert_eq!(pool.stats().evictions, 1);
+        pool.reset_stats();
+        pool.with_page(0, |_| ()).unwrap(); // still resident
+        assert_eq!(pool.stats().hits, 1);
+        pool.with_page(1, |_| ()).unwrap(); // was evicted
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut pool = BufferPool::new(store_with(4), 2);
+        for i in 0..4 {
+            pool.with_page(i, |_| ()).unwrap();
+        }
+        assert!(pool.resident() <= 2);
+    }
+
+    #[test]
+    fn clear_gives_cold_start() {
+        let mut pool = BufferPool::new(store_with(2), 4);
+        pool.with_page(0, |_| ()).unwrap();
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats(), PoolStats::default());
+        pool.with_page(0, |_| ()).unwrap();
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn missing_page_is_an_error() {
+        let mut pool = BufferPool::new(store_with(1), 2);
+        assert!(pool.with_page(9, |_| ()).is_err());
+    }
+}

@@ -1,0 +1,469 @@
+//! A small, dependency-free XML parser.
+//!
+//! Covers the fragment of XML the paper's datasets use: elements, attributes,
+//! text content, comments, processing instructions/XML declarations, CDATA,
+//! and the five predefined entities.  Namespaces, DTD internal subsets and
+//! full spec conformance are out of scope — the goal is a faithful substrate
+//! for DBLP/XMark-shaped records, not a validating parser.
+//!
+//! Mapping to the paper's tree model:
+//! * an element becomes an element-designator node;
+//! * an attribute `a="v"` becomes a child node `a` with a value-designator
+//!   child `v` (attributes and sub-elements are deliberately not
+//!   distinguished, as in ViST);
+//! * non-whitespace text content becomes a value-designator leaf.
+
+use crate::document::Document;
+use crate::error::XmlError;
+use crate::symbol::SymbolTable;
+
+/// Parses one XML document into a [`Document`] against the shared interners.
+pub fn parse_document(input: &str, symbols: &mut SymbolTable) -> Result<Document, XmlError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        symbols,
+    };
+    p.skip_misc()?;
+    if p.eof() {
+        return Err(XmlError::EmptyDocument);
+    }
+    let mut doc = Document::new();
+    p.parse_element(&mut doc, None)?;
+    p.skip_misc()?;
+    if !p.eof() {
+        return Err(XmlError::TrailingContent { offset: p.pos });
+    }
+    Ok(doc)
+}
+
+struct Parser<'a, 'b> {
+    bytes: &'a [u8],
+    pos: usize,
+    symbols: &'b mut SymbolTable,
+}
+
+impl<'a, 'b> Parser<'a, 'b> {
+    fn eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, XmlError> {
+        let b = self
+            .peek()
+            .ok_or(XmlError::UnexpectedEof { offset: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, b: u8, what: &'static str) -> Result<(), XmlError> {
+        let got = self.bump()?;
+        if got != b {
+            return Err(XmlError::UnexpectedChar {
+                offset: self.pos - 1,
+                found: got as char,
+                expected: what,
+            });
+        }
+        Ok(())
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Skips whitespace, comments, PIs and the XML declaration between
+    /// top-level constructs.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<?") {
+                self.skip_until(b"?>")?;
+            } else if self.starts_with(b"<!--") {
+                self.skip_until(b"-->")?;
+            } else if self.starts_with(b"<!DOCTYPE") {
+                // Skip a simple DOCTYPE without internal subset brackets.
+                self.skip_until(b">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.bytes[self.pos..].starts_with(s)
+    }
+
+    fn skip_until(&mut self, end: &[u8]) -> Result<(), XmlError> {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos..].starts_with(end) {
+                self.pos += end.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof { offset: self.pos })
+    }
+
+    fn read_name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::UnexpectedChar {
+                offset: self.pos,
+                found: self.peek().map(|b| b as char).unwrap_or('\0'),
+                expected: "a name",
+            });
+        }
+        // SAFETY of from_utf8: name bytes are ASCII by construction.
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii name"))
+    }
+
+    fn read_entity(&mut self, out: &mut String) -> Result<(), XmlError> {
+        let at = self.pos;
+        self.expect(b'&', "'&'")?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                break;
+            }
+            self.pos += 1;
+            if self.pos - start > 10 {
+                return Err(XmlError::BadEntity { offset: at });
+            }
+        }
+        let name = &self.bytes[start..self.pos];
+        self.expect(b';', "';'")?;
+        match name {
+            b"lt" => out.push('<'),
+            b"gt" => out.push('>'),
+            b"amp" => out.push('&'),
+            b"apos" => out.push('\''),
+            b"quot" => out.push('"'),
+            _ if name.first() == Some(&b'#') => {
+                let code = if name.get(1) == Some(&b'x') {
+                    u32::from_str_radix(
+                        std::str::from_utf8(&name[2..]).map_err(|_| XmlError::BadEntity { offset: at })?,
+                        16,
+                    )
+                } else {
+                    std::str::from_utf8(&name[1..])
+                        .map_err(|_| XmlError::BadEntity { offset: at })?
+                        .parse()
+                };
+                let code = code.map_err(|_| XmlError::BadEntity { offset: at })?;
+                out.push(char::from_u32(code).ok_or(XmlError::BadEntity { offset: at })?);
+            }
+            _ => return Err(XmlError::BadEntity { offset: at }),
+        }
+        Ok(())
+    }
+
+    fn read_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = self.bump()?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(XmlError::UnexpectedChar {
+                offset: self.pos - 1,
+                found: quote as char,
+                expected: "a quote",
+            });
+        }
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or(XmlError::UnexpectedEof { offset: self.pos })? {
+                b if b == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'&' => self.read_entity(&mut out)?,
+                _ => {
+                    let c = self.next_char()?;
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn next_char(&mut self) -> Result<char, XmlError> {
+        let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
+            XmlError::UnexpectedChar {
+                offset: self.pos,
+                found: '\u{FFFD}',
+                expected: "valid UTF-8",
+            }
+        })?;
+        let c = rest
+            .chars()
+            .next()
+            .ok_or(XmlError::UnexpectedEof { offset: self.pos })?;
+        self.pos += c.len_utf8();
+        Ok(c)
+    }
+
+    /// Parses `<name attr="v" ...> content </name>` into the document under
+    /// `parent` (or as the root when `parent` is `None`).
+    fn parse_element(
+        &mut self,
+        doc: &mut Document,
+        parent: Option<u32>,
+    ) -> Result<(), XmlError> {
+        self.expect(b'<', "'<'")?;
+        let name = self.read_name()?;
+        let sym = self.symbols.elem(name);
+        let node = match parent {
+            None => {
+                *doc = Document::with_root(sym);
+                doc.root().expect("just created root")
+            }
+            Some(p) => doc.child(p, sym),
+        };
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek().ok_or(XmlError::UnexpectedEof { offset: self.pos })? {
+                b'/' => {
+                    self.pos += 1;
+                    self.expect(b'>', "'>'")?;
+                    return Ok(());
+                }
+                b'>' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    let aname = self.read_name()?;
+                    self.skip_ws();
+                    self.expect(b'=', "'='")?;
+                    self.skip_ws();
+                    let aval = self.read_attr_value()?;
+                    let asym = self.symbols.elem(aname);
+                    let anode = doc.child(node, asym);
+                    attach_value(doc, anode, &aval, self.symbols);
+                }
+            }
+        }
+
+        // Content.
+        let mut text = String::new();
+        loop {
+            if self.eof() {
+                return Err(XmlError::UnexpectedEof { offset: self.pos });
+            }
+            if self.starts_with(b"<!--") {
+                self.flush_text(doc, node, &mut text);
+                self.skip_until(b"-->")?;
+            } else if self.starts_with(b"<![CDATA[") {
+                self.pos += b"<![CDATA[".len();
+                let start = self.pos;
+                self.skip_until(b"]]>")?;
+                let seg = &self.bytes[start..self.pos - 3];
+                text.push_str(std::str::from_utf8(seg).map_err(|_| XmlError::UnexpectedChar {
+                    offset: start,
+                    found: '\u{FFFD}',
+                    expected: "valid UTF-8 in CDATA",
+                })?);
+            } else if self.starts_with(b"<?") {
+                self.flush_text(doc, node, &mut text);
+                self.skip_until(b"?>")?;
+            } else if self.starts_with(b"</") {
+                self.flush_text(doc, node, &mut text);
+                self.pos += 2;
+                let close_at = self.pos;
+                let cname = self.read_name()?;
+                if cname != name {
+                    return Err(XmlError::MismatchedTag {
+                        offset: close_at,
+                        found: cname.to_owned(),
+                        expected: name.to_owned(),
+                    });
+                }
+                self.skip_ws();
+                self.expect(b'>', "'>'")?;
+                return Ok(());
+            } else if self.peek() == Some(b'<') {
+                self.flush_text(doc, node, &mut text);
+                self.parse_element(doc, Some(node))?;
+            } else if self.peek() == Some(b'&') {
+                self.read_entity(&mut text)?;
+            } else {
+                text.push(self.next_char()?);
+            }
+        }
+    }
+
+    /// Emits accumulated non-whitespace text as a value leaf (or chain).
+    fn flush_text(&mut self, doc: &mut Document, node: u32, text: &mut String) {
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            attach_value(doc, node, trimmed, self.symbols);
+        }
+        text.clear();
+    }
+}
+
+/// Attaches a value under `node` per the symbol table's [`ValueMode`]: a
+/// single leaf for `Intern`/`Hashed`, or a terminated per-character chain
+/// for `Chars` (the paper's second value representation).
+fn attach_value(doc: &mut Document, node: u32, value: &str, symbols: &mut SymbolTable) {
+    match symbols.values.mode() {
+        xseq_mode @ (crate::symbol::ValueMode::Intern | crate::symbol::ValueMode::Hashed { .. }) => {
+            let _ = xseq_mode;
+            let vsym = symbols.val(value);
+            doc.child(node, vsym);
+        }
+        crate::symbol::ValueMode::Chars => {
+            let mut cur = node;
+            for v in symbols.values.chain(value) {
+                cur = doc.child(cur, crate::symbol::Symbol::value(v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{SymbolTable, ValueMode};
+
+    fn st() -> SymbolTable {
+        SymbolTable::with_value_mode(ValueMode::Intern)
+    }
+
+    #[test]
+    fn parse_figure1_document() {
+        let xml = r#"
+            <Project name="xml">
+              <Research>
+                <Manager>tom</Manager>
+                <Location>newyork</Location>
+              </Research>
+              <Development>
+                <Manager>johnson</Manager>
+                <Unit><Manager>mary</Manager><Name>GUI</Name></Unit>
+                <Unit><Name>engine</Name></Unit>
+                <Location>boston</Location>
+              </Development>
+            </Project>"#;
+        let mut symbols = st();
+        let doc = parse_document(xml, &mut symbols).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(symbols.render(doc.sym(root)), "Project");
+        // name attribute + Research + Development
+        assert_eq!(doc.children(root).len(), 3);
+        // 12 elements + 1 attribute node + 8 values
+        assert_eq!(doc.len(), 21);
+    }
+
+    #[test]
+    fn self_closing_and_empty_elements() {
+        let mut symbols = st();
+        let doc = parse_document("<a><b/><c></c></a>", &mut symbols).unwrap();
+        assert_eq!(doc.len(), 3);
+        assert_eq!(doc.children(doc.root().unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn attributes_become_child_nodes() {
+        let mut symbols = st();
+        let doc = parse_document(r#"<a x="1" y="2"/>"#, &mut symbols).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.children(root).len(), 2);
+        for &attr in doc.children(root) {
+            assert!(doc.sym(attr).is_elem());
+            assert_eq!(doc.children(attr).len(), 1);
+            assert!(doc.sym(doc.children(attr)[0]).is_value());
+        }
+    }
+
+    #[test]
+    fn entities_and_cdata() {
+        let mut symbols = st();
+        let doc = parse_document("<a>&lt;x&gt; &amp; <![CDATA[<raw>]]></a>", &mut symbols).unwrap();
+        let root = doc.root().unwrap();
+        // text flushed once at the close tag
+        assert_eq!(doc.children(root).len(), 1);
+        let v = doc.sym(doc.children(root)[0]).as_value().unwrap();
+        assert_eq!(symbols.values.resolve(v), Some("<x> & <raw>"));
+    }
+
+    #[test]
+    fn numeric_entities() {
+        let mut symbols = st();
+        let doc = parse_document("<a>&#65;&#x42;</a>", &mut symbols).unwrap();
+        let root = doc.root().unwrap();
+        let v = doc.sym(doc.children(root)[0]).as_value().unwrap();
+        assert_eq!(symbols.values.resolve(v), Some("AB"));
+    }
+
+    #[test]
+    fn declaration_comment_doctype_skipped() {
+        let mut symbols = st();
+        let xml = "<?xml version=\"1.0\"?><!-- hi --><!DOCTYPE a><a/>";
+        assert!(parse_document(xml, &mut symbols).is_ok());
+    }
+
+    #[test]
+    fn mismatched_tag_is_an_error() {
+        let mut symbols = st();
+        let err = parse_document("<a></b>", &mut symbols).unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn trailing_content_is_an_error() {
+        let mut symbols = st();
+        let err = parse_document("<a/><b/>", &mut symbols).unwrap_err();
+        assert!(matches!(err, XmlError::TrailingContent { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let mut symbols = st();
+        assert_eq!(
+            parse_document("   ", &mut symbols),
+            Err(XmlError::EmptyDocument)
+        );
+    }
+
+    #[test]
+    fn unterminated_element_is_an_error() {
+        let mut symbols = st();
+        assert!(matches!(
+            parse_document("<a><b>", &mut symbols),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_entity_is_an_error() {
+        let mut symbols = st();
+        assert!(matches!(
+            parse_document("<a>&nope;</a>", &mut symbols),
+            Err(XmlError::BadEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let mut symbols = st();
+        let doc = parse_document("<a>\n  <b/>\n</a>", &mut symbols).unwrap();
+        assert_eq!(doc.len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the XML substrate: serializer/parser round trips,
+//! path-encoding invariants, and oracle sanity.
+
+use proptest::prelude::*;
+use xseq_xml::matcher::{find_embedding, structure_match};
+use xseq_xml::{
+    parse_document, write_document, Axis, Document, PathTable, PatternLabel, SymbolTable,
+    TreePattern, ValueMode,
+};
+
+#[derive(Debug, Clone)]
+struct DocRecipe {
+    parents: Vec<u32>,
+    labels: Vec<u8>,
+    values: Vec<Option<u8>>,
+}
+
+fn doc_recipe(max_nodes: usize) -> impl Strategy<Value = DocRecipe> {
+    (1..max_nodes).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<u32>(), n),
+            proptest::collection::vec(any::<u8>(), n + 1),
+            proptest::collection::vec(proptest::option::weighted(0.3, any::<u8>()), n + 1),
+        )
+            .prop_map(|(parents, labels, values)| DocRecipe {
+                parents,
+                labels,
+                values,
+            })
+    })
+}
+
+fn build(recipe: &DocRecipe, st: &mut SymbolTable) -> Document {
+    let elems: Vec<_> = (0..5).map(|i| st.elem(&format!("el{i}"))).collect();
+    let mut doc = Document::with_root(elems[0]);
+    // ids of element nodes only — parents are drawn from these
+    let mut elem_ids = vec![doc.root().unwrap()];
+    for i in 1..=recipe.parents.len() {
+        let parent = elem_ids[recipe.parents[i - 1] as usize % elem_ids.len()];
+        let n = doc.child(parent, elems[(recipe.labels[i] as usize) % elems.len()]);
+        elem_ids.push(n);
+        if let Some(v) = recipe.values[i] {
+            let vs = st.val(&format!("val{}", v % 16));
+            doc.child(n, vs);
+        }
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_parse_roundtrip(recipe in doc_recipe(20)) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let text = write_document(&doc, &st);
+        let doc2 = parse_document(&text, &mut st).unwrap();
+        prop_assert!(doc.structurally_eq(&doc2), "{text}");
+    }
+
+    #[test]
+    fn path_encoding_depth_and_prefix_invariants(recipe in doc_recipe(25)) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let mut paths = PathTable::new();
+        let enc = doc.path_encode(&mut paths);
+        for n in doc.node_ids() {
+            prop_assert_eq!(paths.depth(enc[n as usize]), doc.depth(n));
+            if let Some(p) = doc.parent(n) {
+                prop_assert!(paths.is_proper_prefix(enc[p as usize], enc[n as usize]));
+                prop_assert_eq!(paths.parent(enc[n as usize]), enc[p as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn every_subtree_is_a_match_witnessed_by_embedding(recipe in doc_recipe(12)) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        // the exact pattern of the whole document matches it, and the
+        // returned embedding is label- and parent-consistent
+        let label = |d: &Document, n: u32| match (d.sym(n).as_elem(), d.sym(n).as_value()) {
+            (Some(e), _) => PatternLabel::Elem(e),
+            (_, Some(v)) => PatternLabel::Value(v),
+            _ => unreachable!(),
+        };
+        let root = doc.root().unwrap();
+        let mut q = TreePattern::root(label(&doc, root));
+        let mut map = vec![0u32; doc.len()];
+        for n in doc.preorder() {
+            if n == root { continue; }
+            let p = doc.parent(n).unwrap();
+            map[n as usize] = q.add(map[p as usize], Axis::Child, label(&doc, n));
+        }
+        let emb = find_embedding(&q, &doc).expect("self-match");
+        for pn in q.node_ids() {
+            let dn = emb[pn as usize];
+            // label consistent
+            match q.label(pn) {
+                PatternLabel::Elem(e) => prop_assert_eq!(doc.sym(dn).as_elem(), Some(e)),
+                PatternLabel::Value(v) => prop_assert_eq!(doc.sym(dn).as_value(), Some(v)),
+                PatternLabel::AnyElem => prop_assert!(doc.sym(dn).is_elem()),
+            }
+            // parent consistent
+            if let Some(pp) = q.parent(pn) {
+                prop_assert_eq!(doc.parent(dn), Some(emb[pp as usize]));
+            }
+        }
+        // injective
+        let mut seen = std::collections::HashSet::new();
+        for &dn in &emb {
+            prop_assert!(seen.insert(dn));
+        }
+    }
+
+    #[test]
+    fn structure_match_is_monotone_under_node_removal(recipe in doc_recipe(12), drop in any::<u32>()) {
+        // removing a leaf from the pattern never turns a match into a miss
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let doc = build(&recipe, &mut st);
+        let label = |d: &Document, n: u32| match (d.sym(n).as_elem(), d.sym(n).as_value()) {
+            (Some(e), _) => PatternLabel::Elem(e),
+            (_, Some(v)) => PatternLabel::Value(v),
+            _ => unreachable!(),
+        };
+        let root = doc.root().unwrap();
+        // full pattern, minus one randomly chosen leaf subtree (skip root)
+        let skip = if doc.len() > 1 { 1 + (drop as usize % (doc.len() - 1)) } else { 0 };
+        let mut q = TreePattern::root(label(&doc, root));
+        let mut map = vec![u32::MAX; doc.len()];
+        map[root as usize] = q.root_id();
+        for n in doc.preorder() {
+            if n == root || n as usize == skip { continue; }
+            let p = doc.parent(n).unwrap();
+            if map[p as usize] == u32::MAX { continue; } // under the skipped subtree
+            map[n as usize] = q.add(map[p as usize], Axis::Child, label(&doc, n));
+        }
+        prop_assert!(structure_match(&q, &doc), "partial pattern must still match");
+    }
+}

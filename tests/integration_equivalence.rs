@@ -1,0 +1,135 @@
+//! Full-stack query equivalence: generated corpora, XPath front end,
+//! both sequencing strategies, checked against the brute-force oracle.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xseq::datagen::{random_query_tree, SyntheticDataset, SyntheticParams, XmarkGenerator, XmarkOptions};
+use xseq::xml::matcher::structure_match;
+use xseq::{
+    parse_xpath, Axis, Corpus, DatabaseBuilder, Document, PatternLabel, Sequencing, TreePattern,
+    ValueMode,
+};
+
+fn oracle(pattern: &TreePattern, docs: &[Document]) -> Vec<u32> {
+    docs.iter()
+        .enumerate()
+        .filter(|(_, d)| structure_match(pattern, d))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Turns a sampled subtree into an exact child-axis pattern.
+fn pattern_of(doc: &Document) -> TreePattern {
+    let root = doc.root().expect("non-empty");
+    let label = |d: &Document, n: u32| match (d.sym(n).as_elem(), d.sym(n).as_value()) {
+        (Some(e), _) => PatternLabel::Elem(e),
+        (_, Some(v)) => PatternLabel::Value(v),
+        _ => unreachable!(),
+    };
+    let mut q = TreePattern::root(label(doc, root));
+    let mut map = vec![0u32; doc.len()];
+    for n in doc.preorder() {
+        if n == root {
+            continue;
+        }
+        let p = doc.parent(n).expect("non-root");
+        map[n as usize] = q.add(map[p as usize], Axis::Child, label(doc, n));
+    }
+    q
+}
+
+#[test]
+fn synthetic_corpus_random_queries_match_oracle() {
+    let params = SyntheticParams {
+        max_height: 4,
+        max_fanout: 3,
+        value_pct: 25,
+        identical_pct: 30,
+        prob_floor_pct: 30,
+    };
+    for sequencing in [Sequencing::DepthFirst, Sequencing::Probability] {
+        let mut corpus = Corpus::new(ValueMode::Intern);
+        let ds = SyntheticDataset::generate(&params, 120, 17, &mut corpus.symbols);
+        corpus.docs = ds.docs;
+        let docs_copy = corpus.docs.clone();
+        let mut db = DatabaseBuilder::new()
+            .sequencing(sequencing)
+            .build_from_corpus(corpus)
+            .unwrap();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..60 {
+            let src = &docs_copy[i % docs_copy.len()];
+            let q = pattern_of(&random_query_tree(src, 2 + i % 5, &mut rng));
+            let got = db.query_pattern(&q).docs;
+            let expect = oracle(&q, &docs_copy);
+            assert_eq!(got, expect, "{sequencing:?} query #{i}");
+            assert!(got.contains(&((i % docs_copy.len()) as u32)), "source doc matches itself");
+        }
+    }
+}
+
+#[test]
+fn xmark_corpus_xpath_queries_match_oracle() {
+    let mut corpus = Corpus::new(ValueMode::Intern);
+    corpus.docs = XmarkGenerator::new(23, XmarkOptions::default()).generate(300, &mut corpus.symbols);
+    let docs_copy = corpus.docs.clone();
+    let mut db = DatabaseBuilder::new()
+        .sequencing(Sequencing::Probability)
+        .build_from_corpus(corpus)
+        .unwrap();
+
+    let queries = [
+        "/site/item",
+        "/site//location[text='United States']",
+        "//person/profile/interest",
+        "//item[location='Germany']/mailbox/mail",
+        "/site/open_auction[bidder/increase='5.00']",
+        "//closed_auction[seller][buyer]",
+        "/site/*/age",
+        "//bidder[date][personref]",
+    ];
+    for expr in queries {
+        let pattern = parse_xpath(expr, &mut db.corpus.symbols).unwrap();
+        let got = db.query_pattern(&pattern).docs;
+        let expect = oracle(&pattern, &docs_copy);
+        assert_eq!(got, expect, "{expr}");
+    }
+}
+
+#[test]
+fn strategies_agree_with_each_other() {
+    let params = SyntheticParams {
+        max_height: 3,
+        max_fanout: 4,
+        value_pct: 30,
+        identical_pct: 50,
+        prob_floor_pct: 40,
+    };
+    let mut c1 = Corpus::new(ValueMode::Intern);
+    let ds = SyntheticDataset::generate(&params, 150, 99, &mut c1.symbols);
+    c1.docs = ds.docs.clone();
+    let mut c2 = Corpus::new(ValueMode::Intern);
+    let _ds2 = SyntheticDataset::generate(&params, 150, 99, &mut c2.symbols);
+    c2.docs = ds.docs;
+
+    let mut df = DatabaseBuilder::new()
+        .sequencing(Sequencing::DepthFirst)
+        .build_from_corpus(c1)
+        .unwrap();
+    let mut cs = DatabaseBuilder::new()
+        .sequencing(Sequencing::Probability)
+        .build_from_corpus(c2)
+        .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(31);
+    let docs = df.corpus.docs.clone();
+    for i in 0..40 {
+        let src = &docs[(i * 7) % docs.len()];
+        let qt = random_query_tree(src, 2 + i % 6, &mut rng);
+        let q1 = pattern_of(&qt);
+        let a = df.query_pattern(&q1).docs;
+        let b = cs.query_pattern(&q1).docs;
+        assert_eq!(a, b, "query #{i}");
+    }
+}

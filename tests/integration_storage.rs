@@ -1,0 +1,98 @@
+//! Memory/disk agreement: the paged index answers every query exactly like
+//! the in-memory trie, through a real file, under tiny buffer pools.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xseq::datagen::{random_query_tree, XmarkGenerator, XmarkOptions};
+use xseq::index::{tree_search, QuerySequence, XmlIndex};
+use xseq::schema::{ProbabilityModel, WeightMap};
+use xseq::sequence::{sequence_document, Strategy};
+use xseq::storage::{write_paged_trie, FileStore, MemStore, PagedTrie};
+use xseq::{Corpus, PlanOptions, ValueMode};
+
+fn build() -> (Corpus, XmlIndex) {
+    let mut corpus = Corpus::new(ValueMode::Intern);
+    corpus.docs = XmarkGenerator::new(3, XmarkOptions::default()).generate(400, &mut corpus.symbols);
+    let model = ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, 0);
+    let strategy = Strategy::Probability(model.priorities(&corpus.paths, &WeightMap::default()));
+    let index = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, PlanOptions::default());
+    (corpus, index)
+}
+
+#[test]
+fn mem_paged_equivalence_over_random_queries() {
+    let (mut corpus, index) = build();
+    let mut store = MemStore::new();
+    write_paged_trie(index.trie(), &mut store).unwrap();
+    let paged = PagedTrie::open(store, 32).unwrap();
+    assert_eq!(paged.node_count(), index.node_count());
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let docs = corpus.docs.clone();
+    for i in 0..50 {
+        let src = &docs[(i * 13) % docs.len()];
+        let qt = random_query_tree(src, 2 + i % 7, &mut rng);
+        let seq = sequence_document(&qt, &mut corpus.paths, index.strategy());
+        let q = QuerySequence::from_sequence(&seq, &corpus.paths);
+        let (mem, _) = tree_search(index.trie(), &q);
+        let (disk, _) = tree_search(&paged, &q);
+        assert_eq!(mem, disk, "query #{i}");
+        assert!(!mem.is_empty(), "source doc must match");
+    }
+}
+
+#[test]
+fn file_backed_index_survives_reopen() {
+    let (mut corpus, index) = build();
+    let dir = std::env::temp_dir().join(format!("xseq-int-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("xmark.pages");
+    {
+        let mut store = FileStore::create(&path).unwrap();
+        write_paged_trie(index.trie(), &mut store).unwrap();
+    }
+    let paged = PagedTrie::open(FileStore::open(&path).unwrap(), 64).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let docs = corpus.docs.clone();
+    for i in 0..20 {
+        let src = &docs[(i * 3) % docs.len()];
+        let qt = random_query_tree(src, 3, &mut rng);
+        let seq = sequence_document(&qt, &mut corpus.paths, index.strategy());
+        let q = QuerySequence::from_sequence(&seq, &corpus.paths);
+        let (mem, _) = tree_search(index.trie(), &q);
+        let (disk, _) = tree_search(&paged, &q);
+        assert_eq!(mem, disk);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pool_size_changes_io_not_answers() {
+    let (mut corpus, index) = build();
+    let mut store = MemStore::new();
+    write_paged_trie(index.trie(), &mut store).unwrap();
+
+    // one shared query
+    let doc = corpus.docs[0].clone();
+    let seq = sequence_document(&doc, &mut corpus.paths, index.strategy());
+    let q = QuerySequence::from_sequence(&seq, &corpus.paths);
+
+    let mut answers = Vec::new();
+    let mut misses = Vec::new();
+    for cap in [1usize, 8, 1024] {
+        let mut s2 = MemStore::new();
+        write_paged_trie(index.trie(), &mut s2).unwrap();
+        let paged = PagedTrie::open(s2, cap).unwrap();
+        paged.reset_pool();
+        let (docs, _) = tree_search(&paged, &q);
+        answers.push(docs);
+        misses.push(paged.pool_stats().misses);
+    }
+    assert_eq!(answers[0], answers[1]);
+    assert_eq!(answers[1], answers[2]);
+    assert!(
+        misses[0] >= misses[2],
+        "a tiny pool cannot do fewer disk accesses: {misses:?}"
+    );
+}
