@@ -164,8 +164,7 @@ impl PathIndex {
         let mut stats = BaselineStats::default();
         // enumerate root-to-leaf label paths of the pattern, resolving
         // wildcards against the path dictionary
-        let data_paths: std::collections::HashSet<PathId> =
-            self.postings.keys().copied().collect();
+        let data_paths: std::collections::HashSet<PathId> = self.postings.keys().copied().collect();
         let opts = PlanOptions::default();
         let concrete = xseq_index::instantiate(pattern, paths, &data_paths, &opts);
 
@@ -459,7 +458,7 @@ impl VistIndex {
     ) -> (Vec<DocId>, BaselineStats) {
         let mut stats = BaselineStats::default();
         let naive = self.inner.query_naive(pattern, paths);
-        stats.postings_scanned = naive.stats.search.candidates as u64;
+        stats.postings_scanned = naive.stats.search.candidates;
         let mut result = Vec::new();
         for d in naive.docs {
             stats.verifications += 1;
@@ -539,12 +538,7 @@ mod tests {
         let path_idx = PathIndex::build(&docs, &mut pt);
         let node_idx = NodeIndex::build(&docs);
         let vist = VistIndex::build(&docs, &mut pt);
-        let cs = XmlIndex::build(
-            &docs,
-            &mut pt,
-            Strategy::DepthFirst,
-            PlanOptions::default(),
-        );
+        let cs = XmlIndex::build(&docs, &mut pt, Strategy::DepthFirst, PlanOptions::default());
 
         let pd = st.designator("p");
         let ld = st.designator("l");
@@ -563,8 +557,7 @@ mod tests {
             v.push(q);
             // //l='boston'
             let q = {
-                let mut q =
-                    TreePattern::with_root_axis(PatternLabel::Elem(ld), Axis::Descendant);
+                let mut q = TreePattern::with_root_axis(PatternLabel::Elem(ld), Axis::Descendant);
                 q.add(q.root_id(), Axis::Child, PatternLabel::Value(boston));
                 q
             };

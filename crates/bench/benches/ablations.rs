@@ -23,7 +23,12 @@ fn setup() -> (xseq::PathTable, XmlIndex, Vec<QuerySequence>) {
     };
     let ds = SyntheticDataset::generate(&params, 20_000, 9, &mut symbols);
     let mut paths = xseq::PathTable::new();
-    let index = XmlIndex::build(&ds.docs, &mut paths, Strategy::DepthFirst, PlanOptions::default());
+    let index = XmlIndex::build(
+        &ds.docs,
+        &mut paths,
+        Strategy::DepthFirst,
+        PlanOptions::default(),
+    );
     // queries: prefixes of document sequences
     let queries: Vec<QuerySequence> = (0..50)
         .map(|i| {
@@ -76,7 +81,12 @@ fn bench_loading(c: &mut Criterion) {
         .docs
         .iter()
         .enumerate()
-        .map(|(i, d)| (sequence_document(d, &mut paths, &Strategy::DepthFirst), i as u32))
+        .map(|(i, d)| {
+            (
+                sequence_document(d, &mut paths, &Strategy::DepthFirst),
+                i as u32,
+            )
+        })
         .collect();
 
     let mut group = c.benchmark_group("load_ablation");
@@ -120,7 +130,7 @@ fn bench_pool_capacity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
     targets = bench_matchers, bench_loading, bench_pool_capacity

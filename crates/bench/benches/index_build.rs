@@ -21,8 +21,13 @@ fn bench_build(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &make, |b, strategy| {
             b.iter(|| {
                 let mut paths = xseq::PathTable::new();
-                XmlIndex::build(&ds.docs, &mut paths, strategy.clone(), PlanOptions::default())
-                    .node_count()
+                XmlIndex::build(
+                    &ds.docs,
+                    &mut paths,
+                    strategy.clone(),
+                    PlanOptions::default(),
+                )
+                .node_count()
             })
         });
     }
@@ -37,7 +42,7 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
     targets = bench_build

@@ -18,20 +18,34 @@ fn bench_queries(c: &mut Criterion) {
     let vist = VistIndex::build(&corpus.docs, &mut corpus.paths);
     let model = ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, 2000);
     let strategy = Strategy::Probability(model.priorities(&corpus.paths, &WeightMap::default()));
-    let cs = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, PlanOptions::default());
+    let cs = XmlIndex::build(
+        &corpus.docs,
+        &mut corpus.paths,
+        strategy,
+        PlanOptions::default(),
+    );
 
     // the selective branching query is where the engines differ most
     let pattern = parse_xpath(queries::DBLP_Q2, &mut corpus.symbols).unwrap();
 
     let mut group = c.benchmark_group("dblp_q2_latency");
     group.bench_function("path_index", |b| {
-        b.iter(|| path_idx.query(&pattern, &corpus.docs, &corpus.paths).0.len())
+        b.iter(|| {
+            path_idx
+                .query(&pattern, &corpus.docs, &corpus.paths)
+                .0
+                .len()
+        })
     });
     group.bench_function("node_index", |b| {
         b.iter(|| node_idx.query(&pattern, &corpus.docs).0.len())
     });
     group.bench_function("vist", |b| {
-        b.iter(|| vist.query(&pattern, &corpus.docs, &mut corpus.paths).0.len())
+        b.iter(|| {
+            vist.query(&pattern, &corpus.docs, &mut corpus.paths)
+                .0
+                .len()
+        })
     });
     group.bench_function("cs", |b| {
         b.iter(|| cs.query(&pattern, &mut corpus.paths).docs.len())
@@ -39,7 +53,7 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
     targets = bench_queries

@@ -3,9 +3,15 @@
 //! ```sh
 //! cargo run --release -p xseq-bench --bin repro -- all
 //! cargo run --release -p xseq-bench --bin repro -- table7 --scale 0.5
+//! cargo run --release -p xseq-bench --bin repro -- all --metrics out.json
 //! ```
+//!
+//! With `--metrics <path.json>`, the process-wide metrics registry is
+//! snapshotted after each experiment and the per-experiment deltas are
+//! written to the file as one JSON object keyed by experiment name.
 
 use std::process::exit;
+use xseq::telemetry::{to_json, MetricsRegistry, Snapshot};
 
 /// Experiment registry: name → runner.
 type Experiment = (&'static str, fn(f64));
@@ -25,7 +31,7 @@ const EXPERIMENTS: &[Experiment] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro <experiment|all|check> [--scale X]");
+    eprintln!("usage: repro <experiment|all|check> [--scale X] [--metrics PATH.json]");
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
         eprintln!("  {name}");
@@ -35,12 +41,62 @@ fn usage() -> ! {
     exit(2)
 }
 
+/// Accumulates per-experiment registry deltas and rewrites the output file
+/// after each one, so a partial run still leaves valid JSON behind.
+struct MetricsDump {
+    path: String,
+    sections: Vec<(String, String)>,
+    last: Snapshot,
+}
+
+impl MetricsDump {
+    fn new(path: String) -> Self {
+        MetricsDump {
+            path,
+            sections: Vec::new(),
+            last: MetricsRegistry::global().snapshot(),
+        }
+    }
+
+    fn record(&mut self, experiment: &str) {
+        let now = MetricsRegistry::global().snapshot();
+        let delta = now.delta(&self.last);
+        self.last = now;
+        // Repeat runs of one experiment get distinct keys so the JSON
+        // object never carries duplicates.
+        let repeats = self
+            .sections
+            .iter()
+            .filter(|(n, _)| n == experiment || n.starts_with(&format!("{experiment}#")))
+            .count();
+        let key = if repeats == 0 {
+            experiment.to_string()
+        } else {
+            format!("{experiment}#{}", repeats + 1)
+        };
+        self.sections.push((key, to_json(&delta)));
+        let mut out = String::from("{\n");
+        for (i, (name, json)) in self.sections.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("\"{}\": {}", name, json.trim_end()));
+        }
+        out.push_str("\n}\n");
+        if let Err(e) = std::fs::write(&self.path, out) {
+            eprintln!("[repro] cannot write metrics to {}: {e}", self.path);
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
     }
     let mut scale = 1.0f64;
+    let mut metrics: Option<MetricsDump> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -48,6 +104,10 @@ fn main() {
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 scale = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--metrics" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                metrics = Some(MetricsDump::new(path));
             }
             "-h" | "--help" => usage(),
             name => names.push(name.to_string()),
@@ -62,11 +122,24 @@ fn main() {
                 for (n, f) in EXPERIMENTS {
                     eprintln!("[repro] running {n} (scale {scale}) ...");
                     f(scale);
+                    if let Some(m) = metrics.as_mut() {
+                        m.record(n);
+                    }
                 }
             }
-            "check" => xseq_bench::check(),
+            "check" => {
+                xseq_bench::check();
+                if let Some(m) = metrics.as_mut() {
+                    m.record("check");
+                }
+            }
             other => match EXPERIMENTS.iter().find(|(n, _)| *n == other) {
-                Some((_, f)) => f(scale),
+                Some((n, f)) => {
+                    f(scale);
+                    if let Some(m) = metrics.as_mut() {
+                        m.record(n);
+                    }
+                }
                 None => usage(),
             },
         }

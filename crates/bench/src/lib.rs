@@ -22,12 +22,23 @@ use xseq::sequence::Strategy;
 use xseq::storage::{write_paged_trie, MemStore, PagedTrie};
 use xseq::xml::matcher::structure_match;
 use xseq::{
-    parse_xpath, Axis, Corpus, Document, PatternLabel, PlanOptions, SymbolTable, TreePattern,
-    ValueMode,
+    parse_xpath, Axis, Corpus, Document, IndexTelemetry, MetricsRegistry, PatternLabel,
+    PlanOptions, PoolTelemetry, SymbolTable, TreePattern, ValueMode,
 };
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Index-side handles into the process-wide registry (`repro --metrics`
+/// snapshots it after each experiment).
+fn global_index_telemetry() -> IndexTelemetry {
+    IndexTelemetry::register(MetricsRegistry::global())
+}
+
+/// Pool-side handles into the process-wide registry.
+fn global_pool_telemetry() -> PoolTelemetry {
+    PoolTelemetry::register(MetricsRegistry::global())
+}
 
 /// Scales every dataset-size parameter (1.0 = defaults).
 pub fn scaled(n: usize, scale: f64) -> usize {
@@ -78,7 +89,9 @@ pub fn random_patterns(docs: &[Document], len: usize, count: usize, seed: u64) -
 fn fig14(params: SyntheticParams, scale: f64) {
     println!("## Figure 14 — index size, dataset {}", params.name());
     println!();
-    println!("| documents | avg seq len | Random | Breadth-first | Depth-first | Constraint (CS) |");
+    println!(
+        "| documents | avg seq len | Random | Breadth-first | Depth-first | Constraint (CS) |"
+    );
     println!("|---|---|---|---|---|---|");
     let base = scaled(20_000, scale);
     let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
@@ -148,7 +161,12 @@ pub fn fig15(scale: f64) {
         let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
         let ds = SyntheticDataset::generate(&params, n, 15, &mut symbols);
         let mut paths = xseq::PathTable::new();
-        let df = XmlIndex::build(&ds.docs, &mut paths, Strategy::DepthFirst, PlanOptions::default());
+        let df = XmlIndex::build(
+            &ds.docs,
+            &mut paths,
+            Strategy::DepthFirst,
+            PlanOptions::default(),
+        );
         let mut paths_cs = xseq::PathTable::new();
         let cs_strat = cs_strategy(&ds.docs, &mut paths_cs, 2000);
         let cs = XmlIndex::build(&ds.docs, &mut paths_cs, cs_strat, PlanOptions::default());
@@ -176,11 +194,21 @@ fn xmark_table(title: &str, identical: bool, scale: f64) {
     for step in 1..=5 {
         let n = scaled(10_000 * step, scale);
         let mut corpus = Corpus::new(ValueMode::Intern);
-        corpus.docs = XmarkGenerator::new(8, XmarkOptions { identical_siblings: identical })
-            .generate(n, &mut corpus.symbols);
+        corpus.docs = XmarkGenerator::new(
+            8,
+            XmarkOptions {
+                identical_siblings: identical,
+            },
+        )
+        .generate(n, &mut corpus.symbols);
         let nodes = corpus.total_nodes();
         let mut paths = xseq::PathTable::new();
-        let df = XmlIndex::build(&corpus.docs, &mut paths, Strategy::DepthFirst, PlanOptions::default());
+        let df = XmlIndex::build(
+            &corpus.docs,
+            &mut paths,
+            Strategy::DepthFirst,
+            PlanOptions::default(),
+        );
         let mut paths_cs = xseq::PathTable::new();
         let strat = cs_strategy(&corpus.docs, &mut paths_cs, 2000);
         let cs = XmlIndex::build(&corpus.docs, &mut paths_cs, strat, PlanOptions::default());
@@ -198,12 +226,20 @@ fn xmark_table(title: &str, identical: bool, scale: f64) {
 
 /// Table 5: XMark index size with identical sibling nodes.
 pub fn table5(scale: f64) {
-    xmark_table("Table 5 — XMark index size (identical sibling nodes)", true, scale);
+    xmark_table(
+        "Table 5 — XMark index size (identical sibling nodes)",
+        true,
+        scale,
+    );
 }
 
 /// Table 6: XMark index size without identical sibling nodes.
 pub fn table6(scale: f64) {
-    xmark_table("Table 6 — XMark index size (no identical sibling nodes)", false, scale);
+    xmark_table(
+        "Table 6 — XMark index size (no identical sibling nodes)",
+        false,
+        scale,
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -217,14 +253,20 @@ pub fn table7(scale: f64) {
     println!();
     let n = scaled(60_000, scale);
     let mut corpus = Corpus::new(ValueMode::Intern);
-    corpus.docs =
-        XmarkGenerator::new(8, XmarkOptions::default()).generate(n, &mut corpus.symbols);
+    corpus.docs = XmarkGenerator::new(8, XmarkOptions::default()).generate(n, &mut corpus.symbols);
     let strat = cs_strategy(&corpus.docs, &mut corpus.paths, 2000);
-    let index = XmlIndex::build(&corpus.docs, &mut corpus.paths, strat, PlanOptions::default());
+    let mut index = XmlIndex::build(
+        &corpus.docs,
+        &mut corpus.paths,
+        strat,
+        PlanOptions::default(),
+    );
+    index.attach_telemetry(global_index_telemetry());
 
     let mut store = MemStore::new();
     let pages = write_paged_trie(index.trie(), &mut store).expect("in-memory store");
     let paged = PagedTrie::open(store, 4096).expect("valid layout");
+    paged.attach_pool_telemetry(global_pool_telemetry());
     println!(
         "{n} records, {} trie nodes, paged into {pages} × 4 KiB pages",
         index.node_count()
@@ -251,12 +293,8 @@ pub fn table7(scale: f64) {
         let elapsed = t0.elapsed();
 
         paged.reset_pool();
-        let concrete = xseq::index::instantiate(
-            &pattern,
-            &corpus.paths,
-            index.data_paths(),
-            index.options(),
-        );
+        let concrete =
+            xseq::index::instantiate(&pattern, &corpus.paths, index.data_paths(), index.options());
         let mut disk_docs = Vec::new();
         for qdoc in &concrete {
             let qseq = QuerySequence::from_document(qdoc, &mut corpus.paths, index.strategy());
@@ -302,7 +340,13 @@ pub fn table8(scale: f64) {
     let node_idx = NodeIndex::build(&corpus.docs);
     let vist = VistIndex::build(&corpus.docs, &mut corpus.paths);
     let strat = cs_strategy(&corpus.docs, &mut corpus.paths, 2000);
-    let cs = XmlIndex::build(&corpus.docs, &mut corpus.paths, strat, PlanOptions::default());
+    let mut cs = XmlIndex::build(
+        &corpus.docs,
+        &mut corpus.paths,
+        strat,
+        PlanOptions::default(),
+    );
+    cs.attach_telemetry(global_index_telemetry());
 
     println!("| query | results | paths | nodes | ViST | CS | expression |");
     println!("|---|---|---|---|---|---|---|");
@@ -383,7 +427,13 @@ pub fn fig16b(scale: f64) {
     let ds = SyntheticDataset::generate(&SyntheticParams::fig16(), n, 16, &mut symbols);
     for len in [2usize, 4, 6, 8, 10, 12] {
         let (v, c) = cs_vs_vist(&ds.docs, len, 20);
-        println!("| {} | {:.1} | {:.1} | {:.1}× |", len, v, c, v / c.max(0.001));
+        println!(
+            "| {} | {:.1} | {:.1} | {:.1}× |",
+            len,
+            v,
+            c,
+            v / c.max(0.001)
+        );
     }
     println!();
 }
@@ -394,7 +444,8 @@ fn cs_vs_vist(docs: &[Document], len: usize, count: usize) -> (f64, f64) {
     let vist = VistIndex::build(docs, &mut paths);
     let mut paths_cs = xseq::PathTable::new();
     let strat = cs_strategy(docs, &mut paths_cs, 2000);
-    let cs = XmlIndex::build(docs, &mut paths_cs, strat, PlanOptions::default());
+    let mut cs = XmlIndex::build(docs, &mut paths_cs, strat, PlanOptions::default());
+    cs.attach_telemetry(global_index_telemetry());
     let patterns = random_patterns(docs, len, count, 4242);
 
     let t = Instant::now();
@@ -429,18 +480,19 @@ fn fig16cd(title: &str, identical_pct: u8, scale: f64) {
     let ds = SyntheticDataset::generate(&params, n, 18, &mut symbols);
     let mut paths = xseq::PathTable::new();
     let strat = cs_strategy(&ds.docs, &mut paths, 2000);
-    let index = XmlIndex::build(&ds.docs, &mut paths, strat, PlanOptions::default());
+    let mut index = XmlIndex::build(&ds.docs, &mut paths, strat, PlanOptions::default());
+    index.attach_telemetry(global_index_telemetry());
     let mut store = MemStore::new();
     write_paged_trie(index.trie(), &mut store).expect("in-memory store");
     let paged = PagedTrie::open(store, 1 << 20).expect("valid layout");
+    paged.attach_pool_telemetry(global_pool_telemetry());
 
     for len in [2usize, 4, 6, 8, 10, 12] {
         let patterns = random_patterns(&ds.docs, len, 20, 777);
         let mut total_pages = 0u64;
         let t = Instant::now();
         for q in &patterns {
-            let concrete =
-                xseq::index::instantiate(q, &paths, index.data_paths(), index.options());
+            let concrete = xseq::index::instantiate(q, &paths, index.data_paths(), index.options());
             paged.reset_pool();
             for qdoc in &concrete {
                 let qseq = QuerySequence::from_document(qdoc, &mut paths, index.strategy());

@@ -42,9 +42,21 @@
 //! * [`query`] — the XPath-subset parser.
 //! * [`storage`] — 4 KiB pages, buffer pool, the disk layout (`TrieView`
 //!   over pages) used for the I/O experiments.
+//! * [`telemetry`] — lock-free counters/gauges/latency histograms, the
+//!   named [`MetricsRegistry`] behind [`Database::metrics`], and the
+//!   snapshot exporters (`to_json`, `render_table`).
 //! * [`baselines`] — DataGuide-, XISS- and ViST-style comparators.
 //! * [`datagen`] — deterministic synthetic / DBLP-like / XMark-like
 //!   workload generators and the paper's query sets.
+//!
+//! ## Observability
+//!
+//! Every database owns a [`MetricsRegistry`]; each [`Database::query_xpath`]
+//! records per-phase latency (`query.parse`, `index.plan`,
+//! `sequence.encode`, `index.search`) and work counters, document ingestion
+//! records `xml.parse`, and paged storage mirrors its page traffic into
+//! `storage.pool.*`.  [`Database::metrics`] returns a [`Snapshot`];
+//! [`QueryOutcome::explain`] renders one query's work breakdown.
 
 pub use xseq_baselines as baselines;
 pub use xseq_datagen as datagen;
@@ -53,18 +65,25 @@ pub use xseq_query as query;
 pub use xseq_schema as schema;
 pub use xseq_sequence as sequence;
 pub use xseq_storage as storage;
+pub use xseq_telemetry as telemetry;
 pub use xseq_xml as xml;
 
-pub use xseq_index::{PlanOptions, QueryOutcome, QueryStats, SearchStats, XmlIndex};
+pub use xseq_index::{
+    IndexTelemetry, PlanOptions, QueryOutcome, QueryStats, SearchStats, XmlIndex,
+};
 pub use xseq_query::{parse_xpath, ParseError};
 pub use xseq_schema::{ProbabilityModel, SchemaTree, WeightMap};
 pub use xseq_sequence::{PriorityMap, Sequence, Strategy};
+pub use xseq_storage::{BufferPool, PagedTrie, PoolStats, PoolTelemetry};
+pub use xseq_telemetry::{MetricsRegistry, Snapshot, SpanTimer};
 pub use xseq_xml::{
     Axis, Corpus, DocId, Document, PathId, PathTable, PatternLabel, SymbolTable, TreePattern,
     ValueMode, XmlError,
 };
 
 use std::fmt;
+use std::sync::Arc;
+use xseq_telemetry::Histogram;
 
 /// Unified error type for the high-level API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +138,7 @@ pub struct DatabaseBuilder {
     plan: PlanOptions,
     sample_cap: usize,
     boosts: Vec<(String, f64)>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl Default for DatabaseBuilder {
@@ -137,7 +157,15 @@ impl DatabaseBuilder {
             plan: PlanOptions::default(),
             sample_cap: 0,
             boosts: Vec::new(),
+            registry: Arc::new(MetricsRegistry::new()),
         }
+    }
+
+    /// Shares an external registry (e.g. [`MetricsRegistry::global`])
+    /// instead of the private one each builder creates.
+    pub fn metrics_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = registry;
+        self
     }
 
     /// Chooses the sequencing strategy.
@@ -179,6 +207,7 @@ impl DatabaseBuilder {
         xmls: impl IntoIterator<Item = &'a str>,
     ) -> Result<Database, Error> {
         let mut corpus = Corpus::new(self.value_mode);
+        corpus.attach_parse_histogram(self.registry.histogram("xml.parse"));
         for xml in xmls {
             corpus.parse_and_push(xml)?;
         }
@@ -190,6 +219,12 @@ impl DatabaseBuilder {
         if corpus.is_empty() {
             return Err(Error::EmptyDatabase);
         }
+        // Register every pipeline phase up front so a fresh database's
+        // snapshot already lists them (at zero), and later inserts through
+        // this corpus keep recording xml.parse.
+        let parse_hist = self.registry.histogram("query.parse");
+        corpus.attach_parse_histogram(self.registry.histogram("xml.parse"));
+        PoolTelemetry::register(&self.registry);
         let strategy = match self.sequencing {
             Sequencing::DepthFirst => Strategy::DepthFirst,
             Sequencing::Probability => {
@@ -204,8 +239,19 @@ impl DatabaseBuilder {
                 Strategy::Probability(model.priorities(&corpus.paths, &weights))
             }
         };
-        let index = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, self.plan);
-        Ok(Database { corpus, index })
+        let index = XmlIndex::build_instrumented(
+            &corpus.docs,
+            &mut corpus.paths,
+            strategy,
+            self.plan,
+            Some(IndexTelemetry::register(&self.registry)),
+        );
+        Ok(Database {
+            corpus,
+            index,
+            registry: self.registry,
+            parse_hist,
+        })
     }
 }
 
@@ -225,6 +271,8 @@ pub struct Database {
     /// The indexed documents with their shared interners.
     pub corpus: Corpus,
     index: XmlIndex,
+    registry: Arc<MetricsRegistry>,
+    parse_hist: Arc<Histogram>,
 }
 
 impl Database {
@@ -235,8 +283,28 @@ impl Database {
 
     /// Like [`Database::query_xpath`] but returns the work counters too.
     pub fn query_xpath_full(&mut self, expr: &str) -> Result<QueryOutcome, Error> {
-        let pattern = parse_xpath(expr, &mut self.corpus.symbols)?;
+        let pattern =
+            xseq_query::parse_xpath_instrumented(expr, &mut self.corpus.symbols, &self.parse_hist)?;
         Ok(self.index.query(&pattern, &mut self.corpus.paths))
+    }
+
+    /// A point-in-time snapshot of every pipeline metric: the `xml.parse`,
+    /// `sequence.encode`, `query.parse`, `index.plan`, `index.search` and
+    /// `storage.pool.*` phases plus the matcher work counters.
+    pub fn metrics(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// The registry behind [`Database::metrics`], shareable with pools and
+    /// external reporting (see [`DatabaseBuilder::metrics_registry`]).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// `storage.pool.*` counter handles, for attaching to a
+    /// [`BufferPool`] or [`PagedTrie`] serving this database's index.
+    pub fn pool_telemetry(&self) -> PoolTelemetry {
+        PoolTelemetry::register(&self.registry)
     }
 
     /// Answers a pre-built tree pattern.
@@ -282,7 +350,10 @@ mod tests {
             ])
             .unwrap();
         assert_eq!(db.len(), 2);
-        assert_eq!(db.query_xpath("/project//loc[text='boston']").unwrap(), vec![1]);
+        assert_eq!(
+            db.query_xpath("/project//loc[text='boston']").unwrap(),
+            vec![1]
+        );
         assert_eq!(db.query_xpath("//loc").unwrap(), vec![0, 1]);
         assert_eq!(db.query_xpath("/project/research").unwrap(), vec![0]);
     }
@@ -324,11 +395,7 @@ mod tests {
 
     #[test]
     fn boost_changes_sequences_not_answers() {
-        let xmls = [
-            "<p><a><x/></a><b/></p>",
-            "<p><a/><b/></p>",
-            "<p><b/></p>",
-        ];
+        let xmls = ["<p><a><x/></a><b/></p>", "<p><a/><b/></p>", "<p><b/></p>"];
         let mut plain = DatabaseBuilder::new().build_from_xml(xmls).unwrap();
         let mut boosted = DatabaseBuilder::new()
             .boost("/p/a/x", 100.0)
@@ -341,6 +408,97 @@ mod tests {
                 "{q}"
             );
         }
+    }
+
+    #[test]
+    fn metrics_contain_every_pipeline_phase() {
+        let mut db = DatabaseBuilder::new()
+            .build_from_xml(["<a><b>x</b></a>", "<a><c/></a>"])
+            .unwrap();
+        db.query_xpath("/a/b").unwrap();
+        let snap = db.metrics();
+        for phase in [
+            "xml.parse",
+            "sequence.encode",
+            "query.parse",
+            "index.plan",
+            "index.search",
+            "storage.pool",
+        ] {
+            assert!(snap.has_prefix(phase), "missing phase {phase}");
+        }
+        // ingestion and the query each left latency samples behind
+        assert_eq!(snap.histogram("xml.parse").unwrap().count, 2);
+        assert_eq!(snap.histogram("query.parse").unwrap().count, 1);
+        assert_eq!(snap.histogram("index.plan").unwrap().count, 1);
+        assert_eq!(snap.histogram("index.search").unwrap().count, 1);
+        // sequence.encode sampled at build (2 docs) and at query (1)
+        assert_eq!(snap.histogram("sequence.encode").unwrap().count, 3);
+        assert!(snap.counter("index.search.candidates") > 0);
+    }
+
+    #[test]
+    fn query_phases_accumulate_and_delta() {
+        let mut db = DatabaseBuilder::new()
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        let before = db.metrics();
+        db.query_xpath("/a/b").unwrap();
+        db.query_xpath("//b").unwrap();
+        let delta = db.metrics().delta(&before);
+        assert_eq!(delta.histogram("index.search").unwrap().count, 2);
+        assert_eq!(delta.histogram("query.parse").unwrap().count, 2);
+        // insert_xml keeps recording xml.parse through the same histogram
+        db.insert_xml("<a><c/></a>").unwrap();
+        assert_eq!(db.metrics().histogram("xml.parse").unwrap().count, 2);
+    }
+
+    #[test]
+    fn shared_registry_across_databases() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let mut db1 = DatabaseBuilder::new()
+            .metrics_registry(reg.clone())
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        let mut db2 = DatabaseBuilder::new()
+            .metrics_registry(reg.clone())
+            .build_from_xml(["<a><c/></a>"])
+            .unwrap();
+        db1.query_xpath("/a/b").unwrap();
+        db2.query_xpath("/a/c").unwrap();
+        assert_eq!(reg.snapshot().histogram("index.search").unwrap().count, 2);
+    }
+
+    #[test]
+    fn pool_telemetry_reaches_database_registry() {
+        use xseq_storage::{write_paged_trie, MemStore, PagedTrie};
+        let mut db = DatabaseBuilder::new()
+            .build_from_xml(["<a><b/></a>", "<a><c/></a>"])
+            .unwrap();
+        let mut store = MemStore::new();
+        write_paged_trie(db.index().trie(), &mut store).unwrap();
+        let paged = PagedTrie::open(store, 4).unwrap();
+        paged.attach_pool_telemetry(db.pool_telemetry());
+        let pattern = parse_xpath("/a/b", &mut db.corpus.symbols).unwrap();
+        let strategy = db.index().strategy().clone();
+        for qdoc in xseq_index::instantiate(
+            &pattern,
+            &db.corpus.paths,
+            db.index().data_paths(),
+            db.index().options(),
+        ) {
+            let qs =
+                xseq_index::QuerySequence::from_document(&qdoc, &mut db.corpus.paths, &strategy);
+            let _ = xseq_index::tree_search(&paged, &qs);
+        }
+        let snap = db.metrics();
+        assert!(snap.counter("storage.pool.misses") > 0);
+        let st = paged.pool_stats();
+        assert_eq!(
+            st.hits + st.misses,
+            snap.counter("storage.pool.hits") + snap.counter("storage.pool.misses")
+        );
+        assert!(st.hit_ratio().is_some());
     }
 
     #[test]

@@ -25,19 +25,58 @@ const FIRST_NAMES: &[&str] = &[
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Maier", "Wang", "Meng", "Smith", "Garcia", "Ullman", "Widom", "DeWitt", "Abiteboul",
-    "Stonebraker", "Gray", "Agrawal", "Ramakrishnan", "Chaudhuri", "Vardi", "Suciu", "Faloutsos",
-    "Naughton", "Yu", "Fan",
+    "Maier",
+    "Wang",
+    "Meng",
+    "Smith",
+    "Garcia",
+    "Ullman",
+    "Widom",
+    "DeWitt",
+    "Abiteboul",
+    "Stonebraker",
+    "Gray",
+    "Agrawal",
+    "Ramakrishnan",
+    "Chaudhuri",
+    "Vardi",
+    "Suciu",
+    "Faloutsos",
+    "Naughton",
+    "Yu",
+    "Fan",
 ];
 
 const TITLE_WORDS: &[&str] = &[
-    "indexing", "query", "xml", "sequence", "tree", "pattern", "database", "optimization",
-    "structure", "semistructured", "join", "stream", "mining", "distributed", "holistic",
-    "adaptive", "path", "storage", "cache", "benchmark",
+    "indexing",
+    "query",
+    "xml",
+    "sequence",
+    "tree",
+    "pattern",
+    "database",
+    "optimization",
+    "structure",
+    "semistructured",
+    "join",
+    "stream",
+    "mining",
+    "distributed",
+    "holistic",
+    "adaptive",
+    "path",
+    "storage",
+    "cache",
+    "benchmark",
 ];
 
 const JOURNALS: &[&str] = &[
-    "TODS", "VLDBJ", "TKDE", "SIGMOD-Record", "Information-Systems", "JACM",
+    "TODS",
+    "VLDBJ",
+    "TKDE",
+    "SIGMOD-Record",
+    "Information-Systems",
+    "JACM",
 ];
 
 const VENUES: &[&str] = &[
@@ -95,7 +134,11 @@ impl DblpGenerator {
         } else {
             format!(
                 "{}/{}/{}{}",
-                if kind == "article" { "journals" } else { "conf" },
+                if kind == "article" {
+                    "journals"
+                } else {
+                    "conf"
+                },
                 VENUES[self.rng.gen_range(0..VENUES.len())].to_lowercase(),
                 LAST_NAMES[self.rng.gen_range(0..LAST_NAMES.len())],
                 80 + (i % 25)

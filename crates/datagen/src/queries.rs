@@ -15,12 +15,10 @@ pub const XMARK_Q1: &str =
 pub const XMARK_Q2: &str = "/site//person/*/age[text='32']";
 
 /// Table 4, Q3: `//` root + nested path predicate + value predicate.
-pub const XMARK_Q3: &str =
-    "//closed_auction[seller/person='person11304']/date[text='12/15/1999']";
+pub const XMARK_Q3: &str = "//closed_auction[seller/person='person11304']/date[text='12/15/1999']";
 
 /// All Table 4 queries in order.
-pub const XMARK_QUERIES: &[(&str, &str)] =
-    &[("Q1", XMARK_Q1), ("Q2", XMARK_Q2), ("Q3", XMARK_Q3)];
+pub const XMARK_QUERIES: &[(&str, &str)] = &[("Q1", XMARK_Q1), ("Q2", XMARK_Q2), ("Q3", XMARK_Q3)];
 
 /// Table 8, Q1: plain path.
 pub const DBLP_Q1: &str = "/inproceedings/title";

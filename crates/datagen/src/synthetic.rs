@@ -36,7 +36,11 @@ impl SyntheticParams {
     pub fn name(&self) -> String {
         format!(
             "L{}F{}A{}I{}P{}",
-            self.max_height, self.max_fanout, self.value_pct, self.identical_pct, self.prob_floor_pct
+            self.max_height,
+            self.max_fanout,
+            self.value_pct,
+            self.identical_pct,
+            self.prob_floor_pct
         )
     }
 
@@ -85,10 +89,7 @@ enum SchemaNode {
     },
     /// A value slot: a pool of possible value symbols, one of which appears
     /// (if the slot fires).
-    ValueSlot {
-        pool: Vec<Symbol>,
-        prob: f64,
-    },
+    ValueSlot { pool: Vec<Symbol>, prob: f64 },
 }
 
 impl SchemaNode {
@@ -189,8 +190,8 @@ fn gen_schema(
         let f = params.max_fanout.max(1);
         let fanout = rng.gen_range(f / 2 + 1..=f);
         while (children.len() as u16) < fanout {
-            if rng.gen_range(0..100) < params.value_pct as u32 {
-                let pool_size = 1usize << rng.gen_range(3..=6); // 8..64 values
+            if rng.gen_range(0u32..100) < params.value_pct as u32 {
+                let pool_size = 1usize << rng.gen_range(3u32..=6); // 8..64 values
                 let slot = *counter;
                 *counter += 1;
                 let pool = (0..pool_size)
@@ -238,7 +239,7 @@ fn inject_identicals(
     let mut extra = Vec::new();
     for c in children.iter() {
         if matches!(c, SchemaNode::Element { .. })
-            && rng.gen_range(0..100) < params.identical_pct as u32
+            && rng.gen_range(0u32..100) < params.identical_pct as u32
         {
             extra.push(reprob(c.clone(), params, prob, rng));
         }
@@ -252,7 +253,12 @@ fn inject_identicals(
 
 /// Re-draws the probabilities of a duplicated subtree (identical siblings
 /// share designators, not fate).
-fn reprob(node: SchemaNode, params: &SyntheticParams, parent_prob: f64, rng: &mut StdRng) -> SchemaNode {
+fn reprob(
+    node: SchemaNode,
+    params: &SyntheticParams,
+    parent_prob: f64,
+    rng: &mut StdRng,
+) -> SchemaNode {
     match node {
         SchemaNode::Element { sym, children, .. } => {
             let prob = draw_prob(params, parent_prob, rng);
@@ -274,7 +280,12 @@ fn reprob(node: SchemaNode, params: &SyntheticParams, parent_prob: f64, rng: &mu
 }
 
 fn gen_doc(schema: &SchemaNode, rng: &mut StdRng) -> Document {
-    let SchemaNode::Element { sym, children, prob } = schema else {
+    let SchemaNode::Element {
+        sym,
+        children,
+        prob,
+    } = schema
+    else {
         unreachable!("schema root is an element");
     };
     let mut doc = Document::with_root(*sym);
@@ -297,7 +308,11 @@ fn gen_node(
         return;
     }
     match schema {
-        SchemaNode::Element { sym, prob, children } => {
+        SchemaNode::Element {
+            sym,
+            prob,
+            children,
+        } => {
             let n = doc.child(parent, *sym);
             for c in children {
                 gen_node(c, *prob, n, doc, rng);

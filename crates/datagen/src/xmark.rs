@@ -38,11 +38,23 @@ pub struct XmarkGenerator {
 }
 
 const COUNTRIES: &[&str] = &[
-    "United States", "Germany", "China", "France", "Japan", "Brazil", "India", "Canada",
+    "United States",
+    "Germany",
+    "China",
+    "France",
+    "Japan",
+    "Brazil",
+    "India",
+    "Canada",
 ];
 
 const CATEGORIES: &[&str] = &[
-    "category1", "category2", "category3", "category4", "category5", "category6",
+    "category1",
+    "category2",
+    "category3",
+    "category4",
+    "category5",
+    "category6",
 ];
 
 const CITIES: &[&str] = &["Seattle", "Berlin", "Shanghai", "Paris", "Tokyo", "Toronto"];
@@ -94,7 +106,14 @@ impl XmarkGenerator {
         format!("person{id}")
     }
 
-    fn text_leaf(&mut self, doc: &mut Document, parent: NodeId, name: &str, value: &str, st: &mut SymbolTable) {
+    fn text_leaf(
+        &mut self,
+        doc: &mut Document,
+        parent: NodeId,
+        name: &str,
+        value: &str,
+        st: &mut SymbolTable,
+    ) {
         let n = doc.child(parent, st.elem(name));
         let v = st.val(value);
         doc.child(n, v);
@@ -172,7 +191,11 @@ impl XmarkGenerator {
         let mut doc = Document::with_root(st.elem("site"));
         let root = doc.root().expect("created");
         let oa = doc.child(root, st.elem("open_auction"));
-        let initial = format!("{}.{:02}", self.rng.gen_range(1..200), self.rng.gen_range(0..100));
+        let initial = format!(
+            "{}.{:02}",
+            self.rng.gen_range(1..200),
+            self.rng.gen_range(0..100)
+        );
         self.text_leaf(&mut doc, oa, "initial", &initial, st);
         if self.rng.gen_bool(0.5) {
             let reserve = format!("{}", self.rng.gen_range(10..500));
@@ -210,7 +233,11 @@ impl XmarkGenerator {
         self.text_leaf(&mut doc, buyer, "person", &bp, st);
         let itemref = format!("item{}", self.rng.gen_range(0..30000));
         self.text_leaf(&mut doc, ca, "itemref", &itemref, st);
-        let price = format!("{}.{:02}", self.rng.gen_range(5..999), self.rng.gen_range(0..100));
+        let price = format!(
+            "{}.{:02}",
+            self.rng.gen_range(5..999),
+            self.rng.gen_range(0..100)
+        );
         self.text_leaf(&mut doc, ca, "price", &price, st);
         let date = self.date();
         self.text_leaf(&mut doc, ca, "date", &date, st);
@@ -283,8 +310,13 @@ mod tests {
     #[test]
     fn no_identical_siblings_variant() {
         let mut s = st();
-        let docs = XmarkGenerator::new(2, XmarkOptions { identical_siblings: false })
-            .generate(200, &mut s);
+        let docs = XmarkGenerator::new(
+            2,
+            XmarkOptions {
+                identical_siblings: false,
+            },
+        )
+        .generate(200, &mut s);
         for doc in &docs {
             for n in doc.node_ids() {
                 let kids = doc.children(n);
@@ -304,8 +336,7 @@ mod tests {
     #[test]
     fn identical_siblings_variant_has_repeats() {
         let mut s = st();
-        let docs =
-            XmarkGenerator::new(3, XmarkOptions::default()).generate(200, &mut s);
+        let docs = XmarkGenerator::new(3, XmarkOptions::default()).generate(200, &mut s);
         let some_repeat = docs.iter().any(|doc| {
             doc.node_ids().any(|n| {
                 let kids = doc.children(n);

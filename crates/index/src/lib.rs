@@ -18,13 +18,17 @@
 
 pub mod plan;
 pub mod search;
+pub mod telemetry;
 pub mod trie;
 
 pub use plan::{instantiate, PlanOptions};
 pub use search::{constraint_search, naive_search, tree_search, QuerySequence, SearchStats};
+pub use telemetry::IndexTelemetry;
 pub use trie::{LinkEntry, SequenceTrie, TrieNodeId, TrieView, NIL};
 
 use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::time::Instant;
 use xseq_sequence::{isomorphic_variants, sequence_document, Strategy};
 use xseq_xml::{DocId, Document, PathId, PathTable, TreePattern};
 
@@ -32,11 +36,17 @@ use xseq_xml::{DocId, Document, PathId, PathTable, TreePattern};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueryStats {
     /// Concrete instantiations produced by the planner.
-    pub instantiations: u32,
+    pub instantiations: u64,
     /// Total sequence variants searched (instantiations × isomorphisms).
-    pub variants: u32,
+    pub variants: u64,
     /// Summed matcher counters.
     pub search: SearchStats,
+    /// Wall time of wildcard instantiation (`index.plan`), nanoseconds.
+    pub plan_ns: u64,
+    /// Wall time of query-sequence encoding (`sequence.encode`), ns.
+    pub encode_ns: u64,
+    /// Wall time of constraint matching (`index.search`), ns.
+    pub search_ns: u64,
 }
 
 /// Result of a pattern query.
@@ -56,6 +66,49 @@ impl QueryOutcome {
         self.stats.search.completions += st.completions;
         self.docs.extend(docs);
     }
+
+    /// Renders this query's work breakdown — phase latencies and matcher
+    /// counters — as a small text report (an EXPLAIN of what the index did).
+    pub fn explain(&self) -> String {
+        let st = &self.stats;
+        let total = st.plan_ns + st.encode_ns + st.search_ns;
+        let pct = |ns: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                ns as f64 * 100.0 / total as f64
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "query: {} matching document(s)", self.docs.len());
+        for (phase, ns) in [
+            ("index.plan", st.plan_ns),
+            ("sequence.encode", st.encode_ns),
+            ("index.search", st.search_ns),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {phase:<16} {:>10}  ({:>5.1}%)",
+                xseq_telemetry::format_ns(ns),
+                pct(ns)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  instantiations {} | variants {} | candidates {} | cover rejections {} | completions {}",
+            st.instantiations,
+            st.variants,
+            st.search.candidates,
+            st.search.cover_rejections,
+            st.search.completions
+        );
+        out
+    }
+}
+
+#[inline]
+fn elapsed_ns(t: Instant) -> u64 {
+    t.elapsed().as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// Which matching algorithm a query runs.
@@ -75,6 +128,7 @@ pub struct XmlIndex {
     /// for wildcard instantiation.
     data_paths: HashSet<PathId>,
     options: PlanOptions,
+    telemetry: Option<IndexTelemetry>,
 }
 
 impl XmlIndex {
@@ -89,21 +143,49 @@ impl XmlIndex {
         strategy: Strategy,
         options: PlanOptions,
     ) -> Self {
+        Self::build_instrumented(docs, paths, strategy, options, None)
+    }
+
+    /// [`XmlIndex::build`] with registry wiring: build-time document
+    /// sequencing is sampled into `sequence.encode`, and every later query
+    /// flushes its phase timings and work counters through `telemetry`.
+    pub fn build_instrumented(
+        docs: &[Document],
+        paths: &mut PathTable,
+        strategy: Strategy,
+        options: PlanOptions,
+        telemetry: Option<IndexTelemetry>,
+    ) -> Self {
         let mut index = XmlIndex {
             trie: SequenceTrie::new(),
             strategy,
             data_paths: HashSet::new(),
             options,
+            telemetry,
         };
         let mut seqs = Vec::with_capacity(docs.len());
         for (id, doc) in docs.iter().enumerate() {
+            let t0 = index.telemetry.as_ref().map(|_| Instant::now());
             let seq = sequence_document(doc, paths, &index.strategy);
+            if let (Some(t), Some(tel)) = (t0, index.telemetry.as_ref()) {
+                tel.encode.record_duration(t.elapsed());
+            }
             index.data_paths.extend(seq.elems().iter().copied());
             seqs.push((seq, id as DocId));
         }
         index.trie.bulk_load(seqs);
         index.trie.freeze();
         index
+    }
+
+    /// Attaches (or replaces) the registry wiring of an existing index.
+    pub fn attach_telemetry(&mut self, telemetry: IndexTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached registry wiring, if any.
+    pub fn telemetry(&self) -> Option<&IndexTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Inserts one more document (dynamic maintenance).  Labels are
@@ -148,30 +230,49 @@ impl XmlIndex {
 
     fn run_query(&self, pattern: &TreePattern, paths: &mut PathTable, mode: Mode) -> QueryOutcome {
         let mut outcome = QueryOutcome::default();
+        let t_plan = Instant::now();
         let concrete = instantiate(pattern, paths, &self.data_paths, &self.options);
-        outcome.stats.instantiations = concrete.len() as u32;
+        outcome.stats.plan_ns = elapsed_ns(t_plan);
+        outcome.stats.instantiations = concrete.len() as u64;
+        // Phase timings accumulate in plain locals; the registry (if any) is
+        // touched exactly once, after the loop.
+        let mut encode_ns = 0u64;
+        let mut search_ns = 0u64;
         for qdoc in &concrete {
             match mode {
                 Mode::TreeSearch => {
+                    let t = Instant::now();
                     let qs = QuerySequence::from_document(qdoc, paths, &self.strategy);
+                    encode_ns += elapsed_ns(t);
+                    let t = Instant::now();
                     let (docs, st) = search::tree_search(&self.trie, &qs);
+                    search_ns += elapsed_ns(t);
                     outcome.absorb(docs, st);
                 }
                 Mode::Ordered | Mode::Naive => {
                     for variant in isomorphic_variants(qdoc, self.options.max_isomorphs) {
+                        let t = Instant::now();
                         let qs = QuerySequence::from_document(&variant, paths, &self.strategy);
+                        encode_ns += elapsed_ns(t);
+                        let t = Instant::now();
                         let (docs, st) = if matches!(mode, Mode::Ordered) {
                             constraint_search(&self.trie, &qs)
                         } else {
                             naive_search(&self.trie, &qs)
                         };
+                        search_ns += elapsed_ns(t);
                         outcome.absorb(docs, st);
                     }
                 }
             }
         }
+        outcome.stats.encode_ns = encode_ns;
+        outcome.stats.search_ns = search_ns;
         outcome.docs.sort_unstable();
         outcome.docs.dedup();
+        if let Some(tel) = &self.telemetry {
+            tel.observe(&outcome.stats);
+        }
         outcome
     }
 

@@ -323,7 +323,13 @@ fn expand(
 fn partitions(n: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = vec![0usize; n];
-    fn rec(i: usize, n: usize, max_block: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        i: usize,
+        n: usize,
+        max_block: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if i == n {
             out.push(current.clone());
             return;
@@ -398,7 +404,10 @@ mod tests {
     }
 
     fn render_all(docs: &[Document], st: &SymbolTable) -> Vec<String> {
-        let mut v: Vec<String> = docs.iter().map(|d| xseq_xml::write_document(d, st)).collect();
+        let mut v: Vec<String> = docs
+            .iter()
+            .map(|d| xseq_xml::write_document(d, st))
+            .collect();
         v.sort();
         v
     }

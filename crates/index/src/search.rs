@@ -90,11 +90,11 @@ impl QuerySequence {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Candidate link entries examined.
-    pub candidates: u32,
+    pub candidates: u64,
     /// Candidates rejected by the sibling-cover (constraint) check.
-    pub cover_rejections: u32,
+    pub cover_rejections: u64,
     /// Match completions (alignments reaching the end of the query).
-    pub completions: u32,
+    pub completions: u64,
 }
 
 /// Runs constraint subsequence matching (Algorithm 1): returns the ids of
@@ -223,10 +223,10 @@ fn tree_go<V: TrieView + ?Sized>(
     // `anchor`; satisfy the closest-ancestor constraint; be unused; and be
     // chain-comparable with `tip` (an ancestor of it, or a descendant).
     let try_candidate = |r: TrieNodeId,
-                             matched: &mut Vec<TrieNodeId>,
-                             used: &mut Vec<TrieNodeId>,
-                             out: &mut Vec<DocId>,
-                             stats: &mut SearchStats| {
+                         matched: &mut Vec<TrieNodeId>,
+                         used: &mut Vec<TrieNodeId>,
+                         out: &mut Vec<DocId>,
+                         stats: &mut SearchStats| {
         stats.candidates += 1;
         if used.contains(&r) {
             return;
@@ -273,7 +273,11 @@ fn tree_go<V: TrieView + ?Sized>(
     }
 }
 
-fn search<V: TrieView + ?Sized>(trie: &V, q: &QuerySequence, check: bool) -> (Vec<DocId>, SearchStats) {
+fn search<V: TrieView + ?Sized>(
+    trie: &V,
+    q: &QuerySequence,
+    check: bool,
+) -> (Vec<DocId>, SearchStats) {
     let mut out = Vec::new();
     let mut stats = SearchStats::default();
     if q.is_empty() {
@@ -281,7 +285,17 @@ fn search<V: TrieView + ?Sized>(trie: &V, q: &QuerySequence, check: bool) -> (Ve
     }
     let (rs, rm) = trie.label(trie.root());
     let mut matched: Vec<TrieNodeId> = Vec::with_capacity(q.len());
-    go(trie, q, 0, rs, rm, check, &mut matched, &mut out, &mut stats);
+    go(
+        trie,
+        q,
+        0,
+        rs,
+        rm,
+        check,
+        &mut matched,
+        &mut out,
+        &mut stats,
+    );
     out.sort_unstable();
     out.dedup();
     (out, stats)
@@ -319,8 +333,7 @@ fn go<V: TrieView + ?Sized>(
             if let Some(pp) = q.parent_pos[i] {
                 let anchor = matched[pp as usize];
                 if trie.embeds_identical(anchor)
-                    && trie.nearest_ancestor_with_path(e.node, q.paths[pp as usize])
-                        != Some(anchor)
+                    && trie.nearest_ancestor_with_path(e.node, q.paths[pp as usize]) != Some(anchor)
                 {
                     stats.cover_rejections += 1;
                     continue;
@@ -328,7 +341,17 @@ fn go<V: TrieView + ?Sized>(
             }
         }
         matched.push(e.node);
-        go(trie, q, i + 1, e.serial, e.max_desc, check, matched, out, stats);
+        go(
+            trie,
+            q,
+            i + 1,
+            e.serial,
+            e.max_desc,
+            check,
+            matched,
+            out,
+            stats,
+        );
         matched.pop();
     }
 }
@@ -513,12 +536,7 @@ mod tests {
         // Document with three nested identical-path chains (via three L
         // siblings each repeated): stress the ancestor walk.
         let mut fx = Fx::new();
-        fx.insert(
-            &[
-                "P", "P.L", "P.L.S", "P.L", "P.L.S", "P.L", "P.L.B",
-            ],
-            1,
-        );
+        fx.insert(&["P", "P.L", "P.L.S", "P.L", "P.L.S", "P.L", "P.L.B"], 1);
         fx.trie.freeze();
         // P(L(S), L(S), L(B)): present.
         let q = fx.query(&["P", "P.L", "P.L.S", "P.L", "P.L.S", "P.L", "P.L.B"]);

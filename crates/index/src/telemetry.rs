@@ -1,0 +1,62 @@
+//! Registry wiring for the index's phases and work counters.
+//!
+//! [`XmlIndex`](crate::XmlIndex) accumulates per-query work in plain local
+//! variables on the stack and flushes it here **once per query**, so the
+//! paper's inner loops (candidate inspection, the ancestor walk) stay free
+//! of atomic traffic and the instrumentation overhead is a handful of
+//! atomic adds per query.
+
+use crate::QueryStats;
+use std::sync::Arc;
+use xseq_telemetry::{Counter, Histogram, MetricsRegistry};
+
+/// Arc'd handles to the index-side metrics of a [`MetricsRegistry`].
+#[derive(Debug, Clone)]
+pub struct IndexTelemetry {
+    /// `index.plan` — wildcard instantiation latency per query (ns).
+    pub plan: Arc<Histogram>,
+    /// `sequence.encode` — tree-to-sequence encoding latency (ns): one
+    /// sample per document at build time, one aggregate sample per query.
+    pub encode: Arc<Histogram>,
+    /// `index.search` — matching latency per query (ns), all variants.
+    pub search: Arc<Histogram>,
+    /// `index.plan.instantiations` — concrete query trees produced.
+    pub instantiations: Arc<Counter>,
+    /// `index.search.variants` — sequence variants searched.
+    pub variants: Arc<Counter>,
+    /// `index.search.candidates` — candidate link entries examined.
+    pub candidates: Arc<Counter>,
+    /// `index.search.cover_rejections` — candidates rejected by the
+    /// sibling-cover (constraint) check.
+    pub cover_rejections: Arc<Counter>,
+    /// `index.search.completions` — alignments reaching the query's end.
+    pub completions: Arc<Counter>,
+}
+
+impl IndexTelemetry {
+    /// Gets-or-registers every index metric in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        IndexTelemetry {
+            plan: registry.histogram("index.plan"),
+            encode: registry.histogram("sequence.encode"),
+            search: registry.histogram("index.search"),
+            instantiations: registry.counter("index.plan.instantiations"),
+            variants: registry.counter("index.search.variants"),
+            candidates: registry.counter("index.search.candidates"),
+            cover_rejections: registry.counter("index.search.cover_rejections"),
+            completions: registry.counter("index.search.completions"),
+        }
+    }
+
+    /// Flushes one query's accumulated stats into the registry handles.
+    pub fn observe(&self, st: &QueryStats) {
+        self.plan.record(st.plan_ns);
+        self.encode.record(st.encode_ns);
+        self.search.record(st.search_ns);
+        self.instantiations.add(st.instantiations);
+        self.variants.add(st.variants);
+        self.candidates.add(st.search.candidates);
+        self.cover_rejections.add(st.search.cover_rejections);
+        self.completions.add(st.search.completions);
+    }
+}

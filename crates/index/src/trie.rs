@@ -273,10 +273,7 @@ impl SequenceTrie {
                     max_desc[node as usize] = next_serial - 1;
                     if node != self.root() {
                         let p = self.nodes[node as usize].path;
-                        path_stack
-                            .get_mut(&p)
-                            .expect("opened on enter")
-                            .pop();
+                        path_stack.get_mut(&p).expect("opened on enter").pop();
                     }
                 }
             }
@@ -416,10 +413,7 @@ mod tests {
             }
         }
         fn p(&mut self, spec: &str) -> PathId {
-            let syms: Vec<Symbol> = spec
-                .split('.')
-                .map(|s| self.st.elem(s))
-                .collect();
+            let syms: Vec<Symbol> = spec.split('.').map(|s| self.st.elem(s)).collect();
             self.pt.intern(&syms)
         }
         fn seq(&mut self, specs: &[&str]) -> Sequence {

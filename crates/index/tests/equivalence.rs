@@ -19,7 +19,11 @@ struct CorpusRecipe {
     alphabet: u8,
 }
 
-fn corpus_recipe(max_docs: usize, max_nodes: usize, alphabet: u8) -> impl Strategy<Value = CorpusRecipe> {
+fn corpus_recipe(
+    max_docs: usize,
+    max_nodes: usize,
+    alphabet: u8,
+) -> impl Strategy<Value = CorpusRecipe> {
     proptest::collection::vec(
         (1..max_nodes).prop_flat_map(|n| {
             (

@@ -25,11 +25,8 @@ fn section31_query_on_figure1() {
     // Section 3.1 example, which must match the Figure 1 document.
     let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
     let doc = parse_document(FIGURE1, &mut st).unwrap();
-    let decoy = parse_document(
-        "<P><R><L>boston</L></R><D><L>newyork</L></D></P>",
-        &mut st,
-    )
-    .unwrap();
+    let decoy =
+        parse_document("<P><R><L>boston</L></R><D><L>newyork</L></D></P>", &mut st).unwrap();
     let mut paths = PathTable::new();
     let index = XmlIndex::build(
         &[doc, decoy],

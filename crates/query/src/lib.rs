@@ -75,19 +75,40 @@ pub fn parse_xpath(input: &str, symbols: &mut SymbolTable) -> Result<TreePattern
         pos: 0,
         symbols,
     };
-    p.skip_ws();
-    let (axis, label) = p.parse_step_head()?;
-    let mut pattern = TreePattern::with_root_axis(label, axis);
-    let mut spine = pattern.root_id();
-    p.parse_predicates(&mut pattern, spine)?;
-    loop {
+    p.parse_query()
+}
+
+/// [`parse_xpath`] with its latency (ns) recorded into `sink` — the
+/// pipeline's `query.parse` phase.  Failed parses are recorded too: the
+/// time was spent either way.
+pub fn parse_xpath_instrumented(
+    input: &str,
+    symbols: &mut SymbolTable,
+    sink: &xseq_telemetry::Histogram,
+) -> Result<TreePattern, ParseError> {
+    let t0 = std::time::Instant::now();
+    let r = parse_xpath(input, symbols);
+    sink.record_duration(t0.elapsed());
+    r
+}
+
+impl<'a> Parser<'a> {
+    fn parse_query(&mut self) -> Result<TreePattern, ParseError> {
+        let p = self;
         p.skip_ws();
-        if p.eof() {
-            return Ok(pattern);
-        }
         let (axis, label) = p.parse_step_head()?;
-        spine = pattern.add(spine, axis, label);
+        let mut pattern = TreePattern::with_root_axis(label, axis);
+        let mut spine = pattern.root_id();
         p.parse_predicates(&mut pattern, spine)?;
+        loop {
+            p.skip_ws();
+            if p.eof() {
+                return Ok(pattern);
+            }
+            let (axis, label) = p.parse_step_head()?;
+            spine = pattern.add(spine, axis, label);
+            p.parse_predicates(&mut pattern, spine)?;
+        }
     }
 }
 
@@ -110,7 +131,12 @@ impl<'a> Parser<'a> {
         self.chars
             .get(self.pos)
             .map(|&(o, _)| o)
-            .unwrap_or_else(|| self.chars.last().map(|&(o, c)| o + c.len_utf8()).unwrap_or(0))
+            .unwrap_or_else(|| {
+                self.chars
+                    .last()
+                    .map(|&(o, c)| o + c.len_utf8())
+                    .unwrap_or(0)
+            })
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -357,7 +383,7 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xseq_xml::{ValueMode};
+    use xseq_xml::ValueMode;
 
     fn st() -> SymbolTable {
         SymbolTable::with_value_mode(ValueMode::Intern)

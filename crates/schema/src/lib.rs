@@ -159,10 +159,7 @@ impl ProbabilityModel {
         }
         let n = sampled.max(1) as f64;
         ProbabilityModel {
-            root_prob: count
-                .into_iter()
-                .map(|(p, c)| (p, c as f64 / n))
-                .collect(),
+            root_prob: count.into_iter().map(|(p, c)| (p, c as f64 / n)).collect(),
             group_paths,
             sample_size: sampled,
         }

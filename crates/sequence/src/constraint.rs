@@ -194,7 +194,15 @@ mod tests {
         // Paper example: in ⟨P, PD, PDL, PDLv1, PD, PDM, PDMv3⟩ the SECOND
         // PD is the forward prefix of PDMv3, the first is not.
         let mut f = Fixture::new();
-        let seq = f.seq(&["P", "P.D", "P.D.L", "P.D.L.'v1", "P.D", "P.D.M", "P.D.M.'v3"]);
+        let seq = f.seq(&[
+            "P",
+            "P.D",
+            "P.D.L",
+            "P.D.L.'v1",
+            "P.D",
+            "P.D.M",
+            "P.D.M.'v3",
+        ]);
         let pd = f.p("P.D");
         let pdm = f.p("P.D.M");
         // forward prefix of PDMv3 (index 6) for prefix PD is index 4
@@ -229,7 +237,14 @@ mod tests {
         // decodes to P(v0, D(L(v1)), D(M(v2))).
         let mut f = Fixture::new();
         let seq = f.seq(&[
-            "P", "P.'v0", "P.D", "P.D.L", "P.D.L.'v1", "P.D", "P.D.M", "P.D.M.'v2",
+            "P",
+            "P.'v0",
+            "P.D",
+            "P.D.L",
+            "P.D.L.'v1",
+            "P.D",
+            "P.D.M",
+            "P.D.M.'v2",
         ]);
         let doc = decode_f2(&seq, &f.pt).unwrap();
         assert_eq!(doc.len(), 8);
@@ -258,7 +273,14 @@ mod tests {
         // M land under the second D, leaving the first D a leaf.
         let mut f = Fixture::new();
         let seq = f.seq(&[
-            "P", "P.'v0", "P.D", "P.D", "P.D.L", "P.D.L.'v1", "P.D.M", "P.D.M.'v2",
+            "P",
+            "P.'v0",
+            "P.D",
+            "P.D",
+            "P.D.L",
+            "P.D.L.'v1",
+            "P.D.M",
+            "P.D.M.'v2",
         ]);
         let doc = decode_f2(&seq, &f.pt).unwrap();
         let root = doc.root().unwrap();
@@ -282,10 +304,46 @@ mod tests {
         // typos for PDMv3.)
         let mut f = Fixture::new();
         let rows: Vec<Vec<&str>> = vec![
-            vec!["P", "P.'v0", "P.D", "P.D", "P.D.L", "P.D.L.'v1", "P.D.M", "P.D.M.'v3"],
-            vec!["P", "P.D", "P.'v0", "P.D", "P.D.M", "P.D.M.'v3", "P.D.L", "P.D.L.'v1"],
-            vec!["P", "P.D", "P.D.M", "P.D.M.'v3", "P.'v0", "P.D.L", "P.D.L.'v1", "P.D"],
-            vec!["P", "P.D", "P.D.M", "P.D.M.'v3", "P.D.L", "P.'v0", "P.D.L.'v1", "P.D"],
+            vec![
+                "P",
+                "P.'v0",
+                "P.D",
+                "P.D",
+                "P.D.L",
+                "P.D.L.'v1",
+                "P.D.M",
+                "P.D.M.'v3",
+            ],
+            vec![
+                "P",
+                "P.D",
+                "P.'v0",
+                "P.D",
+                "P.D.M",
+                "P.D.M.'v3",
+                "P.D.L",
+                "P.D.L.'v1",
+            ],
+            vec![
+                "P",
+                "P.D",
+                "P.D.M",
+                "P.D.M.'v3",
+                "P.'v0",
+                "P.D.L",
+                "P.D.L.'v1",
+                "P.D",
+            ],
+            vec![
+                "P",
+                "P.D",
+                "P.D.M",
+                "P.D.M.'v3",
+                "P.D.L",
+                "P.'v0",
+                "P.D.L.'v1",
+                "P.D",
+            ],
         ];
         let docs: Vec<Document> = rows
             .iter()
@@ -327,8 +385,14 @@ mod tests {
     fn decode_rejects_forest_and_empty() {
         let mut f = Fixture::new();
         let two_roots = f.seq(&["P", "Q"]);
-        assert_eq!(decode_f2(&two_roots, &f.pt), Err(DecodeError::MultipleRoots));
-        assert_eq!(decode_f2(&Sequence::default(), &f.pt), Err(DecodeError::Empty));
+        assert_eq!(
+            decode_f2(&two_roots, &f.pt),
+            Err(DecodeError::MultipleRoots)
+        );
+        assert_eq!(
+            decode_f2(&Sequence::default(), &f.pt),
+            Err(DecodeError::Empty)
+        );
         let no_root = f.seq(&["P.D"]);
         assert_eq!(decode_f2(&no_root, &f.pt), Err(DecodeError::NoRoot));
     }

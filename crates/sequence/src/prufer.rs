@@ -137,7 +137,7 @@ mod tests {
         doc.child(d1, l); // node 3
         let d2 = doc.child(root, d); // node 4
         doc.child(d2, m); // node 5
-        // labels per node id: P=6, R=3, D1=5, L=1, D2=2, M=4
+                          // labels per node id: P=6, R=3, D1=5, L=1, D2=2, M=4
         (doc, vec![6, 3, 5, 1, 2, 4])
     }
 

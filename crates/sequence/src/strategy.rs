@@ -516,7 +516,10 @@ mod tests {
             .zip(sb.elems())
             .take_while(|(a, b)| a == b)
             .count();
-        assert!(common_cs >= 6, "CS shares ≥6-element prefix, got {common_cs}");
+        assert!(
+            common_cs >= 6,
+            "CS shares ≥6-element prefix, got {common_cs}"
+        );
 
         let da = sequence_document(&doc_a, &mut paths, &Strategy::DepthFirst);
         let db = sequence_document(&doc_b, &mut paths, &Strategy::DepthFirst);
@@ -529,7 +532,10 @@ mod tests {
         // Canonical DF defers the varying value a little (document-order DF
         // as in Table 3 would share only the root), but CS still shares a
         // strictly longer prefix because it pushes *all* rare nodes last.
-        assert!(common_df < common_cs, "CS beats DF: {common_df} vs {common_cs}");
+        assert!(
+            common_df < common_cs,
+            "CS beats DF: {common_df} vs {common_cs}"
+        );
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod store;
 
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use paged::{write_paged_trie, PagedTrie};
-pub use pool::{BufferPool, PoolStats};
+pub use pool::{BufferPool, PoolStats, PoolTelemetry};
 pub use store::{FileStore, MemStore, PageStore};

@@ -245,8 +245,13 @@ impl<S: PageStore> PagedTrie<S> {
         let mut dir = HashMap::with_capacity(dir_count as usize);
         for i in 0..dir_count as usize {
             let (pg, off) = locate(starts[1], i, DIR_REC, DIR_PER_PAGE);
-            let (p, s, l) =
-                pool.with_page(pg, |page| (get_u32(page, off), get_u32(page, off + 4), get_u32(page, off + 8)))?;
+            let (p, s, l) = pool.with_page(pg, |page| {
+                (
+                    get_u32(page, off),
+                    get_u32(page, off + 4),
+                    get_u32(page, off + 8),
+                )
+            })?;
             dir.insert(PathId(p), (s, l));
         }
         // catalog loading is setup cost, not query cost
@@ -266,6 +271,11 @@ impl<S: PageStore> PagedTrie<S> {
     /// Buffer-pool counters (misses = disk accesses).
     pub fn pool_stats(&self) -> crate::pool::PoolStats {
         self.pool.borrow().stats()
+    }
+
+    /// Mirrors this trie's page traffic into `storage.pool.*` counters.
+    pub fn attach_pool_telemetry(&self, telemetry: crate::pool::PoolTelemetry) {
+        self.pool.borrow_mut().attach_telemetry(telemetry);
     }
 
     /// Cold-starts the pool and zeroes the counters.
@@ -410,8 +420,7 @@ mod tests {
                 specs
                     .iter()
                     .map(|s| {
-                        let syms: Vec<Symbol> =
-                            s.split('.').map(|x| self.st.elem(x)).collect();
+                        let syms: Vec<Symbol> = s.split('.').map(|x| self.st.elem(x)).collect();
                         self.pt.intern(&syms)
                     })
                     .collect(),

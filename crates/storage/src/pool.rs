@@ -8,6 +8,8 @@ use crate::page::{new_page, Page, PageId, PAGE_SIZE};
 use crate::store::PageStore;
 use std::collections::HashMap;
 use std::io;
+use std::sync::Arc;
+use xseq_telemetry::{Counter, MetricsRegistry};
 
 /// Pool counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,6 +20,40 @@ pub struct PoolStats {
     pub misses: u64,
     /// Pages evicted to make room.
     pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Fraction of page requests served from the pool, `None` before any
+    /// request has been made.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// Arc'd handles to the `storage.pool.*` metrics of a registry.
+///
+/// Unlike [`PoolStats`] (which [`BufferPool::reset_stats`] zeroes between
+/// queries), these counters are cumulative for the registry's lifetime.
+#[derive(Debug, Clone)]
+pub struct PoolTelemetry {
+    /// `storage.pool.hits`.
+    pub hits: Arc<Counter>,
+    /// `storage.pool.misses` — disk accesses.
+    pub misses: Arc<Counter>,
+    /// `storage.pool.evictions`.
+    pub evictions: Arc<Counter>,
+}
+
+impl PoolTelemetry {
+    /// Gets-or-registers the pool metrics in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        PoolTelemetry {
+            hits: registry.counter("storage.pool.hits"),
+            misses: registry.counter("storage.pool.misses"),
+            evictions: registry.counter("storage.pool.evictions"),
+        }
+    }
 }
 
 /// A fixed-capacity LRU cache of pages over a [`PageStore`].
@@ -31,6 +67,7 @@ pub struct BufferPool<S: PageStore> {
     frames: HashMap<PageId, (Page, u64)>,
     clock: u64,
     stats: PoolStats,
+    telemetry: Option<PoolTelemetry>,
 }
 
 impl<S: PageStore> BufferPool<S> {
@@ -42,19 +79,36 @@ impl<S: PageStore> BufferPool<S> {
             frames: HashMap::new(),
             clock: 0,
             stats: PoolStats::default(),
+            telemetry: None,
         }
     }
 
+    /// Mirrors every hit/miss/eviction into the given registry counters
+    /// (on top of the resettable [`PoolStats`]).
+    pub fn attach_telemetry(&mut self, telemetry: PoolTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
     /// Fetches a page, reading through on a miss, and hands it to `f`.
-    pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> io::Result<R> {
+    pub fn with_page<R>(
+        &mut self,
+        id: PageId,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> io::Result<R> {
         self.clock += 1;
         let clock = self.clock;
         if let Some((page, used)) = self.frames.get_mut(&id) {
             *used = clock;
             self.stats.hits += 1;
+            if let Some(t) = &self.telemetry {
+                t.hits.inc();
+            }
             return Ok(f(page));
         }
         self.stats.misses += 1;
+        if let Some(t) = &self.telemetry {
+            t.misses.inc();
+        }
         let mut page = new_page();
         self.store.read_page(id, &mut page)?;
         if self.frames.len() >= self.capacity {
@@ -67,6 +121,9 @@ impl<S: PageStore> BufferPool<S> {
                 .expect("non-empty");
             self.frames.remove(&victim);
             self.stats.evictions += 1;
+            if let Some(t) = &self.telemetry {
+                t.evictions.inc();
+            }
         }
         let r = f(&page);
         self.frames.insert(id, (page, clock));

@@ -1,0 +1,33 @@
+//! # xseq-telemetry
+//!
+//! Dependency-free observability primitives for the xseq pipeline:
+//!
+//! - [`Counter`] / [`Gauge`] — single-atomic event counts and levels.
+//! - [`Histogram`] — a power-of-two-bucketed latency histogram with
+//!   count/sum/min/max and nearest-rank quantile estimation
+//!   ([`HistogramSnapshot::p50`]/[`HistogramSnapshot::p90`]/
+//!   [`HistogramSnapshot::p99`]).
+//! - [`MetricsRegistry`] — named registration (`index.search`,
+//!   `storage.pool.hits`, …) handing out `Arc` handles so the hot path
+//!   never touches the registry lock.
+//! - [`Snapshot`] — a point-in-time copy with [`Snapshot::delta`] for
+//!   interval measurements.
+//! - [`SpanTimer`] — an RAII guard recording a phase's wall time into a
+//!   histogram on drop.
+//! - [`export::to_json`] / [`export::render_table`] — snapshot exporters.
+//!
+//! Everything mutating is lock-free (relaxed atomics), so instrumentation
+//! can sit inside the paper's per-candidate inner loops without changing
+//! the measured behaviour.
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use export::{format_ns, render_table, to_json};
+pub use metrics::{
+    bucket_bounds, bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
+};
+pub use registry::{Metric, MetricValue, MetricsRegistry, Snapshot};
+pub use span::SpanTimer;

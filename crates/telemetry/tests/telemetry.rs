@@ -1,0 +1,120 @@
+//! Integration tests for the telemetry crate: the quantile-bracketing
+//! guarantee, counter behaviour under thread contention, and
+//! snapshot/delta round-trips.
+
+use proptest::prelude::*;
+use xseq_telemetry::{Histogram, MetricValue, MetricsRegistry};
+
+proptest! {
+    /// The documented contract of `quantile_bounds`: for any sample set and
+    /// any q, the true nearest-rank quantile lies within the returned
+    /// bucket bounds.
+    #[test]
+    fn quantile_bounds_bracket_the_true_quantile(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let (lo, hi) = h.snapshot().quantile_bounds(q).expect("non-empty");
+        prop_assert!(
+            lo <= truth && truth <= hi,
+            "q={} true quantile {} outside bounds ({}, {})", q, truth, lo, hi
+        );
+    }
+
+    /// Point estimates stay inside the observed value range.
+    #[test]
+    fn quantile_estimates_stay_within_min_max(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..100),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let s = h.snapshot();
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        for est in [s.p50(), s.p90(), s.p99()] {
+            let v = est.expect("non-empty");
+            prop_assert!(v >= min && v <= max, "{} outside [{}, {}]", v, min, max);
+        }
+    }
+}
+
+#[test]
+fn counter_increments_from_many_threads() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25_000;
+    let reg = MetricsRegistry::new();
+    let c = reg.counter("contended.events");
+    let h = reg.histogram("contended.lat");
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = c.clone();
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(i);
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS * PER_THREAD, "no increment lost");
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, PER_THREAD - 1);
+}
+
+#[test]
+fn snapshot_delta_roundtrip() {
+    let reg = MetricsRegistry::new();
+    let c = reg.counter("w.ops");
+    let g = reg.gauge("w.level");
+    let h = reg.histogram("w.lat");
+    c.add(5);
+    g.set(2);
+    h.record(10);
+    h.record(3_000);
+    let s1 = reg.snapshot();
+    c.add(11);
+    g.set(-7);
+    h.record(10);
+    h.record(40_000);
+    h.record(40_001);
+    let s2 = reg.snapshot();
+
+    let d = s2.delta(&s1);
+    // counters recompose: earlier + delta == later
+    assert_eq!(
+        s1.counter("w.ops") + d.counter("w.ops"),
+        s2.counter("w.ops")
+    );
+    assert_eq!(d.counter("w.ops"), 11);
+    // gauges keep the later value
+    assert_eq!(d.get("w.level"), Some(&MetricValue::Gauge(-7)));
+    // histograms recompose bucket by bucket
+    let (h1, h2, hd) = (
+        s1.histogram("w.lat").unwrap(),
+        s2.histogram("w.lat").unwrap(),
+        d.histogram("w.lat").unwrap(),
+    );
+    assert_eq!(hd.count, 3);
+    assert_eq!(h1.count + hd.count, h2.count);
+    assert_eq!(h1.sum + hd.sum, h2.sum);
+    for b in 0..xseq_telemetry::BUCKETS {
+        assert_eq!(h1.buckets[b] + hd.buckets[b], h2.buckets[b], "bucket {b}");
+    }
+    // delta of a snapshot with itself is empty
+    let zero = s2.delta(&s2);
+    assert_eq!(zero.counter("w.ops"), 0);
+    assert_eq!(zero.histogram("w.lat").unwrap().count, 0);
+}

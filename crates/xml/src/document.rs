@@ -78,8 +78,7 @@ impl Document {
     /// # Panics
     /// Panics if `parent` does not exist.
     pub fn child(&mut self, parent: NodeId, sym: Symbol) -> NodeId {
-        self.add_child(parent, sym)
-            .expect("parent node must exist")
+        self.add_child(parent, sym).expect("parent node must exist")
     }
 
     /// The label of a node.
@@ -187,9 +186,7 @@ impl Document {
     pub fn structurally_eq(&self, other: &Document) -> bool {
         match (self.root(), other.root()) {
             (None, None) => true,
-            (Some(a), Some(b)) => {
-                self.len() == other.len() && canon(self, a) == canon(other, b)
-            }
+            (Some(a), Some(b)) => self.len() == other.len() && canon(self, a) == canon(other, b),
             _ => false,
         }
     }

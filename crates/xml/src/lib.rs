@@ -51,6 +51,9 @@ pub struct Corpus {
     pub paths: PathTable,
     /// The documents (the paper's "records"), indexed by [`DocId`].
     pub docs: Vec<Document>,
+    /// `xml.parse` latency sink, when attached (see
+    /// [`Corpus::attach_parse_histogram`]).
+    pub parse_histogram: Option<std::sync::Arc<xseq_telemetry::Histogram>>,
 }
 
 /// Identifier of a document within a [`Corpus`].
@@ -63,7 +66,14 @@ impl Corpus {
             symbols: SymbolTable::with_value_mode(mode),
             paths: PathTable::new(),
             docs: Vec::new(),
+            parse_histogram: None,
         }
+    }
+
+    /// Records every subsequent [`Corpus::parse_and_push`]'s parse latency
+    /// (ns) into `h` — the pipeline's `xml.parse` phase.
+    pub fn attach_parse_histogram(&mut self, h: std::sync::Arc<xseq_telemetry::Histogram>) {
+        self.parse_histogram = Some(h);
     }
 
     /// Adds a document and returns its id.
@@ -75,7 +85,14 @@ impl Corpus {
 
     /// Parses an XML string against this corpus' interners and adds it.
     pub fn parse_and_push(&mut self, xml: &str) -> Result<DocId, XmlError> {
+        let t0 = self
+            .parse_histogram
+            .as_ref()
+            .map(|_| std::time::Instant::now());
         let doc = parse_document(xml, &mut self.symbols)?;
+        if let (Some(t), Some(h)) = (t0, self.parse_histogram.as_ref()) {
+            h.record_duration(t.elapsed());
+        }
         Ok(self.push(doc))
     }
 

@@ -159,7 +159,8 @@ impl<'a, 'b> Parser<'a, 'b> {
             _ if name.first() == Some(&b'#') => {
                 let code = if name.get(1) == Some(&b'x') {
                     u32::from_str_radix(
-                        std::str::from_utf8(&name[2..]).map_err(|_| XmlError::BadEntity { offset: at })?,
+                        std::str::from_utf8(&name[2..])
+                            .map_err(|_| XmlError::BadEntity { offset: at })?,
                         16,
                     )
                 } else {
@@ -186,7 +187,10 @@ impl<'a, 'b> Parser<'a, 'b> {
         }
         let mut out = String::new();
         loop {
-            match self.peek().ok_or(XmlError::UnexpectedEof { offset: self.pos })? {
+            match self
+                .peek()
+                .ok_or(XmlError::UnexpectedEof { offset: self.pos })?
+            {
                 b if b == quote => {
                     self.pos += 1;
                     return Ok(out);
@@ -201,13 +205,12 @@ impl<'a, 'b> Parser<'a, 'b> {
     }
 
     fn next_char(&mut self) -> Result<char, XmlError> {
-        let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
-            XmlError::UnexpectedChar {
+        let rest =
+            std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| XmlError::UnexpectedChar {
                 offset: self.pos,
                 found: '\u{FFFD}',
                 expected: "valid UTF-8",
-            }
-        })?;
+            })?;
         let c = rest
             .chars()
             .next()
@@ -218,11 +221,7 @@ impl<'a, 'b> Parser<'a, 'b> {
 
     /// Parses `<name attr="v" ...> content </name>` into the document under
     /// `parent` (or as the root when `parent` is `None`).
-    fn parse_element(
-        &mut self,
-        doc: &mut Document,
-        parent: Option<u32>,
-    ) -> Result<(), XmlError> {
+    fn parse_element(&mut self, doc: &mut Document, parent: Option<u32>) -> Result<(), XmlError> {
         self.expect(b'<', "'<'")?;
         let name = self.read_name()?;
         let sym = self.symbols.elem(name);
@@ -237,7 +236,10 @@ impl<'a, 'b> Parser<'a, 'b> {
         // Attributes.
         loop {
             self.skip_ws();
-            match self.peek().ok_or(XmlError::UnexpectedEof { offset: self.pos })? {
+            match self
+                .peek()
+                .ok_or(XmlError::UnexpectedEof { offset: self.pos })?
+            {
                 b'/' => {
                     self.pos += 1;
                     self.expect(b'>', "'>'")?;
@@ -274,11 +276,13 @@ impl<'a, 'b> Parser<'a, 'b> {
                 let start = self.pos;
                 self.skip_until(b"]]>")?;
                 let seg = &self.bytes[start..self.pos - 3];
-                text.push_str(std::str::from_utf8(seg).map_err(|_| XmlError::UnexpectedChar {
-                    offset: start,
-                    found: '\u{FFFD}',
-                    expected: "valid UTF-8 in CDATA",
-                })?);
+                text.push_str(
+                    std::str::from_utf8(seg).map_err(|_| XmlError::UnexpectedChar {
+                        offset: start,
+                        found: '\u{FFFD}',
+                        expected: "valid UTF-8 in CDATA",
+                    })?,
+                );
             } else if self.starts_with(b"<?") {
                 self.flush_text(doc, node, &mut text);
                 self.skip_until(b"?>")?;
@@ -323,7 +327,8 @@ impl<'a, 'b> Parser<'a, 'b> {
 /// for `Chars` (the paper's second value representation).
 fn attach_value(doc: &mut Document, node: u32, value: &str, symbols: &mut SymbolTable) {
     match symbols.values.mode() {
-        xseq_mode @ (crate::symbol::ValueMode::Intern | crate::symbol::ValueMode::Hashed { .. }) => {
+        xseq_mode
+        @ (crate::symbol::ValueMode::Intern | crate::symbol::ValueMode::Hashed { .. }) => {
             let _ = xseq_mode;
             let vsym = symbols.val(value);
             doc.child(node, vsym);

@@ -207,7 +207,10 @@ mod tests {
     use crate::symbol::{SymbolTable, ValueMode};
 
     fn table() -> (SymbolTable, PathTable) {
-        (SymbolTable::with_value_mode(ValueMode::Intern), PathTable::new())
+        (
+            SymbolTable::with_value_mode(ValueMode::Intern),
+            PathTable::new(),
+        )
     }
 
     #[test]

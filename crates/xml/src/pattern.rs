@@ -139,9 +139,8 @@ impl TreePattern {
     /// True when the pattern uses no wildcard label or descendant axis, i.e.
     /// every node's root path is fully determined.
     pub fn is_exact(&self) -> bool {
-        self.node_ids().all(|n| {
-            self.label(n) != PatternLabel::AnyElem && self.axis(n) == Axis::Child
-        })
+        self.node_ids()
+            .all(|n| self.label(n) != PatternLabel::AnyElem && self.axis(n) == Axis::Child)
     }
 
     /// Renders the pattern as an XPath-ish string for diagnostics.

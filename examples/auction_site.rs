@@ -30,7 +30,12 @@ fn main() {
     // probability model sampled from the data (Section 5.2)
     let model = ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, 2000);
     let strategy = Strategy::Probability(model.priorities(&corpus.paths, &WeightMap::default()));
-    let index = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, PlanOptions::default());
+    let index = XmlIndex::build(
+        &corpus.docs,
+        &mut corpus.paths,
+        strategy,
+        PlanOptions::default(),
+    );
     println!("index: {} trie nodes\n", index.node_count());
 
     // serialize to the paged layout for I/O accounting
@@ -47,12 +52,8 @@ fn main() {
 
         // replay the same query against the paged index, cold
         paged.reset_pool();
-        let concrete = xseq::index::instantiate(
-            &pattern,
-            &corpus.paths,
-            index.data_paths(),
-            index.options(),
-        );
+        let concrete =
+            xseq::index::instantiate(&pattern, &corpus.paths, index.data_paths(), index.options());
         let mut disk_docs = Vec::new();
         for qdoc in &concrete {
             let qs = QuerySequence::from_document(qdoc, &mut corpus.paths, index.strategy());

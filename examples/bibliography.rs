@@ -26,21 +26,42 @@ fn main() {
     // build all four engines over the same corpus
     let t = Instant::now();
     let path_idx = PathIndex::build(&corpus.docs, &mut corpus.paths);
-    println!("path index (DataGuide-like): {} distinct paths, built in {:?}", path_idx.path_count(), t.elapsed());
+    println!(
+        "path index (DataGuide-like): {} distinct paths, built in {:?}",
+        path_idx.path_count(),
+        t.elapsed()
+    );
 
     let t = Instant::now();
     let node_idx = NodeIndex::build(&corpus.docs);
-    println!("node index (XISS-like):      {} label entries, built in {:?}", node_idx.entry_count(), t.elapsed());
+    println!(
+        "node index (XISS-like):      {} label entries, built in {:?}",
+        node_idx.entry_count(),
+        t.elapsed()
+    );
 
     let t = Instant::now();
     let vist = VistIndex::build(&corpus.docs, &mut corpus.paths);
-    println!("ViST (DF sequences):         {} trie nodes, built in {:?}", vist.node_count(), t.elapsed());
+    println!(
+        "ViST (DF sequences):         {} trie nodes, built in {:?}",
+        vist.node_count(),
+        t.elapsed()
+    );
 
     let t = Instant::now();
     let model = ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, 2000);
     let strategy = Strategy::Probability(model.priorities(&corpus.paths, &WeightMap::default()));
-    let cs = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, PlanOptions::default());
-    println!("CS (constraint sequences):   {} trie nodes, built in {:?}\n", cs.node_count(), t.elapsed());
+    let cs = XmlIndex::build(
+        &corpus.docs,
+        &mut corpus.paths,
+        strategy,
+        PlanOptions::default(),
+    );
+    println!(
+        "CS (constraint sequences):   {} trie nodes, built in {:?}\n",
+        cs.node_count(),
+        t.elapsed()
+    );
 
     println!(
         "{:<4} {:>8} {:>12} {:>12} {:>12} {:>12}",

@@ -1,0 +1,86 @@
+//! Observability: per-phase latency, work counters, and query EXPLAIN.
+//!
+//! ```sh
+//! cargo run --example observability
+//! ```
+//!
+//! Every database owns a metrics registry.  Ingestion records `xml.parse`,
+//! index construction records `sequence.encode`, and each query records
+//! `query.parse` / `index.plan` / `sequence.encode` / `index.search`
+//! latencies plus the matcher's work counters.  Paged storage mirrors its
+//! page traffic into `storage.pool.*` when attached.  This example runs a
+//! small workload and prints one query's EXPLAIN, the metrics table, an
+//! interval delta, and the JSON export.
+
+use xseq::index::{tree_search, QuerySequence};
+use xseq::storage::{write_paged_trie, MemStore, PagedTrie};
+use xseq::telemetry::{render_table, to_json};
+use xseq::{DatabaseBuilder, Sequencing};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let docs = [
+        r#"<project name="xml">
+             <research><manager>tom</manager><location>newyork</location></research>
+             <develop><manager>johnson</manager><location>boston</location></develop>
+           </project>"#,
+        r#"<project name="db"><research><location>boston</location></research></project>"#,
+        r#"<project name="web"><develop><location>seattle</location></develop></project>"#,
+    ];
+    let mut db = DatabaseBuilder::new()
+        .sequencing(Sequencing::Probability)
+        .build_from_xml(docs)?;
+
+    // --- per-query EXPLAIN ------------------------------------------------
+    let outcome = db.query_xpath_full("/project//location[text='boston']")?;
+    println!("EXPLAIN /project//location[text='boston']");
+    print!("{}", outcome.explain());
+    println!();
+
+    // --- interval measurement via snapshot/delta --------------------------
+    let before = db.metrics();
+    for q in ["/project/research", "//location", "/project/*/manager"] {
+        db.query_xpath(q)?;
+    }
+    let after = db.metrics();
+    let delta = after.delta(&before);
+    println!(
+        "3 queries just ran: index.search count={} candidates={}",
+        delta
+            .histogram("index.search")
+            .map(|h| h.count)
+            .unwrap_or(0),
+        delta.counter("index.search.candidates"),
+    );
+    println!();
+
+    // --- paged storage traffic into the same registry ---------------------
+    let mut store = MemStore::new();
+    write_paged_trie(db.index().trie(), &mut store)?;
+    let paged = PagedTrie::open(store, 16)?;
+    paged.attach_pool_telemetry(db.pool_telemetry());
+    let pattern = xseq::parse_xpath("//location", &mut db.corpus.symbols)?;
+    let concrete = xseq::index::instantiate(
+        &pattern,
+        &db.corpus.paths,
+        db.index().data_paths(),
+        db.index().options(),
+    );
+    let strategy = db.index().strategy().clone();
+    for qdoc in concrete {
+        let qs = QuerySequence::from_document(&qdoc, &mut db.corpus.paths, &strategy);
+        let _ = tree_search(&paged, &qs);
+    }
+    let pool = paged.pool_stats();
+    println!(
+        "paged query: {} hits, {} misses (hit ratio {:.0}%)",
+        pool.hits,
+        pool.misses,
+        pool.hit_ratio().unwrap_or(0.0) * 100.0
+    );
+    println!();
+
+    // --- the full registry ------------------------------------------------
+    println!("{}", render_table(&db.metrics()));
+    println!("JSON export:\n{}", to_json(&db.metrics()));
+    Ok(())
+}

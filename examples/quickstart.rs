@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .sequencing(Sequencing::Probability)
         .build_from_xml(docs)?;
 
-    println!("indexed {} documents, {} trie nodes", db.len(), db.index().node_count());
+    println!(
+        "indexed {} documents, {} trie nodes",
+        db.len(),
+        db.index().node_count()
+    );
     println!();
 
     let queries = [
@@ -76,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // dynamic insertion
     let id = db.insert_xml("<project><research><location>tokyo</location></research></project>")?;
     println!();
-    println!("inserted doc {id}; //location[text='tokyo'] -> {:?}", db.query_xpath("//location[text='tokyo']")?);
+    println!(
+        "inserted doc {id}; //location[text='tokyo'] -> {:?}",
+        db.query_xpath("//location[text='tokyo']")?
+    );
 
     Ok(())
 }

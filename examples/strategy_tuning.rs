@@ -45,7 +45,11 @@ fn main() {
         let model = ProbabilityModel::estimate(&ds.docs, &mut paths, 2000);
         let strategy = Strategy::Probability(model.priorities(&paths, &WeightMap::default()));
         let index = XmlIndex::build(&ds.docs, &mut paths, strategy, PlanOptions::default());
-        println!("{:<28} {:>12}", "constraint (probability)", index.node_count());
+        println!(
+            "{:<28} {:>12}",
+            "constraint (probability)",
+            index.node_count()
+        );
     }
 
     // --- the tunable weight mechanism -------------------------------------

@@ -10,7 +10,9 @@ use xseq::index::XmlIndex;
 use xseq::schema::{ProbabilityModel, WeightMap};
 use xseq::sequence::Strategy;
 use xseq::xml::matcher::structure_match;
-use xseq::{parse_xpath, Axis, Corpus, Document, PatternLabel, PlanOptions, TreePattern, ValueMode};
+use xseq::{
+    parse_xpath, Axis, Corpus, Document, PatternLabel, PlanOptions, TreePattern, ValueMode,
+};
 
 fn pattern_of(doc: &Document) -> TreePattern {
     let root = doc.root().expect("non-empty");
@@ -41,7 +43,12 @@ fn four_engines_agree_on_dblp() {
     let vist = VistIndex::build(&corpus.docs, &mut corpus.paths);
     let model = ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, 0);
     let strategy = Strategy::Probability(model.priorities(&corpus.paths, &WeightMap::default()));
-    let cs = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, PlanOptions::default());
+    let cs = XmlIndex::build(
+        &corpus.docs,
+        &mut corpus.paths,
+        strategy,
+        PlanOptions::default(),
+    );
 
     // the paper's Table 8 queries
     let mut patterns: Vec<(String, TreePattern)> = Vec::new();
@@ -82,7 +89,12 @@ fn table8_queries_have_sensible_selectivities() {
     corpus.docs = DblpGenerator::new(5).generate(3000, &mut corpus.symbols);
     let model = ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, 0);
     let strategy = Strategy::Probability(model.priorities(&corpus.paths, &WeightMap::default()));
-    let cs = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, PlanOptions::default());
+    let cs = XmlIndex::build(
+        &corpus.docs,
+        &mut corpus.paths,
+        strategy,
+        PlanOptions::default(),
+    );
     // Q1 is broad (every inproceedings has a title); Q2 is narrow
     let q1 = parse_xpath(queries::DBLP_Q1, &mut corpus.symbols).unwrap();
     let q2 = parse_xpath(queries::DBLP_Q2, &mut corpus.symbols).unwrap();

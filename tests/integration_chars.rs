@@ -24,9 +24,20 @@ fn db(seq: Sequencing) -> xseq::Database {
 fn exact_equality_via_terminated_chain() {
     for seq in [Sequencing::DepthFirst, Sequencing::Probability] {
         let mut d = db(seq);
-        assert_eq!(d.query_xpath("/p/loc[text='boston']").unwrap(), vec![0], "{seq:?}");
-        assert_eq!(d.query_xpath("/p/loc[text='bo']").unwrap(), vec![3], "{seq:?}");
-        assert!(d.query_xpath("/p/loc[text='bost']").unwrap().is_empty(), "{seq:?}");
+        assert_eq!(
+            d.query_xpath("/p/loc[text='boston']").unwrap(),
+            vec![0],
+            "{seq:?}"
+        );
+        assert_eq!(
+            d.query_xpath("/p/loc[text='bo']").unwrap(),
+            vec![3],
+            "{seq:?}"
+        );
+        assert!(
+            d.query_xpath("/p/loc[text='bost']").unwrap().is_empty(),
+            "{seq:?}"
+        );
     }
 }
 
@@ -35,12 +46,31 @@ fn starts_with_via_unterminated_chain() {
     for seq in [Sequencing::DepthFirst, Sequencing::Probability] {
         let mut d = db(seq);
         // 'bo' prefix: boston, boise, bo
-        assert_eq!(d.query_xpath("/p/loc[text^='bo']").unwrap(), vec![0, 1, 3], "{seq:?}");
-        assert_eq!(d.query_xpath("/p/loc[text^='bos']").unwrap(), vec![0], "{seq:?}");
-        assert_eq!(d.query_xpath("/p/loc[text^='new']").unwrap(), vec![2], "{seq:?}");
-        assert!(d.query_xpath("/p/loc[text^='z']").unwrap().is_empty(), "{seq:?}");
+        assert_eq!(
+            d.query_xpath("/p/loc[text^='bo']").unwrap(),
+            vec![0, 1, 3],
+            "{seq:?}"
+        );
+        assert_eq!(
+            d.query_xpath("/p/loc[text^='bos']").unwrap(),
+            vec![0],
+            "{seq:?}"
+        );
+        assert_eq!(
+            d.query_xpath("/p/loc[text^='new']").unwrap(),
+            vec![2],
+            "{seq:?}"
+        );
+        assert!(
+            d.query_xpath("/p/loc[text^='z']").unwrap().is_empty(),
+            "{seq:?}"
+        );
         // empty prefix matches every value-bearing loc
-        assert_eq!(d.query_xpath("/p/loc[text^='']").unwrap(), vec![0, 1, 2, 3], "{seq:?}");
+        assert_eq!(
+            d.query_xpath("/p/loc[text^='']").unwrap(),
+            vec![0, 1, 2, 3],
+            "{seq:?}"
+        );
     }
 }
 

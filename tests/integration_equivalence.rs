@@ -3,7 +3,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xseq::datagen::{random_query_tree, SyntheticDataset, SyntheticParams, XmarkGenerator, XmarkOptions};
+use xseq::datagen::{
+    random_query_tree, SyntheticDataset, SyntheticParams, XmarkGenerator, XmarkOptions,
+};
 use xseq::xml::matcher::structure_match;
 use xseq::{
     parse_xpath, Axis, Corpus, DatabaseBuilder, Document, PatternLabel, Sequencing, TreePattern,
@@ -64,7 +66,10 @@ fn synthetic_corpus_random_queries_match_oracle() {
             let got = db.query_pattern(&q).docs;
             let expect = oracle(&q, &docs_copy);
             assert_eq!(got, expect, "{sequencing:?} query #{i}");
-            assert!(got.contains(&((i % docs_copy.len()) as u32)), "source doc matches itself");
+            assert!(
+                got.contains(&((i % docs_copy.len()) as u32)),
+                "source doc matches itself"
+            );
         }
     }
 }
@@ -72,7 +77,8 @@ fn synthetic_corpus_random_queries_match_oracle() {
 #[test]
 fn xmark_corpus_xpath_queries_match_oracle() {
     let mut corpus = Corpus::new(ValueMode::Intern);
-    corpus.docs = XmarkGenerator::new(23, XmarkOptions::default()).generate(300, &mut corpus.symbols);
+    corpus.docs =
+        XmarkGenerator::new(23, XmarkOptions::default()).generate(300, &mut corpus.symbols);
     let docs_copy = corpus.docs.clone();
     let mut db = DatabaseBuilder::new()
         .sequencing(Sequencing::Probability)

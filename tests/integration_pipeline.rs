@@ -25,8 +25,14 @@ fn xpath_queries_over_parsed_documents() {
             .unwrap(),
         vec![0]
     );
-    assert_eq!(db.query_xpath("//location[text='boston']").unwrap(), vec![0, 1, 2]);
-    assert_eq!(db.query_xpath("/project/develop/unit/name").unwrap(), vec![1]);
+    assert_eq!(
+        db.query_xpath("//location[text='boston']").unwrap(),
+        vec![0, 1, 2]
+    );
+    assert_eq!(
+        db.query_xpath("/project/develop/unit/name").unwrap(),
+        vec![1]
+    );
     // Figure 4 semantics: manager and name under the SAME unit
     assert_eq!(db.query_xpath("//unit[manager][name]").unwrap(), vec![1]);
     // wildcard: one level only — doc 1's manager sits under unit, two
@@ -42,11 +48,17 @@ fn insert_refreshes_index() {
     let mut db = DatabaseBuilder::new()
         .build_from_xml(PROJECTS.iter().copied())
         .unwrap();
-    assert!(db.query_xpath("//location[text='tokyo']").unwrap().is_empty());
+    assert!(db
+        .query_xpath("//location[text='tokyo']")
+        .unwrap()
+        .is_empty());
     let id = db
         .insert_xml("<project><research><location>tokyo</location></research></project>")
         .unwrap();
-    assert_eq!(db.query_xpath("//location[text='tokyo']").unwrap(), vec![id]);
+    assert_eq!(
+        db.query_xpath("//location[text='tokyo']").unwrap(),
+        vec![id]
+    );
     // older queries still work
     assert_eq!(db.query_xpath("//unit[manager][name]").unwrap(), vec![1]);
 }
@@ -71,7 +83,11 @@ fn serialization_round_trip_preserves_answers() {
         "//unit[manager][name]",
         "/project/*/manager",
     ] {
-        assert_eq!(db.query_xpath(q).unwrap(), db2.query_xpath(q).unwrap(), "{q}");
+        assert_eq!(
+            db.query_xpath(q).unwrap(),
+            db2.query_xpath(q).unwrap(),
+            "{q}"
+        );
     }
 }
 

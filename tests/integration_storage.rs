@@ -12,10 +12,16 @@ use xseq::{Corpus, PlanOptions, ValueMode};
 
 fn build() -> (Corpus, XmlIndex) {
     let mut corpus = Corpus::new(ValueMode::Intern);
-    corpus.docs = XmarkGenerator::new(3, XmarkOptions::default()).generate(400, &mut corpus.symbols);
+    corpus.docs =
+        XmarkGenerator::new(3, XmarkOptions::default()).generate(400, &mut corpus.symbols);
     let model = ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, 0);
     let strategy = Strategy::Probability(model.priorities(&corpus.paths, &WeightMap::default()));
-    let index = XmlIndex::build(&corpus.docs, &mut corpus.paths, strategy, PlanOptions::default());
+    let index = XmlIndex::build(
+        &corpus.docs,
+        &mut corpus.paths,
+        strategy,
+        PlanOptions::default(),
+    );
     (corpus, index)
 }
 

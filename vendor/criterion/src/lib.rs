@@ -1,0 +1,291 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! dependency-free micro-benchmark harness with the `criterion 0.5` API
+//! subset the `xseq-bench` benches use: `Criterion` with builder-style
+//! configuration, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up for the configured time,
+//! then run sample batches and report mean/min time per iteration to
+//! stdout. No statistics machinery, plots, or baselines.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<D: Display>(function: &str, parameter: D) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up: also discovers how many iterations fill a sample
+        let warm_until = Instant::now() + self.warm_up;
+        let mut iters: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+        let budget = self.measurement.as_secs_f64() / self.sample_count as f64;
+        self.iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:40} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{label:40} mean {:>12} min {:>12} ({} samples × {} iters)",
+            fmt_time(mean),
+            fmt_time(min),
+            self.samples.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_secs(1),
+            warm_up: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_count: self.sample_size,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, mut f: F) {
+    let mut b = c.bencher();
+    f(&mut b);
+    b.report(label);
+}
+
+/// A named set of benchmarks sharing the parent configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion, &label, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.bench_function("fib", |b| b.iter(|| (0..10u64).product::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_quickly() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        sample_bench(&mut c);
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,56 @@
+//! `any::<T>()` — full-range generation for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (full range).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for () {
+    fn arbitrary_value(_rng: &mut TestRng) {}
+}

@@ -1,0 +1,24 @@
+//! `bool` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    assert!((0.0..=1.0).contains(&p), "bool::weighted probability {p}");
+    Weighted { p }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.unit_f64() < self.p
+    }
+}

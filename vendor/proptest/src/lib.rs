@@ -1,0 +1,193 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace ships a
+//! dependency-free implementation of the proptest API subset its property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! `any::<T>()`, range strategies, `collection::vec`, `option::weighted`,
+//! `bool::weighted`, the `proptest!`/`prop_assert!`/`prop_assert_eq!`
+//! macros, and `ProptestConfig::with_cases`.
+//!
+//! Semantics: each test runs `cases` deterministic random cases (seeded from
+//! the test's module path and the case number, overridable via the
+//! `PROPTEST_CASES` environment variable). There is **no shrinking** — a
+//! failing case panics with its case number so it can be re-run, which is
+//! sufficient for CI-style regression gating.
+
+// The macros below must be defined after this test module; the prop_assert
+// self-test is intentionally tautological.
+#![allow(clippy::items_after_test_module, clippy::eq_op)]
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::{Just, Strategy};
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn passthrough(x: u32) -> Result<(), TestCaseError> {
+        prop_assert!(x == x, "reflexivity");
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..17, b in 1u8..5) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((1..5).contains(&b));
+        }
+
+        #[test]
+        fn vec_sizes_and_flat_map(v in (1usize..6).prop_flat_map(|n| collection::vec(any::<u8>(), n))) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+
+        #[test]
+        fn helper_functions_can_propagate(x in any::<u32>()) {
+            passthrough(x)?;
+        }
+
+        #[test]
+        fn weighted_option_and_bool(o in option::weighted(0.5, any::<u8>()), b in bool::weighted(0.5)) {
+            // both variants must be reachable; just exercise the values
+            let _ = (o, b);
+        }
+
+        #[test]
+        fn tuples_and_map(t in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(t < 19);
+        }
+    }
+}
+
+/// Fails the current test case unless `cond` holds.
+///
+/// Expands to an early `return Err(TestCaseError::fail(..))`, so it may be
+/// used both inside `proptest!` bodies and in helper functions returning
+/// `Result<(), TestCaseError>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)).into(),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`)",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`): {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right` (both: `{:?}`)",
+            left
+        );
+    }};
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, v in collection::vec(any::<u8>(), 1..9)) {
+///         prop_assert!(x < 100 && !v.is_empty());
+///     }
+/// }
+/// ```
+///
+/// Each test runs `cases` deterministic cases; the body may use
+/// `prop_assert!`-family macros and `?` on `Result<_, TestCaseError>`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let base = $crate::test_runner::fnv1a(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(base, case as u64);
+                    #[allow(unused_mut)]
+                    let mut inputs: Vec<String> = Vec::new();
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        inputs.push(format!("{} = {:?}", stringify!($arg), &$arg));
+                    )*
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {case}/{}: {e}\n  inputs: {}",
+                            stringify!($name),
+                            config.cases,
+                            inputs.join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,29 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `Some(value)` with probability `p`, `None` otherwise.
+pub fn weighted<S: Strategy>(p: f64, inner: S) -> Weighted<S> {
+    assert!((0.0..=1.0).contains(&p), "option::weighted probability {p}");
+    Weighted { p, inner }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone)]
+pub struct Weighted<S> {
+    p: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Weighted<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < self.p {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The customary glob import: `use proptest::prelude::*;`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+pub use crate::{bool, collection, option};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

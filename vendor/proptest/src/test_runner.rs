@@ -1,0 +1,112 @@
+//! Test configuration, the deterministic RNG, and test-case errors.
+
+use std::fmt;
+
+/// Run configuration; only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases (the `PROPTEST_CASES` environment
+    /// variable, when set, overrides it).
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases: env_cases().unwrap_or(cases),
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::with_cases(256)
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed.
+    Fail(String),
+    /// The case asked to be discarded (no generator here rejects, but the
+    /// variant is part of the public API surface).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (discarded) case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "assertion failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// FNV-1a over a string — stable seed material for a test's name.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic per-case generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `(base, case)`.
+    pub fn deterministic(base: u64, case: u64) -> Self {
+        let mut rng = TestRng {
+            state: base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        };
+        // decorrelate nearby case numbers
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
