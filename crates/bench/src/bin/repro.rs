@@ -4,14 +4,25 @@
 //! cargo run --release -p xseq-bench --bin repro -- all
 //! cargo run --release -p xseq-bench --bin repro -- table7 --scale 0.5
 //! cargo run --release -p xseq-bench --bin repro -- all --metrics out.json
+//! cargo run --release -p xseq-bench --bin repro -- table7 fig16b \
+//!     --bench-label main               # writes BENCH_main.json
+//! cargo run --release -p xseq-bench --bin repro -- table7 fig16b \
+//!     --baseline BENCH_main.json       # exits 1 on >15% p50 regression
 //! ```
 //!
 //! With `--metrics <path.json>`, the process-wide metrics registry is
 //! snapshotted after each experiment and the per-experiment deltas are
 //! written to the file as one JSON object keyed by experiment name.
+//!
+//! With `--bench-label <label>`, the tracked latency quantiles
+//! (per-experiment histogram p50/p95/p99) are written to
+//! `BENCH_<label>.json`.  With `--baseline <path>`, the same quantiles are
+//! compared against a previously written report and the process exits
+//! nonzero when any tracked p50 regresses more than 15% — the CI gate.
 
 use std::process::exit;
 use xseq::telemetry::{to_json, MetricsRegistry, Snapshot};
+use xseq_bench::regress::{self, BenchReport};
 
 /// Experiment registry: name → runner.
 type Experiment = (&'static str, fn(f64));
@@ -31,7 +42,10 @@ const EXPERIMENTS: &[Experiment] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro <experiment|all|check> [--scale X] [--metrics PATH.json]");
+    eprintln!(
+        "usage: repro <experiment|all|check> [--scale X] [--metrics PATH.json]\n\
+         \x20           [--bench-label LABEL] [--baseline BENCH.json]"
+    );
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
         eprintln!("  {name}");
@@ -41,18 +55,19 @@ fn usage() -> ! {
     exit(2)
 }
 
-/// Accumulates per-experiment registry deltas and rewrites the output file
-/// after each one, so a partial run still leaves valid JSON behind.
-struct MetricsDump {
-    path: String,
-    sections: Vec<(String, String)>,
+/// Accumulates per-experiment registry deltas; optionally rewrites the
+/// `--metrics` output file after each one, so a partial run still leaves
+/// valid JSON behind.
+struct Recorder {
+    metrics_path: Option<String>,
+    sections: Vec<(String, Snapshot)>,
     last: Snapshot,
 }
 
-impl MetricsDump {
-    fn new(path: String) -> Self {
-        MetricsDump {
-            path,
+impl Recorder {
+    fn new(metrics_path: Option<String>) -> Self {
+        Recorder {
+            metrics_path,
             sections: Vec::new(),
             last: MetricsRegistry::global().snapshot(),
         }
@@ -74,18 +89,20 @@ impl MetricsDump {
         } else {
             format!("{experiment}#{}", repeats + 1)
         };
-        self.sections.push((key, to_json(&delta)));
-        let mut out = String::from("{\n");
-        for (i, (name, json)) in self.sections.iter().enumerate() {
-            if i > 0 {
-                out.push_str(",\n");
+        self.sections.push((key, delta));
+        if let Some(path) = &self.metrics_path {
+            let mut out = String::from("{\n");
+            for (i, (name, delta)) in self.sections.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&format!("\"{}\": {}", name, to_json(delta).trim_end()));
             }
-            out.push_str(&format!("\"{}\": {}", name, json.trim_end()));
-        }
-        out.push_str("\n}\n");
-        if let Err(e) = std::fs::write(&self.path, out) {
-            eprintln!("[repro] cannot write metrics to {}: {e}", self.path);
-            exit(1);
+            out.push_str("\n}\n");
+            if let Err(e) = std::fs::write(path, out) {
+                eprintln!("[repro] cannot write metrics to {path}: {e}");
+                exit(1);
+            }
         }
     }
 }
@@ -96,7 +113,9 @@ fn main() {
         usage();
     }
     let mut scale = 1.0f64;
-    let mut metrics: Option<MetricsDump> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut bench_label: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -105,10 +124,9 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| usage());
                 scale = v.parse().unwrap_or_else(|_| usage());
             }
-            "--metrics" => {
-                let path = it.next().unwrap_or_else(|| usage());
-                metrics = Some(MetricsDump::new(path));
-            }
+            "--metrics" => metrics_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--bench-label" => bench_label = Some(it.next().unwrap_or_else(|| usage())),
+            "--baseline" => baseline_path = Some(it.next().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),
             name => names.push(name.to_string()),
         }
@@ -116,32 +134,79 @@ fn main() {
     if names.is_empty() {
         usage();
     }
+    let mut recorder = Recorder::new(metrics_path);
     for name in names {
         match name.as_str() {
             "all" => {
                 for (n, f) in EXPERIMENTS {
                     eprintln!("[repro] running {n} (scale {scale}) ...");
                     f(scale);
-                    if let Some(m) = metrics.as_mut() {
-                        m.record(n);
-                    }
+                    recorder.record(n);
                 }
             }
             "check" => {
                 xseq_bench::check();
-                if let Some(m) = metrics.as_mut() {
-                    m.record("check");
-                }
+                recorder.record("check");
             }
             other => match EXPERIMENTS.iter().find(|(n, _)| *n == other) {
                 Some((n, f)) => {
                     f(scale);
-                    if let Some(m) = metrics.as_mut() {
-                        m.record(n);
-                    }
+                    recorder.record(n);
                 }
                 None => usage(),
             },
         }
+    }
+
+    if bench_label.is_none() && baseline_path.is_none() {
+        return;
+    }
+    let report = BenchReport::from_sections(&recorder.sections);
+    if let Some(label) = bench_label {
+        let path = format!("BENCH_{label}.json");
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("[repro] cannot write bench report to {path}: {e}");
+            exit(1);
+        }
+        eprintln!(
+            "[repro] wrote {} tracked latencies to {path}",
+            report.entries.len()
+        );
+    }
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("[repro] cannot read baseline {path}: {e}");
+                exit(1);
+            }
+        };
+        let baseline = match BenchReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("[repro] cannot parse baseline {path}: {e}");
+                exit(1);
+            }
+        };
+        let regressions = regress::compare(
+            &baseline,
+            &report,
+            regress::DEFAULT_THRESHOLD,
+            regress::NOISE_FLOOR_NS,
+        );
+        print!(
+            "{}",
+            regress::render_comparison(&baseline, &report, &regressions)
+        );
+        if !regressions.is_empty() {
+            eprintln!(
+                "[repro] FAIL: {} tracked latenc{} regressed more than {:.0}% vs {path}",
+                regressions.len(),
+                if regressions.len() == 1 { "y" } else { "ies" },
+                regress::DEFAULT_THRESHOLD * 100.0
+            );
+            exit(1);
+        }
+        eprintln!("[repro] OK: no tracked latency regressed more than 15% vs {path}");
     }
 }

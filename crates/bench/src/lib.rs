@@ -10,6 +10,8 @@
 //! *shapes* (who wins, by what factor, where curves bend) are the
 //! reproduction target, recorded in `EXPERIMENTS.md`.
 
+pub mod regress;
+
 use std::time::Instant;
 use xseq::baselines::{NodeIndex, PathIndex, VistIndex};
 use xseq::datagen::{
@@ -52,7 +54,9 @@ fn cs_strategy(docs: &[Document], paths: &mut xseq::PathTable, sample: usize) ->
 
 /// Builds an exact child-axis pattern from a sampled subtree.
 pub fn pattern_of(doc: &Document) -> TreePattern {
-    let root = doc.root().expect("non-empty");
+    let root = doc
+        .root()
+        .expect("pattern_of requires a non-empty sampled document");
     let label = |d: &Document, n: u32| match (d.sym(n).as_elem(), d.sym(n).as_value()) {
         (Some(e), _) => PatternLabel::Elem(e),
         (_, Some(v)) => PatternLabel::Value(v),

@@ -1,0 +1,396 @@
+//! The bench-regression harness behind `repro --bench-label / --baseline`.
+//!
+//! A [`BenchReport`] is a flat map of tracked quantiles — one entry per
+//! `<experiment>/<histogram-metric>.<quantile>` with its nanosecond value,
+//! extracted from the per-experiment registry deltas the `repro` binary
+//! already records.  Reports serialize as a flat JSON object
+//! (`BENCH_<label>.json`), readable by the dep-free parser here, so a
+//! committed `BENCH_main.json` baseline can gate CI: [`compare`] flags
+//! every tracked latency whose p50 regressed more than the threshold.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use xseq::telemetry::{MetricValue, Snapshot};
+
+/// Quantiles tracked per histogram metric.
+const QUANTILES: &[(&str, f64)] = &[("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
+
+/// Regressions are gated on p50 only: tail quantiles of pow2-bucketed
+/// histograms on small CI datasets are too coarse to gate on.
+const GATED_SUFFIX: &str = ".p50";
+
+/// Baseline entries below this are ignored by the gate — experiments that
+/// fast sit inside scheduler noise, not measurement.
+pub const NOISE_FLOOR_NS: u64 = 50_000;
+
+/// Latencies may grow by at most this fraction over the baseline.
+pub const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// Metrics whose baseline has fewer samples than this are not gated: the
+/// p50 of a handful of samples in a pow2-bucketed histogram moves by a
+/// whole bucket (2×) between runs.
+pub const MIN_GATE_SAMPLES: u64 = 16;
+
+/// A flat map `"<experiment>/<metric>.<quantile>" → nanoseconds`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchReport {
+    /// The tracked values, sorted by key.
+    pub entries: BTreeMap<String, u64>,
+}
+
+/// One tracked latency that grew past the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The flat report key.
+    pub key: String,
+    /// Baseline value, ns.
+    pub baseline_ns: u64,
+    /// Current value, ns.
+    pub current_ns: u64,
+    /// `current / baseline - 1`.
+    pub growth: f64,
+}
+
+impl BenchReport {
+    /// Extracts the tracked quantiles of every histogram in each
+    /// experiment's registry delta.
+    pub fn from_sections(sections: &[(String, Snapshot)]) -> Self {
+        let mut entries = BTreeMap::new();
+        for (experiment, delta) in sections {
+            for (metric, value) in &delta.metrics {
+                let MetricValue::Histogram(h) = value else {
+                    continue;
+                };
+                if h.count == 0 {
+                    continue;
+                }
+                for (label, q) in QUANTILES {
+                    if let Some(v) = h.quantile(*q) {
+                        entries.insert(format!("{experiment}/{metric}.{label}"), v);
+                    }
+                }
+                entries.insert(format!("{experiment}/{metric}.count"), h.count);
+            }
+        }
+        BenchReport { entries }
+    }
+
+    /// Serializes as a flat JSON object, one key per line, sorted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(
+                out,
+                "  {}: {}",
+                xseq::telemetry::export::json_string(key),
+                value
+            );
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses the flat JSON object written by [`BenchReport::to_json`].
+    ///
+    /// Accepts exactly that shape — string keys, unsigned integer values —
+    /// and reports anything else as an error naming the offending position.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let mut p = FlatParser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.parse()
+    }
+}
+
+struct FlatParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FlatParser<'a> {
+    fn parse(&mut self) -> Result<BenchReport, String> {
+        let mut entries = BTreeMap::new();
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(BenchReport { entries });
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.number()?;
+            entries.insert(key, value);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(BenchReport { entries }),
+                other => return Err(self.err_at(other, "',' or '}'")),
+            }
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(self.err_at(other, &format!("'{}'", want as char))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    other => return Err(self.err_at(other, "a simple escape")),
+                },
+                Some(b) => out.push(b as char),
+                None => return Err(self.err_at(None, "closing '\"'")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            let b = self.peek();
+            return Err(self.err_at(b, "a digit"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|e| format!("number at byte {start}: {e}"))
+    }
+
+    fn err_at(&self, found: Option<u8>, expected: &str) -> String {
+        match found {
+            Some(b) => format!(
+                "bench report: unexpected '{}' at byte {}, expected {expected}",
+                b as char,
+                self.pos.saturating_sub(1)
+            ),
+            None => format!("bench report: unexpected end of input, expected {expected}"),
+        }
+    }
+}
+
+/// True when `key` (a `*.p50` entry) is exempt from gating because its
+/// baseline histogram recorded fewer than [`MIN_GATE_SAMPLES`] samples.
+fn too_few_samples(baseline: &BenchReport, key: &str) -> bool {
+    let count_key = format!("{}.count", key.trim_end_matches(GATED_SUFFIX));
+    // baselines written before counts were tracked gate unconditionally
+    baseline
+        .entries
+        .get(&count_key)
+        .is_some_and(|&c| c < MIN_GATE_SAMPLES)
+}
+
+/// Flags every gated key (`*.p50`, baseline at or above `floor_ns`, enough
+/// baseline samples) whose current value grew more than `threshold` over
+/// the baseline.  Keys absent from either report are skipped: the gate
+/// compares what both runs measured.
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold: f64,
+    floor_ns: u64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (key, &base) in &baseline.entries {
+        if !key.ends_with(GATED_SUFFIX) || base < floor_ns || too_few_samples(baseline, key) {
+            continue;
+        }
+        let Some(&cur) = current.entries.get(key) else {
+            continue;
+        };
+        let growth = cur as f64 / base as f64 - 1.0;
+        if growth > threshold {
+            out.push(Regression {
+                key: key.clone(),
+                baseline_ns: base,
+                current_ns: cur,
+                growth,
+            });
+        }
+    }
+    out
+}
+
+/// Renders a comparison summary: every gated key with its baseline/current
+/// values, regressions marked.
+pub fn render_comparison(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    regressions: &[Regression],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<56} {:>12} {:>12} {:>8}",
+        "tracked latency", "baseline", "current", "delta"
+    );
+    for (key, &base) in &baseline.entries {
+        if !key.ends_with(GATED_SUFFIX) {
+            continue;
+        }
+        let Some(&cur) = current.entries.get(key) else {
+            continue;
+        };
+        let growth = cur as f64 / base as f64 - 1.0;
+        let flag = if regressions.iter().any(|r| r.key == *key) {
+            "  REGRESSED"
+        } else if base < NOISE_FLOOR_NS {
+            "  (below noise floor)"
+        } else if too_few_samples(baseline, key) {
+            "  (too few samples)"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{:<56} {:>12} {:>12} {:>+7.1}%{flag}",
+            key,
+            xseq::telemetry::format_ns(base),
+            xseq::telemetry::format_ns(cur),
+            growth * 100.0,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseq::MetricsRegistry;
+
+    fn report(pairs: &[(&str, u64)]) -> BenchReport {
+        BenchReport {
+            entries: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = report(&[
+            ("table7/index.search.p50", 1_234_567),
+            ("table7/index.search.p95", 2_000_000),
+            ("fig16b/index.plan.p50", 42),
+        ]);
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "{\"a\" 1}", "{\"a\": }", "{\"a\": 1,", "[1]"] {
+            assert!(BenchReport::from_json(bad).is_err(), "{bad:?}");
+        }
+        assert!(BenchReport::from_json("{}").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn injected_regression_is_flagged() {
+        let base = report(&[("t/index.search.p50", 1_000_000)]);
+        let bad = report(&[("t/index.search.p50", 1_200_000)]);
+        let ok = report(&[("t/index.search.p50", 1_100_000)]);
+        let regs = compare(&base, &bad, DEFAULT_THRESHOLD, NOISE_FLOOR_NS);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "t/index.search.p50");
+        assert!((regs[0].growth - 0.2).abs() < 1e-9);
+        assert!(compare(&base, &ok, DEFAULT_THRESHOLD, NOISE_FLOOR_NS).is_empty());
+    }
+
+    #[test]
+    fn gate_ignores_tail_quantiles_noise_floor_and_missing_keys() {
+        let base = report(&[
+            ("t/a.p95", 1_000_000), // tail quantile: not gated
+            ("t/b.p50", 10_000),    // below the noise floor
+            ("t/c.p50", 1_000_000), // missing from current
+            ("t/d.p50", 1_000_000), // fine
+        ]);
+        let cur = report(&[
+            ("t/a.p95", 9_000_000),
+            ("t/b.p50", 90_000),
+            ("t/d.p50", 1_000_001),
+        ]);
+        assert!(compare(&base, &cur, DEFAULT_THRESHOLD, NOISE_FLOOR_NS).is_empty());
+    }
+
+    #[test]
+    fn gate_exempts_small_sample_histograms() {
+        let base = report(&[
+            ("t/a.p50", 1_000_000),
+            ("t/a.count", 3), // p50 of 3 samples: bucket noise
+            ("t/b.p50", 1_000_000),
+            ("t/b.count", 100),
+        ]);
+        let cur = report(&[("t/a.p50", 5_000_000), ("t/b.p50", 5_000_000)]);
+        let regs = compare(&base, &cur, DEFAULT_THRESHOLD, NOISE_FLOOR_NS);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "t/b.p50");
+    }
+
+    #[test]
+    fn from_sections_extracts_histogram_quantiles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("index.search");
+        for v in [100_000u64, 200_000, 300_000] {
+            h.record(v);
+        }
+        reg.counter("index.search.candidates").add(5); // not a histogram
+        reg.histogram("index.plan"); // empty: skipped
+        let sections = vec![("table7".to_string(), reg.snapshot())];
+        let r = BenchReport::from_sections(&sections);
+        assert!(r.entries.contains_key("table7/index.search.p50"));
+        assert!(r.entries.contains_key("table7/index.search.p95"));
+        assert!(r.entries.contains_key("table7/index.search.p99"));
+        assert_eq!(r.entries.get("table7/index.search.count"), Some(&3));
+        assert!(!r.entries.keys().any(|k| k.contains("candidates")));
+        assert!(!r.entries.keys().any(|k| k.contains("index.plan")));
+    }
+
+    #[test]
+    fn render_marks_regressions() {
+        let base = report(&[("t/x.p50", 1_000_000), ("t/y.p50", 1_000_000)]);
+        let cur = report(&[("t/x.p50", 2_000_000), ("t/y.p50", 1_000_000)]);
+        let regs = compare(&base, &cur, DEFAULT_THRESHOLD, NOISE_FLOOR_NS);
+        let table = render_comparison(&base, &cur, &regs);
+        assert!(table.contains("REGRESSED"));
+        assert!(table.lines().count() >= 3);
+    }
+}

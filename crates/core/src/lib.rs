@@ -75,7 +75,9 @@ pub use xseq_query::{parse_xpath, ParseError};
 pub use xseq_schema::{ProbabilityModel, SchemaTree, WeightMap};
 pub use xseq_sequence::{PriorityMap, Sequence, Strategy};
 pub use xseq_storage::{BufferPool, PagedTrie, PoolStats, PoolTelemetry};
-pub use xseq_telemetry::{MetricsRegistry, Snapshot, SpanTimer};
+pub use xseq_telemetry::{
+    MetricsRegistry, Snapshot, SpanTimer, Trace, TraceConfig, TraceId, TraceSpan, Tracer,
+};
 pub use xseq_xml::{
     Axis, Corpus, DocId, Document, PathId, PathTable, PatternLabel, SymbolTable, TreePattern,
     ValueMode, XmlError,
@@ -139,6 +141,7 @@ pub struct DatabaseBuilder {
     sample_cap: usize,
     boosts: Vec<(String, f64)>,
     registry: Arc<MetricsRegistry>,
+    trace: Option<TraceConfig>,
 }
 
 impl Default for DatabaseBuilder {
@@ -158,7 +161,19 @@ impl DatabaseBuilder {
             sample_cap: 0,
             boosts: Vec::new(),
             registry: Arc::new(MetricsRegistry::new()),
+            trace: None,
         }
+    }
+
+    /// Enables per-query tracing with the given policy: every
+    /// [`Database::query_xpath_full`] call records a span tree, slow
+    /// queries land in [`Database::slow_queries`], and a
+    /// [`TraceConfig::sample_rate`] fraction of all queries in
+    /// [`Database::recent_traces`].  Without this call queries run
+    /// untraced, at zero tracing cost.
+    pub fn trace_config(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
     }
 
     /// Shares an external registry (e.g. [`MetricsRegistry::global`])
@@ -224,7 +239,7 @@ impl DatabaseBuilder {
         // this corpus keep recording xml.parse.
         let parse_hist = self.registry.histogram("query.parse");
         corpus.attach_parse_histogram(self.registry.histogram("xml.parse"));
-        PoolTelemetry::register(&self.registry);
+        let pool_tel = PoolTelemetry::register(&self.registry);
         let strategy = match self.sequencing {
             Sequencing::DepthFirst => Strategy::DepthFirst,
             Sequencing::Probability => {
@@ -251,6 +266,8 @@ impl DatabaseBuilder {
             index,
             registry: self.registry,
             parse_hist,
+            pool_tel,
+            tracer: self.trace.map(|c| Arc::new(Tracer::new(c))),
         })
     }
 }
@@ -273,6 +290,10 @@ pub struct Database {
     index: XmlIndex,
     registry: Arc<MetricsRegistry>,
     parse_hist: Arc<Histogram>,
+    /// Registry handles for `storage.pool.*` — read around each traced
+    /// query to attach pool-delta attributes (metric deltas) to its trace.
+    pool_tel: PoolTelemetry,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Database {
@@ -281,11 +302,70 @@ impl Database {
         Ok(self.query_xpath_full(expr)?.docs)
     }
 
-    /// Like [`Database::query_xpath`] but returns the work counters too.
+    /// Like [`Database::query_xpath`] but returns the work counters too —
+    /// and, when the database was built with
+    /// [`DatabaseBuilder::trace_config`], the query's span tree in
+    /// [`QueryOutcome::trace`].
     pub fn query_xpath_full(&mut self, expr: &str) -> Result<QueryOutcome, Error> {
-        let pattern =
-            xseq_query::parse_xpath_instrumented(expr, &mut self.corpus.symbols, &self.parse_hist)?;
-        Ok(self.index.query(&pattern, &mut self.corpus.paths))
+        let Some(tracer) = self.tracer.clone() else {
+            let pattern = xseq_query::parse_xpath_instrumented(
+                expr,
+                &mut self.corpus.symbols,
+                &self.parse_hist,
+            )?;
+            return Ok(self.index.query(&pattern, &mut self.corpus.paths));
+        };
+        let mut active = tracer.begin(expr);
+        let pool0 = (self.pool_tel.hits.get(), self.pool_tel.misses.get());
+        let pattern = match xseq_query::parse_xpath_traced(
+            expr,
+            &mut self.corpus.symbols,
+            &self.parse_hist,
+            &mut active,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                // a failed parse still finishes its trace: the time was
+                // spent, and a slow failure is still a slow query
+                active.root_attr("error", e.to_string());
+                tracer.finish(active);
+                return Err(e.into());
+            }
+        };
+        let mut out = self
+            .index
+            .query_traced(&pattern, &mut self.corpus.paths, &mut active);
+        out.stats.pool_hits = self.pool_tel.hits.get().saturating_sub(pool0.0);
+        out.stats.pool_misses = self.pool_tel.misses.get().saturating_sub(pool0.1);
+        active.root_attr("docs", out.docs.len() as u64);
+        active.root_attr("candidates", out.stats.search.candidates);
+        active.root_attr("pool_hits", out.stats.pool_hits);
+        active.root_attr("pool_misses", out.stats.pool_misses);
+        out.trace = Some(tracer.finish(active));
+        Ok(out)
+    }
+
+    /// The tracer behind this database's per-query tracing, if enabled.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// The slow-query log: every query whose wall time met
+    /// [`TraceConfig::slow_threshold`], oldest first, each with its full
+    /// span tree, the serialized query expression (the trace name), and
+    /// metric deltas as root-span attributes.  Empty when tracing is off.
+    pub fn slow_queries(&self) -> Vec<Arc<Trace>> {
+        self.tracer
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.slow_queries())
+    }
+
+    /// The head-sampled recent traces, oldest first.  Empty when tracing is
+    /// off.
+    pub fn recent_traces(&self) -> Vec<Arc<Trace>> {
+        self.tracer
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.recent_traces())
     }
 
     /// A point-in-time snapshot of every pipeline metric: the `xml.parse`,
@@ -499,6 +579,80 @@ mod tests {
             snap.counter("storage.pool.hits") + snap.counter("storage.pool.misses")
         );
         assert!(st.hit_ratio().is_some());
+    }
+
+    #[test]
+    fn traced_query_lands_in_slow_log() {
+        let mut db = DatabaseBuilder::new()
+            .trace_config(TraceConfig {
+                sample_rate: 1.0,
+                slow_threshold: std::time::Duration::ZERO,
+                recent_capacity: 8,
+                slow_capacity: 8,
+            })
+            .build_from_xml(["<a><b>x</b></a>", "<a><c/></a>"])
+            .unwrap();
+        let out = db.query_xpath_full("/a/b").unwrap();
+        let trace = out.trace.clone().expect("tracing is on");
+        assert!(trace.slow && trace.sampled);
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
+        for n in [
+            "query",
+            "query.parse",
+            "index.plan",
+            "sequence.encode",
+            "trie.descent",
+            "search.link_probes",
+        ] {
+            assert!(names.contains(&n), "{n} missing from {names:?}");
+        }
+        // every child is bracketed by its parent
+        for s in &trace.spans {
+            if let Some(p) = s.parent {
+                let parent = trace.span(p);
+                assert!(parent.start_ns <= s.start_ns && s.end_ns <= parent.end_ns);
+            }
+        }
+        let slow = db.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].name, "/a/b", "serialized query retained");
+        assert_eq!(slow[0].id, trace.id);
+        let json = slow[0].to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(
+            out.explain().contains("trie.descent"),
+            "explain shows spans"
+        );
+        assert_eq!(db.recent_traces().len(), 1);
+        assert!(db.tracer().unwrap().stats().started >= 1);
+    }
+
+    #[test]
+    fn untraced_database_has_no_tracing_surface() {
+        let mut db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
+        let out = db.query_xpath_full("/a").unwrap();
+        assert!(out.trace.is_none());
+        assert!(db.slow_queries().is_empty());
+        assert!(db.recent_traces().is_empty());
+        assert!(db.tracer().is_none());
+    }
+
+    #[test]
+    fn failed_parse_still_traces() {
+        let mut db = DatabaseBuilder::new()
+            .trace_config(TraceConfig {
+                sample_rate: 0.0,
+                slow_threshold: std::time::Duration::ZERO,
+                recent_capacity: 4,
+                slow_capacity: 4,
+            })
+            .build_from_xml(["<a/>"])
+            .unwrap();
+        assert!(db.query_xpath("not an xpath").is_err());
+        let slow = db.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert!(slow[0].root().attrs.iter().any(|(k, _)| *k == "error"));
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl DblpGenerator {
         };
         let root_sym = st.elem(kind);
         let mut doc = Document::with_root(root_sym);
-        let root = doc.root().expect("created");
+        let root = doc.root().expect("Document::with_root always has a root");
 
         // key attribute, e.g. "conf/sigmod/Maier95"; surname-only keys make
         // Table 8's /book[key='Maier'] meaningful

@@ -53,7 +53,10 @@ pub fn random_query_tree(doc: &Document, len: usize, rng: &mut StdRng) -> Docume
     // rebuild as a fresh document preserving relative structure
     let mut out = Document::with_root(doc.sym(root));
     let mut map = std::collections::HashMap::new();
-    map.insert(root, out.root().expect("created"));
+    map.insert(
+        root,
+        out.root().expect("Document::with_root always has a root"),
+    );
     // selected is in discovery order, parents before children
     for &n in &selected[1..] {
         let p = doc.parent(n).expect("non-root");

@@ -289,7 +289,7 @@ fn gen_doc(schema: &SchemaNode, rng: &mut StdRng) -> Document {
         unreachable!("schema root is an element");
     };
     let mut doc = Document::with_root(*sym);
-    let root = doc.root().expect("created");
+    let root = doc.root().expect("Document::with_root always has a root");
     for c in children {
         gen_node(c, *prob, root, &mut doc, rng);
     }

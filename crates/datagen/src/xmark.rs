@@ -122,7 +122,7 @@ impl XmarkGenerator {
     /// `site/regions/.../item` substructure.
     fn item(&mut self, st: &mut SymbolTable) -> Document {
         let mut doc = Document::with_root(st.elem("site"));
-        let root = doc.root().expect("created");
+        let root = doc.root().expect("Document::with_root always has a root");
         let item = doc.child(root, st.elem("item"));
         let loc = COUNTRIES[self.rng.gen_range(0..COUNTRIES.len())];
         self.text_leaf(&mut doc, item, "location", loc, st);
@@ -156,7 +156,7 @@ impl XmarkGenerator {
         let id = self.person_counter;
         self.person_counter += 1;
         let mut doc = Document::with_root(st.elem("site"));
-        let root = doc.root().expect("created");
+        let root = doc.root().expect("Document::with_root always has a root");
         let person = doc.child(root, st.elem("person"));
         self.text_leaf(&mut doc, person, "id", &format!("person{id}"), st);
         let pname = format!("name {}", self.rng.gen_range(0..20000));
@@ -189,7 +189,7 @@ impl XmarkGenerator {
     /// `site/open_auctions/open_auction` substructure.
     fn open_auction(&mut self, st: &mut SymbolTable) -> Document {
         let mut doc = Document::with_root(st.elem("site"));
-        let root = doc.root().expect("created");
+        let root = doc.root().expect("Document::with_root always has a root");
         let oa = doc.child(root, st.elem("open_auction"));
         let initial = format!(
             "{}.{:02}",
@@ -223,7 +223,7 @@ impl XmarkGenerator {
     /// `site/closed_auctions/closed_auction` substructure.
     fn closed_auction(&mut self, st: &mut SymbolTable) -> Document {
         let mut doc = Document::with_root(st.elem("site"));
-        let root = doc.root().expect("created");
+        let root = doc.root().expect("Document::with_root always has a root");
         let ca = doc.child(root, st.elem("closed_auction"));
         let seller = doc.child(ca, st.elem("seller"));
         let sp = self.person_ref();

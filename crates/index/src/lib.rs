@@ -28,8 +28,10 @@ pub use trie::{LinkEntry, SequenceTrie, TrieNodeId, TrieView, NIL};
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 use xseq_sequence::{isomorphic_variants, sequence_document, Strategy};
+use xseq_telemetry::{ActiveTrace, SpanId, Trace};
 use xseq_xml::{DocId, Document, PathId, PathTable, TreePattern};
 
 /// Aggregated statistics of one pattern query.
@@ -47,6 +49,11 @@ pub struct QueryStats {
     pub encode_ns: u64,
     /// Wall time of constraint matching (`index.search`), ns.
     pub search_ns: u64,
+    /// Buffer-pool hits during this query (filled in by callers that route
+    /// the index through paged storage; 0 for the in-memory trie).
+    pub pool_hits: u64,
+    /// Buffer-pool misses (disk accesses) during this query.
+    pub pool_misses: u64,
 }
 
 /// Result of a pattern query.
@@ -56,6 +63,8 @@ pub struct QueryOutcome {
     pub docs: Vec<DocId>,
     /// Work counters.
     pub stats: QueryStats,
+    /// The sealed trace of this query, when it ran under a tracer.
+    pub trace: Option<Arc<Trace>>,
 }
 
 impl QueryOutcome {
@@ -64,6 +73,7 @@ impl QueryOutcome {
         self.stats.search.candidates += st.candidates;
         self.stats.search.cover_rejections += st.cover_rejections;
         self.stats.search.completions += st.completions;
+        self.stats.search.link_probes += st.link_probes;
         self.docs.extend(docs);
     }
 
@@ -95,13 +105,27 @@ impl QueryOutcome {
         }
         let _ = writeln!(
             out,
-            "  instantiations {} | variants {} | candidates {} | cover rejections {} | completions {}",
+            "  instantiations {} | variants {} | candidates {} | cover rejections {} | completions {} | link probes {}",
             st.instantiations,
             st.variants,
             st.search.candidates,
             st.search.cover_rejections,
-            st.search.completions
+            st.search.completions,
+            st.search.link_probes
         );
+        let pool_total = st.pool_hits + st.pool_misses;
+        if pool_total > 0 {
+            let _ = writeln!(
+                out,
+                "  storage.pool.hit_ratio {:.3} ({} hits, {} misses)",
+                st.pool_hits as f64 / pool_total as f64,
+                st.pool_hits,
+                st.pool_misses
+            );
+        }
+        if let Some(trace) = &self.trace {
+            out.push_str(&trace.render());
+        }
         out
     }
 }
@@ -109,6 +133,27 @@ impl QueryOutcome {
 #[inline]
 fn elapsed_ns(t: Instant) -> u64 {
     t.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Upper bound on per-variant span groups in one trace; beyond it the
+/// remaining variants run untraced (counted in the `untraced_variants` root
+/// attribute) so a pathological wildcard query cannot balloon its own trace.
+const TRACE_VARIANT_CAP: usize = 32;
+
+/// Attaches one descent's work to its span: candidate/result counts on the
+/// span itself, and the paper's inner-loop quantities (sibling-cover checks,
+/// path-link binary searches, completions) as zero-length marker events —
+/// the hot loops themselves stay uninstrumented.
+fn record_descent(tr: &mut ActiveTrace, span: SpanId, st: &SearchStats, docs: usize) {
+    tr.attr(span, "candidates", st.candidates);
+    tr.attr(span, "docs", docs as u64);
+    let e = tr.event("search.sibling_cover_checks");
+    tr.attr(e, "rejections", st.cover_rejections);
+    let e = tr.event("search.link_probes");
+    tr.attr(e, "count", st.link_probes);
+    let e = tr.event("search.completions");
+    tr.attr(e, "count", st.completions);
+    tr.end_span(span);
 }
 
 /// Which matching algorithm a query runs.
@@ -210,7 +255,21 @@ impl XmlIndex {
     /// isomorphism expansion (see the `tree_search` docs for why the
     /// order-free formulation subsumes it).
     pub fn query(&self, pattern: &TreePattern, paths: &mut PathTable) -> QueryOutcome {
-        self.run_query(pattern, paths, Mode::TreeSearch)
+        self.run_query(pattern, paths, Mode::TreeSearch, None)
+    }
+
+    /// [`XmlIndex::query`] with span emission: the planning and per-variant
+    /// encoding/descent phases land as spans under `trace`'s current span,
+    /// carrying candidate counts, the trie root range `(n⊢, n⊣)`, the chosen
+    /// plan, and the inner-loop work (sibling-cover checks, path-link binary
+    /// searches, completions) as marker events.
+    pub fn query_traced(
+        &self,
+        pattern: &TreePattern,
+        paths: &mut PathTable,
+        trace: &mut ActiveTrace,
+    ) -> QueryOutcome {
+        self.run_query(pattern, paths, Mode::TreeSearch, Some(trace))
     }
 
     /// The paper's Algorithm 1 verbatim: left-to-right constraint
@@ -218,49 +277,106 @@ impl XmlIndex {
     /// for order-consistent strategies (canonical depth-first); kept for
     /// faithfulness experiments and the ViST-style baseline.
     pub fn query_ordered(&self, pattern: &TreePattern, paths: &mut PathTable) -> QueryOutcome {
-        self.run_query(pattern, paths, Mode::Ordered)
+        self.run_query(pattern, paths, Mode::Ordered, None)
     }
 
     /// Naïve subsequence matching (no constraint check) — the ViST query
     /// primitive, which suffers false alarms that a ViST-style system must
     /// repair with joins or per-document post-processing.
     pub fn query_naive(&self, pattern: &TreePattern, paths: &mut PathTable) -> QueryOutcome {
-        self.run_query(pattern, paths, Mode::Naive)
+        self.run_query(pattern, paths, Mode::Naive, None)
     }
 
-    fn run_query(&self, pattern: &TreePattern, paths: &mut PathTable, mode: Mode) -> QueryOutcome {
+    fn run_query(
+        &self,
+        pattern: &TreePattern,
+        paths: &mut PathTable,
+        mode: Mode,
+        mut trace: Option<&mut ActiveTrace>,
+    ) -> QueryOutcome {
         let mut outcome = QueryOutcome::default();
+        let plan_span = trace.as_mut().map(|tr| tr.start_span("index.plan"));
         let t_plan = Instant::now();
         let concrete = instantiate(pattern, paths, &self.data_paths, &self.options);
         outcome.stats.plan_ns = elapsed_ns(t_plan);
         outcome.stats.instantiations = concrete.len() as u64;
+        if let (Some(tr), Some(sp)) = (trace.as_mut(), plan_span) {
+            tr.attr(sp, "instantiations", concrete.len() as u64);
+            tr.attr(sp, "plan", self.options.describe());
+            tr.end_span(sp);
+            let (lo, hi) = self.trie.root_range();
+            tr.root_attr("n⊢", lo as u64);
+            tr.root_attr("n⊣", hi as u64);
+            tr.root_attr("strategy", self.strategy.short_name());
+            tr.root_attr(
+                "mode",
+                match mode {
+                    Mode::TreeSearch => "tree_search",
+                    Mode::Ordered => "ordered",
+                    Mode::Naive => "naive",
+                },
+            );
+        }
         // Phase timings accumulate in plain locals; the registry (if any) is
         // touched exactly once, after the loop.
         let mut encode_ns = 0u64;
         let mut search_ns = 0u64;
+        let mut traced_variants = 0usize;
         for qdoc in &concrete {
             match mode {
                 Mode::TreeSearch => {
-                    let t = Instant::now();
+                    let mut tr = if traced_variants < TRACE_VARIANT_CAP {
+                        trace.as_deref_mut()
+                    } else {
+                        None
+                    };
+                    if tr.is_some() {
+                        traced_variants += 1;
+                    }
+                    let enc = tr.as_mut().map(|t| t.start_span("sequence.encode"));
+                    let t0 = Instant::now();
                     let qs = QuerySequence::from_document(qdoc, paths, &self.strategy);
-                    encode_ns += elapsed_ns(t);
-                    let t = Instant::now();
+                    encode_ns += elapsed_ns(t0);
+                    if let (Some(t), Some(sp)) = (tr.as_mut(), enc) {
+                        t.end_span(sp);
+                    }
+                    let descent = tr.as_mut().map(|t| t.start_span("trie.descent"));
+                    let t0 = Instant::now();
                     let (docs, st) = search::tree_search(&self.trie, &qs);
-                    search_ns += elapsed_ns(t);
+                    search_ns += elapsed_ns(t0);
+                    if let (Some(t), Some(sp)) = (tr.as_mut(), descent) {
+                        record_descent(t, sp, &st, docs.len());
+                    }
                     outcome.absorb(docs, st);
                 }
                 Mode::Ordered | Mode::Naive => {
                     for variant in isomorphic_variants(qdoc, self.options.max_isomorphs) {
-                        let t = Instant::now();
+                        let mut tr = if traced_variants < TRACE_VARIANT_CAP {
+                            trace.as_deref_mut()
+                        } else {
+                            None
+                        };
+                        if tr.is_some() {
+                            traced_variants += 1;
+                        }
+                        let enc = tr.as_mut().map(|t| t.start_span("sequence.encode"));
+                        let t0 = Instant::now();
                         let qs = QuerySequence::from_document(&variant, paths, &self.strategy);
-                        encode_ns += elapsed_ns(t);
-                        let t = Instant::now();
+                        encode_ns += elapsed_ns(t0);
+                        if let (Some(t), Some(sp)) = (tr.as_mut(), enc) {
+                            t.end_span(sp);
+                        }
+                        let descent = tr.as_mut().map(|t| t.start_span("trie.descent"));
+                        let t0 = Instant::now();
                         let (docs, st) = if matches!(mode, Mode::Ordered) {
                             constraint_search(&self.trie, &qs)
                         } else {
                             naive_search(&self.trie, &qs)
                         };
-                        search_ns += elapsed_ns(t);
+                        search_ns += elapsed_ns(t0);
+                        if let (Some(t), Some(sp)) = (tr.as_mut(), descent) {
+                            record_descent(t, sp, &st, docs.len());
+                        }
                         outcome.absorb(docs, st);
                     }
                 }
@@ -268,6 +384,13 @@ impl XmlIndex {
         }
         outcome.stats.encode_ns = encode_ns;
         outcome.stats.search_ns = search_ns;
+        if let Some(tr) = trace.as_mut() {
+            let total = outcome.stats.variants as usize;
+            if total > traced_variants {
+                // no silent caps: record how many variants ran untraced
+                tr.root_attr("untraced_variants", (total - traced_variants) as u64);
+            }
+        }
         outcome.docs.sort_unstable();
         outcome.docs.dedup();
         if let Some(tel) = &self.telemetry {

@@ -47,6 +47,17 @@ impl Default for PlanOptions {
     }
 }
 
+impl PlanOptions {
+    /// Compact one-line form of the caps, used as the `plan` attribute of a
+    /// query trace.
+    pub fn describe(&self) -> String {
+        format!(
+            "assignments<={} merges<={} isomorphs<={}",
+            self.max_assignments, self.max_merges, self.max_isomorphs
+        )
+    }
+}
+
 /// Enumerates the concrete query trees of `pattern` against the dictionary
 /// (`data_paths` filters the path table down to paths that actually occur in
 /// indexed data).  Deduplicated; order deterministic.
@@ -186,7 +197,7 @@ fn merge_variants(
     // item for the rest (or, if the chain is length 1, the root pattern node
     // is materialized immediately and its children become units).
     let doc = Document::with_root(root_chain[0]);
-    let root_node = doc.root().expect("root created");
+    let root_node = doc.root().expect("Document::with_root always has a root");
     let mut units = Vec::new();
     if root_chain.len() == 1 {
         let mut acc = HashMap::new();

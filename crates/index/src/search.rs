@@ -95,6 +95,8 @@ pub struct SearchStats {
     pub cover_rejections: u64,
     /// Match completions (alignments reaching the end of the query).
     pub completions: u64,
+    /// Path-link binary searches performed (`link_lower_bound` calls).
+    pub link_probes: u64,
 }
 
 /// Runs constraint subsequence matching (Algorithm 1): returns the ids of
@@ -250,6 +252,7 @@ fn tree_go<V: TrieView + ?Sized>(
 
     // (1) candidates below the tip: link range (tip⊢, tip⊣].
     let len = trie.link_len(path);
+    stats.link_probes += 1;
     let mut idx = trie.link_lower_bound(path, tip_serial);
     while idx < len {
         let e = trie.link_entry(path, idx);
@@ -321,6 +324,7 @@ fn go<V: TrieView + ?Sized>(
     let path = q.paths[i];
     // candidates: serial ∈ (v⊢, v⊣]
     let len = trie.link_len(path);
+    stats.link_probes += 1;
     let mut idx = trie.link_lower_bound(path, v_serial);
     while idx < len {
         let e = trie.link_entry(path, idx);

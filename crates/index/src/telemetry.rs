@@ -31,6 +31,8 @@ pub struct IndexTelemetry {
     pub cover_rejections: Arc<Counter>,
     /// `index.search.completions` — alignments reaching the query's end.
     pub completions: Arc<Counter>,
+    /// `index.search.link_probes` — path-link binary searches performed.
+    pub link_probes: Arc<Counter>,
 }
 
 impl IndexTelemetry {
@@ -45,6 +47,7 @@ impl IndexTelemetry {
             candidates: registry.counter("index.search.candidates"),
             cover_rejections: registry.counter("index.search.cover_rejections"),
             completions: registry.counter("index.search.completions"),
+            link_probes: registry.counter("index.search.link_probes"),
         }
     }
 
@@ -58,5 +61,6 @@ impl IndexTelemetry {
         self.candidates.add(st.search.candidates);
         self.cover_rejections.add(st.search.cover_rejections);
         self.completions.add(st.search.completions);
+        self.link_probes.add(st.search.link_probes);
     }
 }

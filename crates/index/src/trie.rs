@@ -323,6 +323,12 @@ impl SequenceTrie {
         (f.serial[n as usize], f.max_desc[n as usize])
     }
 
+    /// The root label range `(n⊢, n⊣)` — the serial interval every descent
+    /// starts from; traces attach it so a span can be located in the trie.
+    pub fn root_range(&self) -> (u32, u32) {
+        self.label(self.root())
+    }
+
     /// Walks up from `n` to the nearest proper ancestor whose path is `t`
     /// (the "closest same-path ancestor" used by the sibling-cover check).
     pub fn nearest_ancestor_with_path(&self, n: TrieNodeId, t: PathId) -> Option<TrieNodeId> {

@@ -92,6 +92,25 @@ pub fn parse_xpath_instrumented(
     r
 }
 
+/// [`parse_xpath_instrumented`] that additionally emits a `query.parse`
+/// span into `trace`, attributed with the expression length and (on
+/// success) the pattern's node count.
+pub fn parse_xpath_traced(
+    input: &str,
+    symbols: &mut SymbolTable,
+    sink: &xseq_telemetry::Histogram,
+    trace: &mut xseq_telemetry::ActiveTrace,
+) -> Result<TreePattern, ParseError> {
+    let span = trace.start_span("query.parse");
+    trace.attr(span, "expr_len", input.len() as u64);
+    let r = parse_xpath_instrumented(input, symbols, sink);
+    if let Ok(pattern) = &r {
+        trace.attr(span, "pattern_nodes", pattern.len() as u64);
+    }
+    trace.end_span(span);
+    r
+}
+
 impl<'a> Parser<'a> {
     fn parse_query(&mut self) -> Result<TreePattern, ParseError> {
         let p = self;

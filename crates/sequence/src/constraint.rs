@@ -113,7 +113,10 @@ pub fn decode_f2(seq: &Sequence, paths: &PathTable) -> Result<Document, DecodeEr
         let sym = paths.last(elems[i]).expect("non-root path");
         if i == root_idx {
             doc = Document::with_root(sym);
-            node_of.insert(i, doc.root().expect("root created"));
+            node_of.insert(
+                i,
+                doc.root().expect("Document::with_root always has a root"),
+            );
         } else {
             let parent_node = node_of[&parent_of[i]];
             let n = doc.child(parent_node, sym);

@@ -142,7 +142,7 @@ fn rebuild(
     choice: &[usize],
 ) -> Document {
     let mut out = Document::with_root(doc.sym(root));
-    let new_root = out.root().expect("root created");
+    let new_root = out.root().expect("Document::with_root always has a root");
     let mut stack = vec![(root, new_root)];
     while let Some((old, new)) = stack.pop() {
         let order = &orderings[old as usize][choice[old as usize]];

@@ -273,7 +273,9 @@ fn emit_with_priority_grouped(
         }
     };
     let mut out = Vec::with_capacity(doc.len());
-    let root = doc.root().expect("non-empty checked by caller");
+    let root = doc
+        .root()
+        .expect("emit order is only computed for non-empty documents");
     emit_subtree(doc, enc, &eff, contiguous, root, &mut out);
     out
 }

@@ -85,7 +85,14 @@ impl<S: PageStore> BufferPool<S> {
 
     /// Mirrors every hit/miss/eviction into the given registry counters
     /// (on top of the resettable [`PoolStats`]).
+    ///
+    /// Accesses made before attaching are seeded into the counters, so a
+    /// pool attached after first use still reports hits+misses consistent
+    /// with its own [`PoolStats`].
     pub fn attach_telemetry(&mut self, telemetry: PoolTelemetry) {
+        telemetry.hits.add(self.stats.hits);
+        telemetry.misses.add(self.stats.misses);
+        telemetry.evictions.add(self.stats.evictions);
         self.telemetry = Some(telemetry);
     }
 
@@ -229,5 +236,37 @@ mod tests {
     fn missing_page_is_an_error() {
         let mut pool = BufferPool::new(store_with(1), 2);
         assert!(pool.with_page(9, |_| ()).is_err());
+    }
+
+    #[test]
+    fn late_attach_seeds_existing_stats() {
+        use xseq_telemetry::MetricsRegistry;
+        let mut pool = BufferPool::new(store_with(4), 2);
+        // pre-attach traffic: 3 misses, 1 hit, 1 eviction
+        for i in 0..3 {
+            pool.with_page(i, |_| ()).unwrap();
+        }
+        pool.with_page(2, |_| ()).unwrap();
+        let reg = MetricsRegistry::new();
+        pool.attach_telemetry(PoolTelemetry::register(&reg));
+        let st = pool.stats();
+        assert_eq!(reg.snapshot().counter("storage.pool.hits"), st.hits);
+        assert_eq!(reg.snapshot().counter("storage.pool.misses"), st.misses);
+        assert_eq!(
+            reg.snapshot().counter("storage.pool.evictions"),
+            st.evictions
+        );
+        // post-attach traffic stays consistent
+        pool.with_page(2, |_| ()).unwrap(); // hit
+        pool.with_page(0, |_| ()).unwrap(); // miss + eviction
+        let st = pool.stats();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("storage.pool.hits"), st.hits);
+        assert_eq!(snap.counter("storage.pool.misses"), st.misses);
+        assert_eq!(snap.counter("storage.pool.evictions"), st.evictions);
+        assert_eq!(
+            st.hit_ratio(),
+            Some(st.hits as f64 / (st.hits + st.misses) as f64)
+        );
     }
 }

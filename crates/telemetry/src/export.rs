@@ -6,6 +6,7 @@
 
 use crate::metrics::HistogramSnapshot;
 use crate::registry::{MetricValue, Snapshot};
+use crate::trace::{AttrValue, Trace};
 use std::fmt::Write as _;
 
 /// Serializes `snapshot` as a JSON object keyed by metric name.
@@ -186,6 +187,128 @@ pub fn render_table(snapshot: &Snapshot) -> String {
         }
     }
     out
+}
+
+/// Serializes a [`Trace`] in the Chrome trace-event JSON format.
+///
+/// The output is an object with a `traceEvents` array of `"X"` (complete)
+/// events — one per span, `ts`/`dur` in microseconds with nanosecond
+/// fractions — plus trace-level metadata.  It loads directly in
+/// `chrome://tracing` and <https://ui.perfetto.dev>.  Span attributes
+/// become the event's `args`; parent links are implied by the nesting of
+/// the `ts`/`dur` intervals on the single synthetic thread, the way both
+/// viewers reconstruct flame charts.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, span) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"xseq\",\"ph\":\"X\",\
+             \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1,\"args\":{{",
+            json_string(span.name),
+            micros(span.start_ns),
+            micros(span.duration_ns()),
+        );
+        let mut first = true;
+        if span.parent.is_none() {
+            // root span: carry the trace identity where Perfetto shows it
+            let _ = write!(
+                out,
+                "\"trace_id\":{},\"query\":{}",
+                trace.id.0,
+                json_string(&trace.name)
+            );
+            first = false;
+        }
+        for (key, value) in &span.attrs {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}:{}", json_string(key), attr_json(value));
+        }
+        out.push_str("}}");
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ns\",\
+         \"otherData\":{{\"trace_id\":{},\"query\":{},\"total_ns\":{},\
+         \"sampled\":{},\"slow\":{}}}}}",
+        trace.id.0,
+        json_string(&trace.name),
+        trace.total_ns,
+        trace.sampled,
+        trace.slow,
+    );
+    out
+}
+
+/// Chrome's `ts`/`dur` are microseconds; keep nanosecond precision as a
+/// three-digit fraction.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn attr_json(value: &AttrValue) -> String {
+    match value {
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::I64(v) => v.to_string(),
+        AttrValue::F64(v) => json_f64(*v),
+        AttrValue::Str(s) => json_string(s),
+    }
+}
+
+/// Renders a [`Trace`] as an indented text span tree:
+///
+/// ```text
+/// trace #17 "//a/b" — 1.20ms (slow)
+///   query 1.20ms
+///     query.parse 10.00us
+///     index.search 1.10ms [candidates=12]
+/// ```
+pub fn render_trace(trace: &Trace) -> String {
+    let mut out = format!(
+        "trace #{} {} — {}{}{}\n",
+        trace.id.0,
+        json_string(&trace.name),
+        format_ns(trace.total_ns),
+        if trace.slow { " (slow)" } else { "" },
+        if trace.sampled { " (sampled)" } else { "" },
+    );
+    for (i, span) in trace.spans.iter().enumerate() {
+        let depth = trace.depth(crate::trace::SpanId(i as u32));
+        let _ = write!(
+            out,
+            "{}{} {}",
+            "  ".repeat(depth + 1),
+            span.name,
+            format_ns(span.duration_ns())
+        );
+        if !span.attrs.is_empty() {
+            out.push_str(" [");
+            for (j, (key, value)) in span.attrs.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{key}={}", attr_text(value));
+            }
+            out.push(']');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn attr_text(value: &AttrValue) -> String {
+    match value {
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::I64(v) => v.to_string(),
+        AttrValue::F64(v) => format!("{v:.4}"),
+        AttrValue::Str(s) => s.clone(),
+    }
 }
 
 /// Formats a nanosecond quantity with a human-friendly unit.

@@ -15,6 +15,11 @@
 //! - [`SpanTimer`] — an RAII guard recording a phase's wall time into a
 //!   histogram on drop.
 //! - [`export::to_json`] / [`export::render_table`] — snapshot exporters.
+//! - [`Tracer`] / [`ActiveTrace`] / [`Trace`] — hierarchical per-query
+//!   tracing with head sampling and an always-retained slow-query log,
+//!   flushed through a lock-free [`BoundedRing`]; traces export as Chrome
+//!   trace-event JSON ([`export::to_chrome_json`]) or an indented text tree
+//!   ([`export::render_trace`]).
 //!
 //! Everything mutating is lock-free (relaxed atomics), so instrumentation
 //! can sit inside the paper's per-candidate inner loops without changing
@@ -23,11 +28,17 @@
 pub mod export;
 pub mod metrics;
 pub mod registry;
+pub mod ring;
 pub mod span;
+pub mod trace;
 
-pub use export::{format_ns, render_table, to_json};
+pub use export::{format_ns, render_table, render_trace, to_chrome_json, to_json};
 pub use metrics::{
     bucket_bounds, bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };
 pub use registry::{Metric, MetricValue, MetricsRegistry, Snapshot};
+pub use ring::BoundedRing;
 pub use span::SpanTimer;
+pub use trace::{
+    ActiveTrace, AttrValue, SpanId, Trace, TraceConfig, TraceId, TraceSpan, Tracer, TracerStats,
+};

@@ -1,0 +1,275 @@
+//! A lock-free bounded MPMC ring (Vyukov-style sequence queue).
+//!
+//! The trace subsystem flushes completed [`Trace`](crate::trace::Trace)s
+//! from query threads into bounded rings — the *recent traces* ring and the
+//! *slow-query log*.  The write path runs on every retained query, possibly
+//! from many threads at once, so it must not serialize; the read path
+//! (`slow_queries()`, `recent_traces()`) is an operator action and may be
+//! slower.
+//!
+//! The implementation is the classic bounded sequence queue: each slot
+//! carries an atomic lap stamp (`seq`), producers claim a slot by CAS on the
+//! push cursor and publish by bumping the stamp, consumers mirror that on
+//! the pop cursor.  Both `push` and `pop` are lock-free (a stalled thread
+//! can delay at most its own slot).  [`BoundedRing::force_push`] gives the
+//! ring its "keep the most recent N" behaviour: when full it evicts the
+//! oldest element and retries.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot<T> {
+    /// Lap stamp: `pos` when empty and writable by the producer claiming
+    /// `pos`, `pos + 1` when full, `pos + capacity` after the consumer of
+    /// `pos` has taken the value.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue with lock-free push
+/// and pop and an eviction push for "retain the latest N" semantics.
+pub struct BoundedRing<T> {
+    slots: Box<[Slot<T>]>,
+    capacity: usize,
+    push_pos: AtomicUsize,
+    pop_pos: AtomicUsize,
+}
+
+// SAFETY: values are moved in and out whole, published/claimed through the
+// per-slot `seq` stamp with Acquire/Release ordering, so a slot's value is
+// only touched by the single thread that won the cursor CAS for it.
+unsafe impl<T: Send> Send for BoundedRing<T> {}
+unsafe impl<T: Send> Sync for BoundedRing<T> {}
+
+impl<T> BoundedRing<T> {
+    /// A ring holding at most `capacity` elements (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        BoundedRing {
+            slots,
+            capacity,
+            push_pos: AtomicUsize::new(0),
+            pop_pos: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Instantaneous element count (racy under concurrency, exact when
+    /// quiescent).
+    pub fn len(&self) -> usize {
+        let push = self.push_pos.load(Ordering::Relaxed);
+        let pop = self.pop_pos.load(Ordering::Relaxed);
+        push.saturating_sub(pop).min(self.capacity)
+    }
+
+    /// True when no element is present (same caveat as [`BoundedRing::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `value`; fails (returning it) when the ring is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.push_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos % self.capacity];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                // the slot is empty for lap `pos`: claim it
+                match self.push_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS makes this thread the only
+                        // writer of this slot until `seq` is bumped below.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                // a full lap behind: the ring is full
+                return Err(value);
+            } else {
+                pos = self.push_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Removes and returns the oldest element, `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.pop_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos % self.capacity];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - (pos + 1) as isize;
+            if dif == 0 {
+                match self.pop_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS makes this thread the only
+                        // reader of this slot's published value.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(pos + self.capacity, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.pop_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Appends `value`, evicting the oldest element when the ring is full.
+    ///
+    /// Returns the evicted element, if eviction was needed to make room.
+    pub fn force_push(&self, mut value: T) -> Option<T> {
+        let mut evicted = None;
+        loop {
+            match self.push(value) {
+                Ok(()) => return evicted,
+                Err(v) => {
+                    value = v;
+                    // full: drop the oldest and retry (a concurrent pop may
+                    // beat us to it, in which case the retry just succeeds)
+                    if let Some(old) = self.pop() {
+                        evicted = Some(old);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for BoundedRing<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for BoundedRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedRing")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let r = BoundedRing::new(4);
+        for i in 0..4 {
+            r.push(i).unwrap();
+        }
+        assert!(r.push(99).is_err());
+        for i in 0..4 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn force_push_evicts_oldest() {
+        let r = BoundedRing::new(3);
+        for i in 0..3 {
+            assert_eq!(r.force_push(i), None);
+        }
+        assert_eq!(r.force_push(3), Some(0));
+        assert_eq!(r.force_push(4), Some(1));
+        let drained: Vec<i32> = std::iter::from_fn(|| r.pop()).collect();
+        assert_eq!(drained, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let r = BoundedRing::new(2);
+        for lap in 0..100 {
+            r.push(lap).unwrap();
+            assert_eq!(r.pop(), Some(lap));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_contents() {
+        let item = Arc::new(());
+        {
+            let r = BoundedRing::new(8);
+            for _ in 0..5 {
+                r.push(item.clone()).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&item), 6);
+        }
+        assert_eq!(Arc::strong_count(&item), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 1000;
+        let r = Arc::new(BoundedRing::new(THREADS * PER_THREAD));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let r = r.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        r.push(t * PER_THREAD + i).unwrap();
+                    }
+                });
+            }
+        });
+        let mut seen: Vec<usize> = std::iter::from_fn(|| r.pop()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), THREADS * PER_THREAD);
+        seen.dedup();
+        assert_eq!(seen.len(), THREADS * PER_THREAD, "no duplicates");
+    }
+
+    #[test]
+    fn concurrent_force_push_stays_bounded() {
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 500;
+        const CAP: usize = 32;
+        let r = Arc::new(BoundedRing::new(CAP));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let r = r.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        r.force_push(t * PER_THREAD + i);
+                    }
+                });
+            }
+        });
+        let drained: Vec<usize> = std::iter::from_fn(|| r.pop()).collect();
+        assert_eq!(drained.len(), CAP, "exactly the capacity survives");
+    }
+}

@@ -118,3 +118,199 @@ fn snapshot_delta_roundtrip() {
     assert_eq!(zero.counter("w.ops"), 0);
     assert_eq!(zero.histogram("w.lat").unwrap().count, 0);
 }
+
+// ---------------------------------------------------------------------------
+// Tracing: span-tree invariants, slow-log retention, exporter golden output.
+// ---------------------------------------------------------------------------
+
+use std::time::Duration;
+use xseq_telemetry::{AttrValue, SpanId, Trace, TraceConfig, TraceId, TraceSpan, Tracer};
+
+/// Span names used by the generated op sequences below.
+const SPAN_NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+proptest! {
+    /// For any interleaving of `start_span` / `end_span` / `event` — with
+    /// `end_span` allowed to target *any* open span, closing whole runs of
+    /// abandoned children at once — the sealed trace is a well-formed tree:
+    /// parents precede their children in storage order and bracket them in
+    /// time, and no span is left open past `total_ns`.
+    #[test]
+    fn sealed_trace_is_a_well_formed_span_tree(
+        ops in proptest::collection::vec((0u8..3, any::<u8>()), 0..60),
+    ) {
+        let tracer = Tracer::new(TraceConfig {
+            sample_rate: 1.0,
+            slow_threshold: Duration::ZERO,
+            recent_capacity: 64,
+            slow_capacity: 64,
+        });
+        let mut active = tracer.begin("proptest");
+        // Mirror of the open-span stack (root at the bottom).
+        let mut stack = vec![active.root_span()];
+        for (op, pick) in ops {
+            match op {
+                0 => stack.push(active.start_span(SPAN_NAMES[pick as usize % 3])),
+                1 => {
+                    if stack.len() > 1 {
+                        let at = 1 + pick as usize % (stack.len() - 1);
+                        active.end_span(stack[at]);
+                        stack.truncate(at);
+                    }
+                }
+                _ => {
+                    active.event(SPAN_NAMES[pick as usize % 3]);
+                }
+            }
+        }
+        let trace = tracer.finish(active);
+
+        prop_assert_eq!(trace.root().parent, None);
+        prop_assert_eq!(trace.root().start_ns, 0);
+        prop_assert_eq!(trace.root().end_ns, trace.total_ns);
+        for (i, span) in trace.spans.iter().enumerate() {
+            prop_assert!(span.start_ns <= span.end_ns);
+            prop_assert!(span.end_ns <= trace.total_ns, "span {i} left open");
+            match span.parent {
+                None => prop_assert_eq!(i, 0, "only the root lacks a parent"),
+                Some(p) => {
+                    // Parents precede children in storage order ...
+                    prop_assert!((p.0 as usize) < i);
+                    // ... and bracket them in time.
+                    let parent = trace.span(p);
+                    prop_assert!(parent.start_ns <= span.start_ns);
+                    prop_assert!(span.end_ns <= parent.end_ns);
+                }
+            }
+        }
+        // Storage order is start order.
+        for w in trace.spans.windows(2) {
+            prop_assert!(w[0].start_ns <= w[1].start_ns);
+        }
+    }
+}
+
+/// Draining the ring into the reader buffer keeps finish order: the
+/// recent-traces view is always the latest `recent_capacity` traces,
+/// oldest first.
+#[test]
+fn ring_flush_preserves_finish_order() {
+    let tracer = Tracer::new(TraceConfig {
+        sample_rate: 1.0,
+        slow_threshold: Duration::from_secs(3600),
+        recent_capacity: 4,
+        slow_capacity: 4,
+    });
+    let mut ids = Vec::new();
+    for i in 0..10 {
+        let active = tracer.begin(format!("q{i}"));
+        ids.push(active.id());
+        tracer.finish(active);
+        if i == 5 {
+            // An interleaved read must not disturb subsequent ordering.
+            tracer.recent_traces();
+        }
+    }
+    let got: Vec<TraceId> = tracer.recent_traces().iter().map(|t| t.id).collect();
+    assert_eq!(got, ids[6..].to_vec(), "latest 4 finishes, oldest first");
+}
+
+/// Eight threads hammering a zero-threshold tracer: every trace counts as
+/// slow, the log ends exactly at capacity holding distinct, structurally
+/// intact traces, and no retention counter loses an increment.
+#[test]
+fn slow_log_retention_under_thread_load() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 100;
+    const CAPACITY: usize = 32;
+    let tracer = Tracer::new(TraceConfig {
+        sample_rate: 0.0,
+        slow_threshold: Duration::ZERO, // everything is "slow"
+        recent_capacity: 8,
+        slow_capacity: CAPACITY,
+    });
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tracer = &tracer;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let mut active = tracer.begin("load");
+                    let sp = active.start_span("work");
+                    active.attr(sp, "thread", t as u64);
+                    active.attr(sp, "i", i as u64);
+                    active.end_span(sp);
+                    tracer.finish(active);
+                }
+            });
+        }
+    });
+    let total = (THREADS * PER_THREAD) as u64;
+    let stats = tracer.stats();
+    assert_eq!(stats.started, total);
+    assert_eq!(stats.slow, total, "no slow-retention increment lost");
+    assert_eq!(stats.sampled, 0, "rate 0.0 samples nothing");
+    assert!(tracer.recent_traces().is_empty());
+    let slow = tracer.slow_queries();
+    assert_eq!(slow.len(), CAPACITY, "log settles at exactly its capacity");
+    let mut ids: Vec<u64> = slow.iter().map(|t| t.id.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), CAPACITY, "retained traces are distinct");
+    for t in &slow {
+        assert!(t.slow);
+        assert_eq!(t.spans.len(), 2, "root + one work span");
+        assert_eq!(t.spans[1].parent, Some(SpanId(0)));
+        assert_eq!(t.spans[1].name, "work");
+        assert_eq!(t.spans[1].attrs.len(), 2);
+    }
+}
+
+/// Golden test for the Chrome trace-event exporter: a hand-built trace with
+/// fixed nanosecond timestamps serializes to exactly this JSON (µs `ts`/`dur`
+/// with a 3-digit ns fraction, root args carrying the trace identity,
+/// `otherData` metadata block).
+#[test]
+fn chrome_json_golden_output() {
+    let trace = Trace {
+        id: TraceId(7),
+        name: "/a/b".to_string(),
+        total_ns: 5_000,
+        sampled: true,
+        slow: false,
+        spans: vec![
+            TraceSpan {
+                name: "query",
+                parent: None,
+                start_ns: 0,
+                end_ns: 5_000,
+                attrs: vec![("docs", AttrValue::U64(3))],
+            },
+            TraceSpan {
+                name: "query.parse",
+                parent: Some(SpanId(0)),
+                start_ns: 100,
+                end_ns: 1_100,
+                attrs: vec![
+                    ("expr_len", AttrValue::U64(4)),
+                    ("strategy", AttrValue::Str("prob".to_string())),
+                ],
+            },
+        ],
+    };
+    let expected = concat!(
+        "{\"traceEvents\":[",
+        "{\"name\":\"query\",\"cat\":\"xseq\",\"ph\":\"X\",",
+        "\"ts\":0.000,\"dur\":5.000,\"pid\":1,\"tid\":1,",
+        "\"args\":{\"trace_id\":7,\"query\":\"/a/b\",\"docs\":3}},",
+        "{\"name\":\"query.parse\",\"cat\":\"xseq\",\"ph\":\"X\",",
+        "\"ts\":0.100,\"dur\":1.000,\"pid\":1,\"tid\":1,",
+        "\"args\":{\"expr_len\":4,\"strategy\":\"prob\"}}",
+        "],\"displayTimeUnit\":\"ns\",",
+        "\"otherData\":{\"trace_id\":7,\"query\":\"/a/b\",\"total_ns\":5000,",
+        "\"sampled\":true,\"slow\":false}}",
+    );
+    assert_eq!(trace.to_chrome_json(), expected);
+    // The text renderer agrees on the structure.
+    let text = trace.render();
+    assert!(text.contains("query.parse"), "render: {text}");
+}

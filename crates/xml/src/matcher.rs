@@ -59,7 +59,9 @@ fn assign(
     let p = order[k];
     let candidates: Vec<NodeId> = match pattern.parent(p) {
         None => match pattern.axis(p) {
-            Axis::Child => vec![doc.root().expect("checked non-empty")],
+            Axis::Child => vec![doc
+                .root()
+                .expect("find_embedding returns early on an empty document")],
             Axis::Descendant => doc.preorder(),
         },
         Some(par) => {

@@ -228,7 +228,7 @@ impl<'a, 'b> Parser<'a, 'b> {
         let node = match parent {
             None => {
                 *doc = Document::with_root(sym);
-                doc.root().expect("just created root")
+                doc.root().expect("Document::with_root always has a root")
             }
             Some(p) => doc.child(p, sym),
         };

@@ -8,14 +8,17 @@
 //! index construction records `sequence.encode`, and each query records
 //! `query.parse` / `index.plan` / `sequence.encode` / `index.search`
 //! latencies plus the matcher's work counters.  Paged storage mirrors its
-//! page traffic into `storage.pool.*` when attached.  This example runs a
-//! small workload and prints one query's EXPLAIN, the metrics table, an
+//! page traffic into `storage.pool.*` when attached.  With tracing enabled,
+//! every query additionally records a span tree retained in the slow-query
+//! log.  This example runs a small workload and prints one query's EXPLAIN
+//! (including its span tree), the slow-query log, the metrics table, an
 //! interval delta, and the JSON export.
 
+use std::time::Duration;
 use xseq::index::{tree_search, QuerySequence};
 use xseq::storage::{write_paged_trie, MemStore, PagedTrie};
 use xseq::telemetry::{render_table, to_json};
-use xseq::{DatabaseBuilder, Sequencing};
+use xseq::{DatabaseBuilder, Sequencing, TraceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let docs = [
@@ -28,12 +31,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let mut db = DatabaseBuilder::new()
         .sequencing(Sequencing::Probability)
+        .trace_config(TraceConfig {
+            sample_rate: 1.0,               // demo: trace every query
+            slow_threshold: Duration::ZERO, // demo: retain every query as "slow"
+            ..TraceConfig::default()
+        })
         .build_from_xml(docs)?;
 
     // --- per-query EXPLAIN ------------------------------------------------
     let outcome = db.query_xpath_full("/project//location[text='boston']")?;
     println!("EXPLAIN /project//location[text='boston']");
     print!("{}", outcome.explain());
+    println!();
+
+    // --- the slow-query log and the Chrome trace export -------------------
+    let slow = db.slow_queries();
+    println!("slow-query log: {} trace(s) retained", slow.len());
+    if let Some(trace) = slow.last() {
+        let json = trace.to_chrome_json();
+        println!(
+            "chrome trace JSON for {:?}: {} bytes (load in chrome://tracing or Perfetto)",
+            trace.name,
+            json.len()
+        );
+    }
     println!();
 
     // --- interval measurement via snapshot/delta --------------------------
