@@ -8,6 +8,7 @@
 //!     --bench-label main               # writes BENCH_main.json
 //! cargo run --release -p xseq-bench --bin repro -- table7 fig16b \
 //!     --baseline BENCH_main.json       # exits 1 on >15% p50 regression
+//! cargo run --release -p xseq-bench --bin repro -- --verify --scale 0.1
 //! ```
 //!
 //! With `--metrics <path.json>`, the process-wide metrics registry is
@@ -44,7 +45,7 @@ const EXPERIMENTS: &[Experiment] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|check> [--scale X] [--metrics PATH.json]\n\
-         \x20           [--bench-label LABEL] [--baseline BENCH.json]"
+         \x20           [--bench-label LABEL] [--baseline BENCH.json] [--verify]"
     );
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
@@ -52,6 +53,10 @@ fn usage() -> ! {
     }
     eprintln!("  all     run every experiment");
     eprintln!("  check   tiny-scale sweep with agreement assertions");
+    eprintln!(
+        "\n--verify runs the index invariant verifier over every corpus\n\
+         (alone or after the named experiments); exits 1 on any violation"
+    );
     exit(2)
 }
 
@@ -116,6 +121,7 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut bench_label: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut verify = false;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -127,11 +133,12 @@ fn main() {
             "--metrics" => metrics_path = Some(it.next().unwrap_or_else(|| usage())),
             "--bench-label" => bench_label = Some(it.next().unwrap_or_else(|| usage())),
             "--baseline" => baseline_path = Some(it.next().unwrap_or_else(|| usage())),
+            "--verify" => verify = true,
             "-h" | "--help" => usage(),
             name => names.push(name.to_string()),
         }
     }
-    if names.is_empty() {
+    if names.is_empty() && !verify {
         usage();
     }
     let mut recorder = Recorder::new(metrics_path);
@@ -156,6 +163,14 @@ fn main() {
                 None => usage(),
             },
         }
+    }
+
+    if verify {
+        eprintln!("[repro] verifying index integrity (scale {scale}) ...");
+        if !xseq_bench::verify_corpora(scale) {
+            exit(1);
+        }
+        recorder.record("verify");
     }
 
     if bench_label.is_none() && baseline_path.is_none() {

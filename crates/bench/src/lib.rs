@@ -9,6 +9,7 @@
 //! Absolute numbers will differ from a 2005 1.8 GHz Windows machine — the
 //! *shapes* (who wins, by what factor, where curves bend) are the
 //! reproduction target, recorded in `EXPERIMENTS.md`.
+#![forbid(unsafe_code)]
 
 pub mod regress;
 
@@ -566,4 +567,87 @@ pub fn check() {
         assert_eq!(got, expect);
     }
     println!("check: all experiments ran, all agreement assertions held");
+}
+
+// ---------------------------------------------------------------------------
+// `repro --verify`: integrity verification across corpora
+// ---------------------------------------------------------------------------
+
+/// `repro --verify`: builds an index per sequencing strategy over the
+/// synthetic, XMark and DBLP corpora and runs the full invariant verifier
+/// over each — preorder-label nesting, subtree extents, path-link order
+/// and coverage, sibling-cover bookkeeping, `f2` validity (Eq. 3) and the
+/// Theorem 1 round-trip of every stored sequence.
+///
+/// Prints one markdown row per (corpus, strategy) pair and returns `true`
+/// when every report is clean.
+pub fn verify_corpora(scale: f64) -> bool {
+    println!("## Index integrity — invariant verification per corpus");
+    println!();
+    println!("| corpus | docs | strategy | nodes | links | sequences | violations |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut all_clean = true;
+
+    let mut corpora: Vec<(&str, Corpus)> = Vec::new();
+    {
+        let mut c = Corpus::new(ValueMode::Intern);
+        let ds = SyntheticDataset::generate(
+            &SyntheticParams::fig16(),
+            scaled(20_000, scale),
+            16,
+            &mut c.symbols,
+        );
+        c.docs = ds.docs;
+        corpora.push(("synthetic L3F5A25I10P40", c));
+    }
+    {
+        let mut c = Corpus::new(ValueMode::Intern);
+        c.docs = XmarkGenerator::new(8, XmarkOptions::default())
+            .generate(scaled(10_000, scale), &mut c.symbols);
+        corpora.push(("xmark", c));
+    }
+    {
+        let mut c = Corpus::new(ValueMode::Intern);
+        c.docs = DblpGenerator::new(7).generate(scaled(20_000, scale), &mut c.symbols);
+        corpora.push(("dblp", c));
+    }
+
+    for (name, corpus) in &mut corpora {
+        let n = corpus.docs.len();
+        for strat_name in ["random", "breadth-first", "depth-first", "cs"] {
+            let mut paths = xseq::PathTable::new();
+            let strategy = match strat_name {
+                "random" => Strategy::Random { seed: 5 },
+                "breadth-first" => Strategy::BreadthFirst,
+                "depth-first" => Strategy::DepthFirst,
+                _ => cs_strategy(&corpus.docs, &mut paths, 2000),
+            };
+            let index = XmlIndex::build(&corpus.docs, &mut paths, strategy, PlanOptions::default());
+            let report = index.verify_integrity(&mut paths);
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                name,
+                n,
+                strat_name,
+                report.nodes_checked,
+                report.links_checked,
+                report.sequences_checked,
+                report.violation_count()
+            );
+            if !report.is_clean() {
+                all_clean = false;
+                eprint!("{}", report.render());
+            }
+        }
+    }
+    println!();
+    println!(
+        "verify: {}",
+        if all_clean {
+            "all invariants hold on every corpus"
+        } else {
+            "INTEGRITY VIOLATIONS FOUND"
+        }
+    );
+    all_clean
 }

@@ -57,6 +57,7 @@
 //! records `xml.parse`, and paged storage mirrors its page traffic into
 //! `storage.pool.*`.  [`Database::metrics`] returns a [`Snapshot`];
 //! [`QueryOutcome::explain`] renders one query's work breakdown.
+#![forbid(unsafe_code)]
 
 pub use xseq_baselines as baselines;
 pub use xseq_datagen as datagen;
@@ -69,7 +70,8 @@ pub use xseq_telemetry as telemetry;
 pub use xseq_xml as xml;
 
 pub use xseq_index::{
-    IndexTelemetry, PlanOptions, QueryOutcome, QueryStats, SearchStats, XmlIndex,
+    IndexTelemetry, IntegrityReport, InvariantClass, PlanOptions, QueryOutcome, QueryStats,
+    SearchStats, Violation, XmlIndex,
 };
 pub use xseq_query::{parse_xpath, ParseError};
 pub use xseq_schema::{ProbabilityModel, SchemaTree, WeightMap};
@@ -142,6 +144,7 @@ pub struct DatabaseBuilder {
     boosts: Vec<(String, f64)>,
     registry: Arc<MetricsRegistry>,
     trace: Option<TraceConfig>,
+    spot_check_rate: f64,
 }
 
 impl Default for DatabaseBuilder {
@@ -162,7 +165,20 @@ impl DatabaseBuilder {
             boosts: Vec::new(),
             registry: Arc::new(MetricsRegistry::new()),
             trace: None,
+            spot_check_rate: 0.0,
         }
+    }
+
+    /// Enables sampled post-query integrity spot checks: after roughly
+    /// `rate` of all queries (deterministic fixed-point sampling, no RNG)
+    /// the index's structural invariants are re-verified and the report
+    /// lands in [`QueryOutcome::integrity`] — rendered by
+    /// [`QueryOutcome::explain`].  Off by default (`rate = 0.0`); the spot
+    /// check is the cheap structure-only pass, not the full per-sequence
+    /// round-trip of [`Database::verify_integrity`].
+    pub fn integrity_spot_check(mut self, rate: f64) -> Self {
+        self.spot_check_rate = rate.clamp(0.0, 1.0);
+        self
     }
 
     /// Enables per-query tracing with the given policy: every
@@ -268,6 +284,9 @@ impl DatabaseBuilder {
             parse_hist,
             pool_tel,
             tracer: self.trace.map(|c| Arc::new(Tracer::new(c))),
+            // 32.32 fixed point: `rate` of all queries fire the spot check.
+            spot_step: (self.spot_check_rate * (1u64 << 32) as f64) as u64,
+            spot_accum: 0,
         })
     }
 }
@@ -294,6 +313,10 @@ pub struct Database {
     /// query to attach pool-delta attributes (metric deltas) to its trace.
     pool_tel: PoolTelemetry,
     tracer: Option<Arc<Tracer>>,
+    /// Per-query increment of the 32.32 fixed-point sampling accumulator;
+    /// 0 disables the spot check entirely.
+    spot_step: u64,
+    spot_accum: u64,
 }
 
 impl Database {
@@ -313,7 +336,9 @@ impl Database {
                 &mut self.corpus.symbols,
                 &self.parse_hist,
             )?;
-            return Ok(self.index.query(&pattern, &mut self.corpus.paths));
+            let mut out = self.index.query(&pattern, &mut self.corpus.paths);
+            self.maybe_spot_check(&mut out);
+            return Ok(out);
         };
         let mut active = tracer.begin(expr);
         let pool0 = (self.pool_tel.hits.get(), self.pool_tel.misses.get());
@@ -341,8 +366,40 @@ impl Database {
         active.root_attr("candidates", out.stats.search.candidates);
         active.root_attr("pool_hits", out.stats.pool_hits);
         active.root_attr("pool_misses", out.stats.pool_misses);
+        self.maybe_spot_check(&mut out);
+        if let Some(report) = &out.integrity {
+            active.root_attr("integrity", report.summary());
+        }
         out.trace = Some(tracer.finish(active));
         Ok(out)
+    }
+
+    /// Fires the sampled post-query integrity spot check when the
+    /// fixed-point accumulator crosses an integer boundary (exactly `rate`
+    /// of all queries, deterministically).
+    fn maybe_spot_check(&mut self, out: &mut QueryOutcome) {
+        if self.spot_step == 0 {
+            return;
+        }
+        let prev = self.spot_accum;
+        self.spot_accum = prev.wrapping_add(self.spot_step);
+        if (self.spot_accum >> 32) != (prev >> 32) {
+            out.integrity = Some(self.index.verify_structure());
+        }
+    }
+
+    /// Full integrity verification of the index: preorder-label nesting and
+    /// subtree extents, path-link order and coverage, sibling-cover
+    /// bookkeeping, the end-node registry, and every distinct stored
+    /// constraint sequence's `f2` validity (Eq. 3) and Theorem 1 round-trip.
+    ///
+    /// Exhaustive — intended for `repro --verify`, tests, and offline
+    /// checks, not the query hot path (see
+    /// [`DatabaseBuilder::integrity_spot_check`] for the sampled in-band
+    /// variant).
+    pub fn verify_integrity(&mut self) -> IntegrityReport {
+        let Database { index, corpus, .. } = self;
+        index.verify_integrity(&mut corpus.paths)
     }
 
     /// The tracer behind this database's per-query tracing, if enabled.
@@ -653,6 +710,71 @@ mod tests {
         let slow = db.slow_queries();
         assert_eq!(slow.len(), 1);
         assert!(slow[0].root().attrs.iter().any(|(k, _)| *k == "error"));
+    }
+
+    #[test]
+    fn verify_integrity_is_clean_for_built_databases() {
+        // Single document, then a few more — both strategies.
+        for seq in [Sequencing::DepthFirst, Sequencing::Probability] {
+            let mut db = DatabaseBuilder::new()
+                .sequencing(seq)
+                .build_from_xml(["<a><b>x</b></a>"])
+                .unwrap();
+            let report = db.verify_integrity();
+            assert!(report.is_clean(), "{seq:?} single doc: {}", report.render());
+            db.insert_xml("<a><c/><c><d/></c></a>").unwrap();
+            db.insert_xml("<a><b>y</b><c/></a>").unwrap();
+            let report = db.verify_integrity();
+            assert!(report.is_clean(), "{seq:?} grown: {}", report.render());
+            assert!(report.sequences_checked >= 2);
+        }
+    }
+
+    #[test]
+    fn spot_check_fires_at_the_configured_rate() {
+        let mut db = DatabaseBuilder::new()
+            .integrity_spot_check(0.5)
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        let mut fired = 0;
+        for _ in 0..10 {
+            let out = db.query_xpath_full("/a/b").unwrap();
+            if let Some(report) = &out.integrity {
+                assert!(report.is_clean(), "{}", report.render());
+                assert!(out.explain().contains("integrity: clean"));
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 5, "fixed-point sampling is exact");
+    }
+
+    #[test]
+    fn spot_check_is_off_by_default() {
+        let mut db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
+        for _ in 0..5 {
+            assert!(db.query_xpath_full("/a").unwrap().integrity.is_none());
+        }
+    }
+
+    #[test]
+    fn spot_check_reaches_traced_queries() {
+        let mut db = DatabaseBuilder::new()
+            .integrity_spot_check(1.0)
+            .trace_config(TraceConfig {
+                sample_rate: 1.0,
+                slow_threshold: std::time::Duration::ZERO,
+                recent_capacity: 4,
+                slow_capacity: 4,
+            })
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        let out = db.query_xpath_full("/a/b").unwrap();
+        assert!(out.integrity.as_ref().is_some_and(|r| r.is_clean()));
+        let trace = out.trace.expect("tracing is on");
+        assert!(
+            trace.root().attrs.iter().any(|(k, _)| *k == "integrity"),
+            "spot-check summary lands on the trace root"
+        );
     }
 
     #[test]

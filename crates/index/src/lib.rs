@@ -15,16 +15,25 @@
 //!
 //! — the tree pattern is the basic query unit; no join operations, no
 //! per-document post-processing, no false alarms.
+//!
+//! [`verify`] is the `xseq-check` invariant verifier: it exhaustively
+//! validates a built index (label nesting, link order/coverage,
+//! sibling-cover bookkeeping, stored-sequence `f2`/round-trip) and reports
+//! violations with trie-node/serial coordinates.
+
+#![forbid(unsafe_code)]
 
 pub mod plan;
 pub mod search;
 pub mod telemetry;
 pub mod trie;
+pub mod verify;
 
 pub use plan::{instantiate, PlanOptions};
 pub use search::{constraint_search, naive_search, tree_search, QuerySequence, SearchStats};
 pub use telemetry::IndexTelemetry;
 pub use trie::{LinkEntry, SequenceTrie, TrieNodeId, TrieView, NIL};
+pub use verify::{verify_trie, verify_trie_structure, IntegrityReport, InvariantClass, Violation};
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -65,6 +74,9 @@ pub struct QueryOutcome {
     pub stats: QueryStats,
     /// The sealed trace of this query, when it ran under a tracer.
     pub trace: Option<Arc<Trace>>,
+    /// Post-query integrity spot check, when one fired (off by default;
+    /// enabled via `DatabaseBuilder::integrity_spot_check`).
+    pub integrity: Option<IntegrityReport>,
 }
 
 impl QueryOutcome {
@@ -122,6 +134,9 @@ impl QueryOutcome {
                 st.pool_hits,
                 st.pool_misses
             );
+        }
+        if let Some(report) = &self.integrity {
+            out.push_str(&report.render());
         }
         if let Some(trace) = &self.trace {
             out.push_str(&trace.render());
@@ -424,6 +439,28 @@ impl XmlIndex {
     /// Access to the underlying trie (storage layer, baselines, tests).
     pub fn trie(&self) -> &SequenceTrie {
         &self.trie
+    }
+
+    /// Mutable access to the trie — only for tests that seed deliberate
+    /// corruptions to exercise the verifier.
+    #[doc(hidden)]
+    pub fn trie_mut(&mut self) -> &mut SequenceTrie {
+        &mut self.trie
+    }
+
+    /// Structural integrity check: preorder-label nesting, subtree extents,
+    /// path-link order and coverage, sibling-cover bookkeeping, and the
+    /// end-node registry.  Needs no path table, so it is cheap enough for
+    /// sampled post-query spot checks.
+    pub fn verify_structure(&self) -> IntegrityReport {
+        verify_trie_structure(&self.trie)
+    }
+
+    /// Full integrity check: [`XmlIndex::verify_structure`] plus `f2`
+    /// validity (Eq. 3) and the Theorem 1 round-trip of every distinct
+    /// stored constraint sequence.
+    pub fn verify_integrity(&self, paths: &mut PathTable) -> IntegrityReport {
+        verify_trie(&self.trie, paths, &self.strategy)
     }
 
     /// The path dictionary (distinct data paths).

@@ -183,6 +183,49 @@ impl SequenceTrie {
         self.docs.get(&n).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The first child of a node in the arena's sibling chain (`NIL` when
+    /// the node is a leaf) — traversal primitive for the verifier.
+    #[inline]
+    pub(crate) fn first_child(&self, n: TrieNodeId) -> TrieNodeId {
+        self.nodes[n as usize].first_child
+    }
+
+    /// The next sibling of a node in the arena's sibling chain.
+    #[inline]
+    pub(crate) fn next_sibling(&self, n: TrieNodeId) -> TrieNodeId {
+        self.nodes[n as usize].next_sibling
+    }
+
+    /// Arena size including the virtual root.
+    #[inline]
+    pub(crate) fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Every end node with its document id list (arbitrary order).
+    pub(crate) fn doc_lists(&self) -> impl Iterator<Item = (TrieNodeId, &[DocId])> {
+        self.docs.iter().map(|(&n, v)| (n, v.as_slice()))
+    }
+
+    /// Test-support corruption hook: mutable access to the frozen labels,
+    /// links and end-node registry, *without* invalidating the freeze.
+    ///
+    /// Exists so the mutation tests of `verify` can seed deliberate
+    /// corruptions (swapped link serials, widened ranges) and assert the
+    /// verifier reports them.  Never call this from production code.
+    #[doc(hidden)]
+    pub fn corrupt_frozen(&mut self) -> Option<&mut Frozen> {
+        self.frozen.as_mut()
+    }
+
+    /// Test-support corruption hook: rewrites the path encoding of one trie
+    /// node — the stored-sequence equivalent of flipping a designator —
+    /// *without* invalidating the freeze or the edge map.
+    #[doc(hidden)]
+    pub fn corrupt_set_path(&mut self, n: TrieNodeId, p: PathId) {
+        self.nodes[n as usize].path = p;
+    }
+
     /// Inserts a document's constraint sequence (Figure 7).
     ///
     /// Invalidates any previous freeze.

@@ -1,0 +1,679 @@
+//! Exhaustive integrity verification of a built index (the `xseq-check`
+//! subsystem).
+//!
+//! The paper's query correctness (no false alarms, no false dismissals)
+//! rests on structural invariants that nothing in the hot path re-checks:
+//!
+//! * **Preorder labels** (Section 4.1, Figure 8): every trie node's range
+//!   `(n⊢, n⊣)` is properly nested inside its parent's, sibling ranges are
+//!   disjoint, and `n⊣` equals the largest serial in `n`'s subtree — the
+//!   descent test `x⊢ ∈ (y⊢, y⊣]` is only sound under all three.
+//! * **Path links** (Section 4.1, Figure 9): every horizontal link is
+//!   strictly sorted by serial and contains each trie node exactly once —
+//!   [`TrieView::link_lower_bound`]'s binary search silently returns wrong
+//!   candidates otherwise.
+//! * **Sibling-cover bookkeeping** (Algorithm 1 / Definition 4): the
+//!   `embeds_identical` flag must equal a from-scratch recomputation, or
+//!   the constraint check is skipped exactly where it is needed.
+//! * **Stored sequences** (Eq. 3 / Theorem 1): every root-to-end-node path
+//!   spells a constraint sequence that must satisfy `f2` and round-trip
+//!   sequence → tree → sequence to an identical encoding.
+//!
+//! A violated invariant turns subsequence matches into *wrong answers*
+//! rather than crashes — the worst failure mode for an index — so
+//! [`verify_trie`] checks all of them and reports violations with
+//! trie-node/serial coordinates.  [`XmlIndex::verify_integrity`] and
+//! `Database::verify_integrity` are the public entry points; `repro
+//! --verify` runs them over the XMark/DBLP/synthetic corpora.
+//!
+//! [`TrieView::link_lower_bound`]: crate::trie::TrieView::link_lower_bound
+//! [`XmlIndex::verify_integrity`]: crate::XmlIndex::verify_integrity
+
+use crate::trie::{SequenceTrie, TrieNodeId, NIL};
+use std::fmt::Write as _;
+use xseq_sequence::{verify_sequence, Sequence, Strategy};
+use xseq_xml::PathTable;
+
+/// Which invariant a violation breaks, keyed to its paper source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvariantClass {
+    /// The trie has unfrozen insertions; labels and links are stale.
+    NotFrozen,
+    /// Preorder serials are not a permutation, or a label range is not
+    /// properly nested in its parent / overlaps a sibling (Figure 8).
+    PreorderNesting,
+    /// `n⊣` disagrees with a from-scratch subtree-extent recomputation.
+    SubtreeExtent,
+    /// A horizontal path link is not strictly sorted by serial, or an
+    /// entry's cached label disagrees with the node's label (Figure 9).
+    LinkOrder,
+    /// A node is missing from (or duplicated in) the link of its own path.
+    LinkCoverage,
+    /// `embeds_identical` disagrees with recomputation (Definition 4).
+    SiblingCover,
+    /// The end-node registry disagrees with the document-id lists.
+    EndNodes,
+    /// A stored sequence violates `f2` (Eq. 3).
+    SequenceF2,
+    /// A stored sequence fails the Theorem 1 round-trip.
+    RoundTrip,
+}
+
+impl InvariantClass {
+    /// Short machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InvariantClass::NotFrozen => "not_frozen",
+            InvariantClass::PreorderNesting => "preorder_nesting",
+            InvariantClass::SubtreeExtent => "subtree_extent",
+            InvariantClass::LinkOrder => "link_order",
+            InvariantClass::LinkCoverage => "link_coverage",
+            InvariantClass::SiblingCover => "sibling_cover",
+            InvariantClass::EndNodes => "end_nodes",
+            InvariantClass::SequenceF2 => "sequence_f2",
+            InvariantClass::RoundTrip => "round_trip",
+        }
+    }
+
+    /// Where in the paper the invariant comes from.
+    pub fn paper_source(self) -> &'static str {
+        match self {
+            InvariantClass::NotFrozen => "Section 4.1 (index construction)",
+            InvariantClass::PreorderNesting => "Section 4.1 step 2, Figure 8",
+            InvariantClass::SubtreeExtent => "Section 4.1 step 2, Figure 8",
+            InvariantClass::LinkOrder => "Section 4.1 step 3, Figure 9",
+            InvariantClass::LinkCoverage => "Section 4.1 step 3, Figure 9",
+            InvariantClass::SiblingCover => "Algorithm 1 / Definition 4",
+            InvariantClass::EndNodes => "Section 4.1 step 1, Figure 7",
+            InvariantClass::SequenceF2 => "Eq. 3 / Definition 2",
+            InvariantClass::RoundTrip => "Theorem 1",
+        }
+    }
+}
+
+/// One invariant violation, located by trie-node/serial coordinates.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The broken invariant.
+    pub class: InvariantClass,
+    /// The trie node the violation anchors to, when one exists.
+    pub node: Option<TrieNodeId>,
+    /// The node's preorder serial `n⊢`, when labels are available.
+    pub serial: Option<u32>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Violation {
+    fn render(&self) -> String {
+        let mut out = format!("[{}]", self.class.as_str());
+        if let Some(n) = self.node {
+            let _ = write!(out, " node {n}");
+        }
+        if let Some(s) = self.serial {
+            let _ = write!(out, " (serial {s})");
+        }
+        let _ = write!(out, ": {} — {}", self.detail, self.class.paper_source());
+        out
+    }
+}
+
+/// Result of an integrity pass: work counters plus the structured
+/// violation list.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityReport {
+    /// Trie nodes whose labels were checked (including the virtual root).
+    pub nodes_checked: usize,
+    /// Horizontal path links checked.
+    pub links_checked: usize,
+    /// Distinct stored sequences decoded and round-tripped.
+    pub sequences_checked: usize,
+    /// Violations found, capped at [`IntegrityReport::MAX_VIOLATIONS`].
+    pub violations: Vec<Violation>,
+    /// Violations beyond the cap (counted, not stored).
+    pub suppressed: usize,
+}
+
+impl IntegrityReport {
+    /// Upper bound on stored violations; the rest are only counted, so a
+    /// corrupted index cannot balloon its own report.
+    pub const MAX_VIOLATIONS: usize = 64;
+
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// Total violations found, including suppressed ones.
+    pub fn violation_count(&self) -> usize {
+        self.violations.len() + self.suppressed
+    }
+
+    /// True when some violation of `class` was recorded.
+    pub fn has(&self, class: InvariantClass) -> bool {
+        self.violations.iter().any(|v| v.class == class)
+    }
+
+    fn push(&mut self, v: Violation) {
+        if self.violations.len() < Self::MAX_VIOLATIONS {
+            self.violations.push(v);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// One-line outcome, e.g. for `explain()` output.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!(
+                "clean ({} nodes, {} links, {} sequences)",
+                self.nodes_checked, self.links_checked, self.sequences_checked
+            )
+        } else {
+            format!(
+                "{} violation(s) over {} nodes / {} links / {} sequences",
+                self.violation_count(),
+                self.nodes_checked,
+                self.links_checked,
+                self.sequences_checked
+            )
+        }
+    }
+
+    /// Multi-line report: summary plus one line per stored violation.
+    pub fn render(&self) -> String {
+        let mut out = format!("integrity: {}\n", self.summary());
+        for v in &self.violations {
+            let _ = writeln!(out, "  {}", v.render());
+        }
+        if self.suppressed > 0 {
+            let _ = writeln!(
+                out,
+                "  … {} further violation(s) suppressed",
+                self.suppressed
+            );
+        }
+        out
+    }
+}
+
+/// Verifies the frozen trie's labels, links, sibling-cover bookkeeping and
+/// end-node registry — everything that can be checked without decoding
+/// sequences.  Cheap enough for sampled post-query spot checks.
+pub fn verify_trie_structure(trie: &SequenceTrie) -> IntegrityReport {
+    let mut report = IntegrityReport::default();
+    if !trie.is_frozen() {
+        report.push(Violation {
+            class: InvariantClass::NotFrozen,
+            node: None,
+            serial: None,
+            detail: "insertions since the last freeze; labels and links are stale".into(),
+        });
+        return report;
+    }
+    let f = trie.frozen();
+    let n = trie.arena_len();
+    report.nodes_checked = n;
+
+    // Array shapes: the labels must cover the arena exactly.
+    if f.serial.len() != n || f.max_desc.len() != n || f.embeds_identical.len() != n {
+        report.push(Violation {
+            class: InvariantClass::PreorderNesting,
+            node: None,
+            serial: None,
+            detail: format!(
+                "label arrays cover {}/{}/{} nodes of an arena of {n}",
+                f.serial.len(),
+                f.max_desc.len(),
+                f.embeds_identical.len()
+            ),
+        });
+        return report; // indexing below would be unsound
+    }
+
+    // Serials are a permutation of 0..n.
+    let mut seen = vec![false; n];
+    for (i, &s) in f.serial.iter().enumerate() {
+        if (s as usize) >= n || seen[s as usize] {
+            report.push(Violation {
+                class: InvariantClass::PreorderNesting,
+                node: Some(i as TrieNodeId),
+                serial: Some(s),
+                detail: format!("serial {s} out of range or duplicated (arena of {n})"),
+            });
+        } else {
+            seen[s as usize] = true;
+        }
+    }
+
+    // Virtual root: serial 0, range spanning the whole arena.
+    let root = trie.root();
+    let (rs, rm) = trie.label(root);
+    if rs != 0 || rm as usize != n - 1 {
+        report.push(Violation {
+            class: InvariantClass::PreorderNesting,
+            node: Some(root),
+            serial: Some(rs),
+            detail: format!("root range ({rs}, {rm}) should be (0, {})", n - 1),
+        });
+    }
+
+    // Per node: self-consistency, nesting in the parent, disjoint sibling
+    // ranges, and the subtree extent recomputed from the children.
+    for i in 0..n as TrieNodeId {
+        let (s, m) = trie.label(i);
+        if s > m || (m as usize) >= n {
+            report.push(Violation {
+                class: InvariantClass::PreorderNesting,
+                node: Some(i),
+                serial: Some(s),
+                detail: format!("degenerate range ({s}, {m})"),
+            });
+            continue;
+        }
+        let parent = trie.parent(i);
+        if parent != NIL {
+            let (ps, pm) = trie.label(parent);
+            if !(ps < s && m <= pm) {
+                report.push(Violation {
+                    class: InvariantClass::PreorderNesting,
+                    node: Some(i),
+                    serial: Some(s),
+                    detail: format!(
+                        "range ({s}, {m}) not nested in parent {parent}'s ({ps}, {pm})"
+                    ),
+                });
+            }
+        }
+        // Children: extent recomputation + pairwise disjointness.
+        let mut extent = s;
+        let mut ranges: Vec<(u32, u32, TrieNodeId)> = Vec::new();
+        let mut c = trie.first_child(i);
+        while c != NIL {
+            let (cs, cm) = trie.label(c);
+            extent = extent.max(cm);
+            ranges.push((cs, cm, c));
+            c = trie.next_sibling(c);
+        }
+        if extent != m {
+            report.push(Violation {
+                class: InvariantClass::SubtreeExtent,
+                node: Some(i),
+                serial: Some(s),
+                detail: format!("n⊣ is {m} but the subtree extends to {extent}"),
+            });
+        }
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            let (_, am, an) = w[0];
+            let (bs, _, bn) = w[1];
+            if bs <= am {
+                report.push(Violation {
+                    class: InvariantClass::PreorderNesting,
+                    node: Some(bn),
+                    serial: Some(bs),
+                    detail: format!("sibling ranges of nodes {an} and {bn} overlap"),
+                });
+            }
+        }
+    }
+
+    // Path links: strict serial order, cached labels in agreement, and
+    // exactly-once coverage of every real node under its own path.
+    report.links_checked = f.links.len();
+    let mut covered = vec![0u32; n];
+    for (&path, entries) in &f.links {
+        for w in entries.windows(2) {
+            if w[0].serial >= w[1].serial {
+                report.push(Violation {
+                    class: InvariantClass::LinkOrder,
+                    node: Some(w[1].node),
+                    serial: Some(w[1].serial),
+                    detail: format!(
+                        "link of path {path:?} not strictly ascending: {} then {}",
+                        w[0].serial, w[1].serial
+                    ),
+                });
+            }
+        }
+        for (idx, e) in entries.iter().enumerate() {
+            if (e.node as usize) >= n {
+                report.push(Violation {
+                    class: InvariantClass::LinkCoverage,
+                    node: Some(e.node),
+                    serial: Some(e.serial),
+                    detail: format!("link of path {path:?} points outside the arena"),
+                });
+                continue;
+            }
+            covered[e.node as usize] += 1;
+            let (s, m) = trie.label(e.node);
+            if e.serial != s || e.max_desc != m {
+                report.push(Violation {
+                    class: InvariantClass::LinkOrder,
+                    node: Some(e.node),
+                    serial: Some(s),
+                    detail: format!(
+                        "link entry caches ({}, {}) but the node is labeled ({s}, {m})",
+                        e.serial, e.max_desc
+                    ),
+                });
+            }
+            if trie.path(e.node) != path {
+                report.push(Violation {
+                    class: InvariantClass::LinkCoverage,
+                    node: Some(e.node),
+                    serial: Some(s),
+                    detail: format!(
+                        "node carries path {:?} but sits in the link of {path:?}",
+                        trie.path(e.node)
+                    ),
+                });
+            }
+            // Sibling-cover recomputation: with the link in ascending serial
+            // order, the node embeds an identical-path node iff the next
+            // entry starts inside its range.
+            let expected = entries
+                .get(idx + 1)
+                .is_some_and(|next| next.serial <= e.max_desc && next.serial > e.serial);
+            if f.embeds_identical[e.node as usize] != expected {
+                report.push(Violation {
+                    class: InvariantClass::SiblingCover,
+                    node: Some(e.node),
+                    serial: Some(s),
+                    detail: format!(
+                        "embeds_identical is {} but recomputation says {expected}",
+                        f.embeds_identical[e.node as usize]
+                    ),
+                });
+            }
+        }
+    }
+    for i in 1..n as TrieNodeId {
+        if covered[i as usize] != 1 {
+            report.push(Violation {
+                class: InvariantClass::LinkCoverage,
+                node: Some(i),
+                serial: Some(trie.label(i).0),
+                detail: format!(
+                    "node appears {} times across the path links (expected exactly once)",
+                    covered[i as usize]
+                ),
+            });
+        }
+    }
+
+    // End-node registry: strictly ascending serials, in exact agreement
+    // with the document-id lists, totalling the inserted sequence count.
+    for w in f.end_nodes.windows(2) {
+        if w[0].0 >= w[1].0 {
+            report.push(Violation {
+                class: InvariantClass::EndNodes,
+                node: Some(w[1].1),
+                serial: Some(w[1].0),
+                detail: "end-node registry not strictly ascending by serial".into(),
+            });
+        }
+    }
+    let mut total_docs = 0usize;
+    let mut end_count = 0usize;
+    for (node, docs) in trie.doc_lists() {
+        total_docs += docs.len();
+        end_count += 1;
+        if docs.is_empty() {
+            report.push(Violation {
+                class: InvariantClass::EndNodes,
+                node: Some(node),
+                serial: Some(trie.label(node).0),
+                detail: "empty document-id list".into(),
+            });
+        }
+        let s = trie.label(node).0;
+        if !f.end_nodes.iter().any(|&(es, en)| en == node && es == s) {
+            report.push(Violation {
+                class: InvariantClass::EndNodes,
+                node: Some(node),
+                serial: Some(s),
+                detail: "end node missing from the registry (or registered under a stale serial)"
+                    .into(),
+            });
+        }
+    }
+    if f.end_nodes.len() != end_count {
+        report.push(Violation {
+            class: InvariantClass::EndNodes,
+            node: None,
+            serial: None,
+            detail: format!(
+                "registry lists {} end nodes but {} carry documents",
+                f.end_nodes.len(),
+                end_count
+            ),
+        });
+    }
+    if total_docs != trie.sequence_count() {
+        report.push(Violation {
+            class: InvariantClass::EndNodes,
+            node: None,
+            serial: None,
+            detail: format!(
+                "{} document ids stored but {} sequences were inserted",
+                total_docs,
+                trie.sequence_count()
+            ),
+        });
+    }
+    report
+}
+
+/// Full verification: [`verify_trie_structure`] plus the sequence-level
+/// checks — every distinct stored constraint sequence (one per end node,
+/// reconstructed from its root path) must satisfy `f2` and round-trip
+/// through the Theorem 1 decoder under `strategy`.
+pub fn verify_trie(
+    trie: &SequenceTrie,
+    paths: &mut PathTable,
+    strategy: &Strategy,
+) -> IntegrityReport {
+    let mut report = verify_trie_structure(trie);
+    if report.has(InvariantClass::NotFrozen) {
+        return report;
+    }
+    // Deterministic order for reproducible reports.
+    let mut ends: Vec<TrieNodeId> = trie.doc_lists().map(|(n, _)| n).collect();
+    ends.sort_unstable();
+    for end in ends {
+        // The stored sequence is the root-to-end-node path of the trie.
+        let mut elems = Vec::new();
+        let mut cur = end;
+        while cur != NIL && cur != trie.root() {
+            elems.push(trie.path(cur));
+            cur = trie.parent(cur);
+        }
+        elems.reverse();
+        let seq = Sequence(elems);
+        report.sequences_checked += 1;
+        if let Err(issue) = verify_sequence(&seq, paths, strategy) {
+            let class = match issue {
+                xseq_sequence::SequenceIssue::NotF2(_)
+                | xseq_sequence::SequenceIssue::MultisetMismatch { .. } => {
+                    InvariantClass::SequenceF2
+                }
+                xseq_sequence::SequenceIssue::ReencodeMismatch { .. }
+                | xseq_sequence::SequenceIssue::StructuralMismatch => InvariantClass::RoundTrip,
+            };
+            let serial = trie.is_frozen().then(|| trie.label(end).0);
+            report.push(Violation {
+                class,
+                node: Some(end),
+                serial,
+                detail: format!(
+                    "stored sequence of {} element(s), docs {:?}: {issue}",
+                    seq.len(),
+                    trie.docs_at(end)
+                ),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xseq_xml::{PathId, Symbol, SymbolTable, ValueMode};
+
+    fn seq_of(st: &mut SymbolTable, pt: &mut PathTable, specs: &[&str]) -> Sequence {
+        Sequence(
+            specs
+                .iter()
+                .map(|spec| {
+                    let syms: Vec<Symbol> = spec.split('.').map(|s| st.elem(s)).collect();
+                    pt.intern(&syms)
+                })
+                .collect(),
+        )
+    }
+
+    fn df_trie(sequences: &[&[&str]]) -> (SequenceTrie, PathTable, SymbolTable) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let mut pt = PathTable::new();
+        let mut trie = SequenceTrie::new();
+        for (d, specs) in sequences.iter().enumerate() {
+            let s = seq_of(&mut st, &mut pt, specs);
+            trie.insert(&s, d as u32);
+        }
+        trie.freeze();
+        (trie, pt, st)
+    }
+
+    #[test]
+    fn clean_trie_verifies_clean() {
+        let (trie, mut pt, _st) = df_trie(&[
+            &["P", "P.A", "P.A.X"],
+            &["P", "P.A", "P.A.Y"],
+            &["P", "P.B"],
+        ]);
+        let report = verify_trie(&trie, &mut pt, &Strategy::DepthFirst);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.sequences_checked, 3);
+        assert!(report.links_checked > 0);
+    }
+
+    #[test]
+    fn empty_trie_verifies_clean() {
+        let mut trie = SequenceTrie::new();
+        trie.freeze();
+        let mut pt = PathTable::new();
+        let report = verify_trie(&trie, &mut pt, &Strategy::DepthFirst);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.nodes_checked, 1, "just the virtual root");
+        assert_eq!(report.sequences_checked, 0);
+    }
+
+    #[test]
+    fn unfrozen_trie_reports_not_frozen() {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let mut pt = PathTable::new();
+        let mut trie = SequenceTrie::new();
+        let s = seq_of(&mut st, &mut pt, &["P"]);
+        trie.insert(&s, 0);
+        let report = verify_trie(&trie, &mut pt, &Strategy::DepthFirst);
+        assert!(report.has(InvariantClass::NotFrozen));
+        assert_eq!(report.violation_count(), 1);
+    }
+
+    #[test]
+    fn swapped_link_serials_detected_as_link_order() {
+        let (mut trie, mut pt, _st) = df_trie(&[&["P", "P.A", "P.A.X", "P.A"], &["P", "P.B"]]);
+        // Find a link with ≥2 entries and swap the serials of its first two.
+        let f = trie.corrupt_frozen().unwrap();
+        let link = f
+            .links
+            .values_mut()
+            .find(|v| v.len() >= 2)
+            .expect("P.A has two trie nodes");
+        let (a, b) = (link[0].serial, link[1].serial);
+        link[0].serial = b;
+        link[1].serial = a;
+        let report = verify_trie(&trie, &mut pt, &Strategy::DepthFirst);
+        assert!(report.has(InvariantClass::LinkOrder), "{}", report.render());
+    }
+
+    #[test]
+    fn widened_child_range_detected() {
+        let (mut trie, _pt, _st) = df_trie(&[&["P", "P.A"], &["P", "P.B"]]);
+        let f = trie.corrupt_frozen().unwrap();
+        // Widen a leaf's range past its parent's.
+        let leaf = f
+            .max_desc
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|&(i, &m)| f.serial[i] == m)
+            .map(|(i, _)| i)
+            .expect("some leaf exists");
+        f.max_desc[leaf] = f.max_desc.len() as u32 + 10;
+        let report = verify_trie_structure(&trie);
+        assert!(
+            report.has(InvariantClass::PreorderNesting)
+                || report.has(InvariantClass::SubtreeExtent),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn flipped_embeds_flag_detected() {
+        let (mut trie, mut pt, _st) = df_trie(&[&["P", "P.A", "P.A.X"]]);
+        let f = trie.corrupt_frozen().unwrap();
+        f.embeds_identical[1] = !f.embeds_identical[1];
+        let report = verify_trie(&trie, &mut pt, &Strategy::DepthFirst);
+        assert!(
+            report.has(InvariantClass::SiblingCover),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn flipped_designator_detected_in_stored_sequence() {
+        let (mut trie, mut pt, mut st) = df_trie(&[&["P", "P.A", "P.A.X"]]);
+        // Flip the end node's path to an unrelated deep path: the stored
+        // sequence loses the P.A.X element and gains one whose parent
+        // never occurs.
+        let bogus = {
+            let q = st.elem("Q");
+            let r = st.elem("R");
+            pt.intern(&[q, r])
+        };
+        // End node is the deepest node on the only branch.
+        let end = trie.doc_lists().next().unwrap().0;
+        trie.corrupt_set_path(end, bogus);
+        let report = verify_trie(&trie, &mut pt, &Strategy::DepthFirst);
+        assert!(
+            report.has(InvariantClass::SequenceF2) || report.has(InvariantClass::LinkCoverage),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn report_caps_and_renders() {
+        let mut report = IntegrityReport::default();
+        for i in 0..(IntegrityReport::MAX_VIOLATIONS + 5) {
+            report.push(Violation {
+                class: InvariantClass::LinkOrder,
+                node: Some(i as TrieNodeId),
+                serial: Some(i as u32),
+                detail: "x".into(),
+            });
+        }
+        assert_eq!(report.violations.len(), IntegrityReport::MAX_VIOLATIONS);
+        assert_eq!(report.suppressed, 5);
+        assert!(!report.is_clean());
+        assert!(report.render().contains("suppressed"));
+        assert!(report.summary().contains("violation"));
+        let _ = PathId::ROOT; // keep the import earning its place
+    }
+}

@@ -1,0 +1,216 @@
+//! Mutation tests for the integrity verifier: seed deliberate corruptions
+//! into otherwise-clean frozen tries and assert the verifier pinpoints
+//! them — the right invariant class, anchored at the corrupted
+//! coordinates — while clean indexes of any shape verify clean (no false
+//! positives, no false negatives).
+
+use proptest::prelude::*;
+use xseq_index::{InvariantClass, PlanOptions, XmlIndex};
+use xseq_sequence::Strategy as SeqStrategy;
+use xseq_xml::{Document, PathTable, SymbolTable, ValueMode};
+
+/// Each doc: node `i` (1-based) attaches under `parents[i-1] % i` with
+/// label `labels[i] % alphabet` — the same compact recipe the sequencing
+/// proptests use.
+#[derive(Debug, Clone)]
+struct CorpusRecipe {
+    docs: Vec<(Vec<u32>, Vec<u8>)>,
+    alphabet: u8,
+}
+
+fn corpus_recipe(max_docs: usize, max_nodes: usize) -> impl Strategy<Value = CorpusRecipe> {
+    (
+        proptest::collection::vec(
+            (1..max_nodes).prop_flat_map(|n| {
+                (
+                    proptest::collection::vec(any::<u32>(), n),
+                    proptest::collection::vec(any::<u8>(), n + 1),
+                )
+            }),
+            1..max_docs,
+        ),
+        2u8..5,
+    )
+        .prop_map(|(docs, alphabet)| CorpusRecipe { docs, alphabet })
+}
+
+fn build_index(recipe: &CorpusRecipe) -> (XmlIndex, PathTable) {
+    let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+    let syms: Vec<_> = (0..recipe.alphabet)
+        .map(|i| st.elem(&format!("e{i}")))
+        .collect();
+    let docs: Vec<Document> = recipe
+        .docs
+        .iter()
+        .map(|(parents, labels)| {
+            let mut doc = Document::with_root(syms[(labels[0] % recipe.alphabet) as usize]);
+            for i in 1..=parents.len() {
+                let parent = parents[i - 1] % i as u32;
+                doc.child(parent, syms[(labels[i] % recipe.alphabet) as usize]);
+            }
+            doc
+        })
+        .collect();
+    let mut paths = PathTable::new();
+    let index = XmlIndex::build(
+        &docs,
+        &mut paths,
+        SeqStrategy::DepthFirst,
+        PlanOptions::default(),
+    );
+    (index, paths)
+}
+
+#[test]
+fn empty_index_verifies_clean_without_panicking() {
+    let mut paths = PathTable::new();
+    let index = XmlIndex::build(
+        &[],
+        &mut paths,
+        SeqStrategy::DepthFirst,
+        PlanOptions::default(),
+    );
+    let report = index.verify_integrity(&mut paths);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.sequences_checked, 0);
+}
+
+#[test]
+fn single_doc_index_verifies_clean() {
+    let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+    let a = st.elem("a");
+    let b = st.elem("b");
+    let mut doc = Document::with_root(a);
+    let root = doc.root().expect("rooted");
+    doc.child(root, b);
+    let mut paths = PathTable::new();
+    let index = XmlIndex::build(
+        &[doc],
+        &mut paths,
+        SeqStrategy::DepthFirst,
+        PlanOptions::default(),
+    );
+    let report = index.verify_integrity(&mut paths);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.sequences_checked, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No false positives: every clean index verifies clean.
+    #[test]
+    fn clean_indexes_have_zero_violations(recipe in corpus_recipe(8, 20)) {
+        let (index, mut paths) = build_index(&recipe);
+        let report = index.verify_integrity(&mut paths);
+        prop_assert!(report.is_clean(), "{}", report.render());
+        prop_assert_eq!(report.sequences_checked, index.trie().sequence_count());
+    }
+
+    /// Swapping two adjacent path-link serials must surface as `LinkOrder`
+    /// anchored at the out-of-order entry.
+    #[test]
+    fn swapped_link_serials_are_pinpointed(
+        recipe in corpus_recipe(8, 20),
+        pick in any::<u32>(),
+    ) {
+        let (mut index, _paths) = build_index(&recipe);
+        let swapped = {
+            let f = index
+                .trie_mut()
+                .corrupt_frozen()
+                .expect("build() freezes");
+            let mut eligible: Vec<_> = f
+                .links
+                .values_mut()
+                .filter(|v| v.len() >= 2)
+                .collect();
+            if eligible.is_empty() {
+                None
+            } else {
+                let idx = pick as usize % eligible.len();
+                let link = &mut eligible[idx];
+                let i = pick as usize % (link.len() - 1);
+                let (a, b) = (link[i].serial, link[i + 1].serial);
+                link[i].serial = b;
+                link[i + 1].serial = a;
+                Some(a.min(b))
+            }
+        };
+        let Some(low) = swapped else {
+            return Ok(()); // no multi-entry link in this corpus shape
+        };
+        let report = index.verify_structure();
+        prop_assert!(report.has(InvariantClass::LinkOrder), "{}", report.render());
+        prop_assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.class == InvariantClass::LinkOrder && v.serial == Some(low)),
+            "LinkOrder must anchor at the out-of-order serial {low}:\n{}",
+            report.render()
+        );
+    }
+
+    /// Widening a child's preorder range past its parent must surface as
+    /// `PreorderNesting` at the child or `SubtreeExtent` at an ancestor.
+    #[test]
+    fn widened_child_range_is_pinpointed(
+        recipe in corpus_recipe(8, 20),
+        pick in any::<u32>(),
+    ) {
+        let (mut index, _paths) = build_index(&recipe);
+        let (node, parent) = {
+            let trie = index.trie_mut();
+            // Any real (non-virtual-root) node: arena ids 1..=node_count().
+            let n = (1 + pick as usize % trie.node_count()) as u32;
+            let parent = trie.parent(n);
+            let f = trie.corrupt_frozen().expect("build() freezes");
+            f.max_desc[n as usize] = f.max_desc.len() as u32 + 7;
+            (n, parent)
+        };
+        let report = index.verify_structure();
+        prop_assert!(
+            report.violations.iter().any(|v| {
+                (v.class == InvariantClass::PreorderNesting && v.node == Some(node))
+                    || (v.class == InvariantClass::SubtreeExtent && v.node == Some(parent))
+            }),
+            "corrupting node {node} (parent {parent}) must anchor there:\n{}",
+            report.render()
+        );
+    }
+
+    /// Flipping one designator of a stored sequence (rewriting a trie
+    /// node's path) must surface as a sequence-level violation
+    /// (`SequenceF2`/`RoundTrip`) or as broken link coverage for the two
+    /// paths involved.
+    #[test]
+    fn flipped_designator_is_pinpointed(
+        recipe in corpus_recipe(8, 20),
+        pick in any::<u32>(),
+    ) {
+        let (mut index, mut paths) = build_index(&recipe);
+        {
+            let trie = index.trie_mut();
+            let n = (1 + pick as usize % trie.node_count()) as u32;
+            let old = trie.path(n);
+            // Flip to any other path stored in the trie.
+            let other = (1..=trie.node_count() as u32)
+                .map(|m| trie.path(m))
+                .find(|&p| p != old);
+            let Some(other) = other else {
+                return Ok(()); // single-path corpus: nothing to flip to
+            };
+            trie.corrupt_set_path(n, other);
+        }
+        let report = index.verify_integrity(&mut paths);
+        prop_assert!(!report.is_clean(), "flip must be caught");
+        prop_assert!(
+            report.has(InvariantClass::SequenceF2)
+                || report.has(InvariantClass::RoundTrip)
+                || report.has(InvariantClass::LinkCoverage),
+            "wrong class for a designator flip:\n{}",
+            report.render()
+        );
+    }
+}

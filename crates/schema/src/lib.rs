@@ -23,6 +23,7 @@
 //!   `p(C | root)` — including the paper's "second factor" for value nodes
 //!   (the probability that the value equals `v`), since value paths are
 //!   counted per concrete value designator.
+#![forbid(unsafe_code)]
 
 use std::collections::{HashMap, HashSet};
 use xseq_sequence::PriorityMap;

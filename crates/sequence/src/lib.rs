@@ -17,16 +17,22 @@
 //!   discusses (and PRIX builds on), for comparison.
 //! * [`isomorph`] — enumeration of the isomorphic sibling orderings of a
 //!   query tree, the paper's cure for false dismissals (Section 3.3).
+//! * [`verify`] — integrity checking of stored sequences: `f2` validity and
+//!   the Theorem 1 round-trip, used by the index's `verify_integrity`.
+
+#![forbid(unsafe_code)]
 
 pub mod constraint;
 pub mod isomorph;
 pub mod prufer;
 pub mod strategy;
+pub mod verify;
 
 pub use constraint::{decode_f2, forward_prefix, validate_f2, DecodeError};
 pub use isomorph::isomorphic_variants;
 pub use prufer::{prufer_decode, prufer_encode, PruferError};
 pub use strategy::{sequence_document, sequence_nodes, PriorityMap, Strategy};
+pub use verify::{verify_sequence, SequenceIssue};
 
 use xseq_xml::{PathId, PathTable, SymbolTable};
 

@@ -114,6 +114,22 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// True when a stored sequence is exactly re-encodable from its decoded
+    /// tree: decode (Theorem 1) followed by re-sequencing with the same
+    /// strategy reproduces the sequence element for element.
+    ///
+    /// Holds for the top-down orders whose sibling emission is a pure
+    /// function of the path — depth-first (stable symbol order) and
+    /// probability (path-keyed priorities).  `Random` ranks per node id, so
+    /// re-encoding may legally reorder.  `BreadthFirst` is excluded too:
+    /// the decoder attaches each element under the most recent matching
+    /// prefix, which normalizes sibling attachment, and when equal-path
+    /// siblings at one level carry children the original level order is not
+    /// recoverable — the re-encoding is a legal reordering, not corruption.
+    pub fn reencode_is_canonical(&self) -> bool {
+        matches!(self, Strategy::DepthFirst | Strategy::Probability(_))
+    }
+
     /// Short name used in benchmark output ("DF", "BF", "Random", "CS").
     pub fn short_name(&self) -> &'static str {
         match self {

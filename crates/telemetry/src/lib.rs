@@ -29,6 +29,7 @@ pub mod export;
 pub mod metrics;
 pub mod registry;
 pub mod ring;
+pub mod sched;
 pub mod span;
 pub mod trace;
 
@@ -38,6 +39,7 @@ pub use metrics::{
 };
 pub use registry::{Metric, MetricValue, MetricsRegistry, Snapshot};
 pub use ring::BoundedRing;
+pub use sched::{check_counter, check_ring, CounterOp, RingOp, Schedules};
 pub use span::SpanTimer;
 pub use trace::{
     ActiveTrace, AttrValue, SpanId, Trace, TraceConfig, TraceId, TraceSpan, Tracer, TracerStats,

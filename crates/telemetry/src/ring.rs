@@ -36,16 +36,25 @@ pub struct BoundedRing<T> {
     pop_pos: AtomicUsize,
 }
 
-// SAFETY: values are moved in and out whole, published/claimed through the
-// per-slot `seq` stamp with Acquire/Release ordering, so a slot's value is
-// only touched by the single thread that won the cursor CAS for it.
+// SAFETY: sending the ring to another thread moves its `T`s with it; the
+// `UnsafeCell<MaybeUninit<T>>` slots hold values that are moved in and out
+// whole, never borrowed across threads, so `T: Send` suffices.
 unsafe impl<T: Send> Send for BoundedRing<T> {}
+// SAFETY: shared access is mediated by the per-slot `seq` stamp with
+// Acquire/Release ordering — only the thread that won the cursor CAS touches
+// a slot, so no `T` is ever handed to two threads and `T: Send` suffices.
 unsafe impl<T: Send> Sync for BoundedRing<T> {}
 
 impl<T> BoundedRing<T> {
-    /// A ring holding at most `capacity` elements (minimum 1).
+    /// A ring holding at most `capacity` elements (minimum 2).
+    ///
+    /// Capacity 1 is rounded up: with a single slot the lap stamps collide —
+    /// the "full" stamp `pos + 1` equals the next lap's "empty" stamp
+    /// `pos + capacity` — so a second producer would overwrite the
+    /// unconsumed value and the consumer would spin on a stamp from the
+    /// future.  (Found by the interleaving checker in [`crate::sched`].)
     pub fn new(capacity: usize) -> Self {
-        let capacity = capacity.max(1);
+        let capacity = capacity.max(2);
         let slots = (0..capacity)
             .map(|i| Slot {
                 seq: AtomicUsize::new(i),
@@ -68,6 +77,8 @@ impl<T> BoundedRing<T> {
     /// Instantaneous element count (racy under concurrency, exact when
     /// quiescent).
     pub fn len(&self) -> usize {
+        // relaxed: monotone counters read for an advisory count; the method
+        // documents itself as racy under concurrency.
         let push = self.push_pos.load(Ordering::Relaxed);
         let pop = self.pop_pos.load(Ordering::Relaxed);
         push.saturating_sub(pop).min(self.capacity)
@@ -80,6 +91,9 @@ impl<T> BoundedRing<T> {
 
     /// Appends `value`; fails (returning it) when the ring is full.
     pub fn push(&self, value: T) -> Result<(), T> {
+        // relaxed: the cursor is only a claim ticket — publication happens
+        // through the slot's `seq` stamp (Acquire above, Release below), so
+        // cursor loads and the CAS itself need no ordering of their own.
         let mut pos = self.push_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos % self.capacity];
@@ -87,6 +101,7 @@ impl<T> BoundedRing<T> {
             let dif = seq as isize - pos as isize;
             if dif == 0 {
                 // the slot is empty for lap `pos`: claim it
+                // relaxed: see the cursor comment at the top of `push`.
                 match self.push_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -94,6 +109,14 @@ impl<T> BoundedRing<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // Until the Release store below, no other producer can
+                        // claim this slot (the cursor moved past it for this
+                        // lap) and no consumer may read it (stamp ≠ pos + 1).
+                        debug_assert_eq!(
+                            slot.seq.load(Ordering::Acquire),
+                            pos,
+                            "claimed slot's lap stamp moved under its writer"
+                        );
                         // SAFETY: winning the CAS makes this thread the only
                         // writer of this slot until `seq` is bumped below.
                         unsafe { (*slot.value.get()).write(value) };
@@ -106,6 +129,7 @@ impl<T> BoundedRing<T> {
                 // a full lap behind: the ring is full
                 return Err(value);
             } else {
+                // relaxed: see the cursor comment at the top of `push`.
                 pos = self.push_pos.load(Ordering::Relaxed);
             }
         }
@@ -113,12 +137,15 @@ impl<T> BoundedRing<T> {
 
     /// Removes and returns the oldest element, `None` when empty.
     pub fn pop(&self) -> Option<T> {
+        // relaxed: same claim-ticket discipline as `push` — the slot's `seq`
+        // stamp carries all inter-thread publication.
         let mut pos = self.pop_pos.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos % self.capacity];
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq as isize - (pos + 1) as isize;
             if dif == 0 {
+                // relaxed: see the cursor comment at the top of `pop`.
                 match self.pop_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -126,6 +153,14 @@ impl<T> BoundedRing<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // The producer's Release store of `pos + 1` happened
+                        // before our Acquire load; nobody else may claim lap
+                        // `pos` of this slot until the Release store below.
+                        debug_assert_eq!(
+                            slot.seq.load(Ordering::Acquire),
+                            pos + 1,
+                            "claimed slot's lap stamp moved under its reader"
+                        );
                         // SAFETY: winning the CAS makes this thread the only
                         // reader of this slot's published value.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
@@ -137,6 +172,7 @@ impl<T> BoundedRing<T> {
             } else if dif < 0 {
                 return None;
             } else {
+                // relaxed: see the cursor comment at the top of `pop`.
                 pos = self.pop_pos.load(Ordering::Relaxed);
             }
         }

@@ -380,6 +380,7 @@ impl Tracer {
     /// Retention counters so far.
     pub fn stats(&self) -> TracerStats {
         TracerStats {
+            // relaxed: advisory reads of independent retention counters
             started: self.started.load(Ordering::Relaxed),
             sampled: self.sampled_count.load(Ordering::Relaxed),
             slow: self.slow_count.load(Ordering::Relaxed),
@@ -388,11 +389,13 @@ impl Tracer {
 
     /// Starts a trace, making the head-sampling decision now.
     pub fn begin(&self, name: impl Into<String>) -> ActiveTrace {
+        // relaxed: retention counters are independent statistics.
         self.started.fetch_add(1, Ordering::Relaxed);
         let sampled = self.decide_sample();
         if sampled {
             self.sampled_count.fetch_add(1, Ordering::Relaxed);
         }
+        // relaxed: id uniqueness needs only fetch_add atomicity.
         let id = TraceId(self.next_id.fetch_add(1, Ordering::Relaxed));
         ActiveTrace::new(id, name.into(), sampled)
     }
@@ -408,6 +411,7 @@ impl Tracer {
             return true;
         }
         let step = (rate * (1u64 << 32) as f64) as u64;
+        // relaxed: sampling accumulator is an independent counter
         let prev = self.sample_accum.fetch_add(step, Ordering::Relaxed);
         (prev.wrapping_add(step) >> 32) != (prev >> 32)
     }
@@ -418,6 +422,7 @@ impl Tracer {
     pub fn finish(&self, active: ActiveTrace) -> Arc<Trace> {
         let trace = Arc::new(active.seal(self.config.slow_threshold));
         if trace.slow {
+            // relaxed: independent retention counter
             self.slow_count.fetch_add(1, Ordering::Relaxed);
             self.slow.force_push(trace.clone());
         }

@@ -1,0 +1,113 @@
+//! Model-checking the lock-free telemetry primitives: every interleaving
+//! (exhaustive where the space is small, seeded sampling beyond) of scripted
+//! producer/consumer threads runs against a reference model — no schedule
+//! may lose, duplicate or reorder an entry.
+
+use xseq_telemetry::sched::check_ring_model;
+use xseq_telemetry::{check_counter, check_ring, CounterOp, RingOp, Schedules};
+
+use CounterOp::{Add, Snapshot};
+use RingOp::{ForcePush, Pop, Push};
+
+#[test]
+fn exhaustive_two_producers_one_consumer() {
+    // 3 + 3 + 3 ops = 1680 schedules: exhaustive.
+    let threads = vec![
+        vec![Push(1), Push(2), Push(3)],
+        vec![Push(10), Push(20), Push(30)],
+        vec![Pop, Pop, Pop],
+    ];
+    let checked = check_ring(&threads, 4, 2_000, 1).expect("no schedule may diverge");
+    assert_eq!(checked, 1680);
+    assert!(Schedules::new(&[3, 3, 3], 2_000, 1).is_exhaustive());
+}
+
+#[test]
+fn exhaustive_full_ring_boundary() {
+    // Capacity 2 (the minimum) with 3 pushes in flight: many schedules hit
+    // the full boundary, many the empty one.
+    let threads = vec![vec![Push(1), Push(2)], vec![Pop, Pop], vec![Push(3)]];
+    let checked = check_ring(&threads, 2, 1_000, 1).unwrap();
+    assert_eq!(checked, 30);
+}
+
+#[test]
+fn capacity_one_is_rounded_up() {
+    // Regression for a real bug the exhaustive checker found: with a single
+    // slot the lap stamps collide (`pos + 1 == pos + capacity`), so a second
+    // push overwrote the unconsumed value and pop span forever.  The ring
+    // now enforces a minimum capacity of 2; the checker must agree with it.
+    let threads = vec![vec![Push(1), Push(2)], vec![Pop, Pop]];
+    check_ring(&threads, 1, 1_000, 1).unwrap();
+}
+
+#[test]
+fn exhaustive_force_push_eviction() {
+    // force_push on a tiny ring: every schedule exercises eviction order.
+    let threads = vec![
+        vec![ForcePush(1), ForcePush(2), ForcePush(3)],
+        vec![ForcePush(10), Pop],
+        vec![Pop],
+    ];
+    let checked = check_ring(&threads, 2, 1_000, 1).unwrap();
+    assert_eq!(checked, 60);
+}
+
+#[test]
+fn sampled_exploration_of_a_large_space() {
+    // 6 × 4 threads = far beyond the limit: 500 seeded samples instead.
+    let threads = vec![
+        vec![Push(1), Push(2), Push(3), ForcePush(4), Push(5), Pop],
+        vec![Push(11), Pop, Push(12), Pop, Push(13), Pop],
+        vec![ForcePush(21), ForcePush(22), Pop, Push(23), Pop, Pop],
+        vec![Pop, Push(31), Pop, ForcePush(32), Push(33), Pop],
+    ];
+    let sched = Schedules::new(&[6, 6, 6, 6], 500, 42);
+    assert!(!sched.is_exhaustive());
+    assert!(sched.count().unwrap() > 1_000_000);
+    let checked = check_ring(&threads, 3, 500, 42).unwrap();
+    assert_eq!(checked, 500);
+}
+
+#[test]
+fn wraparound_laps_under_all_schedules() {
+    // More traffic than capacity × several laps through a capacity-2 ring.
+    let threads = vec![
+        vec![Push(1), Pop, Push(2), Pop],
+        vec![Push(3), Pop, Push(4), Pop],
+    ];
+    let checked = check_ring(&threads, 2, 1_000, 9).unwrap();
+    assert_eq!(checked, 70);
+}
+
+#[test]
+fn checker_detects_a_wrong_model() {
+    // Self-test: a reference model of a different capacity must diverge —
+    // the harness is capable of failing.
+    let threads = vec![vec![Push(1), Push(2), Push(3)], vec![Pop]];
+    let err = check_ring_model(&threads, 2, 3, 1_000, 1).unwrap_err();
+    assert!(
+        err.contains("schedule"),
+        "failure names its schedule: {err}"
+    );
+}
+
+#[test]
+fn counter_snapshots_are_monotone_and_exact() {
+    let threads = vec![
+        vec![Add(1), Add(2), Snapshot, Add(3)],
+        vec![Snapshot, Add(10), Snapshot],
+        vec![Add(100), Snapshot],
+    ];
+    let checked = check_counter(&threads, 5_000, 3).unwrap();
+    assert_eq!(checked, 1260);
+}
+
+#[test]
+fn counter_sampled_beyond_the_limit() {
+    let threads: Vec<Vec<CounterOp>> = (0..5)
+        .map(|t| (0..8).map(|i| Add(t * 8 + i + 1)).collect())
+        .collect();
+    let checked = check_counter(&threads, 200, 11).unwrap();
+    assert_eq!(checked, 200);
+}

@@ -20,6 +20,7 @@
 //!   backtracking **brute-force structure matcher** used as ground truth for
 //!   the query-equivalence theorems and as the verification step of the
 //!   ViST-style baseline.
+#![forbid(unsafe_code)]
 
 pub mod document;
 pub mod error;

@@ -1,0 +1,8 @@
+//! Lint fixture: an atomic op using the weakest memory ordering with no
+//! annotation comment justifying it.  Must fail the annotation rule and
+//! nothing else.  (The rule's own keyword must not appear in this header:
+//! the checker scans the preceding comment lines for it.)
+
+pub fn bump(c: &std::sync::atomic::AtomicU64) -> u64 {
+    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}

@@ -1,0 +1,17 @@
+//! Lint fixture: telemetry names violating the `seg(.seg)*` grammar
+//! (segments must be `[a-z][a-z0-9_]*`).  Must fail `span-name-grammar`
+//! exactly three times — `pool.size` is valid.
+
+pub fn register(t: &dyn Telemetry) {
+    t.start_span("Query.Execute");
+    t.counter("index..lookups");
+    t.histogram("latency-ms");
+    t.gauge("pool.size");
+}
+
+pub trait Telemetry {
+    fn start_span(&self, name: &str);
+    fn counter(&self, name: &str);
+    fn histogram(&self, name: &str);
+    fn gauge(&self, name: &str);
+}

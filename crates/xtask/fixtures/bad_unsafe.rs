@@ -1,0 +1,6 @@
+//! Lint fixture: `unsafe` with no SAFETY: comment, in a non-allowlisted
+//! module.  Must fail `unsafe-allowlist` and `safety-comment`.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

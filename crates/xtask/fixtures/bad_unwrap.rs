@@ -1,0 +1,20 @@
+//! Lint fixture: bare `.unwrap()` and empty `.expect("")` in library
+//! code.  Must fail `no-bare-unwrap` twice — and only outside the test
+//! module below.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

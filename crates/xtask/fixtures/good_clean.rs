@@ -1,0 +1,37 @@
+//! Lint fixture: clean library code — exercises every rule in its
+//! passing form.  Must produce zero findings.
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    // relaxed: a monotone statistics counter; orders with no other data.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().expect("caller guarantees non-empty input")
+}
+
+pub fn register(t: &dyn Telemetry) {
+    t.start_span("query.execute");
+    t.counter("index.lookups_total");
+    t.histogram("latency.path_search");
+}
+
+pub trait Telemetry {
+    fn start_span(&self, name: &str);
+    fn counter(&self, name: &str);
+    fn histogram(&self, name: &str);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

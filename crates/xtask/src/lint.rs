@@ -1,0 +1,561 @@
+//! The `xseq-check` repo lint pass: mechanical rules the compiler does not
+//! enforce, run as `cargo xtask lint` (and in CI).
+//!
+//! Rules:
+//!
+//! 1. **unsafe-allowlist** — the `unsafe` keyword may appear only in the
+//!    allowlisted modules ([`UNSAFE_ALLOWLIST`]); every other crate root
+//!    must carry `#![forbid(unsafe_code)]`.
+//! 2. **safety-comment** — every `unsafe` site (block or impl), even in
+//!    allowlisted modules, must be preceded by a `SAFETY:` comment within
+//!    the three lines above it (or carry one on the same line).
+//! 3. **no-bare-unwrap** — no `.unwrap()` and no empty-message
+//!    `.expect("")` outside `#[cfg(test)]` regions: library code must
+//!    either propagate errors or document the panic with a message.
+//! 4. **span-name-grammar** — string literals registered as telemetry
+//!    names (`start_span`, `event`, `histogram`, `counter`, `gauge`) must
+//!    match the `phase.name` grammar: dot-separated segments of
+//!    `[a-z][a-z0-9_]*`.
+//! 5. **relaxed-annotation** — `Ordering::Relaxed` may only appear on
+//!    lines annotated (same line or within the six lines above) with a
+//!    comment containing `relaxed`, stating why no stronger ordering is
+//!    needed.
+//!
+//! The linter is text-based: each file is masked (string-literal and
+//! comment *contents* blanked, delimiters kept, byte offsets preserved) so
+//! rule needles never match themselves inside strings or docs.  Test
+//! regions — everything from the first `#[cfg(test)]` line to the end of
+//! the file — are exempt from rules 3–5.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Modules allowed to contain `unsafe` (each site still needs `SAFETY:`).
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/telemetry/src/ring.rs"];
+
+/// Crates whose roots may omit `#![forbid(unsafe_code)]` because an
+/// allowlisted module inside them uses `unsafe`.
+pub const UNSAFE_CRATES: &[&str] = &["telemetry"];
+
+/// How many lines above an `unsafe` site a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 3;
+
+/// How many lines above an `Ordering::Relaxed` a `relaxed` comment may sit.
+const RELAXED_WINDOW: usize = 6;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (e.g. `no-bare-unwrap`).
+    pub rule: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A masked copy of the source: string-literal and comment contents are
+/// blanked (delimiters kept), with byte lengths preserved so columns line
+/// up with the raw text.  `comment_start[i]` is the byte column where a
+/// comment begins on line `i` (`usize::MAX` when none).
+struct Masked {
+    lines: Vec<String>,
+    comment_start: Vec<usize>,
+}
+
+fn mask_source(source: &str) -> Masked {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        Str,
+        RawStr(usize),
+        Block(usize),
+        Line,
+    }
+    let mut st = St::Code;
+    let mut lines = Vec::new();
+    let mut comment_start = Vec::new();
+    for raw in source.lines() {
+        let b = raw.as_bytes();
+        let mut out = Vec::with_capacity(b.len());
+        let mut cstart = usize::MAX;
+        if st == St::Line {
+            st = St::Code;
+        }
+        let mut i = 0;
+        while i < b.len() {
+            match st {
+                St::Code => {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        st = St::Line;
+                        cstart = cstart.min(i);
+                        out.extend_from_slice(b"//");
+                        i += 2;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        st = St::Block(1);
+                        cstart = cstart.min(i);
+                        out.extend_from_slice(b"/*");
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        st = St::Str;
+                        out.push(b'"');
+                        i += 1;
+                    } else if b[i] == b'r'
+                        && i + 1 < b.len()
+                        && (b[i + 1] == b'"' || b[i + 1] == b'#')
+                        && !matches!(i.checked_sub(1).map(|p| b[p]), Some(c) if c.is_ascii_alphanumeric() || c == b'_')
+                    {
+                        // raw string: r"..." or r#"..."# (any # count)
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while j < b.len() && b[j] == b'#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == b'"' {
+                            st = St::RawStr(hashes);
+                            out.resize(out.len() + (j - i + 1), b' ');
+                            i = j + 1;
+                        } else {
+                            out.push(b[i]);
+                            i += 1;
+                        }
+                    } else if b[i] == b'\'' {
+                        // char literal ('x', '\n', '\u{..}') vs lifetime
+                        let rest = &b[i + 1..];
+                        let close = if rest.first() == Some(&b'\\') {
+                            rest.iter().skip(1).position(|&c| c == b'\'').map(|p| p + 1)
+                        } else if rest.len() >= 2 && rest[1] == b'\'' && rest[0] != b'\'' {
+                            Some(1)
+                        } else {
+                            None
+                        };
+                        match close {
+                            Some(p) => {
+                                // blank the contents, keep the quotes
+                                out.push(b'\'');
+                                out.resize(out.len() + p, b' ');
+                                out.push(b'\'');
+                                i += p + 2;
+                            }
+                            None => {
+                                out.push(b'\'');
+                                i += 1;
+                            }
+                        }
+                    } else {
+                        out.push(b[i]);
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        st = St::Code;
+                        out.push(b'"');
+                        i += 1;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    if b[i] == b'"'
+                        && b[i + 1..].iter().take_while(|&&c| c == b'#').count() >= hashes
+                    {
+                        st = St::Code;
+                        out.resize(out.len() + hashes + 1, b' ');
+                        i += hashes + 1;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+                St::Block(depth) => {
+                    cstart = cstart.min(i);
+                    if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        st = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        st = St::Block(depth + 1);
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+                St::Line => {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+        if matches!(st, St::Block(_)) && cstart == usize::MAX {
+            cstart = 0;
+        }
+        // Unterminated single-line strings cannot occur in valid Rust;
+        // reset to avoid poisoning the rest of the file.
+        if st == St::Str {
+            st = St::Code;
+        }
+        lines.push(String::from_utf8(out).expect("mask preserves utf-8 boundaries"));
+        comment_start.push(cstart);
+    }
+    Masked {
+        lines,
+        comment_start,
+    }
+}
+
+/// True when `name` matches the telemetry grammar `seg(.seg)*` with
+/// `seg = [a-z][a-z0-9_]*`.
+fn valid_span_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            let mut chars = seg.chars();
+            matches!(chars.next(), Some('a'..='z'))
+                && chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_'))
+        })
+}
+
+/// True when the masked line has a code-position occurrence of `unsafe`.
+fn has_unsafe_token(masked: &str) -> bool {
+    let b = masked.as_bytes();
+    let mut from = 0;
+    while let Some(p) = masked[from..].find("unsafe") {
+        let at = from + p;
+        let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let end = at + "unsafe".len();
+        let after_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Lints one file's source.  `rel_path` is the repo-relative path used in
+/// findings and for allowlist decisions.
+pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let masked = mask_source(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&rel_path);
+    let test_start = raw_lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(raw_lines.len());
+
+    let span_needles = [
+        "start_span(\"",
+        ".event(\"",
+        "histogram(\"",
+        "counter(\"",
+        "gauge(\"",
+    ];
+
+    for (i, m) in masked.lines.iter().enumerate() {
+        let raw = raw_lines[i];
+        let lineno = i + 1;
+        let in_tests = i >= test_start;
+        let code = match masked.comment_start[i] {
+            usize::MAX => m.as_str(),
+            c => &m[..c],
+        };
+
+        // Rule 1 + 2: unsafe allowlist and SAFETY: comments.
+        if has_unsafe_token(code) {
+            if !unsafe_allowed {
+                findings.push(Finding {
+                    file: rel_path.into(),
+                    line: lineno,
+                    rule: "unsafe-allowlist",
+                    message: format!(
+                        "`unsafe` outside the allowlisted modules ({})",
+                        UNSAFE_ALLOWLIST.join(", ")
+                    ),
+                });
+            }
+            let documented =
+                (i.saturating_sub(SAFETY_WINDOW)..=i).any(|j| raw_lines[j].contains("SAFETY:"));
+            if !documented {
+                findings.push(Finding {
+                    file: rel_path.into(),
+                    line: lineno,
+                    rule: "safety-comment",
+                    message: format!(
+                        "`unsafe` without a SAFETY: comment within {SAFETY_WINDOW} lines"
+                    ),
+                });
+            }
+        }
+
+        if in_tests {
+            continue;
+        }
+
+        // Rule 3: bare unwrap / empty expect.
+        if code.contains(".unwrap()") {
+            findings.push(Finding {
+                file: rel_path.into(),
+                line: lineno,
+                rule: "no-bare-unwrap",
+                message: ".unwrap() outside #[cfg(test)]; propagate or .expect(\"why\")".into(),
+            });
+        }
+        if code.contains(".expect(\"\")") {
+            findings.push(Finding {
+                file: rel_path.into(),
+                line: lineno,
+                rule: "no-bare-unwrap",
+                message: "empty .expect(\"\") outside #[cfg(test)]; say why it cannot fail".into(),
+            });
+        }
+
+        // Rule 4: telemetry name grammar.  The masked line keeps the
+        // delimiters and byte offsets, so the literal can be read back out
+        // of the raw line at the same positions.
+        for needle in span_needles {
+            let mut from = 0;
+            while let Some(p) = code[from..].find(needle) {
+                let open = from + p + needle.len() - 1; // the opening quote
+                if let Some(q) = m[open + 1..].find('"') {
+                    let close = open + 1 + q;
+                    let name = &raw[open + 1..close];
+                    if !valid_span_name(name) {
+                        findings.push(Finding {
+                            file: rel_path.into(),
+                            line: lineno,
+                            rule: "span-name-grammar",
+                            message: format!(
+                                "telemetry name {name:?} violates `seg(.seg)*` with \
+                                 seg = [a-z][a-z0-9_]*"
+                            ),
+                        });
+                    }
+                    from = close;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Rule 5: Relaxed ordering must be annotated.
+        if code.contains("Ordering::Relaxed") {
+            let annotated = (i.saturating_sub(RELAXED_WINDOW)..=i).any(|j| {
+                let l = raw_lines[j];
+                match l.find("//") {
+                    Some(c) => l[c..].to_ascii_lowercase().contains("relaxed"),
+                    None => false,
+                }
+            });
+            if !annotated {
+                findings.push(Finding {
+                    file: rel_path.into(),
+                    line: lineno,
+                    rule: "relaxed-annotation",
+                    message: format!(
+                        "Ordering::Relaxed without a `relaxed` comment within \
+                         {RELAXED_WINDOW} lines explaining why it suffices"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Walks `crates/*/src` under `root`, linting every `.rs` file, and checks
+/// each crate root for `#![forbid(unsafe_code)]` (unless the crate is in
+/// [`UNSAFE_CRATES`]).
+pub fn lint_repo(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source =
+                std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            findings.extend(lint_file(&rel, &source));
+        }
+        // Crate-root forbid check.
+        if !UNSAFE_CRATES.contains(&crate_name.as_str()) {
+            for root_file in ["lib.rs", "main.rs"] {
+                let path = src.join(root_file);
+                if let Ok(source) = std::fs::read_to_string(&path) {
+                    if !source.contains("#![forbid(unsafe_code)]") {
+                        let rel = path
+                            .strip_prefix(root)
+                            .unwrap_or(&path)
+                            .to_string_lossy()
+                            .replace('\\', "/");
+                        findings.push(Finding {
+                            file: rel,
+                            line: 1,
+                            rule: "unsafe-allowlist",
+                            message: "crate root of an unsafe-free crate must declare \
+                                      #![forbid(unsafe_code)]"
+                                .into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))? {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BAD_UNSAFE: &str = include_str!("../fixtures/bad_unsafe.rs");
+    const BAD_UNWRAP: &str = include_str!("../fixtures/bad_unwrap.rs");
+    const BAD_SPAN: &str = include_str!("../fixtures/bad_span_name.rs");
+    const BAD_RELAXED: &str = include_str!("../fixtures/bad_relaxed.rs");
+    const GOOD: &str = include_str!("../fixtures/good_clean.rs");
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn bad_unsafe_fixture_fails_both_unsafe_rules() {
+        let f = lint_file("crates/demo/src/lib.rs", BAD_UNSAFE);
+        assert!(rules(&f).contains(&"unsafe-allowlist"), "{f:?}");
+        assert!(rules(&f).contains(&"safety-comment"), "{f:?}");
+        // The allowlisted path drops the allowlist finding but still wants
+        // the SAFETY: comment.
+        let f = lint_file("crates/telemetry/src/ring.rs", BAD_UNSAFE);
+        assert!(!rules(&f).contains(&"unsafe-allowlist"), "{f:?}");
+        assert!(rules(&f).contains(&"safety-comment"), "{f:?}");
+    }
+
+    #[test]
+    fn bad_unwrap_fixture_fails_only_outside_tests() {
+        let f = lint_file("crates/demo/src/lib.rs", BAD_UNWRAP);
+        let unwraps: Vec<_> = f.iter().filter(|f| f.rule == "no-bare-unwrap").collect();
+        assert_eq!(unwraps.len(), 2, "{f:?}"); // one .unwrap(), one .expect("")
+                                               // fixture's test module contains .unwrap() that must NOT be flagged
+        assert!(unwraps.iter().all(|f| f.line < 20), "{f:?}");
+    }
+
+    #[test]
+    fn bad_span_name_fixture_fails_grammar() {
+        let f = lint_file("crates/demo/src/lib.rs", BAD_SPAN);
+        let spans: Vec<_> = f.iter().filter(|f| f.rule == "span-name-grammar").collect();
+        assert_eq!(spans.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn bad_relaxed_fixture_fails_annotation() {
+        let f = lint_file("crates/demo/src/lib.rs", BAD_RELAXED);
+        assert_eq!(rules(&f), vec!["relaxed-annotation"], "{f:?}");
+    }
+
+    #[test]
+    fn good_fixture_is_clean() {
+        let f = lint_file("crates/demo/src/lib.rs", GOOD);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn span_name_grammar() {
+        for good in [
+            "index.search",
+            "a",
+            "xml.parse",
+            "storage.pool.hits",
+            "a_b.c9",
+        ] {
+            assert!(valid_span_name(good), "{good}");
+        }
+        for bad in ["", "Index.search", "a..b", "a.", ".a", "a-b", "9a", "a.B"] {
+            assert!(!valid_span_name(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn masking_ignores_strings_and_comments() {
+        let src = r#"
+fn f() {
+    let _ = "contains .unwrap() and unsafe and Ordering::Relaxed";
+    // .unwrap() in a comment is fine, as is unsafe
+    /* block with .expect("") too */
+    let _c = '"'; // a quote char literal must not open a string
+    let _ = g(".unwrap()");
+}
+"#;
+        assert!(lint_file("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn whole_repo_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = lint_repo(&root).expect("repo walk succeeds");
+        assert!(
+            findings.is_empty(),
+            "repo lint must be clean:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

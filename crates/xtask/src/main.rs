@@ -1,0 +1,61 @@
+//! `cargo xtask` — repo automation (the cargo-xtask pattern: plain Rust
+//! instead of shell, wired through the `.cargo/config.toml` alias).
+//!
+//! Subcommands:
+//!
+//! * `lint` (default) — the xseq-check lint pass: unsafe allowlist +
+//!   SAFETY: comments, no bare `unwrap()`, telemetry-name grammar, and
+//!   annotated `Ordering::Relaxed`.  See `lint.rs` for the rules.
+#![forbid(unsafe_code)]
+
+mod lint;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("lint") => run_lint(),
+        Some("help" | "--help" | "-h") => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`\n");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match lint::lint_repo(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "usage: cargo xtask [lint]\n\n\
+         subcommands:\n  \
+         lint    run the xseq-check lint pass over crates/*/src (default)\n  \
+         help    show this message\n\n\
+         exit codes: 0 clean, 1 findings, 2 usage or I/O error"
+    );
+}
