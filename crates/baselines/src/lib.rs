@@ -595,7 +595,7 @@ mod tests {
             let (a, _) = path_idx.query(q, &docs, &pt);
             let (b, _) = node_idx.query(q, &docs);
             let (c, _) = vist.query(q, &docs, &mut pt);
-            let d = cs.query(q, &mut pt).docs;
+            let d = cs.query(q, &pt).docs;
             assert_eq!(a, oracle, "path index, {}", q.render(&st));
             assert_eq!(b, oracle, "node index, {}", q.render(&st));
             assert_eq!(c, oracle, "vist, {}", q.render(&st));

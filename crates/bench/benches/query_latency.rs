@@ -48,7 +48,7 @@ fn bench_queries(c: &mut Criterion) {
         })
     });
     group.bench_function("cs", |b| {
-        b.iter(|| cs.query(&pattern, &mut corpus.paths).docs.len())
+        b.iter(|| cs.query(&pattern, &corpus.paths).docs.len())
     });
     group.finish();
 }

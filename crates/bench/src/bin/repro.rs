@@ -16,10 +16,12 @@
 //! written to the file as one JSON object keyed by experiment name.
 //!
 //! With `--bench-label <label>`, the tracked latency quantiles
-//! (per-experiment histogram p50/p95/p99) are written to
-//! `BENCH_<label>.json`.  With `--baseline <path>`, the same quantiles are
-//! compared against a previously written report and the process exits
-//! nonzero when any tracked p50 regresses more than 15% — the CI gate.
+//! (per-experiment histogram p50/p95/p99) and the `scaling` experiment's
+//! throughput gauges are written to `BENCH_<label>.json`.  With
+//! `--baseline <path>`, the same keys are compared against a previously
+//! written report and the process exits nonzero when any tracked p50
+//! regresses more than 15% or any throughput gauge drops more than 50% —
+//! the CI gate.  `--threads N` caps the `scaling` thread series.
 
 use std::process::exit;
 use xseq::telemetry::{to_json, MetricsRegistry, Snapshot};
@@ -40,12 +42,14 @@ const EXPERIMENTS: &[Experiment] = &[
     ("fig16b", xseq_bench::fig16b),
     ("fig16c", xseq_bench::fig16c),
     ("fig16d", xseq_bench::fig16d),
+    ("scaling", xseq_bench::scaling),
 ];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|check> [--scale X] [--metrics PATH.json]\n\
-         \x20           [--bench-label LABEL] [--baseline BENCH.json] [--verify]"
+        "usage: repro <experiment|all|check> [--scale X] [--threads N]\n\
+         \x20           [--metrics PATH.json] [--bench-label LABEL]\n\
+         \x20           [--baseline BENCH.json] [--verify]"
     );
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
@@ -129,6 +133,10 @@ fn main() {
             "--scale" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 scale = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                xseq_bench::set_thread_cap(v.parse().unwrap_or_else(|_| usage()));
             }
             "--metrics" => metrics_path = Some(it.next().unwrap_or_else(|| usage())),
             "--bench-label" => bench_label = Some(it.next().unwrap_or_else(|| usage())),
@@ -215,13 +223,12 @@ fn main() {
         );
         if !regressions.is_empty() {
             eprintln!(
-                "[repro] FAIL: {} tracked latenc{} regressed more than {:.0}% vs {path}",
+                "[repro] FAIL: {} tracked metric{} regressed past the gate vs {path}",
                 regressions.len(),
-                if regressions.len() == 1 { "y" } else { "ies" },
-                regress::DEFAULT_THRESHOLD * 100.0
+                if regressions.len() == 1 { "" } else { "s" },
             );
             exit(1);
         }
-        eprintln!("[repro] OK: no tracked latency regressed more than 15% vs {path}");
+        eprintln!("[repro] OK: no tracked latency or throughput regressed vs {path}");
     }
 }

@@ -26,6 +26,21 @@ pub const NOISE_FLOOR_NS: u64 = 50_000;
 /// Latencies may grow by at most this fraction over the baseline.
 pub const DEFAULT_THRESHOLD: f64 = 0.15;
 
+/// Throughput gauges (`*.docs_per_s.*`, `*.qps.*` from the `scaling`
+/// experiment) may *drop* by at most this fraction.  Deliberately tolerant:
+/// wall-clock throughput on shared CI hosts (often a single core, where
+/// multi-thread runs oversubscribe and swing ±40% between passes) is far
+/// noisier than the per-phase latency histograms, so this catches
+/// collapses — an accidentally serialized pipeline, a poisoned fast path —
+/// not drift.
+pub const THROUGHPUT_THRESHOLD: f64 = 0.6;
+
+/// True for report keys that carry operations-per-second gauges rather
+/// than nanosecond quantiles — gated on decrease, not growth.
+fn is_throughput_key(key: &str) -> bool {
+    key.contains(".docs_per_s.") || key.contains(".qps.")
+}
+
 /// Metrics whose baseline has fewer samples than this are not gated: the
 /// p50 of a handful of samples in a pow2-bucketed histogram moves by a
 /// whole bucket (2×) between runs.
@@ -38,16 +53,17 @@ pub struct BenchReport {
     pub entries: BTreeMap<String, u64>,
 }
 
-/// One tracked latency that grew past the threshold.
+/// One tracked metric that moved past its threshold — a latency that grew,
+/// or a throughput gauge that dropped.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
     /// The flat report key.
     pub key: String,
-    /// Baseline value, ns.
+    /// Baseline value — ns for latency keys, ops/s for throughput keys.
     pub baseline_ns: u64,
-    /// Current value, ns.
+    /// Current value, same unit as the baseline.
     pub current_ns: u64,
-    /// `current / baseline - 1`.
+    /// `current / baseline - 1` (negative when throughput dropped).
     pub growth: f64,
 }
 
@@ -58,18 +74,23 @@ impl BenchReport {
         let mut entries = BTreeMap::new();
         for (experiment, delta) in sections {
             for (metric, value) in &delta.metrics {
-                let MetricValue::Histogram(h) = value else {
-                    continue;
-                };
-                if h.count == 0 {
-                    continue;
-                }
-                for (label, q) in QUANTILES {
-                    if let Some(v) = h.quantile(*q) {
-                        entries.insert(format!("{experiment}/{metric}.{label}"), v);
+                match value {
+                    MetricValue::Histogram(h) => {
+                        if h.count == 0 {
+                            continue;
+                        }
+                        for (label, q) in QUANTILES {
+                            if let Some(v) = h.quantile(*q) {
+                                entries.insert(format!("{experiment}/{metric}.{label}"), v);
+                            }
+                        }
+                        entries.insert(format!("{experiment}/{metric}.count"), h.count);
                     }
+                    MetricValue::Gauge(v) if is_throughput_key(metric) && *v > 0 => {
+                        entries.insert(format!("{experiment}/{metric}"), *v as u64);
+                    }
+                    _ => {}
                 }
-                entries.insert(format!("{experiment}/{metric}.count"), h.count);
             }
         }
         BenchReport { entries }
@@ -220,10 +241,12 @@ fn too_few_samples(baseline: &BenchReport, key: &str) -> bool {
         .is_some_and(|&c| c < MIN_GATE_SAMPLES)
 }
 
-/// Flags every gated key (`*.p50`, baseline at or above `floor_ns`, enough
-/// baseline samples) whose current value grew more than `threshold` over
-/// the baseline.  Keys absent from either report are skipped: the gate
-/// compares what both runs measured.
+/// Flags every gated key whose current value moved past its threshold in
+/// the bad direction.  Latency keys (`*.p50`, baseline at or above
+/// `floor_ns`, enough baseline samples) are gated on *growth* over
+/// `threshold`; throughput keys (`*.docs_per_s.*`, `*.qps.*`) are gated on
+/// a *drop* beyond [`THROUGHPUT_THRESHOLD`].  Keys absent from either
+/// report are skipped: the gate compares what both runs measured.
 pub fn compare(
     baseline: &BenchReport,
     current: &BenchReport,
@@ -232,14 +255,22 @@ pub fn compare(
 ) -> Vec<Regression> {
     let mut out = Vec::new();
     for (key, &base) in &baseline.entries {
-        if !key.ends_with(GATED_SUFFIX) || base < floor_ns || too_few_samples(baseline, key) {
+        if base == 0 {
             continue;
         }
         let Some(&cur) = current.entries.get(key) else {
             continue;
         };
         let growth = cur as f64 / base as f64 - 1.0;
-        if growth > threshold {
+        let regressed = if is_throughput_key(key) {
+            -growth > THROUGHPUT_THRESHOLD
+        } else if key.ends_with(GATED_SUFFIX) && base >= floor_ns && !too_few_samples(baseline, key)
+        {
+            growth > threshold
+        } else {
+            false
+        };
+        if regressed {
             out.push(Regression {
                 key: key.clone(),
                 baseline_ns: base,
@@ -252,7 +283,8 @@ pub fn compare(
 }
 
 /// Renders a comparison summary: every gated key with its baseline/current
-/// values, regressions marked.
+/// values, regressions marked.  Latencies print as durations, throughput
+/// gauges as ops/s.
 pub fn render_comparison(
     baseline: &BenchReport,
     current: &BenchReport,
@@ -262,18 +294,25 @@ pub fn render_comparison(
     let _ = writeln!(
         out,
         "{:<56} {:>12} {:>12} {:>8}",
-        "tracked latency", "baseline", "current", "delta"
+        "tracked metric", "baseline", "current", "delta"
     );
     for (key, &base) in &baseline.entries {
-        if !key.ends_with(GATED_SUFFIX) {
+        let throughput = is_throughput_key(key);
+        if !throughput && !key.ends_with(GATED_SUFFIX) {
             continue;
         }
         let Some(&cur) = current.entries.get(key) else {
             continue;
         };
-        let growth = cur as f64 / base as f64 - 1.0;
+        let growth = if base == 0 {
+            0.0
+        } else {
+            cur as f64 / base as f64 - 1.0
+        };
         let flag = if regressions.iter().any(|r| r.key == *key) {
             "  REGRESSED"
+        } else if throughput {
+            ""
         } else if base < NOISE_FLOOR_NS {
             "  (below noise floor)"
         } else if too_few_samples(baseline, key) {
@@ -281,12 +320,19 @@ pub fn render_comparison(
         } else {
             ""
         };
+        let render = |v: u64| {
+            if throughput {
+                format!("{v}/s")
+            } else {
+                xseq::telemetry::format_ns(v)
+            }
+        };
         let _ = writeln!(
             out,
             "{:<56} {:>12} {:>12} {:>+7.1}%{flag}",
             key,
-            xseq::telemetry::format_ns(base),
-            xseq::telemetry::format_ns(cur),
+            render(base),
+            render(cur),
             growth * 100.0,
         );
     }
@@ -382,6 +428,56 @@ mod tests {
         assert_eq!(r.entries.get("table7/index.search.count"), Some(&3));
         assert!(!r.entries.keys().any(|k| k.contains("candidates")));
         assert!(!r.entries.keys().any(|k| k.contains("index.plan")));
+    }
+
+    #[test]
+    fn from_sections_extracts_throughput_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("ingest.docs_per_s.t4").set(12_345);
+        reg.gauge("query.qps.t4").set(678);
+        reg.gauge("pool.resident_pages").set(99); // not throughput: skipped
+        reg.gauge("ingest.docs_per_s.t8").set(0); // empty run: skipped
+        let sections = vec![("scaling".to_string(), reg.snapshot())];
+        let r = BenchReport::from_sections(&sections);
+        assert_eq!(r.entries.get("scaling/ingest.docs_per_s.t4"), Some(&12_345));
+        assert_eq!(r.entries.get("scaling/query.qps.t4"), Some(&678));
+        assert!(!r.entries.keys().any(|k| k.contains("resident_pages")));
+        assert!(!r.entries.keys().any(|k| k.contains("t8")));
+    }
+
+    #[test]
+    fn throughput_gated_on_drop_not_growth() {
+        let base = report(&[
+            ("scaling/ingest.docs_per_s.t2", 10_000),
+            ("scaling/query.qps.t2", 10_000),
+            ("scaling/query.qps.t4", 10_000), // missing from current: skipped
+        ]);
+        // ingest collapsed (−70%), qps *grew* 10× — only the collapse fires
+        let cur = report(&[
+            ("scaling/ingest.docs_per_s.t2", 3_000),
+            ("scaling/query.qps.t2", 100_000),
+        ]);
+        let regs = compare(&base, &cur, DEFAULT_THRESHOLD, NOISE_FLOOR_NS);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "scaling/ingest.docs_per_s.t2");
+        assert!((regs[0].growth + 0.7).abs() < 1e-9);
+        // a drop within the tolerant threshold passes
+        let ok = report(&[
+            ("scaling/ingest.docs_per_s.t2", 6_000),
+            ("scaling/query.qps.t2", 6_000),
+        ]);
+        assert!(compare(&base, &ok, DEFAULT_THRESHOLD, NOISE_FLOOR_NS).is_empty());
+    }
+
+    #[test]
+    fn render_includes_throughput_rows() {
+        let base = report(&[("scaling/query.qps.t2", 10_000)]);
+        let cur = report(&[("scaling/query.qps.t2", 2_000)]);
+        let regs = compare(&base, &cur, DEFAULT_THRESHOLD, NOISE_FLOOR_NS);
+        let table = render_comparison(&base, &cur, &regs);
+        assert!(table.contains("scaling/query.qps.t2"));
+        assert!(table.contains("10000/s"));
+        assert!(table.contains("REGRESSED"));
     }
 
     #[test]

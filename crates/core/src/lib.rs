@@ -61,6 +61,7 @@
 
 pub use xseq_baselines as baselines;
 pub use xseq_datagen as datagen;
+pub use xseq_exec as exec;
 pub use xseq_index as index;
 pub use xseq_query as query;
 pub use xseq_schema as schema;
@@ -69,11 +70,12 @@ pub use xseq_storage as storage;
 pub use xseq_telemetry as telemetry;
 pub use xseq_xml as xml;
 
+pub use xseq_exec::Pool;
 pub use xseq_index::{
-    IndexTelemetry, IntegrityReport, InvariantClass, PlanOptions, QueryOutcome, QueryStats,
-    SearchStats, Violation, XmlIndex,
+    IndexTelemetry, IntegrityReport, InvariantClass, PlanOptions, QueryContext, QueryOutcome,
+    QueryStats, SearchStats, Violation, XmlIndex,
 };
-pub use xseq_query::{parse_xpath, ParseError};
+pub use xseq_query::{parse_xpath, parse_xpath_readonly, ParseError};
 pub use xseq_schema::{ProbabilityModel, SchemaTree, WeightMap};
 pub use xseq_sequence::{PriorityMap, Sequence, Strategy};
 pub use xseq_storage::{BufferPool, PagedTrie, PoolStats, PoolTelemetry};
@@ -86,6 +88,7 @@ pub use xseq_xml::{
 };
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xseq_telemetry::Histogram;
 
@@ -145,6 +148,7 @@ pub struct DatabaseBuilder {
     registry: Arc<MetricsRegistry>,
     trace: Option<TraceConfig>,
     spot_check_rate: f64,
+    threads: usize,
 }
 
 impl Default for DatabaseBuilder {
@@ -166,7 +170,17 @@ impl DatabaseBuilder {
             registry: Arc::new(MetricsRegistry::new()),
             trace: None,
             spot_check_rate: 0.0,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker count for ingest (parallel parse, sequencing, and
+    /// index freeze) and for [`Database::query_batch`].  The built index is
+    /// bit-identical to a single-threaded build at any thread count; 1 (the
+    /// default) runs everything in place with no thread traffic.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
     }
 
     /// Enables sampled post-query integrity spot checks: after roughly
@@ -233,14 +247,61 @@ impl DatabaseBuilder {
     }
 
     /// Parses and indexes the given XML documents.
+    ///
+    /// With [`DatabaseBuilder::threads`] above 1, parsing fans out across
+    /// the pool: each worker interns into a private clone of the symbol
+    /// table, and the per-chunk deltas are absorbed back in document order,
+    /// replaying the sequential first-occurrence interning exactly — the
+    /// corpus (ids, interners, documents) is identical to a serial parse.
     pub fn build_from_xml<'a>(
         self,
         xmls: impl IntoIterator<Item = &'a str>,
     ) -> Result<Database, Error> {
         let mut corpus = Corpus::new(self.value_mode);
         corpus.attach_parse_histogram(self.registry.histogram("xml.parse"));
-        for xml in xmls {
-            corpus.parse_and_push(xml)?;
+        let pool = Pool::new(self.threads);
+        if pool.is_sequential() {
+            for xml in xmls {
+                corpus.parse_and_push(xml)?;
+            }
+            return self.build_from_corpus(corpus);
+        }
+        let xmls: Vec<&str> = xmls.into_iter().collect();
+        let base_names = corpus.symbols.designator_count();
+        let base_values = corpus.symbols.values.len();
+        let chunk = pool.chunk_for(xmls.len());
+        let chunks = {
+            let base = &corpus.symbols;
+            // Workers stop at their first parse error; the serial merge
+            // below surfaces the earliest error in document order, exactly
+            // like the sequential loop.
+            pool.map_chunks(&xmls, chunk, |_, slice| {
+                let mut local = base.clone();
+                let mut docs = Vec::with_capacity(slice.len());
+                for xml in slice {
+                    let t0 = std::time::Instant::now();
+                    match xseq_xml::parse_document(xml, &mut local) {
+                        Ok(doc) => docs.push((doc, t0.elapsed())),
+                        Err(e) => return (local, docs, Some(e)),
+                    }
+                }
+                (local, docs, None)
+            })
+        };
+        for (local, docs, err) in chunks {
+            let remap = corpus.symbols.absorb_delta(&local, base_names, base_values);
+            for (mut doc, parse_time) in docs {
+                if !remap.is_identity() {
+                    doc.remap_symbols(|s| remap.symbol(s));
+                }
+                if let Some(h) = &corpus.parse_histogram {
+                    h.record_duration(parse_time);
+                }
+                corpus.push(doc);
+            }
+            if let Some(e) = err {
+                return Err(e.into());
+            }
         }
         self.build_from_corpus(corpus)
     }
@@ -270,12 +331,14 @@ impl DatabaseBuilder {
                 Strategy::Probability(model.priorities(&corpus.paths, &weights))
             }
         };
-        let index = XmlIndex::build_instrumented(
+        let pool = Pool::new(self.threads);
+        let index = XmlIndex::build_parallel(
             &corpus.docs,
             &mut corpus.paths,
             strategy,
             self.plan,
             Some(IndexTelemetry::register(&self.registry)),
+            &pool,
         );
         Ok(Database {
             corpus,
@@ -286,7 +349,8 @@ impl DatabaseBuilder {
             tracer: self.trace.map(|c| Arc::new(Tracer::new(c))),
             // 32.32 fixed point: `rate` of all queries fire the spot check.
             spot_step: (self.spot_check_rate * (1u64 << 32) as f64) as u64,
-            spot_accum: 0,
+            spot_accum: AtomicU64::new(0),
+            pool,
         })
     }
 }
@@ -302,6 +366,12 @@ fn resolve_simple_path(path: &str, symbols: &SymbolTable, paths: &PathTable) -> 
 }
 
 /// A corpus plus its constraint-sequence index: the top-level handle.
+///
+/// A built database is `Send + Sync` and all query entry points take
+/// `&self`: queries never intern (symbols absent from the tables prove the
+/// query empty), so any number of threads may share one database —
+/// [`Database::query_batch`] does exactly that on the builder's pool.
+/// Mutation ([`Database::insert_xml`]) still requires `&mut self`.
 #[derive(Debug)]
 pub struct Database {
     /// The indexed documents with their shared interners.
@@ -316,12 +386,22 @@ pub struct Database {
     /// Per-query increment of the 32.32 fixed-point sampling accumulator;
     /// 0 disables the spot check entirely.
     spot_step: u64,
-    spot_accum: u64,
+    spot_accum: AtomicU64,
+    /// Worker pool for batch queries (and the ingest that built this
+    /// database), sized by [`DatabaseBuilder::threads`].
+    pool: Pool,
 }
+
+// Compile-time guarantee behind the concurrency model: one frozen database
+// is shareable across threads as-is.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
 
 impl Database {
     /// Answers an XPath-subset query with document ids.
-    pub fn query_xpath(&mut self, expr: &str) -> Result<Vec<DocId>, Error> {
+    pub fn query_xpath(&self, expr: &str) -> Result<Vec<DocId>, Error> {
         Ok(self.query_xpath_full(expr)?.docs)
     }
 
@@ -329,22 +409,33 @@ impl Database {
     /// and, when the database was built with
     /// [`DatabaseBuilder::trace_config`], the query's span tree in
     /// [`QueryOutcome::trace`].
-    pub fn query_xpath_full(&mut self, expr: &str) -> Result<QueryOutcome, Error> {
+    pub fn query_xpath_full(&self, expr: &str) -> Result<QueryOutcome, Error> {
+        self.query_xpath_ctx(expr, &mut QueryContext::new())
+    }
+
+    /// One query against a caller-owned [`QueryContext`] (scratch reuse);
+    /// the batch path runs one context per worker.
+    fn query_xpath_ctx(&self, expr: &str, ctx: &mut QueryContext) -> Result<QueryOutcome, Error> {
         let Some(tracer) = self.tracer.clone() else {
-            let pattern = xseq_query::parse_xpath_instrumented(
+            let pattern = xseq_query::parse_xpath_readonly_instrumented(
                 expr,
-                &mut self.corpus.symbols,
+                &self.corpus.symbols,
                 &self.parse_hist,
             )?;
-            let mut out = self.index.query(&pattern, &mut self.corpus.paths);
+            // None: the expression names a symbol no indexed document
+            // contains — provably empty, no descent needed.
+            let mut out = match &pattern {
+                Some(p) => self.index.query_with(p, &self.corpus.paths, ctx),
+                None => QueryOutcome::default(),
+            };
             self.maybe_spot_check(&mut out);
             return Ok(out);
         };
         let mut active = tracer.begin(expr);
         let pool0 = (self.pool_tel.hits.get(), self.pool_tel.misses.get());
-        let pattern = match xseq_query::parse_xpath_traced(
+        let pattern = match xseq_query::parse_xpath_readonly_traced(
             expr,
-            &mut self.corpus.symbols,
+            &self.corpus.symbols,
             &self.parse_hist,
             &mut active,
         ) {
@@ -357,9 +448,10 @@ impl Database {
                 return Err(e.into());
             }
         };
-        let mut out = self
-            .index
-            .query_traced(&pattern, &mut self.corpus.paths, &mut active);
+        let mut out = match &pattern {
+            Some(p) => self.index.query_traced(p, &self.corpus.paths, &mut active),
+            None => QueryOutcome::default(),
+        };
         out.stats.pool_hits = self.pool_tel.hits.get().saturating_sub(pool0.0);
         out.stats.pool_misses = self.pool_tel.misses.get().saturating_sub(pool0.1);
         active.root_attr("docs", out.docs.len() as u64);
@@ -374,16 +466,39 @@ impl Database {
         Ok(out)
     }
 
+    /// Answers many XPath queries on the builder's worker pool, returning
+    /// one result per expression in input order.  Equivalent to (and, on a
+    /// sequential pool, literally) a serial `query_xpath` loop; workers
+    /// share the database read-only and reuse one [`QueryContext`] per
+    /// chunk.
+    pub fn query_batch(&self, exprs: &[&str]) -> Vec<Result<Vec<DocId>, Error>> {
+        let chunk = self.pool.chunk_for(exprs.len());
+        self.pool
+            .map_chunks(exprs, chunk, |_, slice| {
+                let mut ctx = QueryContext::new();
+                slice
+                    .iter()
+                    .map(|expr| Ok(self.query_xpath_ctx(expr, &mut ctx)?.docs))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
     /// Fires the sampled post-query integrity spot check when the
     /// fixed-point accumulator crosses an integer boundary (exactly `rate`
-    /// of all queries, deterministically).
-    fn maybe_spot_check(&mut self, out: &mut QueryOutcome) {
+    /// of all queries, deterministically — concurrent queries each claim a
+    /// disjoint accumulator window, so the rate holds under sharing too).
+    fn maybe_spot_check(&self, out: &mut QueryOutcome) {
         if self.spot_step == 0 {
             return;
         }
-        let prev = self.spot_accum;
-        self.spot_accum = prev.wrapping_add(self.spot_step);
-        if (self.spot_accum >> 32) != (prev >> 32) {
+        // relaxed: the accumulator is a pure sampling counter; each query
+        // claims its window with the RMW alone and no other memory is
+        // published through it.
+        let prev = self.spot_accum.fetch_add(self.spot_step, Ordering::Relaxed);
+        if (prev.wrapping_add(self.spot_step) >> 32) != (prev >> 32) {
             out.integrity = Some(self.index.verify_structure());
         }
     }
@@ -445,8 +560,13 @@ impl Database {
     }
 
     /// Answers a pre-built tree pattern.
-    pub fn query_pattern(&mut self, pattern: &TreePattern) -> QueryOutcome {
-        self.index.query(pattern, &mut self.corpus.paths)
+    pub fn query_pattern(&self, pattern: &TreePattern) -> QueryOutcome {
+        self.index.query(pattern, &self.corpus.paths)
+    }
+
+    /// The worker pool shared by ingest and [`Database::query_batch`].
+    pub fn pool(&self) -> Pool {
+        self.pool
     }
 
     /// Adds one more document and refreshes the index labels.
@@ -480,7 +600,7 @@ mod tests {
 
     #[test]
     fn quickstart_flow() {
-        let mut db = DatabaseBuilder::new()
+        let db = DatabaseBuilder::new()
             .build_from_xml([
                 "<project><research><loc>newyork</loc></research></project>",
                 "<project><develop><loc>boston</loc></develop></project>",
@@ -497,7 +617,7 @@ mod tests {
 
     #[test]
     fn depth_first_database() {
-        let mut db = DatabaseBuilder::new()
+        let db = DatabaseBuilder::new()
             .sequencing(Sequencing::DepthFirst)
             .build_from_xml(["<a><b/></a>", "<a><c/></a>"])
             .unwrap();
@@ -516,7 +636,7 @@ mod tests {
     fn bad_xml_and_bad_query_errors() {
         let err = DatabaseBuilder::new().build_from_xml(["<a>"]).unwrap_err();
         assert!(matches!(err, Error::Xml(_)));
-        let mut db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
+        let db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
         assert!(matches!(db.query_xpath("a"), Err(Error::Query(_))));
     }
 
@@ -533,8 +653,8 @@ mod tests {
     #[test]
     fn boost_changes_sequences_not_answers() {
         let xmls = ["<p><a><x/></a><b/></p>", "<p><a/><b/></p>", "<p><b/></p>"];
-        let mut plain = DatabaseBuilder::new().build_from_xml(xmls).unwrap();
-        let mut boosted = DatabaseBuilder::new()
+        let plain = DatabaseBuilder::new().build_from_xml(xmls).unwrap();
+        let boosted = DatabaseBuilder::new()
             .boost("/p/a/x", 100.0)
             .build_from_xml(xmls)
             .unwrap();
@@ -549,7 +669,7 @@ mod tests {
 
     #[test]
     fn metrics_contain_every_pipeline_phase() {
-        let mut db = DatabaseBuilder::new()
+        let db = DatabaseBuilder::new()
             .build_from_xml(["<a><b>x</b></a>", "<a><c/></a>"])
             .unwrap();
         db.query_xpath("/a/b").unwrap();
@@ -593,11 +713,11 @@ mod tests {
     #[test]
     fn shared_registry_across_databases() {
         let reg = std::sync::Arc::new(MetricsRegistry::new());
-        let mut db1 = DatabaseBuilder::new()
+        let db1 = DatabaseBuilder::new()
             .metrics_registry(reg.clone())
             .build_from_xml(["<a><b/></a>"])
             .unwrap();
-        let mut db2 = DatabaseBuilder::new()
+        let db2 = DatabaseBuilder::new()
             .metrics_registry(reg.clone())
             .build_from_xml(["<a><c/></a>"])
             .unwrap();
@@ -640,7 +760,7 @@ mod tests {
 
     #[test]
     fn traced_query_lands_in_slow_log() {
-        let mut db = DatabaseBuilder::new()
+        let db = DatabaseBuilder::new()
             .trace_config(TraceConfig {
                 sample_rate: 1.0,
                 slow_threshold: std::time::Duration::ZERO,
@@ -687,7 +807,7 @@ mod tests {
 
     #[test]
     fn untraced_database_has_no_tracing_surface() {
-        let mut db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
+        let db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
         let out = db.query_xpath_full("/a").unwrap();
         assert!(out.trace.is_none());
         assert!(db.slow_queries().is_empty());
@@ -697,7 +817,7 @@ mod tests {
 
     #[test]
     fn failed_parse_still_traces() {
-        let mut db = DatabaseBuilder::new()
+        let db = DatabaseBuilder::new()
             .trace_config(TraceConfig {
                 sample_rate: 0.0,
                 slow_threshold: std::time::Duration::ZERO,
@@ -732,7 +852,7 @@ mod tests {
 
     #[test]
     fn spot_check_fires_at_the_configured_rate() {
-        let mut db = DatabaseBuilder::new()
+        let db = DatabaseBuilder::new()
             .integrity_spot_check(0.5)
             .build_from_xml(["<a><b/></a>"])
             .unwrap();
@@ -750,7 +870,7 @@ mod tests {
 
     #[test]
     fn spot_check_is_off_by_default() {
-        let mut db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
+        let db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
         for _ in 0..5 {
             assert!(db.query_xpath_full("/a").unwrap().integrity.is_none());
         }
@@ -758,7 +878,7 @@ mod tests {
 
     #[test]
     fn spot_check_reaches_traced_queries() {
-        let mut db = DatabaseBuilder::new()
+        let db = DatabaseBuilder::new()
             .integrity_spot_check(1.0)
             .trace_config(TraceConfig {
                 sample_rate: 1.0,
@@ -779,7 +899,7 @@ mod tests {
 
     #[test]
     fn hashed_value_mode() {
-        let mut db = DatabaseBuilder::new()
+        let db = DatabaseBuilder::new()
             .value_mode(ValueMode::Hashed { range: 64 })
             .build_from_xml(["<a><l>boston</l></a>", "<a><l>newyork</l></a>"])
             .unwrap();

@@ -30,7 +30,10 @@ pub mod trie;
 pub mod verify;
 
 pub use plan::{instantiate, PlanOptions};
-pub use search::{constraint_search, naive_search, tree_search, QuerySequence, SearchStats};
+pub use search::{
+    constraint_search, constraint_search_with, naive_search, naive_search_with, tree_search,
+    tree_search_with, QuerySequence, SearchScratch, SearchStats,
+};
 pub use telemetry::IndexTelemetry;
 pub use trie::{LinkEntry, SequenceTrie, TrieNodeId, TrieView, NIL};
 pub use verify::{verify_trie, verify_trie_structure, IntegrityReport, InvariantClass, Violation};
@@ -39,7 +42,7 @@ use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
-use xseq_sequence::{isomorphic_variants, sequence_document, Strategy};
+use xseq_sequence::{isomorphic_variants, sequence_document, Sequence, Strategy};
 use xseq_telemetry::{ActiveTrace, SpanId, Trace};
 use xseq_xml::{DocId, Document, PathId, PathTable, TreePattern};
 
@@ -80,13 +83,14 @@ pub struct QueryOutcome {
 }
 
 impl QueryOutcome {
-    fn absorb(&mut self, docs: Vec<DocId>, st: SearchStats) {
+    fn absorb(&mut self, docs: &[DocId], st: SearchStats) {
         self.stats.variants += 1;
         self.stats.search.candidates += st.candidates;
         self.stats.search.cover_rejections += st.cover_rejections;
         self.stats.search.completions += st.completions;
         self.stats.search.link_probes += st.link_probes;
-        self.docs.extend(docs);
+        self.stats.search.scratch_reuses += st.scratch_reuses;
+        self.docs.extend_from_slice(docs);
     }
 
     /// Renders this query's work breakdown — phase latencies and matcher
@@ -179,6 +183,26 @@ enum Mode {
     Naive,
 }
 
+/// Reusable per-query state.
+///
+/// Queries need scratch buffers (the matcher's alignment stack and result
+/// accumulator); a context owns them so a caller running many queries on one
+/// thread — a batch worker, a benchmark loop — pays for the allocations once
+/// and reuses warm buffers afterwards.  Reuse is observable as
+/// [`SearchStats::scratch_reuses`].  Contexts are cheap to create and not
+/// shared between threads: one per worker.
+#[derive(Debug, Default)]
+pub struct QueryContext {
+    scratch: SearchScratch,
+}
+
+impl QueryContext {
+    /// A fresh context with cold buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The sequence-based XML index.
 #[derive(Debug)]
 pub struct XmlIndex {
@@ -238,6 +262,109 @@ impl XmlIndex {
         index
     }
 
+    /// [`XmlIndex::build_instrumented`] fanned out across `pool`.
+    ///
+    /// Documents are sequenced in parallel chunks; each worker interns new
+    /// paths into a private clone of the path table, and the per-chunk
+    /// deltas are absorbed back in chunk (= document) order, which replays
+    /// the sequential first-occurrence interning exactly.  The sorted
+    /// sequence list comes from parallel per-part stable sorts merged with
+    /// earlier parts winning ties (≡ one global stable sort), and labels and
+    /// path links come from [`SequenceTrie::freeze_parallel`] — so the
+    /// frozen index is bit-identical to the sequential build at any thread
+    /// count.
+    pub fn build_parallel(
+        docs: &[Document],
+        paths: &mut PathTable,
+        strategy: Strategy,
+        options: PlanOptions,
+        telemetry: Option<IndexTelemetry>,
+        pool: &xseq_exec::Pool,
+    ) -> Self {
+        if pool.is_sequential() {
+            return Self::build_instrumented(docs, paths, strategy, options, telemetry);
+        }
+        let mut index = XmlIndex {
+            trie: SequenceTrie::new(),
+            strategy,
+            data_paths: HashSet::new(),
+            options,
+            telemetry,
+        };
+        let base_len = paths.len();
+        let chunk = pool.chunk_for(docs.len());
+        let chunks = {
+            let base: &PathTable = paths;
+            let strategy = &index.strategy;
+            pool.map_chunks(docs, chunk, |ci, slice| {
+                let mut local = base.clone();
+                let mut seqs = Vec::with_capacity(slice.len());
+                let mut encode_ns = Vec::with_capacity(slice.len());
+                for (j, doc) in slice.iter().enumerate() {
+                    let t0 = Instant::now();
+                    let seq = sequence_document(doc, &mut local, strategy);
+                    encode_ns.push(t0.elapsed());
+                    seqs.push((seq, (ci * chunk + j) as DocId));
+                }
+                (local, seqs, encode_ns)
+            })
+        };
+        // Serial barrier: absorb interning deltas in chunk order and remap
+        // each chunk's sequences onto the global path ids.
+        let mut flat: Vec<(Sequence, DocId)> = Vec::with_capacity(docs.len());
+        for (local, mut seqs, encode_ns) in chunks {
+            let remap = paths.absorb_delta(&local, base_len);
+            for (seq, _) in &mut seqs {
+                if !remap.is_identity() {
+                    for p in &mut seq.0 {
+                        *p = remap.path(*p);
+                    }
+                }
+                index.data_paths.extend(seq.elems().iter().copied());
+            }
+            if let Some(tel) = &index.telemetry {
+                for d in encode_ns {
+                    tel.encode.record_duration(d);
+                }
+            }
+            flat.append(&mut seqs);
+        }
+        // Parallel per-part stable sorts; each part keeps its documents in
+        // doc order on equal sequences.
+        let part = flat.len().div_ceil(pool.threads()).max(1);
+        let bounds: Vec<(usize, usize)> = (0..flat.len())
+            .step_by(part)
+            .map(|s| (s, (s + part).min(flat.len())))
+            .collect();
+        pool.run(
+            flat.chunks_mut(part)
+                .map(|p| move || p.sort_by(|a, b| a.0.elems().cmp(b.0.elems())))
+                .collect(),
+        );
+        // K-way merge, earliest part winning ties: parts hold ascending doc
+        // ids, so this reproduces one global stable sort over `flat`.
+        let mut cur: Vec<usize> = bounds.iter().map(|&(s, _)| s).collect();
+        let mut merged: Vec<(Sequence, DocId)> = Vec::with_capacity(flat.len());
+        loop {
+            let mut best: Option<usize> = None;
+            for (pi, &(_, end)) in bounds.iter().enumerate() {
+                if cur[pi] < end {
+                    best = match best {
+                        Some(b) if flat[cur[b]].0.elems() <= flat[cur[pi]].0.elems() => Some(b),
+                        _ => Some(pi),
+                    };
+                }
+            }
+            let Some(b) = best else { break };
+            let id = flat[cur[b]].1;
+            merged.push((std::mem::take(&mut flat[cur[b]].0), id));
+            cur[b] += 1;
+        }
+        index.trie.bulk_load_presorted(merged);
+        index.trie.freeze_parallel(pool);
+        index
+    }
+
     /// Attaches (or replaces) the registry wiring of an existing index.
     pub fn attach_telemetry(&mut self, telemetry: IndexTelemetry) {
         self.telemetry = Some(telemetry);
@@ -269,8 +396,28 @@ impl XmlIndex {
     /// Sound and complete for every valid sequencing strategy, with no
     /// isomorphism expansion (see the `tree_search` docs for why the
     /// order-free formulation subsumes it).
-    pub fn query(&self, pattern: &TreePattern, paths: &mut PathTable) -> QueryOutcome {
-        self.run_query(pattern, paths, Mode::TreeSearch, None)
+    ///
+    /// Takes `&self` and a shared path table: queries never intern, so any
+    /// number of threads may query one frozen index concurrently.
+    pub fn query(&self, pattern: &TreePattern, paths: &PathTable) -> QueryOutcome {
+        self.run_query(
+            pattern,
+            paths,
+            Mode::TreeSearch,
+            None,
+            &mut QueryContext::new(),
+        )
+    }
+
+    /// [`XmlIndex::query`] against a caller-owned [`QueryContext`], reusing
+    /// its scratch buffers across calls.
+    pub fn query_with(
+        &self,
+        pattern: &TreePattern,
+        paths: &PathTable,
+        ctx: &mut QueryContext,
+    ) -> QueryOutcome {
+        self.run_query(pattern, paths, Mode::TreeSearch, None, ctx)
     }
 
     /// [`XmlIndex::query`] with span emission: the planning and per-variant
@@ -281,33 +428,46 @@ impl XmlIndex {
     pub fn query_traced(
         &self,
         pattern: &TreePattern,
-        paths: &mut PathTable,
+        paths: &PathTable,
         trace: &mut ActiveTrace,
     ) -> QueryOutcome {
-        self.run_query(pattern, paths, Mode::TreeSearch, Some(trace))
+        self.run_query(
+            pattern,
+            paths,
+            Mode::TreeSearch,
+            Some(trace),
+            &mut QueryContext::new(),
+        )
     }
 
     /// The paper's Algorithm 1 verbatim: left-to-right constraint
     /// subsequence matching plus isomorphic query expansion.  Complete only
     /// for order-consistent strategies (canonical depth-first); kept for
     /// faithfulness experiments and the ViST-style baseline.
-    pub fn query_ordered(&self, pattern: &TreePattern, paths: &mut PathTable) -> QueryOutcome {
-        self.run_query(pattern, paths, Mode::Ordered, None)
+    pub fn query_ordered(&self, pattern: &TreePattern, paths: &PathTable) -> QueryOutcome {
+        self.run_query(
+            pattern,
+            paths,
+            Mode::Ordered,
+            None,
+            &mut QueryContext::new(),
+        )
     }
 
     /// Naïve subsequence matching (no constraint check) — the ViST query
     /// primitive, which suffers false alarms that a ViST-style system must
     /// repair with joins or per-document post-processing.
-    pub fn query_naive(&self, pattern: &TreePattern, paths: &mut PathTable) -> QueryOutcome {
-        self.run_query(pattern, paths, Mode::Naive, None)
+    pub fn query_naive(&self, pattern: &TreePattern, paths: &PathTable) -> QueryOutcome {
+        self.run_query(pattern, paths, Mode::Naive, None, &mut QueryContext::new())
     }
 
     fn run_query(
         &self,
         pattern: &TreePattern,
-        paths: &mut PathTable,
+        paths: &PathTable,
         mode: Mode,
         mut trace: Option<&mut ActiveTrace>,
+        ctx: &mut QueryContext,
     ) -> QueryOutcome {
         let mut outcome = QueryOutcome::default();
         let plan_span = trace.as_mut().map(|tr| tr.start_span("index.plan"));
@@ -350,19 +510,22 @@ impl XmlIndex {
                     }
                     let enc = tr.as_mut().map(|t| t.start_span("sequence.encode"));
                     let t0 = Instant::now();
-                    let qs = QuerySequence::from_document(qdoc, paths, &self.strategy);
+                    let qs = QuerySequence::from_document_readonly(qdoc, paths, &self.strategy);
                     encode_ns += elapsed_ns(t0);
                     if let (Some(t), Some(sp)) = (tr.as_mut(), enc) {
                         t.end_span(sp);
                     }
+                    // A query path absent from the table matches no data —
+                    // the variant is provably empty, skip the descent.
+                    let Some(qs) = qs else { continue };
                     let descent = tr.as_mut().map(|t| t.start_span("trie.descent"));
                     let t0 = Instant::now();
-                    let (docs, st) = search::tree_search(&self.trie, &qs);
+                    let st = search::tree_search_with(&self.trie, &qs, &mut ctx.scratch);
                     search_ns += elapsed_ns(t0);
                     if let (Some(t), Some(sp)) = (tr.as_mut(), descent) {
-                        record_descent(t, sp, &st, docs.len());
+                        record_descent(t, sp, &st, ctx.scratch.docs.len());
                     }
-                    outcome.absorb(docs, st);
+                    outcome.absorb(&ctx.scratch.docs, st);
                 }
                 Mode::Ordered | Mode::Naive => {
                     for variant in isomorphic_variants(qdoc, self.options.max_isomorphs) {
@@ -376,23 +539,25 @@ impl XmlIndex {
                         }
                         let enc = tr.as_mut().map(|t| t.start_span("sequence.encode"));
                         let t0 = Instant::now();
-                        let qs = QuerySequence::from_document(&variant, paths, &self.strategy);
+                        let qs =
+                            QuerySequence::from_document_readonly(&variant, paths, &self.strategy);
                         encode_ns += elapsed_ns(t0);
                         if let (Some(t), Some(sp)) = (tr.as_mut(), enc) {
                             t.end_span(sp);
                         }
+                        let Some(qs) = qs else { continue };
                         let descent = tr.as_mut().map(|t| t.start_span("trie.descent"));
                         let t0 = Instant::now();
-                        let (docs, st) = if matches!(mode, Mode::Ordered) {
-                            constraint_search(&self.trie, &qs)
+                        let st = if matches!(mode, Mode::Ordered) {
+                            constraint_search_with(&self.trie, &qs, &mut ctx.scratch)
                         } else {
-                            naive_search(&self.trie, &qs)
+                            naive_search_with(&self.trie, &qs, &mut ctx.scratch)
                         };
                         search_ns += elapsed_ns(t0);
                         if let (Some(t), Some(sp)) = (tr.as_mut(), descent) {
-                            record_descent(t, sp, &st, docs.len());
+                            record_descent(t, sp, &st, ctx.scratch.docs.len());
                         }
-                        outcome.absorb(docs, st);
+                        outcome.absorb(&ctx.scratch.docs, st);
                     }
                 }
             }
@@ -507,7 +672,7 @@ mod tests {
         let ln = q.add(rn, Axis::Child, PatternLabel::Elem(l));
         q.add(ln, Axis::Child, PatternLabel::Value(boston));
 
-        let out = index.query(&q, &mut pt);
+        let out = index.query(&q, &pt);
         assert_eq!(out.docs, vec![0]);
     }
 
@@ -528,13 +693,13 @@ mod tests {
         let star = q.add(q.root_id(), Axis::Child, PatternLabel::AnyElem);
         let ln = q.add(star, Axis::Child, PatternLabel::Elem(l));
         q.add(ln, Axis::Child, PatternLabel::Value(boston));
-        let out = index.query(&q, &mut pt);
+        let out = index.query(&q, &pt);
         assert_eq!(out.docs, vec![0, 1]);
         assert_eq!(out.stats.instantiations, 2);
 
         // //l
         let q2 = TreePattern::with_root_axis(PatternLabel::Elem(l), Axis::Descendant);
-        let out2 = index.query(&q2, &mut pt);
+        let out2 = index.query(&q2, &pt);
         assert_eq!(out2.docs, vec![0, 1, 2]);
     }
 
@@ -572,13 +737,13 @@ mod tests {
         let mut q = TreePattern::root(PatternLabel::Elem(pd));
         let bn = q.add(q.root_id(), Axis::Child, PatternLabel::Elem(bd));
         q.add(bn, Axis::Child, PatternLabel::Elem(cd));
-        let out = index.query(&q, &mut pt);
+        let out = index.query(&q, &pt);
         assert_eq!(out.docs, vec![0, 1]);
 
         let ad = st.designator("a");
         let mut q2 = TreePattern::root(PatternLabel::Elem(pd));
         q2.add(q2.root_id(), Axis::Child, PatternLabel::Elem(ad));
-        let out2 = index.query(&q2, &mut pt);
+        let out2 = index.query(&q2, &pt);
         assert_eq!(out2.docs, vec![0, 2]);
     }
 
@@ -595,7 +760,7 @@ mod tests {
         let bd = st.designator("b");
         let mut q = TreePattern::root(PatternLabel::Elem(pd));
         q.add(q.root_id(), Axis::Child, PatternLabel::Elem(bd));
-        assert_eq!(index.query(&q, &mut pt).docs, vec![1]);
+        assert_eq!(index.query(&q, &pt).docs, vec![1]);
     }
 
     #[test]
@@ -615,14 +780,73 @@ mod tests {
         q.add(l1, Axis::Child, PatternLabel::Elem(sd));
         let l2 = q.add(q.root_id(), Axis::Child, PatternLabel::Elem(ld));
         q.add(l2, Axis::Child, PatternLabel::Elem(bd));
-        let out = index.query(&q, &mut pt);
+        let out = index.query(&q, &pt);
         assert_eq!(out.docs, vec![0]);
         assert_eq!(out.stats.variants, 1, "tree_search needs no expansion");
-        let ordered = index.query_ordered(&q, &mut pt);
+        let ordered = index.query_ordered(&q, &pt);
         assert_eq!(ordered.docs, vec![0]);
         assert!(
             ordered.stats.variants >= 2,
             "Algorithm 1 relies on isomorphic expansion here"
+        );
+    }
+
+    #[test]
+    fn build_parallel_is_bit_identical_to_sequential() {
+        let xmls = [
+            "<p><r><l>boston</l></r></p>",
+            "<p><d><l>boston</l></d></p>",
+            "<p><r><l>newyork</l></r></p>",
+            "<p><l><b/></l><l><s/></l></p>",
+            "<q><a/><b><c/></b></q>",
+            "<p/>",
+            "<p><r><l>boston</l></r><r><l>austin</l></r></p>",
+        ];
+        let (_, mut pt_seq, docs) = corpus(&xmls);
+        let seq = XmlIndex::build(
+            &docs,
+            &mut pt_seq,
+            Strategy::DepthFirst,
+            PlanOptions::default(),
+        );
+        for threads in [2, 4, 8] {
+            let (_, mut pt_par, docs) = corpus(&xmls);
+            let par = XmlIndex::build_parallel(
+                &docs,
+                &mut pt_par,
+                Strategy::DepthFirst,
+                PlanOptions::default(),
+                None,
+                &xseq_exec::Pool::new(threads),
+            );
+            assert!(
+                par.trie().identical_to(seq.trie()),
+                "parallel build ({threads} threads) diverged"
+            );
+            assert_eq!(par.data_paths(), seq.data_paths());
+            assert_eq!(pt_par.len(), pt_seq.len(), "path tables diverged");
+            assert!(par.verify_integrity(&mut pt_par).is_clean());
+        }
+    }
+
+    #[test]
+    fn query_with_reuses_scratch_buffers() {
+        let (mut st, mut pt, docs) =
+            corpus(&["<p><r><l>boston</l></r></p>", "<p><d><l>boston</l></d></p>"]);
+        let index = XmlIndex::build(&docs, &mut pt, Strategy::DepthFirst, PlanOptions::default());
+        let p = st.designator("p");
+        let l = st.designator("l");
+        let mut q = TreePattern::root(PatternLabel::Elem(p));
+        let star = q.add(q.root_id(), Axis::Child, PatternLabel::AnyElem);
+        q.add(star, Axis::Child, PatternLabel::Elem(l));
+        let mut ctx = QueryContext::new();
+        let first = index.query_with(&q, &pt, &mut ctx);
+        assert_eq!(first.docs, vec![0, 1]);
+        let again = index.query_with(&q, &pt, &mut ctx);
+        assert_eq!(again.docs, vec![0, 1]);
+        assert!(
+            again.stats.search.scratch_reuses > 0,
+            "second query on one context must reuse warm buffers"
         );
     }
 
@@ -639,7 +863,7 @@ mod tests {
         let ln = q.add(q.root_id(), Axis::Child, PatternLabel::Elem(ld));
         q.add(ln, Axis::Child, PatternLabel::Elem(sd));
         q.add(ln, Axis::Child, PatternLabel::Elem(bd));
-        assert!(index.query(&q, &mut pt).docs.is_empty());
-        assert_eq!(index.query_naive(&q, &mut pt).docs, vec![0]);
+        assert!(index.query(&q, &pt).docs.is_empty());
+        assert_eq!(index.query_naive(&q, &pt).docs, vec![0]);
     }
 }

@@ -19,7 +19,7 @@
 
 use crate::trie::{TrieNodeId, TrieView, NIL};
 use std::collections::HashMap;
-use xseq_sequence::{sequence_nodes, Sequence, Strategy};
+use xseq_sequence::{sequence_nodes, sequence_nodes_readonly, Sequence, Strategy};
 use xseq_xml::{DocId, Document, PathId, PathTable};
 
 /// A query sequence with its tree-parent structure: `parent_pos[i]` is the
@@ -51,6 +51,32 @@ impl QuerySequence {
             paths: seq.0,
             parent_pos,
         }
+    }
+
+    /// [`QuerySequence::from_document`] against a **frozen** path table:
+    /// nothing is interned, so it takes `&PathTable` and can run from many
+    /// query threads at once.  Returns `None` when some query node's path
+    /// is absent from the table — no indexed document contains that path,
+    /// so this concrete query tree provably matches nothing.
+    pub fn from_document_readonly(
+        doc: &Document,
+        paths: &PathTable,
+        strategy: &Strategy,
+    ) -> Option<Self> {
+        let (seq, nodes) = sequence_nodes_readonly(doc, paths, strategy)?;
+        let pos_of: HashMap<u32, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        let parent_pos = nodes
+            .iter()
+            .map(|&n| doc.parent(n).map(|p| pos_of[&p]))
+            .collect();
+        Some(QuerySequence {
+            paths: seq.0,
+            parent_pos,
+        })
     }
 
     /// A raw sequence where each element's parent is its path-parent's most
@@ -97,6 +123,46 @@ pub struct SearchStats {
     pub completions: u64,
     /// Path-link binary searches performed (`link_lower_bound` calls).
     pub link_probes: u64,
+    /// Buffer allocations avoided because a warm [`SearchScratch`] supplied
+    /// already-sized result/alignment vectors.
+    pub scratch_reuses: u64,
+}
+
+/// Reusable per-query buffers for the matchers: the result accumulator and
+/// the alignment stacks.  One search leaves its sorted, deduplicated
+/// result in [`SearchScratch::docs`]; passing the same scratch to the next
+/// search reuses the capacity instead of allocating (counted in
+/// [`SearchStats::scratch_reuses`]).
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Result accumulator; after a search: sorted, deduplicated doc ids.
+    pub docs: Vec<DocId>,
+    matched: Vec<TrieNodeId>,
+    used: Vec<TrieNodeId>,
+}
+
+impl SearchScratch {
+    /// A fresh (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the buffers (keeping capacity) and counts how many arrive
+    /// warm — allocations the reuse saves.
+    fn begin(&mut self) -> u64 {
+        let warm = [
+            self.docs.capacity() > 0,
+            self.matched.capacity() > 0,
+            self.used.capacity() > 0,
+        ]
+        .iter()
+        .filter(|&&w| w)
+        .count() as u64;
+        self.docs.clear();
+        self.matched.clear();
+        self.used.clear();
+        warm
+    }
 }
 
 /// Runs constraint subsequence matching (Algorithm 1): returns the ids of
@@ -105,7 +171,19 @@ pub fn constraint_search<V: TrieView + ?Sized>(
     trie: &V,
     q: &QuerySequence,
 ) -> (Vec<DocId>, SearchStats) {
-    search(trie, q, true)
+    let mut scratch = SearchScratch::new();
+    let stats = search_with(trie, q, true, &mut scratch);
+    (std::mem::take(&mut scratch.docs), stats)
+}
+
+/// [`constraint_search`] into a caller-provided scratch; the sorted,
+/// deduplicated result is left in `scratch.docs`.
+pub fn constraint_search_with<V: TrieView + ?Sized>(
+    trie: &V,
+    q: &QuerySequence,
+    scratch: &mut SearchScratch,
+) -> SearchStats {
+    search_with(trie, q, true, scratch)
 }
 
 /// Naïve subsequence matching (ViST-style): no constraint check, so the
@@ -114,7 +192,19 @@ pub fn naive_search<V: TrieView + ?Sized>(
     trie: &V,
     q: &QuerySequence,
 ) -> (Vec<DocId>, SearchStats) {
-    search(trie, q, false)
+    let mut scratch = SearchScratch::new();
+    let stats = search_with(trie, q, false, &mut scratch);
+    (std::mem::take(&mut scratch.docs), stats)
+}
+
+/// [`naive_search`] into a caller-provided scratch; the result is left in
+/// `scratch.docs`.
+pub fn naive_search_with<V: TrieView + ?Sized>(
+    trie: &V,
+    q: &QuerySequence,
+    scratch: &mut SearchScratch,
+) -> SearchStats {
+    search_with(trie, q, false, scratch)
 }
 
 /// Order-free constraint matching.
@@ -138,10 +228,25 @@ pub fn naive_search<V: TrieView + ?Sized>(
 /// regardless of emission order, so this search is complete for every valid
 /// strategy and needs no isomorphic query expansion at all.
 pub fn tree_search<V: TrieView + ?Sized>(trie: &V, q: &QuerySequence) -> (Vec<DocId>, SearchStats) {
-    let mut out = Vec::new();
-    let mut stats = SearchStats::default();
+    let mut scratch = SearchScratch::new();
+    let stats = tree_search_with(trie, q, &mut scratch);
+    (std::mem::take(&mut scratch.docs), stats)
+}
+
+/// [`tree_search`] into a caller-provided scratch: the sorted, deduplicated
+/// result is left in `scratch.docs`, and warm buffers are reused instead of
+/// allocated (counted in [`SearchStats::scratch_reuses`]).
+pub fn tree_search_with<V: TrieView + ?Sized>(
+    trie: &V,
+    q: &QuerySequence,
+    scratch: &mut SearchScratch,
+) -> SearchStats {
+    let mut stats = SearchStats {
+        scratch_reuses: scratch.begin(),
+        ..Default::default()
+    };
     if q.is_empty() {
-        return (out, stats);
+        return stats;
     }
     // Because the search is order-free, we are free to process the most
     // *selective* elements first (shortest path links), subject only to
@@ -150,7 +255,7 @@ pub fn tree_search<V: TrieView + ?Sized>(trie: &V, q: &QuerySequence) -> (Vec<Do
     let n = q.len();
     let lens: Vec<usize> = q.paths.iter().map(|&p| trie.link_len(p)).collect();
     if lens.contains(&0) {
-        return (out, stats); // some required path never occurs in the data
+        return stats; // some required path never occurs in the data
     }
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
@@ -173,22 +278,27 @@ pub fn tree_search<V: TrieView + ?Sized>(trie: &V, q: &QuerySequence) -> (Vec<Do
         order.push(e);
     }
 
-    let mut matched: Vec<TrieNodeId> = vec![NIL; n];
-    let mut used: Vec<TrieNodeId> = Vec::with_capacity(n);
+    let SearchScratch {
+        docs,
+        matched,
+        used,
+    } = scratch;
+    matched.resize(n, NIL);
+    used.reserve(n);
     tree_go(
         trie,
         q,
         &order,
         0,
         trie.root(),
-        &mut matched,
-        &mut used,
-        &mut out,
+        matched,
+        used,
+        docs,
         &mut stats,
     );
-    out.sort_unstable();
-    out.dedup();
-    (out, stats)
+    docs.sort_unstable();
+    docs.dedup();
+    stats
 }
 
 /// One step of the order-free search: processing slot `k` selects element
@@ -276,32 +386,26 @@ fn tree_go<V: TrieView + ?Sized>(
     }
 }
 
-fn search<V: TrieView + ?Sized>(
+fn search_with<V: TrieView + ?Sized>(
     trie: &V,
     q: &QuerySequence,
     check: bool,
-) -> (Vec<DocId>, SearchStats) {
-    let mut out = Vec::new();
-    let mut stats = SearchStats::default();
+    scratch: &mut SearchScratch,
+) -> SearchStats {
+    let mut stats = SearchStats {
+        scratch_reuses: scratch.begin(),
+        ..Default::default()
+    };
     if q.is_empty() {
-        return (out, stats);
+        return stats;
     }
     let (rs, rm) = trie.label(trie.root());
-    let mut matched: Vec<TrieNodeId> = Vec::with_capacity(q.len());
-    go(
-        trie,
-        q,
-        0,
-        rs,
-        rm,
-        check,
-        &mut matched,
-        &mut out,
-        &mut stats,
-    );
-    out.sort_unstable();
-    out.dedup();
-    (out, stats)
+    let SearchScratch { docs, matched, .. } = scratch;
+    matched.reserve(q.len());
+    go(trie, q, 0, rs, rm, check, matched, docs, &mut stats);
+    docs.sort_unstable();
+    docs.dedup();
+    stats
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -26,12 +26,30 @@ pub type TrieNodeId = u32;
 /// Sentinel for "no node".
 pub const NIL: TrieNodeId = u32::MAX;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct TrieNode {
     path: PathId,
     parent: TrieNodeId,
     first_child: TrieNodeId,
     next_sibling: TrieNodeId,
+}
+
+/// Labeling result for one root-child subtree, produced by a
+/// [`SequenceTrie::freeze_parallel`] worker.  All serials are relative to
+/// the subtree's own preorder position 0; the merge adds the subtree's
+/// global offset.
+struct SubFreeze {
+    /// Subtree nodes in preorder — node `i` has relative serial `i`.
+    nodes: Vec<TrieNodeId>,
+    /// Relative `n⊣` per preorder position.
+    max_desc_rel: Vec<u32>,
+    /// `embeds_identical` per preorder position.
+    embeds: Vec<bool>,
+    /// Partial link map: path → `(rel_serial, rel_max_desc, node)`,
+    /// ascending by relative serial.
+    links: HashMap<PathId, Vec<(u32, u32, TrieNodeId)>>,
+    /// End nodes as `(rel_serial, node)`, ascending.
+    ends: Vec<(u32, TrieNodeId)>,
 }
 
 /// One entry of a horizontal path link: the label of a trie node carrying
@@ -47,7 +65,7 @@ pub struct LinkEntry {
 }
 
 /// Labels, links and end-node registry built by [`SequenceTrie::freeze`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct Frozen {
     /// Per node: preorder serial `n⊢` (root = 0).
     pub serial: Vec<u32>,
@@ -260,6 +278,19 @@ impl SequenceTrie {
     /// locality of the shared-prefix walk.
     pub fn bulk_load(&mut self, mut seqs: Vec<(Sequence, DocId)>) {
         seqs.sort_by(|a, b| a.0.elems().cmp(b.0.elems()));
+        self.bulk_load_presorted(seqs);
+    }
+
+    /// [`SequenceTrie::bulk_load`] for sequences already in ascending
+    /// element order (equal sequences in ascending document order) — the
+    /// parallel build sorts partitions on the worker pool and merges them
+    /// before this single-threaded insertion walk, which must stay serial
+    /// so the arena layout is deterministic.
+    pub fn bulk_load_presorted(&mut self, seqs: Vec<(Sequence, DocId)>) {
+        debug_assert!(
+            seqs.windows(2).all(|w| w[0].0.elems() <= w[1].0.elems()),
+            "bulk_load_presorted requires sequences in ascending order"
+        );
         for (seq, doc) in seqs {
             self.insert(&seq, doc);
         }
@@ -345,6 +376,166 @@ impl SequenceTrie {
             links,
             end_nodes,
         });
+    }
+
+    /// [`SequenceTrie::freeze`] with the labeling pass fanned out over a
+    /// worker pool, one task per root-child subtree.
+    ///
+    /// Preorder serials compose: subtree `i` (in sequential DFS visit
+    /// order) occupies the serial range `[1 + Σ sizes(0..i), …]`, so each
+    /// worker labels its subtree with serials relative to 0 and the merge
+    /// adds the offset.  `embeds_identical` chains never cross subtree
+    /// boundaries (an open same-path ancestor is always on the root-to-node
+    /// path), and per-worker partial link maps merged in subtree order are
+    /// already in ascending serial order.  The result is **bit-identical**
+    /// to [`SequenceTrie::freeze`] — asserted by tests and relied on by the
+    /// parallel database build.
+    pub fn freeze_parallel(&mut self, pool: &xseq_exec::Pool) {
+        if self.frozen.is_some() {
+            return;
+        }
+        if pool.is_sequential() {
+            self.freeze();
+            return;
+        }
+        let n = self.nodes.len();
+
+        // Root children in the order the sequential DFS visits them: the
+        // sibling chain is reverse-insertion order and the DFS stack
+        // reverses it again.
+        let mut tops = Vec::new();
+        let mut c = self.nodes[self.root() as usize].first_child;
+        while c != NIL {
+            tops.push(c);
+            c = self.nodes[c as usize].next_sibling;
+        }
+        tops.reverse();
+
+        let subs: Vec<SubFreeze> = pool.map(&tops, |_, &top| self.freeze_subtree(top));
+
+        let mut serial = vec![0u32; n];
+        let mut max_desc = vec![0u32; n];
+        let mut embeds = vec![false; n];
+        let mut links: HashMap<PathId, Vec<LinkEntry>> = HashMap::new();
+        let mut end_nodes: Vec<(u32, TrieNodeId)> = Vec::with_capacity(self.docs.len());
+
+        let mut offset = 1u32; // root takes serial 0
+        for sub in subs {
+            for (i, &node) in sub.nodes.iter().enumerate() {
+                serial[node as usize] = offset + i as u32;
+                max_desc[node as usize] = offset + sub.max_desc_rel[i];
+                embeds[node as usize] = sub.embeds[i];
+            }
+            for (path, entries) in sub.links {
+                links
+                    .entry(path)
+                    .or_default()
+                    .extend(entries.into_iter().map(|(rel, rel_max, node)| LinkEntry {
+                        serial: offset + rel,
+                        max_desc: offset + rel_max,
+                        node,
+                    }));
+            }
+            end_nodes.extend(sub.ends.into_iter().map(|(rel, node)| (offset + rel, node)));
+            offset += sub.nodes.len() as u32;
+        }
+        let root = self.root() as usize;
+        serial[root] = 0;
+        max_desc[root] = offset - 1;
+
+        // Partial maps arrive in ascending serial order already; the sort
+        // mirrors the sequential freeze and keeps the invariant explicit.
+        for link in links.values_mut() {
+            link.sort_by_key(|e| e.serial);
+        }
+        end_nodes.sort_by_key(|&(s, _)| s);
+
+        self.frozen = Some(Frozen {
+            serial,
+            max_desc,
+            embeds_identical: embeds,
+            links,
+            end_nodes,
+        });
+    }
+
+    /// Labels one root-child subtree with serials relative to its own
+    /// preorder position 0 — the parallel worker body of
+    /// [`SequenceTrie::freeze_parallel`].  Mirrors the DFS in
+    /// [`SequenceTrie::freeze`] exactly, minus the virtual root.
+    fn freeze_subtree(&self, top: TrieNodeId) -> SubFreeze {
+        let mut nodes: Vec<TrieNodeId> = Vec::new();
+        let mut max_desc_rel: Vec<u32> = Vec::new();
+        let mut embeds: Vec<bool> = Vec::new();
+        let mut ends: Vec<(u32, TrieNodeId)> = Vec::new();
+        // Position of a node within `nodes` (= its relative serial), so the
+        // Exit event can write `max_desc_rel` by index.
+        let mut pos: HashMap<TrieNodeId, u32> = HashMap::new();
+        let mut path_stack: HashMap<PathId, Vec<TrieNodeId>> = HashMap::new();
+        enum Ev {
+            Enter(TrieNodeId),
+            Exit(TrieNodeId),
+        }
+        let mut stack = vec![Ev::Enter(top)];
+        while let Some(ev) = stack.pop() {
+            match ev {
+                Ev::Enter(node) => {
+                    let rel = nodes.len() as u32;
+                    pos.insert(node, rel);
+                    nodes.push(node);
+                    max_desc_rel.push(0);
+                    embeds.push(false);
+                    let p = self.nodes[node as usize].path;
+                    let open = path_stack.entry(p).or_default();
+                    for &anc in open.iter() {
+                        embeds[pos[&anc] as usize] = true;
+                    }
+                    open.push(node);
+                    if self.docs.contains_key(&node) {
+                        ends.push((rel, node));
+                    }
+                    stack.push(Ev::Exit(node));
+                    let mut c = self.nodes[node as usize].first_child;
+                    while c != NIL {
+                        stack.push(Ev::Enter(c));
+                        c = self.nodes[c as usize].next_sibling;
+                    }
+                }
+                Ev::Exit(node) => {
+                    max_desc_rel[pos[&node] as usize] = nodes.len() as u32 - 1;
+                    let p = self.nodes[node as usize].path;
+                    path_stack.get_mut(&p).expect("opened on enter").pop();
+                }
+            }
+        }
+        // Partial link map: node `i` of the preorder contributes entry
+        // `(i, max_desc_rel[i], node)` to the link of its path, so entries
+        // are in ascending relative-serial order per path.
+        let mut links: HashMap<PathId, Vec<(u32, u32, TrieNodeId)>> = HashMap::new();
+        for (i, &node) in nodes.iter().enumerate() {
+            links
+                .entry(self.nodes[node as usize].path)
+                .or_default()
+                .push((i as u32, max_desc_rel[i], node));
+        }
+        SubFreeze {
+            nodes,
+            max_desc_rel,
+            embeds,
+            links,
+            ends,
+        }
+    }
+
+    /// Structural equality with another trie: same arena (node paths,
+    /// parents *and* sibling-chain order), same document lists, same frozen
+    /// labels/links/end-nodes.  This is the "bit-identical to the
+    /// sequential build" assertion of the parallel-build tests.
+    pub fn identical_to(&self, other: &SequenceTrie) -> bool {
+        self.nodes == other.nodes
+            && self.docs == other.docs
+            && self.seq_count == other.seq_count
+            && self.frozen == other.frozen
     }
 
     /// The frozen labels/links; panics if [`SequenceTrie::freeze`] has not
@@ -664,5 +855,50 @@ mod tests {
     fn query_before_freeze_panics() {
         let trie = SequenceTrie::new();
         let _ = trie.frozen();
+    }
+
+    #[test]
+    fn freeze_parallel_matches_freeze() {
+        let mut fx = Fx::new();
+        let seqs = vec![
+            (fx.seq(&["P", "P.L", "P.L.S", "P.L", "P.L.B"]), 0),
+            (fx.seq(&["P", "P.A", "P.A.X"]), 1),
+            (fx.seq(&["P", "P.A", "P.A.Y"]), 2),
+            (fx.seq(&["P", "P.B", "P.A"]), 3),
+            (fx.seq(&["Q", "Q.Z"]), 4),
+            (fx.seq(&["P", "P.A"]), 5),
+            (fx.seq(&["P"]), 6),
+        ];
+        let mut seq_trie = SequenceTrie::new();
+        seq_trie.bulk_load(seqs.clone());
+        seq_trie.freeze();
+        for threads in [1, 2, 4, 8] {
+            let mut par = SequenceTrie::new();
+            par.bulk_load(seqs.clone());
+            par.freeze_parallel(&xseq_exec::Pool::new(threads));
+            assert!(
+                par.identical_to(&seq_trie),
+                "freeze_parallel({threads}) diverged from freeze()"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_load_presorted_matches_bulk_load() {
+        let mut fx = Fx::new();
+        let seqs = vec![
+            (fx.seq(&["P", "P.B"]), 0),
+            (fx.seq(&["P", "P.A", "P.A.X"]), 1),
+            (fx.seq(&["P", "P.A"]), 2),
+        ];
+        let mut a = SequenceTrie::new();
+        a.bulk_load(seqs.clone());
+        a.freeze();
+        let mut sorted = seqs;
+        sorted.sort_by(|(s1, _), (s2, _)| s1.elems().cmp(s2.elems()));
+        let mut b = SequenceTrie::new();
+        b.bulk_load_presorted(sorted);
+        b.freeze();
+        assert!(a.identical_to(&b));
     }
 }

@@ -129,7 +129,7 @@ fn check_equivalence(
     let mut paths = PathTable::new();
     let strategy = strategy_of(&docs, &mut paths);
     let index = XmlIndex::build(&docs, &mut paths, strategy, PlanOptions::default());
-    let got = index.query(&q, &mut paths).docs;
+    let got = index.query(&q, &paths).docs;
     let expect = oracle(&q, &docs);
     prop_assert_eq!(
         got,
@@ -190,7 +190,7 @@ proptest! {
         let q = build_pattern(&pat, &mut st, corpus.alphabet);
         let mut paths = PathTable::new();
         let index = XmlIndex::build(&docs, &mut paths, SeqStrategy::DepthFirst, PlanOptions::default());
-        let got = index.query_ordered(&q, &mut paths).docs;
+        let got = index.query_ordered(&q, &paths).docs;
         let expect = oracle(&q, &docs);
         prop_assert_eq!(got, expect, "pattern {}", q.render(&st));
     }
@@ -202,8 +202,8 @@ proptest! {
         let q = build_pattern(&pat, &mut st, corpus.alphabet);
         let mut paths = PathTable::new();
         let index = XmlIndex::build(&docs, &mut paths, SeqStrategy::DepthFirst, PlanOptions::default());
-        let strict = index.query(&q, &mut paths).docs;
-        let naive = index.query_naive(&q, &mut paths).docs;
+        let strict = index.query(&q, &paths).docs;
+        let naive = index.query_naive(&q, &paths).docs;
         for d in &strict {
             prop_assert!(naive.contains(d), "constraint result missing from naive");
         }

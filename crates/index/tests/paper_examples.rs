@@ -52,7 +52,7 @@ fn section31_query_on_figure1() {
 
     // doc 0: R has newyork, D has boston → match.
     // doc 1: locations swapped → no match.
-    assert_eq!(index.query(&q, &mut paths).docs, vec![0]);
+    assert_eq!(index.query(&q, &paths).docs, vec![0]);
 }
 
 /// Builds the paths of a spec like "P.L.S" against shared tables.

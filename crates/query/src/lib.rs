@@ -32,7 +32,9 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use xseq_xml::{Axis, PatternLabel, PatternNodeId, SymbolTable, TreePattern};
+use xseq_xml::{
+    Axis, Designator, PatternLabel, PatternNodeId, SymbolTable, TreePattern, ValueId, ValueMode,
+};
 
 /// Errors from the XPath-subset parser.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,9 +76,69 @@ pub fn parse_xpath(input: &str, symbols: &mut SymbolTable) -> Result<TreePattern
     let mut p = Parser {
         chars: input.char_indices().collect(),
         pos: 0,
-        symbols,
+        symbols: Syms::Interning(symbols),
     };
     p.parse_query()
+}
+
+/// [`parse_xpath`] against a **frozen** symbol table: nothing is interned,
+/// so the parse needs only `&SymbolTable` and is safe to run from many
+/// query threads at once.
+///
+/// Returns `Ok(None)` when the expression is syntactically valid but names
+/// a designator or value absent from the table — no indexed document can
+/// contain that symbol, so the query provably matches nothing.  Syntax
+/// errors still surface as `Err`.
+pub fn parse_xpath_readonly(
+    input: &str,
+    symbols: &SymbolTable,
+) -> Result<Option<TreePattern>, ParseError> {
+    let mut p = Parser {
+        chars: input.char_indices().collect(),
+        pos: 0,
+        symbols: Syms::Readonly {
+            table: symbols,
+            missing: false,
+        },
+    };
+    let pattern = p.parse_query()?;
+    Ok(match p.symbols {
+        Syms::Readonly { missing: true, .. } => None,
+        _ => Some(pattern),
+    })
+}
+
+/// [`parse_xpath_readonly`] with its latency (ns) recorded into `sink`.
+pub fn parse_xpath_readonly_instrumented(
+    input: &str,
+    symbols: &SymbolTable,
+    sink: &xseq_telemetry::Histogram,
+) -> Result<Option<TreePattern>, ParseError> {
+    let t0 = std::time::Instant::now();
+    let r = parse_xpath_readonly(input, symbols);
+    sink.record_duration(t0.elapsed());
+    r
+}
+
+/// [`parse_xpath_readonly_instrumented`] that additionally emits a
+/// `query.parse` span into `trace`; a provably-empty query (unknown symbol)
+/// is marked with an `unknown_symbol` attribute on the span.
+pub fn parse_xpath_readonly_traced(
+    input: &str,
+    symbols: &SymbolTable,
+    sink: &xseq_telemetry::Histogram,
+    trace: &mut xseq_telemetry::ActiveTrace,
+) -> Result<Option<TreePattern>, ParseError> {
+    let span = trace.start_span("query.parse");
+    trace.attr(span, "expr_len", input.len() as u64);
+    let r = parse_xpath_readonly_instrumented(input, symbols, sink);
+    match &r {
+        Ok(Some(pattern)) => trace.attr(span, "pattern_nodes", pattern.len() as u64),
+        Ok(None) => trace.attr(span, "unknown_symbol", 1u64),
+        Err(_) => {}
+    }
+    trace.end_span(span);
+    r
 }
 
 /// [`parse_xpath`] with its latency (ns) recorded into `sink` — the
@@ -132,10 +194,80 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Symbol access for the parser: interning (patterns may introduce new
+/// names) or read-only against a frozen table (the shared-read query path,
+/// where an unknown name proves the query matches no indexed document).
+enum Syms<'a> {
+    Interning(&'a mut SymbolTable),
+    Readonly {
+        table: &'a SymbolTable,
+        /// Set on a lookup miss; the parse continues (so syntax errors
+        /// still surface) but the pattern is discarded by the caller.
+        missing: bool,
+    },
+}
+
+impl Syms<'_> {
+    fn value_mode(&self) -> ValueMode {
+        match self {
+            Syms::Interning(t) => t.values.mode(),
+            Syms::Readonly { table, .. } => table.values.mode(),
+        }
+    }
+
+    fn designator(&mut self, name: &str) -> Designator {
+        match self {
+            Syms::Interning(t) => t.designator(name),
+            Syms::Readonly { table, missing } => {
+                table.lookup_designator(name).unwrap_or_else(|| {
+                    *missing = true;
+                    Designator(u32::MAX)
+                })
+            }
+        }
+    }
+
+    fn value(&mut self, v: &str) -> ValueId {
+        match self {
+            Syms::Interning(t) => t.values.intern(v),
+            Syms::Readonly { table, missing } => table.values.lookup(v).unwrap_or_else(|| {
+                *missing = true;
+                ValueId(u32::MAX)
+            }),
+        }
+    }
+
+    /// Per-character value chain for `Chars` mode (terminated unless
+    /// `prefix_only`); an unmapped character in read-only mode marks the
+    /// query provably empty.
+    fn value_chain(&mut self, v: &str, prefix_only: bool) -> Vec<ValueId> {
+        match self {
+            Syms::Interning(t) => {
+                if prefix_only {
+                    t.values.chain_prefix(v)
+                } else {
+                    t.values.chain(v)
+                }
+            }
+            Syms::Readonly { table, missing } => {
+                let chain = if prefix_only {
+                    table.values.chain_prefix_readonly(v)
+                } else {
+                    table.values.chain_readonly(v)
+                };
+                chain.unwrap_or_else(|| {
+                    *missing = true;
+                    Vec::new()
+                })
+            }
+        }
+    }
+}
+
 struct Parser<'a> {
     chars: Vec<(usize, char)>,
     pos: usize,
-    symbols: &'a mut SymbolTable,
+    symbols: Syms<'a>,
 }
 
 impl<'a> Parser<'a> {
@@ -359,20 +491,14 @@ impl<'a> Parser<'a> {
         value: &str,
         prefix_only: bool,
     ) {
-        use xseq_xml::ValueMode;
-        match self.symbols.values.mode() {
+        match self.symbols.value_mode() {
             ValueMode::Intern | ValueMode::Hashed { .. } => {
-                let vid = self.symbols.values.intern(value);
+                let vid = self.symbols.value(value);
                 pattern.add(node, Axis::Child, PatternLabel::Value(vid));
             }
             ValueMode::Chars => {
-                let chain = if prefix_only {
-                    self.symbols.values.chain_prefix(value)
-                } else {
-                    self.symbols.values.chain(value)
-                };
                 let mut cur = node;
-                for v in chain {
+                for v in self.symbols.value_chain(value, prefix_only) {
                     cur = pattern.add(cur, Axis::Child, PatternLabel::Value(v));
                 }
             }
@@ -576,5 +702,58 @@ mod tests {
         let mut s = st();
         let q = parse_xpath("  /a [ b = 'x' ] / c ", &mut s).unwrap();
         assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn readonly_parse_matches_interning_parse() {
+        let mut s = st();
+        // intern everything the queries need, as indexing real data would
+        for expr in [
+            "/site//item[location='United States']/mail/date[text='07/05/2000']",
+            "/a[b='1'][c='2']/d",
+            "/*/author[text='David']",
+        ] {
+            parse_xpath(expr, &mut s).unwrap();
+        }
+        for expr in [
+            "/site//item[location='United States']/mail/date[text='07/05/2000']",
+            "/a[b='1'][c='2']/d",
+            "/*/author[text='David']",
+        ] {
+            let interned = parse_xpath(expr, &mut s).unwrap();
+            let readonly = parse_xpath_readonly(expr, &s)
+                .unwrap()
+                .expect("all symbols known");
+            assert_eq!(interned.len(), readonly.len(), "{expr}");
+            for n in interned.node_ids() {
+                assert_eq!(interned.label(n), readonly.label(n), "{expr} node {n}");
+                assert_eq!(interned.axis(n), readonly.axis(n), "{expr} node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn readonly_parse_unknown_symbol_is_none() {
+        let mut s = st();
+        parse_xpath("/a[b='1']", &mut s).unwrap();
+        let before = s.designator_count();
+        assert!(parse_xpath_readonly("/a/zzz", &s).unwrap().is_none());
+        assert!(parse_xpath_readonly("/a[b='unseen']", &s)
+            .unwrap()
+            .is_none());
+        assert_eq!(s.designator_count(), before, "nothing interned");
+        // syntax errors still surface
+        assert!(parse_xpath_readonly("/a[b='x'", &s).is_err());
+    }
+
+    #[test]
+    fn readonly_parse_chars_mode_chains() {
+        let mut s = SymbolTable::with_value_mode(ValueMode::Chars);
+        let interned = parse_xpath("/a[text='xy']", &mut s).unwrap();
+        let readonly = parse_xpath_readonly("/a[text='xy']", &s)
+            .unwrap()
+            .expect("chain known");
+        assert_eq!(interned.len(), readonly.len());
+        assert!(parse_xpath_readonly("/a[text='xz']", &s).unwrap().is_none());
     }
 }

@@ -157,11 +157,44 @@ pub fn sequence_nodes(
     paths: &mut PathTable,
     strategy: &Strategy,
 ) -> (Sequence, Vec<NodeId>) {
-    let Some(root) = doc.root() else {
+    if doc.root().is_none() {
         return (Sequence::default(), Vec::new());
-    };
+    }
     let enc = doc.path_encode(paths);
-    let order: Vec<NodeId> = match strategy {
+    let order = emit_order(doc, &enc, strategy);
+    let seq = Sequence(order.iter().map(|&n| enc[n as usize]).collect());
+    (seq, order)
+}
+
+/// Read-only [`sequence_nodes`]: resolves path encodings against an
+/// immutable [`PathTable`], returning `None` when any node's path was
+/// never interned.
+///
+/// This is the shared-read query path: the table was fully populated at
+/// build time, so a miss proves the document (a query instantiation)
+/// cannot match anything in the index.  When it returns `Some`, the
+/// result is element-for-element identical to [`sequence_nodes`].
+pub fn sequence_nodes_readonly(
+    doc: &Document,
+    paths: &PathTable,
+    strategy: &Strategy,
+) -> Option<(Sequence, Vec<NodeId>)> {
+    if doc.root().is_none() {
+        return Some((Sequence::default(), Vec::new()));
+    }
+    let enc = doc.path_encode_readonly(paths)?;
+    let order = emit_order(doc, &enc, strategy);
+    let seq = Sequence(order.iter().map(|&n| enc[n as usize]).collect());
+    Some((seq, order))
+}
+
+/// The strategy-driven emission order over an already-encoded document.
+/// Pure in `(doc, enc, strategy)` — interning happens strictly before.
+fn emit_order(doc: &Document, enc: &[PathId], strategy: &Strategy) -> Vec<NodeId> {
+    let root = doc
+        .root()
+        .expect("emit order is only computed for non-empty documents");
+    match strategy {
         Strategy::DepthFirst => {
             // Canonical depth-first: children visited in symbol order
             // (stable for identical symbols).  Canonicalizing sibling order
@@ -201,18 +234,16 @@ pub fn sequence_nodes(
             let pri: Vec<f64> = (0..doc.len() as u64)
                 .map(|n| splitmix64(seed.wrapping_add(0x9e37_79b9).wrapping_mul(31) ^ n) as f64)
                 .collect();
-            emit_with_priority(doc, &enc, &|n: NodeId| pri[n as usize])
+            emit_with_priority(doc, enc, &|n: NodeId| pri[n as usize])
         }
         Strategy::Probability(map) => emit_with_priority_grouped(
             doc,
-            &enc,
+            enc,
             &|n: NodeId| map.get(enc[n as usize]),
             &|p: PathId| map.is_contiguous(p),
             &|p: PathId| map.block_priority(p),
         ),
-    };
-    let seq = Sequence(order.iter().map(|&n| enc[n as usize]).collect());
-    (seq, order)
+    }
 }
 
 /// True if any node of `doc` has two children with the same label.
@@ -602,6 +633,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn readonly_sequencing_matches_interning_sequencing() {
+        let mut stt = st();
+        let doc = fig3b(&mut stt);
+        for strategy in [
+            Strategy::DepthFirst,
+            Strategy::Random { seed: 3 },
+            Strategy::Probability(PriorityMap::new(0.1)),
+        ] {
+            let mut paths = PathTable::new();
+            let (seq, order) = sequence_nodes(&doc, &mut paths, &strategy);
+            let ro = sequence_nodes_readonly(&doc, &paths, &strategy)
+                .expect("all paths were interned by the mutable pass");
+            assert_eq!(ro, (seq, order), "{strategy:?}");
+        }
+        // Against an empty table, every non-empty document misses.
+        let empty = PathTable::new();
+        assert_eq!(
+            sequence_nodes_readonly(&doc, &empty, &Strategy::DepthFirst),
+            None
+        );
     }
 
     #[test]

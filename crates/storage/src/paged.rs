@@ -27,9 +27,9 @@
 use crate::page::{get_u32, get_u64, locate, new_page, put_u32, put_u64, PageId, PAGE_SIZE};
 use crate::pool::BufferPool;
 use crate::store::PageStore;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io;
+use std::sync::Mutex;
 use xseq_index::{LinkEntry, SequenceTrie, TrieNodeId, TrieView};
 use xseq_xml::{DocId, PathId};
 
@@ -207,9 +207,13 @@ impl<'a, S: PageStore> SectionWriter<'a, S> {
 
 /// A disk-resident trie: [`TrieView`] over a page file through a buffer
 /// pool.
+///
+/// The pool sits behind a [`Mutex`], so a `PagedTrie` over a `Send` store
+/// is `Sync`: concurrent readers share one page cache (and its counters),
+/// serializing only the page fetch itself.
 #[derive(Debug)]
 pub struct PagedTrie<S: PageStore> {
-    pool: RefCell<BufferPool<S>>,
+    pool: Mutex<BufferPool<S>>,
     node_count: u32,
     end_count: u32,
     nodes_start: PageId,
@@ -257,7 +261,7 @@ impl<S: PageStore> PagedTrie<S> {
         // catalog loading is setup cost, not query cost
         pool.clear();
         Ok(PagedTrie {
-            pool: RefCell::new(pool),
+            pool: Mutex::new(pool),
             node_count,
             end_count,
             nodes_start: starts[0],
@@ -270,17 +274,20 @@ impl<S: PageStore> PagedTrie<S> {
 
     /// Buffer-pool counters (misses = disk accesses).
     pub fn pool_stats(&self) -> crate::pool::PoolStats {
-        self.pool.borrow().stats()
+        self.pool.lock().expect("pool mutex poisoned").stats()
     }
 
     /// Mirrors this trie's page traffic into `storage.pool.*` counters.
     pub fn attach_pool_telemetry(&self, telemetry: crate::pool::PoolTelemetry) {
-        self.pool.borrow_mut().attach_telemetry(telemetry);
+        self.pool
+            .lock()
+            .expect("pool mutex poisoned")
+            .attach_telemetry(telemetry);
     }
 
     /// Cold-starts the pool and zeroes the counters.
     pub fn reset_pool(&self) {
-        self.pool.borrow_mut().clear();
+        self.pool.lock().expect("pool mutex poisoned").clear();
     }
 
     /// Number of trie nodes (excluding the virtual root).
@@ -291,7 +298,8 @@ impl<S: PageStore> PagedTrie<S> {
     fn node_field(&self, n: TrieNodeId, field: usize) -> u32 {
         let (pg, off) = locate(self.nodes_start, n as usize, NODE_REC, NODES_PER_PAGE);
         self.pool
-            .borrow_mut()
+            .lock()
+            .expect("pool mutex poisoned")
             .with_page(pg, |p| get_u32(p, off + field))
             .expect("paged trie I/O")
     }
@@ -299,7 +307,8 @@ impl<S: PageStore> PagedTrie<S> {
     fn end_record(&self, i: usize) -> (u32, TrieNodeId, u32, u32) {
         let (pg, off) = locate(self.ends_start, i, END_REC, ENDS_PER_PAGE);
         self.pool
-            .borrow_mut()
+            .lock()
+            .expect("pool mutex poisoned")
             .with_page(pg, |p| {
                 (
                     get_u32(p, off),
@@ -320,7 +329,8 @@ impl<S: PageStore> TrieView for PagedTrie<S> {
     fn label(&self, n: TrieNodeId) -> (u32, u32) {
         let (pg, off) = locate(self.nodes_start, n as usize, NODE_REC, NODES_PER_PAGE);
         self.pool
-            .borrow_mut()
+            .lock()
+            .expect("pool mutex poisoned")
             .with_page(pg, |p| (get_u32(p, off + 8), get_u32(p, off + 12)))
             .expect("paged trie I/O")
     }
@@ -351,7 +361,8 @@ impl<S: PageStore> TrieView for PagedTrie<S> {
             ENTRIES_PER_PAGE,
         );
         self.pool
-            .borrow_mut()
+            .lock()
+            .expect("pool mutex poisoned")
             .with_page(pg, |p| LinkEntry {
                 serial: get_u32(p, off),
                 max_desc: get_u32(p, off + 4),
@@ -383,7 +394,8 @@ impl<S: PageStore> TrieView for PagedTrie<S> {
                 let (pg, off) = locate(self.docs_start, doc_off as usize + k, 4, DOCS_PER_PAGE);
                 let d = self
                     .pool
-                    .borrow_mut()
+                    .lock()
+                    .expect("pool mutex poisoned")
                     .with_page(pg, |p| get_u32(p, off))
                     .expect("paged trie I/O");
                 out.push(d);
@@ -541,6 +553,37 @@ mod tests {
         let mut store = MemStore::new();
         store.write_page(0, &new_page()).unwrap();
         assert!(PagedTrie::open(store, 4).is_err());
+    }
+
+    #[test]
+    fn shared_paged_trie_serves_concurrent_readers() {
+        let mut fx = Fx::new();
+        fx.load();
+        let pv = paged(&fx, 8);
+        let queries: Vec<(Sequence, Vec<DocId>)> = [
+            (vec!["P", "P.A"], vec![0, 1]),
+            (vec!["P", "P.B"], vec![2]),
+            (vec!["P", "P.L", "P.L.S", "P.L.B"], vec![4]),
+            (vec!["P", "P.Z"], vec![]),
+        ]
+        .into_iter()
+        .map(|(specs, want)| (fx.seq(&specs), want))
+        .collect();
+        let pt = &fx.pt;
+        let pv = &pv;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for (seq, want) in &queries {
+                        let q = QuerySequence::from_sequence(seq, pt);
+                        let (docs, _) = tree_search(pv, &q);
+                        assert_eq!(&docs, want);
+                    }
+                });
+            }
+        });
+        let st = pv.pool_stats();
+        assert!(st.hits + st.misses > 0, "readers went through the pool");
     }
 
     #[test]

@@ -177,6 +177,35 @@ impl Document {
         out
     }
 
+    /// Rewrites every node label through `f` — used by parallel ingest to
+    /// move a worker-parsed document from its local symbol namespace into
+    /// the merged one.
+    pub fn remap_symbols(&mut self, f: impl Fn(Symbol) -> Symbol) {
+        for node in &mut self.nodes {
+            node.sym = f(node.sym);
+        }
+    }
+
+    /// Read-only [`Document::path_encode`]: resolves every node's path
+    /// against an immutable [`PathTable`], returning `None` as soon as a
+    /// node's path is absent from the table.
+    ///
+    /// This is the shared-read counterpart used at query time: the table
+    /// was populated when the data was indexed, so a miss proves the node
+    /// (and therefore any query built from it) cannot match any indexed
+    /// document.
+    pub fn path_encode_readonly(&self, paths: &PathTable) -> Option<Vec<PathId>> {
+        let mut out = vec![PathId::ROOT; self.nodes.len()];
+        for n in self.preorder() {
+            let parent_path = match self.parent(n) {
+                Some(p) => out[p as usize],
+                None => PathId::ROOT,
+            };
+            out[n as usize] = paths.child(parent_path, self.sym(n))?;
+        }
+        Some(out)
+    }
+
     /// True if `a` is a proper ancestor of `b` in this document.
     pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
         let mut cur = self.parent(b);

@@ -1,0 +1,26 @@
+//! Fixture: spawns an unscoped thread outside `crates/exec/` — the
+//! `no-thread-spawn` rule must flag it (once, not for the scoped spawn,
+//! the string, the comment, or the test module).
+
+use std::thread;
+
+fn detached_worker() -> thread::JoinHandle<()> {
+    thread::spawn(|| {})
+}
+
+fn scoped_is_fine() {
+    // thread::spawn( in a comment must not fire
+    let needle = "thread::spawn(";
+    let _ = needle;
+    thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawning_in_tests_is_exempt() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

@@ -20,12 +20,18 @@
 //!    lines annotated (same line or within the six lines above) with a
 //!    comment containing `relaxed`, stating why no stronger ordering is
 //!    needed.
+//! 6. **no-thread-spawn** — `thread::spawn(` may appear only under
+//!    `crates/exec/`: every other crate expresses parallelism through the
+//!    `xseq-exec::Pool`, which keeps thread counts, scoping and the
+//!    sequential fall-back in one audited place.  (Scoped spawns via
+//!    `thread::scope` + `s.spawn` don't match and stay legal — they
+//!    cannot leak past their scope.)
 //!
 //! The linter is text-based: each file is masked (string-literal and
 //! comment *contents* blanked, delimiters kept, byte offsets preserved) so
 //! rule needles never match themselves inside strings or docs.  Test
 //! regions — everything from the first `#[cfg(test)]` line to the end of
-//! the file — are exempt from rules 3–5.
+//! the file — are exempt from rules 3–6.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -42,6 +48,9 @@ const SAFETY_WINDOW: usize = 3;
 
 /// How many lines above an `Ordering::Relaxed` a `relaxed` comment may sit.
 const RELAXED_WINDOW: usize = 6;
+
+/// The only directory allowed to call `thread::spawn` — the worker pool.
+pub const THREAD_SPAWN_PREFIX: &str = "crates/exec/";
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -382,6 +391,19 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
                 });
             }
         }
+
+        // Rule 6: threads are spawned only by the exec worker pool.
+        if code.contains("thread::spawn(") && !rel_path.starts_with(THREAD_SPAWN_PREFIX) {
+            findings.push(Finding {
+                file: rel_path.into(),
+                line: lineno,
+                rule: "no-thread-spawn",
+                message: format!(
+                    "thread::spawn outside {THREAD_SPAWN_PREFIX}; go through \
+                     xseq_exec::Pool (or a std::thread::scope) instead"
+                ),
+            });
+        }
     }
     findings
 }
@@ -468,6 +490,7 @@ mod tests {
     const BAD_UNWRAP: &str = include_str!("../fixtures/bad_unwrap.rs");
     const BAD_SPAN: &str = include_str!("../fixtures/bad_span_name.rs");
     const BAD_RELAXED: &str = include_str!("../fixtures/bad_relaxed.rs");
+    const BAD_SPAWN: &str = include_str!("../fixtures/bad_thread_spawn.rs");
     const GOOD: &str = include_str!("../fixtures/good_clean.rs");
 
     fn rules(findings: &[Finding]) -> Vec<&'static str> {
@@ -506,6 +529,19 @@ mod tests {
     fn bad_relaxed_fixture_fails_annotation() {
         let f = lint_file("crates/demo/src/lib.rs", BAD_RELAXED);
         assert_eq!(rules(&f), vec!["relaxed-annotation"], "{f:?}");
+    }
+
+    #[test]
+    fn bad_thread_spawn_fixture_fails_outside_exec() {
+        let f = lint_file("crates/demo/src/lib.rs", BAD_SPAWN);
+        let spawns: Vec<_> = f.iter().filter(|f| f.rule == "no-thread-spawn").collect();
+        // exactly the detached spawn: the scoped s.spawn, the string, the
+        // comment and the test module must not fire
+        assert_eq!(spawns.len(), 1, "{f:?}");
+        assert_eq!(spawns[0].line, 8, "{f:?}");
+        // the worker pool itself is allowed to spawn
+        let f = lint_file("crates/exec/src/lib.rs", BAD_SPAWN);
+        assert!(!rules(&f).contains(&"no-thread-spawn"), "{f:?}");
     }
 
     #[test]

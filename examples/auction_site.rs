@@ -47,7 +47,7 @@ fn main() {
     for (name, expr) in queries::XMARK_QUERIES {
         let pattern = parse_xpath(expr, &mut corpus.symbols).unwrap();
         let t0 = std::time::Instant::now();
-        let outcome = index.query(&pattern, &mut corpus.paths);
+        let outcome = index.query(&pattern, &corpus.paths);
         let elapsed = t0.elapsed();
 
         // replay the same query against the paged index, cold

@@ -83,7 +83,7 @@ fn main() {
         let t3 = t.elapsed();
 
         let t = Instant::now();
-        let r4 = cs.query(&pattern, &mut corpus.paths).docs;
+        let r4 = cs.query(&pattern, &corpus.paths).docs;
         let t4 = t.elapsed();
 
         assert_eq!(r1, r2);

@@ -75,7 +75,7 @@ fn four_engines_agree_on_dblp() {
         let (a, _) = path_idx.query(q, &corpus.docs, &corpus.paths);
         let (b, _) = node_idx.query(q, &corpus.docs);
         let (c, _) = vist.query(q, &corpus.docs, &mut corpus.paths);
-        let d = cs.query(q, &mut corpus.paths).docs;
+        let d = cs.query(q, &corpus.paths).docs;
         assert_eq!(a, oracle, "path index disagrees on {name}");
         assert_eq!(b, oracle, "node index disagrees on {name}");
         assert_eq!(c, oracle, "vist disagrees on {name}");
@@ -99,9 +99,9 @@ fn table8_queries_have_sensible_selectivities() {
     let q1 = parse_xpath(queries::DBLP_Q1, &mut corpus.symbols).unwrap();
     let q2 = parse_xpath(queries::DBLP_Q2, &mut corpus.symbols).unwrap();
     let q4 = parse_xpath(queries::DBLP_Q4, &mut corpus.symbols).unwrap();
-    let r1 = cs.query(&q1, &mut corpus.paths).docs.len();
-    let r2 = cs.query(&q2, &mut corpus.paths).docs.len();
-    let r4 = cs.query(&q4, &mut corpus.paths).docs.len();
+    let r1 = cs.query(&q1, &corpus.paths).docs.len();
+    let r2 = cs.query(&q2, &corpus.paths).docs.len();
+    let r4 = cs.query(&q4, &corpus.paths).docs.len();
     assert!(r1 > 1000, "Q1 is broad, got {r1}");
     assert!(r2 < 50, "Q2 is selective, got {r2}");
     assert!(r4 > 0, "David authors exist, got {r4}");

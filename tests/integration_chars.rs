@@ -23,7 +23,7 @@ fn db(seq: Sequencing) -> xseq::Database {
 #[test]
 fn exact_equality_via_terminated_chain() {
     for seq in [Sequencing::DepthFirst, Sequencing::Probability] {
-        let mut d = db(seq);
+        let d = db(seq);
         assert_eq!(
             d.query_xpath("/p/loc[text='boston']").unwrap(),
             vec![0],
@@ -44,7 +44,7 @@ fn exact_equality_via_terminated_chain() {
 #[test]
 fn starts_with_via_unterminated_chain() {
     for seq in [Sequencing::DepthFirst, Sequencing::Probability] {
-        let mut d = db(seq);
+        let d = db(seq);
         // 'bo' prefix: boston, boise, bo
         assert_eq!(
             d.query_xpath("/p/loc[text^='bo']").unwrap(),
@@ -76,14 +76,14 @@ fn starts_with_via_unterminated_chain() {
 
 #[test]
 fn prefix_operator_in_branch_predicates() {
-    let mut d = db(Sequencing::Probability);
+    let d = db(Sequencing::Probability);
     assert_eq!(d.query_xpath("/p[loc^='bo']").unwrap(), vec![0, 1, 3]);
     assert_eq!(d.query_xpath("/p[loc='newyork']").unwrap(), vec![2]);
 }
 
 #[test]
 fn chars_roundtrip_through_writer() {
-    let mut d = db(Sequencing::DepthFirst);
+    let d = db(Sequencing::DepthFirst);
     let texts: Vec<String> = d
         .corpus
         .docs
@@ -92,7 +92,7 @@ fn chars_roundtrip_through_writer() {
         .collect();
     assert_eq!(texts[0], "<p><loc>boston</loc></p>");
     // rebuild from serialized text: same answers
-    let mut d2 = DatabaseBuilder::new()
+    let d2 = DatabaseBuilder::new()
         .value_mode(ValueMode::Chars)
         .build_from_xml(texts.iter().map(String::as_str))
         .unwrap();
@@ -106,7 +106,7 @@ fn chars_roundtrip_through_writer() {
 fn atomic_modes_treat_prefix_as_equality() {
     // In Intern/Hashed modes values are atomic designators; `^=` degrades to
     // `=` by documented design.
-    let mut d = DatabaseBuilder::new()
+    let d = DatabaseBuilder::new()
         .build_from_xml(DOCS.iter().copied())
         .unwrap();
     assert_eq!(d.query_xpath("/p/loc[text^='bo']").unwrap(), vec![3]);
@@ -114,7 +114,7 @@ fn atomic_modes_treat_prefix_as_equality() {
 
 #[test]
 fn chars_mode_with_wildcards() {
-    let mut d = db(Sequencing::Probability);
+    let d = db(Sequencing::Probability);
     assert_eq!(d.query_xpath("//loc[text^='bois']").unwrap(), vec![1]);
     assert_eq!(d.query_xpath("/p/*[text='boston']").unwrap(), vec![0]);
 }

@@ -54,7 +54,7 @@ fn synthetic_corpus_random_queries_match_oracle() {
         let ds = SyntheticDataset::generate(&params, 120, 17, &mut corpus.symbols);
         corpus.docs = ds.docs;
         let docs_copy = corpus.docs.clone();
-        let mut db = DatabaseBuilder::new()
+        let db = DatabaseBuilder::new()
             .sequencing(sequencing)
             .build_from_corpus(corpus)
             .unwrap();
@@ -119,11 +119,11 @@ fn strategies_agree_with_each_other() {
     let _ds2 = SyntheticDataset::generate(&params, 150, 99, &mut c2.symbols);
     c2.docs = ds.docs;
 
-    let mut df = DatabaseBuilder::new()
+    let df = DatabaseBuilder::new()
         .sequencing(Sequencing::DepthFirst)
         .build_from_corpus(c1)
         .unwrap();
-    let mut cs = DatabaseBuilder::new()
+    let cs = DatabaseBuilder::new()
         .sequencing(Sequencing::Probability)
         .build_from_corpus(c2)
         .unwrap();

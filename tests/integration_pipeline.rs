@@ -14,7 +14,7 @@ const PROJECTS: &[&str] = &[
 
 #[test]
 fn xpath_queries_over_parsed_documents() {
-    let mut db = DatabaseBuilder::new()
+    let db = DatabaseBuilder::new()
         .sequencing(Sequencing::Probability)
         .build_from_xml(PROJECTS.iter().copied())
         .unwrap();
@@ -65,7 +65,7 @@ fn insert_refreshes_index() {
 
 #[test]
 fn serialization_round_trip_preserves_answers() {
-    let mut db = DatabaseBuilder::new()
+    let db = DatabaseBuilder::new()
         .build_from_xml(PROJECTS.iter().copied())
         .unwrap();
     // write out, re-parse, rebuild: same answers
@@ -75,7 +75,7 @@ fn serialization_round_trip_preserves_answers() {
         .iter()
         .map(|d| write_document(d, &db.corpus.symbols))
         .collect();
-    let mut db2 = DatabaseBuilder::new()
+    let db2 = DatabaseBuilder::new()
         .build_from_xml(texts.iter().map(String::as_str))
         .unwrap();
     for q in [
@@ -95,7 +95,7 @@ fn serialization_round_trip_preserves_answers() {
 fn hashed_values_still_answer_queries() {
     // ViST's hashed value designators: collisions possible, containment of
     // true answers guaranteed.
-    let mut db = DatabaseBuilder::new()
+    let db = DatabaseBuilder::new()
         .value_mode(ValueMode::Hashed { range: 1000 })
         .build_from_xml(PROJECTS.iter().copied())
         .unwrap();
@@ -109,6 +109,6 @@ fn error_paths_are_reported() {
         DatabaseBuilder::new().build_from_xml(["<oops>"]),
         Err(Error::Xml(_))
     ));
-    let mut db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
+    let db = DatabaseBuilder::new().build_from_xml(["<a/>"]).unwrap();
     assert!(matches!(db.query_xpath("not-a-path"), Err(Error::Query(_))));
 }
