@@ -43,6 +43,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("fig16c", xseq_bench::fig16c),
     ("fig16d", xseq_bench::fig16d),
     ("scaling", xseq_bench::scaling),
+    ("updates", xseq_bench::updates),
 ];
 
 fn usage() -> ! {
@@ -84,7 +85,15 @@ impl Recorder {
 
     fn record(&mut self, experiment: &str) {
         let now = MetricsRegistry::global().snapshot();
-        let delta = now.delta(&self.last);
+        let mut delta = now.delta(&self.last);
+        // `Snapshot::delta` keeps a gauge's current value, so a gauge set
+        // by an *earlier* experiment (scaling's throughput series, say)
+        // would bleed into every later section.  A section only owns the
+        // gauges that moved while it ran.
+        delta.metrics.retain(|name, value| match value {
+            xseq::telemetry::MetricValue::Gauge(_) => self.last.get(name) != Some(value),
+            _ => true,
+        });
         self.last = now;
         // Repeat runs of one experiment get distinct keys so the JSON
         // object never carries duplicates.

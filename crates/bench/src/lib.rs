@@ -628,6 +628,112 @@ pub fn scaling(scale: f64) {
     println!();
 }
 
+/// Update-path throughput: delta inserts and tombstone removes against a
+/// live XMark database, then a compaction, at 1/2/4/8 worker threads
+/// (capped by [`set_thread_cap`]).
+///
+/// Records `update.docs_per_s.tN` (single-writer insert throughput into
+/// the delta overlay — parse, sequence, re-freeze) and
+/// `update.qps.post_compact.tN` (batch query throughput after the overlay
+/// has been folded back into the frozen segment on the N-thread pool).
+/// Both are `--bench-label` tracked and `--baseline` gated with the
+/// tolerant [`regress::THROUGHPUT_THRESHOLD`].  Correctness rides along:
+/// the post-compaction batch must answer exactly like the pre-compaction
+/// *frozen ∪ delta − tombstones* view did.
+pub fn updates(scale: f64) {
+    println!("## Updates — delta insert and post-compaction query throughput");
+    println!();
+    let nbase = scaled(8_000, scale);
+    let nextra = scaled(2_000, scale).max(1);
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let docs =
+        XmarkGenerator::new(8, XmarkOptions::default()).generate(nbase + nextra, &mut symbols);
+    let extra_xml: Vec<String> = docs[nbase..]
+        .iter()
+        .map(|d| xseq::xml::write_document(d, &symbols))
+        .collect();
+    let exprs: Vec<&str> = queries::XMARK_QUERIES
+        .iter()
+        .map(|(_, q)| *q)
+        .cycle()
+        .take(600)
+        .collect();
+    let cap = THREAD_CAP.load(Ordering::Relaxed); // relaxed: config read
+    println!(
+        "{nbase} base records, {nextra} inserts, {} removes, threads ≤ {cap}",
+        nbase / 8
+    );
+    println!();
+    println!("| threads | insert (docs/s) | compaction (s) | post-compact queries (q/s) |");
+    println!("|---|---|---|---|");
+    let registry = MetricsRegistry::global();
+    for t in [1usize, 2, 4, 8] {
+        if t > cap {
+            continue;
+        }
+        // Best of two passes, as in `scaling`: wall-clock throughput on a
+        // loaded host swings far more than the latency histograms do.
+        let mut insert_rate = 0f64;
+        let mut compact_secs = f64::MAX;
+        let mut qps = 0f64;
+        for _ in 0..2 {
+            let corpus = Corpus {
+                symbols: symbols.clone(),
+                paths: xseq::PathTable::new(),
+                docs: docs[..nbase].to_vec(),
+                parse_histogram: None,
+            };
+            let mut db = DatabaseBuilder::new()
+                .threads(t)
+                .build_from_corpus(corpus)
+                .expect("xmark corpus indexes");
+            let t0 = Instant::now();
+            for xml in &extra_xml {
+                db.insert_document(xml).expect("written xmark doc reparses");
+            }
+            insert_rate = insert_rate.max(extra_xml.len() as f64 / t0.elapsed().as_secs_f64());
+            for id in (0..nbase as u32).step_by(8) {
+                db.remove_document(id);
+            }
+            let before: Vec<_> = db.query_batch(&exprs);
+            let t0 = Instant::now();
+            db.compact();
+            compact_secs = compact_secs.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let after: Vec<_> = db.query_batch(&exprs);
+            qps = qps.max(exprs.len() as f64 / t0.elapsed().as_secs_f64());
+            // Survivor ids renumber densely on compaction: map the overlay
+            // answers through the tombstone set before comparing.
+            let mut rank = vec![None; nbase + nextra];
+            let mut next = 0u32;
+            for (id, slot) in rank.iter_mut().enumerate() {
+                if !(id < nbase && id % 8 == 0) {
+                    *slot = Some(next);
+                    next += 1;
+                }
+            }
+            for (b, a) in before.iter().zip(&after) {
+                let b = b.as_ref().expect("paper query parses");
+                let a = a.as_ref().expect("paper query parses");
+                let mapped: Vec<u32> = b
+                    .iter()
+                    .map(|d| rank[*d as usize].expect("no tombstoned doc in overlay answer"))
+                    .collect();
+                assert_eq!(&mapped, a, "compaction changed answers at {t} threads");
+            }
+        }
+
+        registry
+            .gauge(&format!("update.docs_per_s.t{t}"))
+            .set(insert_rate as i64);
+        registry
+            .gauge(&format!("update.qps.post_compact.t{t}"))
+            .set(qps as i64);
+        println!("| {t} | {insert_rate:.0} | {compact_secs:.2} | {qps:.0} |");
+    }
+    println!();
+}
+
 /// Sanity sweep used by `repro check`: every experiment at tiny scale, with
 /// engine-agreement assertions active throughout.
 pub fn check() {
@@ -644,6 +750,7 @@ pub fn check() {
     fig16c(s);
     fig16d(s);
     scaling(s);
+    updates(s);
     // extra safety: CS answers equal brute force on a fresh corpus
     let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
     let ds = SyntheticDataset::generate(&SyntheticParams::fig16(), 300, 1, &mut symbols);
@@ -724,6 +831,53 @@ pub fn verify_corpora(scale: f64) -> bool {
                 name,
                 n,
                 strat_name,
+                report.nodes_checked,
+                report.links_checked,
+                report.sequences_checked,
+                report.violation_count()
+            );
+            if !report.is_clean() {
+                all_clean = false;
+                eprint!("{}", report.render());
+            }
+        }
+    }
+    // The update overlay: every corpus re-verified with a live delta
+    // segment and tombstones (the merged report walks both tries), then
+    // once more after compaction has folded the overlay back in.  Before
+    // this pass existed, `--verify` silently skipped the delta segment.
+    for (name, corpus) in corpora {
+        let n = corpus.docs.len();
+        let nbase = (n * 9 / 10).max(1);
+        let extra_xml: Vec<String> = corpus.docs[nbase..]
+            .iter()
+            .map(|d| xseq::xml::write_document(d, &corpus.symbols))
+            .collect();
+        let base = Corpus {
+            symbols: corpus.symbols.clone(),
+            paths: xseq::PathTable::new(),
+            docs: corpus.docs[..nbase].to_vec(),
+            parse_histogram: None,
+        };
+        let mut db = DatabaseBuilder::new()
+            .build_from_corpus(base)
+            .expect("corpus indexes");
+        for xml in &extra_xml {
+            db.insert_document(xml).expect("written doc reparses");
+        }
+        for id in (0..nbase as u32).step_by(7) {
+            db.remove_document(id);
+        }
+        for phase in ["pre-compact", "post-compact"] {
+            if phase == "post-compact" {
+                db.compact();
+            }
+            let report = db.verify_integrity();
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                name,
+                n,
+                phase,
                 report.nodes_checked,
                 report.links_checked,
                 report.sequences_checked,

@@ -149,6 +149,19 @@ pub struct DatabaseBuilder {
     trace: Option<TraceConfig>,
     spot_check_rate: f64,
     threads: usize,
+    compact_threshold: Option<usize>,
+}
+
+/// The build-time configuration a [`Database`] retains so
+/// [`Database::compact`] can replay the exact original build pipeline over
+/// the surviving documents.
+#[derive(Debug, Clone)]
+struct BuildConfig {
+    sequencing: Sequencing,
+    plan: PlanOptions,
+    sample_cap: usize,
+    boosts: Vec<(String, f64)>,
+    compact_threshold: Option<usize>,
 }
 
 impl Default for DatabaseBuilder {
@@ -171,7 +184,18 @@ impl DatabaseBuilder {
             trace: None,
             spot_check_rate: 0.0,
             threads: 1,
+            compact_threshold: None,
         }
+    }
+
+    /// Enables auto-compaction: whenever the outstanding update volume
+    /// (delta sequences + tombstones) reaches `threshold`, the next
+    /// [`Database::insert_document`] / [`Database::remove_document`]
+    /// triggers a [`Database::compact`] automatically.  Off by default
+    /// (compaction is manual).  A `threshold` of 0 is clamped to 1.
+    pub fn auto_compact(mut self, threshold: usize) -> Self {
+        self.compact_threshold = Some(threshold.max(1));
+        self
     }
 
     /// Sets the worker count for ingest (parallel parse, sequencing, and
@@ -317,29 +341,28 @@ impl DatabaseBuilder {
         let parse_hist = self.registry.histogram("query.parse");
         corpus.attach_parse_histogram(self.registry.histogram("xml.parse"));
         let pool_tel = PoolTelemetry::register(&self.registry);
-        let strategy = match self.sequencing {
-            Sequencing::DepthFirst => Strategy::DepthFirst,
-            Sequencing::Probability => {
-                let model =
-                    ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, self.sample_cap);
-                let mut weights = WeightMap::default();
-                for (path, w) in &self.boosts {
-                    if let Some(p) = resolve_simple_path(path, &corpus.symbols, &corpus.paths) {
-                        weights.set(p, *w);
-                    }
-                }
-                Strategy::Probability(model.priorities(&corpus.paths, &weights))
-            }
+        let config = BuildConfig {
+            sequencing: self.sequencing,
+            plan: self.plan,
+            sample_cap: self.sample_cap,
+            boosts: self.boosts,
+            compact_threshold: self.compact_threshold,
         };
+        let strategy = compute_strategy(&config, &mut corpus);
         let pool = Pool::new(self.threads);
         let index = XmlIndex::build_parallel(
             &corpus.docs,
             &mut corpus.paths,
             strategy,
-            self.plan,
+            config.plan,
             Some(IndexTelemetry::register(&self.registry)),
             &pool,
         );
+        // Register the update-path phases up front so a fresh database's
+        // snapshot already lists them (at zero).
+        let update_insert_hist = self.registry.histogram("update.insert");
+        let update_remove_hist = self.registry.histogram("update.remove");
+        let compact_hist = self.registry.histogram("index.compact");
         Ok(Database {
             corpus,
             index,
@@ -351,7 +374,32 @@ impl DatabaseBuilder {
             spot_step: (self.spot_check_rate * (1u64 << 32) as f64) as u64,
             spot_accum: AtomicU64::new(0),
             pool,
+            config,
+            update_insert_hist,
+            update_remove_hist,
+            compact_hist,
         })
+    }
+}
+
+/// Derives the sequencing strategy the way the original build did — shared
+/// by [`DatabaseBuilder::build_from_corpus`] and [`Database::compact`], so
+/// compaction replays the identical strategy computation over the surviving
+/// documents.
+fn compute_strategy(config: &BuildConfig, corpus: &mut Corpus) -> Strategy {
+    match config.sequencing {
+        Sequencing::DepthFirst => Strategy::DepthFirst,
+        Sequencing::Probability => {
+            let model =
+                ProbabilityModel::estimate(&corpus.docs, &mut corpus.paths, config.sample_cap);
+            let mut weights = WeightMap::default();
+            for (path, w) in &config.boosts {
+                if let Some(p) = resolve_simple_path(path, &corpus.symbols, &corpus.paths) {
+                    weights.set(p, *w);
+                }
+            }
+            Strategy::Probability(model.priorities(&corpus.paths, &weights))
+        }
     }
 }
 
@@ -390,6 +438,35 @@ pub struct Database {
     /// Worker pool for batch queries (and the ingest that built this
     /// database), sized by [`DatabaseBuilder::threads`].
     pool: Pool,
+    /// Retained build configuration; [`Database::compact`] replays it.
+    config: BuildConfig,
+    /// `update.insert` — per-document delta-insert latency.
+    update_insert_hist: Arc<Histogram>,
+    /// `update.remove` — tombstone-recording latency.
+    update_remove_hist: Arc<Histogram>,
+    /// `index.compact` — full compaction latency.
+    compact_hist: Arc<Histogram>,
+}
+
+/// What one [`Database::compact`] did: sizes before/after, and the doc-id
+/// renumbering it applied.
+///
+/// Compaction renumbers documents densely (tombstoned ids disappear, the
+/// survivors close ranks in order) — exactly the ids a from-scratch build
+/// over the surviving documents would assign.  `remap[old]` gives the new
+/// id of old document `old`, or `None` if it was tombstoned.
+#[derive(Debug, Clone)]
+pub struct CompactionReport {
+    /// Documents (frozen + delta) before compaction.
+    pub docs_before: usize,
+    /// Surviving documents after compaction.
+    pub docs_after: usize,
+    /// Tombstones dropped for good.
+    pub tombstones_dropped: usize,
+    /// Delta sequences folded into the frozen segment.
+    pub delta_merged: usize,
+    /// Old id → new id (`None` for tombstoned documents).
+    pub remap: Vec<Option<DocId>>,
 }
 
 // Compile-time guarantee behind the concurrency model: one frozen database
@@ -569,13 +646,169 @@ impl Database {
         self.pool
     }
 
-    /// Adds one more document and refreshes the index labels.
-    pub fn insert_xml(&mut self, xml: &str) -> Result<DocId, Error> {
+    /// Adds one document through the update path: the XML is parsed into
+    /// the shared corpus (new element names and values intern *here*, never
+    /// at query time), sequenced with the index's strategy, and appended to
+    /// the in-memory **delta segment** — the frozen trie is untouched, and
+    /// the very next query sees the document (queries run over
+    /// *frozen ∪ delta − tombstones*).
+    ///
+    /// Returns the new document's id.  When the builder enabled
+    /// [`DatabaseBuilder::auto_compact`] and this insert crosses the
+    /// threshold, a [`Database::compact`] runs inline and the returned id
+    /// is the **post-compaction** id.
+    pub fn insert_document(&mut self, xml: &str) -> Result<DocId, Error> {
+        let timer = SpanTimer::new(self.update_insert_hist.clone());
         let id = self.corpus.parse_and_push(xml)?;
         let doc = &self.corpus.docs[id as usize];
-        self.index.insert(doc, id, &mut self.corpus.paths);
-        self.index.refresh();
+        self.index.insert_delta(doc, id, &mut self.corpus.paths);
+        timer.finish();
+        if self.should_auto_compact() {
+            let report = self.compact();
+            let new_id = report.remap[id as usize]
+                .expect("freshly inserted document survives its own compaction");
+            return Ok(new_id);
+        }
         Ok(id)
+    }
+
+    /// [`Database::insert_document`] for a batch: all documents join the
+    /// delta segment, then a single auto-compaction check runs at the end,
+    /// so the returned ids are consistent with each other.  On a parse
+    /// error the documents before it remain inserted.
+    pub fn insert_documents<'a>(
+        &mut self,
+        xmls: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<DocId>, Error> {
+        let mut ids = Vec::new();
+        for xml in xmls {
+            let timer = SpanTimer::new(self.update_insert_hist.clone());
+            let id = self.corpus.parse_and_push(xml)?;
+            let doc = &self.corpus.docs[id as usize];
+            self.index.insert_delta(doc, id, &mut self.corpus.paths);
+            timer.finish();
+            ids.push(id);
+        }
+        if self.should_auto_compact() {
+            let report = self.compact();
+            for id in &mut ids {
+                *id = report.remap[*id as usize]
+                    .expect("freshly inserted documents survive their own compaction");
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Removes a document: its id is tombstoned and stops appearing in any
+    /// query result immediately; [`Database::compact`] later drops the
+    /// document (and its sequences) for good.  Returns `false` when `id`
+    /// does not exist or was already removed.
+    pub fn remove_document(&mut self, id: DocId) -> bool {
+        if (id as usize) >= self.corpus.len() {
+            return false;
+        }
+        let timer = SpanTimer::new(self.update_remove_hist.clone());
+        let fresh = self.index.remove_doc(id);
+        timer.finish();
+        if fresh && self.should_auto_compact() {
+            self.compact();
+        }
+        fresh
+    }
+
+    /// True when auto-compaction is configured and the outstanding update
+    /// volume has reached its threshold.
+    fn should_auto_compact(&self) -> bool {
+        self.config
+            .compact_threshold
+            .is_some_and(|t| self.index.pending_updates() >= t)
+    }
+
+    /// Folds the delta segment and tombstones back into a single frozen
+    /// segment by replaying the original build pipeline — parallel
+    /// part-sort → k-way merge → `bulk_load_presorted` → `freeze_parallel`
+    /// — over the **surviving** documents.
+    ///
+    /// The surviving documents are re-interned into fresh symbol/path
+    /// tables in document order (a document's arena order is its parse
+    /// encounter order, so stateful re-interning replays the original
+    /// first-occurrence interning exactly), the sequencing strategy is
+    /// re-derived the way [`DatabaseBuilder`] derived it, and ids renumber
+    /// densely — the result is **bit-identical** to building a fresh
+    /// database from the survivors' XML.  `verify_integrity()` and the
+    /// Theorem 1/2 invariants therefore keep holding after any update
+    /// history.
+    pub fn compact(&mut self) -> CompactionReport {
+        let timer = SpanTimer::new(self.compact_hist.clone());
+        let docs_before = self.corpus.len();
+        let tombstones_dropped = self.index.tombstones().len();
+        let delta_merged = self.index.delta().sequence_count();
+        let mode = self.corpus.symbols.values.mode();
+        let mut symbols = SymbolTable::with_value_mode(mode);
+        let mut remap: Vec<Option<DocId>> = vec![None; docs_before];
+        let mut docs = Vec::with_capacity(docs_before - tombstones_dropped.min(docs_before));
+        {
+            let old = &self.corpus.symbols;
+            let tombstones = self.index.tombstones();
+            for (id, doc) in self.corpus.docs.iter().enumerate() {
+                if tombstones.contains(id as DocId) {
+                    continue;
+                }
+                let mut doc = doc.clone();
+                // Arena order = parse encounter order, so interning through
+                // the fresh tables here replays a from-scratch parse.
+                doc.remap_symbols(|s| {
+                    if let Some(d) = s.as_elem() {
+                        xml::Symbol::elem(symbols.designator(old.name(d)))
+                    } else {
+                        let v = s.as_value().expect("a symbol is an element or a value");
+                        match old.values.resolve(v) {
+                            Some(text) => xml::Symbol::value(symbols.values.intern(text)),
+                            // Hashed mode: ids are stateless (h(s) mod
+                            // range), so the original id is already what a
+                            // fresh parse would produce.
+                            None => s,
+                        }
+                    }
+                });
+                remap[id] = Some(docs.len() as DocId);
+                docs.push(doc);
+            }
+        }
+        let mut fresh = Corpus::new(mode);
+        fresh.symbols = symbols;
+        for doc in docs {
+            fresh.push(doc);
+        }
+        fresh.attach_parse_histogram(self.registry.histogram("xml.parse"));
+        let strategy = compute_strategy(&self.config, &mut fresh);
+        let index = XmlIndex::build_parallel(
+            &fresh.docs,
+            &mut fresh.paths,
+            strategy,
+            self.config.plan,
+            Some(IndexTelemetry::register(&self.registry)),
+            &self.pool,
+        );
+        self.corpus = fresh;
+        self.index = index;
+        self.registry.gauge("index.delta.sequences").set(0);
+        self.registry.gauge("index.tombstones").set(0);
+        timer.finish();
+        CompactionReport {
+            docs_before,
+            docs_after: self.corpus.len(),
+            tombstones_dropped,
+            delta_merged,
+            remap,
+        }
+    }
+
+    /// Adds one more document.  Alias of [`Database::insert_document`] —
+    /// the historical name, kept for compatibility; both use the delta
+    /// path.
+    pub fn insert_xml(&mut self, xml: &str) -> Result<DocId, Error> {
+        self.insert_document(xml)
     }
 
     /// The underlying index.
@@ -895,6 +1128,212 @@ mod tests {
             trace.root().attrs.iter().any(|(k, _)| *k == "integrity"),
             "spot-check summary lands on the trace root"
         );
+    }
+
+    #[test]
+    fn insert_remove_query_union_semantics() {
+        let mut db = DatabaseBuilder::new()
+            .build_from_xml(["<a><b/></a>", "<a><b/><c/></a>"])
+            .unwrap();
+        let id = db.insert_document("<a><b/><d/></a>").unwrap();
+        assert_eq!(id, 2);
+        // union: frozen hits + delta hits
+        assert_eq!(db.query_xpath("/a/b").unwrap(), vec![0, 1, 2]);
+        assert_eq!(db.query_xpath("/a/d").unwrap(), vec![2]);
+        assert_eq!(db.index().delta().sequence_count(), 1);
+        // tombstone filters immediately, from either segment
+        assert!(db.remove_document(1));
+        assert!(!db.remove_document(1), "double remove is a no-op");
+        assert!(!db.remove_document(99), "unknown id is a no-op");
+        assert_eq!(db.query_xpath("/a/b").unwrap(), vec![0, 2]);
+        assert!(db.remove_document(2));
+        assert_eq!(db.query_xpath("/a/d").unwrap(), Vec::<DocId>::new());
+        let report = db.verify_integrity();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn compact_is_bit_identical_to_rebuild_over_survivors() {
+        for seq in [Sequencing::DepthFirst, Sequencing::Probability] {
+            let mut db = DatabaseBuilder::new()
+                .sequencing(seq)
+                .build_from_xml([
+                    "<p><r><l>boston</l></r></p>",
+                    "<p><d><l>newyork</l></d></p>",
+                    "<p><r><l>austin</l></r></p>",
+                ])
+                .unwrap();
+            db.insert_document("<p><r><l>seattle</l></r><z/></p>")
+                .unwrap();
+            db.insert_document("<q><x/></q>").unwrap();
+            assert!(db.remove_document(1));
+            assert!(db.remove_document(3));
+            let report = db.compact();
+            assert_eq!(report.docs_before, 5);
+            assert_eq!(report.docs_after, 3);
+            assert_eq!(report.tombstones_dropped, 2);
+            assert_eq!(report.delta_merged, 2);
+            assert_eq!(
+                report.remap,
+                vec![Some(0), None, Some(1), None, Some(2)],
+                "{seq:?}: survivors renumber densely in order"
+            );
+            assert!(db.index().delta().is_empty());
+            assert!(db.index().tombstones().is_empty());
+            // Bit-identity with a from-scratch build over the survivors.
+            let reference = DatabaseBuilder::new()
+                .sequencing(seq)
+                .build_from_xml([
+                    "<p><r><l>boston</l></r></p>",
+                    "<p><r><l>austin</l></r></p>",
+                    "<q><x/></q>",
+                ])
+                .unwrap();
+            assert!(
+                db.index().trie().identical_to(reference.index().trie()),
+                "{seq:?}: compacted trie diverges from rebuild"
+            );
+            assert_eq!(db.index().data_paths(), reference.index().data_paths());
+            assert_eq!(db.corpus.paths.len(), reference.corpus.paths.len());
+            assert_eq!(
+                db.corpus.symbols.designator_count(),
+                reference.corpus.symbols.designator_count()
+            );
+            assert_eq!(
+                db.corpus.symbols.values.len(),
+                reference.corpus.symbols.values.len()
+            );
+            for q in ["/p/r/l", "//l[text='austin']", "/q/x", "/p/z"] {
+                assert_eq!(
+                    db.query_xpath(q).unwrap(),
+                    reference.query_xpath(q).unwrap(),
+                    "{seq:?}: {q}"
+                );
+            }
+            let report = db.verify_integrity();
+            assert!(report.is_clean(), "{seq:?}: {}", report.render());
+        }
+    }
+
+    #[test]
+    fn auto_compaction_threshold_fires_and_remaps() {
+        let mut db = DatabaseBuilder::new()
+            .sequencing(Sequencing::DepthFirst)
+            .auto_compact(3)
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        // threshold 3: two updates stay in the overlay…
+        let a = db.insert_document("<a><x/></a>").unwrap();
+        assert_eq!(a, 1);
+        assert!(db.remove_document(0));
+        assert_eq!(db.index().pending_updates(), 2);
+        // …the third triggers compaction; the fresh insert survives and is
+        // renumbered (doc 0 dropped, so the two inserts become 0 and 1).
+        let b = db.insert_document("<a><y/></a>").unwrap();
+        assert_eq!(b, 1, "post-compaction id");
+        assert_eq!(db.index().pending_updates(), 0);
+        assert!(db.index().delta().is_empty());
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.query_xpath("/a/x").unwrap(), vec![0]);
+        assert_eq!(db.query_xpath("/a/y").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn insert_documents_batch_compacts_once() {
+        let mut db = DatabaseBuilder::new()
+            .sequencing(Sequencing::DepthFirst)
+            .auto_compact(2)
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        let ids = db
+            .insert_documents(["<a><c/></a>", "<a><d/></a>", "<a><e/></a>"])
+            .unwrap();
+        // All three joined the delta, then one compaction ran at the end.
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(db.index().delta().is_empty());
+        assert_eq!(db.query_xpath("/a/e").unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn readonly_query_sees_names_interned_by_insert() {
+        let mut db = DatabaseBuilder::new()
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        // "z" is unknown: the read-only parse proves the query empty.
+        assert_eq!(db.query_xpath("/a/z").unwrap(), Vec::<DocId>::new());
+        // Inserting a document interns "z" into the merged symbol view;
+        // queries (still read-only) now resolve it.
+        let id = db.insert_document("<a><z/></a>").unwrap();
+        assert_eq!(db.query_xpath("/a/z").unwrap(), vec![id]);
+    }
+
+    #[test]
+    fn update_metrics_and_gauges_track_the_overlay() {
+        let mut db = DatabaseBuilder::new()
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        let snap = db.metrics();
+        for name in ["update.insert", "update.remove", "index.compact"] {
+            assert!(snap.has_prefix(name), "missing {name}");
+        }
+        db.insert_document("<a><c/></a>").unwrap();
+        db.insert_document("<a><d/></a>").unwrap();
+        db.remove_document(0);
+        let snap = db.metrics();
+        assert_eq!(snap.histogram("update.insert").unwrap().count, 2);
+        assert_eq!(snap.histogram("update.remove").unwrap().count, 1);
+        assert_eq!(snap.gauge("index.delta.sequences"), Some(2));
+        assert_eq!(snap.gauge("index.tombstones"), Some(1));
+        db.compact();
+        let snap = db.metrics();
+        assert_eq!(snap.histogram("index.compact").unwrap().count, 1);
+        assert_eq!(snap.gauge("index.delta.sequences"), Some(0));
+        assert_eq!(snap.gauge("index.tombstones"), Some(0));
+    }
+
+    #[test]
+    fn compact_on_pristine_database_is_a_clean_rebuild() {
+        let mut db = DatabaseBuilder::new()
+            .build_from_xml(["<a><b/></a>", "<a><c/></a>"])
+            .unwrap();
+        let before = db.query_xpath("//b").unwrap();
+        let report = db.compact();
+        assert_eq!(report.docs_before, 2);
+        assert_eq!(report.docs_after, 2);
+        assert_eq!(db.query_xpath("//b").unwrap(), before);
+        assert!(db.verify_integrity().is_clean());
+    }
+
+    #[test]
+    fn hashed_value_mode_survives_compaction() {
+        let mut db = DatabaseBuilder::new()
+            .value_mode(ValueMode::Hashed { range: 64 })
+            .build_from_xml(["<a><l>boston</l></a>", "<a><l>newyork</l></a>"])
+            .unwrap();
+        db.insert_document("<a><l>austin</l></a>").unwrap();
+        db.remove_document(1);
+        db.compact();
+        // Hashed ids are stateless, so the surviving values still match.
+        assert!(db.query_xpath("/a/l[text='boston']").unwrap().contains(&0));
+        assert!(db.query_xpath("/a/l[text='austin']").unwrap().contains(&1));
+        assert!(db.verify_integrity().is_clean());
+    }
+
+    #[test]
+    fn chars_value_mode_survives_compaction() {
+        let mut db = DatabaseBuilder::new()
+            .value_mode(ValueMode::Chars)
+            .build_from_xml(["<a><l>bo</l></a>", "<a><l>ny</l></a>"])
+            .unwrap();
+        db.insert_document("<a><l>at</l></a>").unwrap();
+        db.remove_document(0);
+        db.compact();
+        let reference = DatabaseBuilder::new()
+            .value_mode(ValueMode::Chars)
+            .build_from_xml(["<a><l>ny</l></a>", "<a><l>at</l></a>"])
+            .unwrap();
+        assert!(db.index().trie().identical_to(reference.index().trie()));
+        assert!(db.verify_integrity().is_clean());
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! LSM-style update overlay: a mutable **delta trie** plus **tombstones**.
+//!
+//! The paper's index is built once over a static corpus — preorder ranges
+//! `(n⊢, n⊣)` and horizontal path links are assigned at freeze time — so a
+//! live system cannot mutate the frozen trie in place without re-deriving
+//! every label.  Instead, updates accumulate in a small side segment:
+//!
+//! * **Inserts** append constraint sequences (same `f2` sequencing as the
+//!   frozen segment, against the same shared path table) into a second
+//!   in-memory [`SequenceTrie`] with its *own* preorder-range space.  The
+//!   delta trie is re-frozen after every insert — an `O(delta)` cost that
+//!   stays cheap because compaction bounds the delta's size — so both
+//!   segments are always queryable and every Theorem 2 invariant holds in
+//!   each segment independently.
+//! * **Removes** record the document id in a [`Tombstones`] set; matches
+//!   are filtered at result-collection time
+//!   ([`filter_tombstones`](crate::search::filter_tombstones)), after the
+//!   per-segment searches union.
+//!
+//! Queries therefore run over *frozen ∪ delta − tombstones*.  Each segment
+//! is searched with the identical query sequence (the strategy and path
+//! table are shared), so no false alarms and no false dismissals are
+//! introduced: a sequence matches the union exactly when it matches either
+//! segment, and tombstone filtering only ever removes documents the caller
+//! deleted.
+//!
+//! Compaction (`Database::compact` in `xseq-core`) folds the overlay back
+//! into a single frozen segment by replaying the full parallel build over
+//! the surviving documents — see DESIGN.md §11 for why that is bit-identical
+//! to a from-scratch rebuild.
+//!
+//! [`check_updates`] wires the overlay into the `xseq-telemetry::sched`
+//! deterministic interleaving checker (the same harness that model-checks
+//! `BoundedRing`): scripted per-thread op lists run under every (or a seeded
+//! sample of) arrival orders against a reference set model.
+
+use crate::trie::SequenceTrie;
+use xseq_sequence::{sequence_document, Sequence, Strategy};
+use xseq_telemetry::Schedules;
+use xseq_xml::{DocId, Document, PathTable, SymbolTable};
+
+/// The mutable in-memory segment holding post-build insertions.
+///
+/// A thin wrapper over a second [`SequenceTrie`] that keeps itself frozen
+/// (labels + path links valid) after every mutation, so it is *always*
+/// queryable through the same [`TrieView`](crate::trie::TrieView) search
+/// paths as the main segment.
+#[derive(Debug, Default)]
+pub struct DeltaSegment {
+    trie: SequenceTrie,
+}
+
+impl DeltaSegment {
+    /// An empty, frozen (hence queryable) delta segment.
+    pub fn new() -> Self {
+        let mut trie = SequenceTrie::new();
+        trie.freeze();
+        DeltaSegment { trie }
+    }
+
+    /// Appends one constraint sequence and re-freezes.
+    ///
+    /// Re-freezing recomputes the delta's preorder labels and path links
+    /// from scratch — `O(delta nodes)`, acceptable because the compaction
+    /// threshold keeps the delta small by design.
+    pub fn insert(&mut self, seq: &Sequence, doc: DocId) {
+        self.trie.insert(seq, doc);
+        self.trie.freeze();
+    }
+
+    /// True when no sequence has been inserted since the last compaction.
+    pub fn is_empty(&self) -> bool {
+        self.trie.sequence_count() == 0
+    }
+
+    /// Number of sequences living in the delta.
+    pub fn sequence_count(&self) -> usize {
+        self.trie.sequence_count()
+    }
+
+    /// Number of delta trie nodes.
+    pub fn node_count(&self) -> usize {
+        self.trie.node_count()
+    }
+
+    /// The underlying (frozen) trie, for searching and verification.
+    pub fn trie(&self) -> &SequenceTrie {
+        &self.trie
+    }
+
+    /// All document ids present in the delta, sorted and deduplicated.
+    pub fn doc_ids(&self) -> Vec<DocId> {
+        let mut out = Vec::new();
+        let (lo, hi) = self.trie.root_range();
+        self.trie.collect_docs_in_range(lo, hi, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The set of removed document ids, filtered out of every query result.
+///
+/// Kept as a sorted vector: tombstone sets stay small (compaction drains
+/// them), membership is a binary search, and the sorted order makes the
+/// result-filter merge-friendly.
+#[derive(Debug, Clone, Default)]
+pub struct Tombstones {
+    ids: Vec<DocId>,
+}
+
+impl Tombstones {
+    /// An empty tombstone set.
+    pub fn new() -> Self {
+        Tombstones::default()
+    }
+
+    /// Records `id` as removed.  Returns `false` when it was already
+    /// tombstoned (the set is idempotent).
+    pub fn insert(&mut self, id: DocId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// True when `id` has been removed.
+    pub fn contains(&self, id: DocId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Number of tombstoned documents.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when nothing has been removed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The tombstoned ids, ascending.
+    pub fn ids(&self) -> &[DocId] {
+        &self.ids
+    }
+}
+
+/// One scripted operation against the update overlay, for
+/// [`check_updates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert a synthetic document with this id into the delta segment.
+    Insert(DocId),
+    /// Tombstone this id.
+    Remove(DocId),
+    /// Collect *delta − tombstones* and compare against the reference
+    /// model.
+    Query,
+}
+
+/// Builds the synthetic single-path document used by [`check_updates`] for
+/// a given id — ids map onto a small family of shapes so schedules exercise
+/// shared and distinct trie paths alike.
+fn synthetic_doc(id: DocId, symbols: &mut SymbolTable) -> Document {
+    let r = symbols.elem("r");
+    let names = ["a", "b", "c"];
+    let leaf = symbols.elem(names[(id as usize) % names.len()]);
+    let mut doc = Document::with_root(r);
+    let root = doc.root().expect("document was just given a root");
+    let mid = doc.child(root, leaf);
+    if id.is_multiple_of(2) {
+        let deep = symbols.elem("d");
+        doc.child(mid, deep);
+    }
+    doc
+}
+
+/// Model-checks the update overlay under deterministic interleavings, the
+/// same way `check_ring` model-checks `BoundedRing`.
+///
+/// `threads[i]` is thread *i*'s op script.  Every schedule (exhaustive when
+/// the interleaving count is at most `limit`, a seeded sample otherwise)
+/// executes each arriving op *whole* — the overlay's single-writer
+/// discipline means ops are atomic units, and what the checker explores is
+/// every arrival order — against both the real
+/// [`DeltaSegment`]/[`Tombstones`] pair and a reference set model.  Any
+/// `Query` op (and a final drain) must observe *exactly* the inserted-set
+/// minus the removed-set; the first divergence fails with the offending
+/// schedule attached.
+///
+/// Returns the number of schedules checked.
+pub fn check_updates(threads: &[Vec<UpdateOp>], limit: usize, seed: u64) -> Result<usize, String> {
+    let lens: Vec<usize> = threads.iter().map(Vec::len).collect();
+    let schedules = Schedules::new(&lens, limit, seed);
+    let mut checked = 0usize;
+    let mut failure: Option<String> = None;
+    schedules.for_each(|sched| {
+        if failure.is_some() {
+            return;
+        }
+        checked += 1;
+        if let Err(e) = run_update_schedule(threads, sched) {
+            failure = Some(format!("schedule {sched:?}: {e}"));
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(checked),
+    }
+}
+
+/// Executes one arrival order of the scripted ops, comparing the overlay
+/// against the reference model after every query and at the end.
+fn run_update_schedule(threads: &[Vec<UpdateOp>], sched: &[usize]) -> Result<(), String> {
+    let mut symbols = SymbolTable::with_value_mode(xseq_xml::ValueMode::Intern);
+    let mut paths = PathTable::new();
+    let mut delta = DeltaSegment::new();
+    let mut tombstones = Tombstones::new();
+    // Reference model: the inserted and removed id sets.  Survivors are
+    // *inserted − removed* irrespective of arrival order — a tombstone is
+    // permanent until compaction (the corpus never reuses ids), so a remove
+    // racing ahead of its insert still wins.
+    let mut inserted: Vec<DocId> = Vec::new();
+    let mut removed: Vec<DocId> = Vec::new();
+    let mut cursors = vec![0usize; threads.len()];
+    let strategy = Strategy::DepthFirst;
+    let observe = |delta: &DeltaSegment, tombstones: &Tombstones| -> Vec<DocId> {
+        let mut got = delta.doc_ids();
+        got.retain(|d| !tombstones.contains(*d));
+        got
+    };
+    for &t in sched {
+        let op = threads[t][cursors[t]];
+        cursors[t] += 1;
+        match op {
+            UpdateOp::Insert(id) => {
+                let doc = synthetic_doc(id, &mut symbols);
+                let seq = sequence_document(&doc, &mut paths, &strategy);
+                delta.insert(&seq, id);
+                if !inserted.contains(&id) {
+                    inserted.push(id);
+                }
+            }
+            UpdateOp::Remove(id) => {
+                tombstones.insert(id);
+                if !removed.contains(&id) {
+                    removed.push(id);
+                }
+            }
+            UpdateOp::Query => {
+                let got = observe(&delta, &tombstones);
+                let mut want: Vec<DocId> = inserted
+                    .iter()
+                    .copied()
+                    .filter(|d| !removed.contains(d))
+                    .collect();
+                want.sort_unstable();
+                if got != want {
+                    return Err(format!("query saw {got:?}, model has {want:?}"));
+                }
+            }
+        }
+    }
+    let got = observe(&delta, &tombstones);
+    let mut want: Vec<DocId> = inserted
+        .iter()
+        .copied()
+        .filter(|d| !removed.contains(d))
+        .collect();
+    want.sort_unstable();
+    if got != want {
+        return Err(format!("final state {got:?} diverges from model {want:?}"));
+    }
+    if !delta.trie().is_frozen() {
+        return Err("delta segment left unfrozen after schedule".to_owned());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_for(id: DocId) -> (Sequence, PathTable) {
+        let mut symbols = SymbolTable::with_value_mode(xseq_xml::ValueMode::Intern);
+        let mut paths = PathTable::new();
+        let doc = synthetic_doc(id, &mut symbols);
+        let seq = sequence_document(&doc, &mut paths, &Strategy::DepthFirst);
+        (seq, paths)
+    }
+
+    #[test]
+    fn empty_delta_is_frozen_and_queryable() {
+        let delta = DeltaSegment::new();
+        assert!(delta.is_empty());
+        assert!(delta.trie().is_frozen());
+        assert!(delta.doc_ids().is_empty());
+    }
+
+    #[test]
+    fn insert_keeps_delta_frozen() {
+        let mut delta = DeltaSegment::new();
+        for id in 0..5u32 {
+            let (seq, _) = seq_for(id);
+            delta.insert(&seq, id);
+            assert!(delta.trie().is_frozen(), "after insert {id}");
+        }
+        assert_eq!(delta.sequence_count(), 5);
+        assert_eq!(delta.doc_ids(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tombstones_are_sorted_and_idempotent() {
+        let mut t = Tombstones::new();
+        assert!(t.insert(7));
+        assert!(t.insert(2));
+        assert!(!t.insert(7), "double-remove is a no-op");
+        assert_eq!(t.ids(), &[2, 7]);
+        assert!(t.contains(2) && t.contains(7) && !t.contains(3));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn exhaustive_interleavings_hold() {
+        let threads = vec![
+            vec![UpdateOp::Insert(0), UpdateOp::Query, UpdateOp::Insert(2)],
+            vec![UpdateOp::Insert(1), UpdateOp::Remove(0), UpdateOp::Query],
+        ];
+        let checked = check_updates(&threads, 1 << 14, 0).expect("no divergence");
+        assert_eq!(checked, 20, "C(6,3) arrival orders");
+    }
+
+    #[test]
+    fn sampled_interleavings_hold() {
+        let threads = vec![
+            vec![
+                UpdateOp::Insert(0),
+                UpdateOp::Insert(4),
+                UpdateOp::Remove(4),
+                UpdateOp::Query,
+            ],
+            vec![UpdateOp::Insert(1), UpdateOp::Remove(0), UpdateOp::Query],
+            vec![UpdateOp::Insert(2), UpdateOp::Query, UpdateOp::Remove(9)],
+        ];
+        // Beyond the limit the checker falls back to seeded sampling.
+        let checked = check_updates(&threads, 64, 42).expect("no divergence");
+        assert_eq!(checked, 64);
+    }
+}

@@ -23,16 +23,18 @@
 
 #![forbid(unsafe_code)]
 
+pub mod delta;
 pub mod plan;
 pub mod search;
 pub mod telemetry;
 pub mod trie;
 pub mod verify;
 
+pub use delta::{check_updates, DeltaSegment, Tombstones, UpdateOp};
 pub use plan::{instantiate, PlanOptions};
 pub use search::{
-    constraint_search, constraint_search_with, naive_search, naive_search_with, tree_search,
-    tree_search_with, QuerySequence, SearchScratch, SearchStats,
+    constraint_search, constraint_search_with, filter_tombstones, naive_search, naive_search_with,
+    tree_search, tree_search_with, QuerySequence, SearchScratch, SearchStats,
 };
 pub use telemetry::IndexTelemetry;
 pub use trie::{LinkEntry, SequenceTrie, TrieNodeId, TrieView, NIL};
@@ -85,6 +87,14 @@ pub struct QueryOutcome {
 impl QueryOutcome {
     fn absorb(&mut self, docs: &[DocId], st: SearchStats) {
         self.stats.variants += 1;
+        self.absorb_segment(docs, st);
+    }
+
+    /// Folds one more *segment's* search of the current variant into the
+    /// outcome: stats sum, docs union — but `variants` does not bump, so a
+    /// two-segment (frozen + delta) index still reports one variant per
+    /// searched query sequence.
+    fn absorb_segment(&mut self, docs: &[DocId], st: SearchStats) {
         self.stats.search.candidates += st.candidates;
         self.stats.search.cover_rejections += st.cover_rejections;
         self.stats.search.completions += st.completions;
@@ -204,15 +214,26 @@ impl QueryContext {
 }
 
 /// The sequence-based XML index.
+///
+/// Since the update subsystem (DESIGN.md §11) an index is **two segments**:
+/// the bulk-built frozen trie plus a small mutable [`DeltaSegment`] fed by
+/// [`XmlIndex::insert_delta`], with removed documents tracked in
+/// [`Tombstones`].  Every query runs over *frozen ∪ delta − tombstones*;
+/// compaction (at the `Database` layer) folds the overlay back into a
+/// single frozen segment.
 #[derive(Debug)]
 pub struct XmlIndex {
     trie: SequenceTrie,
     strategy: Strategy,
     /// Distinct path encodings of indexed data — the path dictionary used
-    /// for wildcard instantiation.
+    /// for wildcard instantiation.  Covers both segments.
     data_paths: HashSet<PathId>,
     options: PlanOptions,
     telemetry: Option<IndexTelemetry>,
+    /// Post-build insertions, always frozen (queryable).
+    delta: DeltaSegment,
+    /// Removed document ids, filtered at result collection.
+    tombstones: Tombstones,
 }
 
 impl XmlIndex {
@@ -246,6 +267,8 @@ impl XmlIndex {
             data_paths: HashSet::new(),
             options,
             telemetry,
+            delta: DeltaSegment::new(),
+            tombstones: Tombstones::new(),
         };
         let mut seqs = Vec::with_capacity(docs.len());
         for (id, doc) in docs.iter().enumerate() {
@@ -290,6 +313,8 @@ impl XmlIndex {
             data_paths: HashSet::new(),
             options,
             telemetry,
+            delta: DeltaSegment::new(),
+            tombstones: Tombstones::new(),
         };
         let base_len = paths.len();
         let chunk = pool.chunk_for(docs.len());
@@ -387,6 +412,55 @@ impl XmlIndex {
     /// Recomputes labels and path links after insertions.
     pub fn refresh(&mut self) {
         self.trie.freeze();
+    }
+
+    /// Appends one document to the **delta segment** — the update path that
+    /// keeps the frozen trie untouched and the whole index queryable.
+    ///
+    /// The document is sequenced with the index's own strategy against the
+    /// shared path table (new paths intern here, never at query time), its
+    /// paths join the wildcard dictionary, and the delta trie re-freezes —
+    /// so the very next query sees *frozen ∪ delta*.
+    pub fn insert_delta(&mut self, doc: &Document, id: DocId, paths: &mut PathTable) {
+        let t0 = self.telemetry.as_ref().map(|_| Instant::now());
+        let seq = sequence_document(doc, paths, &self.strategy);
+        if let (Some(t), Some(tel)) = (t0, self.telemetry.as_ref()) {
+            tel.encode.record_duration(t.elapsed());
+        }
+        self.data_paths.extend(seq.elems().iter().copied());
+        self.delta.insert(&seq, id);
+        if let Some(tel) = &self.telemetry {
+            tel.delta_sequences.set(self.delta.sequence_count() as i64);
+        }
+    }
+
+    /// Tombstones a document id: it stops appearing in query results
+    /// immediately, and compaction drops it for good.  Returns `false` when
+    /// `id` was already tombstoned.
+    pub fn remove_doc(&mut self, id: DocId) -> bool {
+        let fresh = self.tombstones.insert(id);
+        if fresh {
+            if let Some(tel) = &self.telemetry {
+                tel.tombstones.set(self.tombstones.len() as i64);
+            }
+        }
+        fresh
+    }
+
+    /// The delta segment (post-build insertions).
+    pub fn delta(&self) -> &DeltaSegment {
+        &self.delta
+    }
+
+    /// The tombstoned document ids.
+    pub fn tombstones(&self) -> &Tombstones {
+        &self.tombstones
+    }
+
+    /// Outstanding update volume: delta sequences plus tombstones — the
+    /// quantity auto-compaction thresholds measure.
+    pub fn pending_updates(&self) -> usize {
+        self.delta.sequence_count() + self.tombstones.len()
     }
 
     /// Answers a tree-pattern query by order-free constraint matching
@@ -526,6 +600,16 @@ impl XmlIndex {
                         record_descent(t, sp, &st, ctx.scratch.docs.len());
                     }
                     outcome.absorb(&ctx.scratch.docs, st);
+                    if !self.delta.is_empty() {
+                        let descent = tr.as_mut().map(|t| t.start_span("trie.descent.delta"));
+                        let t0 = Instant::now();
+                        let st = search::tree_search_with(self.delta.trie(), &qs, &mut ctx.scratch);
+                        search_ns += elapsed_ns(t0);
+                        if let (Some(t), Some(sp)) = (tr.as_mut(), descent) {
+                            record_descent(t, sp, &st, ctx.scratch.docs.len());
+                        }
+                        outcome.absorb_segment(&ctx.scratch.docs, st);
+                    }
                 }
                 Mode::Ordered | Mode::Naive => {
                     for variant in isomorphic_variants(qdoc, self.options.max_isomorphs) {
@@ -558,6 +642,20 @@ impl XmlIndex {
                             record_descent(t, sp, &st, ctx.scratch.docs.len());
                         }
                         outcome.absorb(&ctx.scratch.docs, st);
+                        if !self.delta.is_empty() {
+                            let descent = tr.as_mut().map(|t| t.start_span("trie.descent.delta"));
+                            let t0 = Instant::now();
+                            let st = if matches!(mode, Mode::Ordered) {
+                                constraint_search_with(self.delta.trie(), &qs, &mut ctx.scratch)
+                            } else {
+                                naive_search_with(self.delta.trie(), &qs, &mut ctx.scratch)
+                            };
+                            search_ns += elapsed_ns(t0);
+                            if let (Some(t), Some(sp)) = (tr.as_mut(), descent) {
+                                record_descent(t, sp, &st, ctx.scratch.docs.len());
+                            }
+                            outcome.absorb_segment(&ctx.scratch.docs, st);
+                        }
                     }
                 }
             }
@@ -573,6 +671,7 @@ impl XmlIndex {
         }
         outcome.docs.sort_unstable();
         outcome.docs.dedup();
+        search::filter_tombstones(&mut outcome.docs, &self.tombstones);
         if let Some(tel) = &self.telemetry {
             tel.observe(&outcome.stats);
         }
@@ -581,8 +680,23 @@ impl XmlIndex {
 
     /// Runs a single pre-built query sequence (no instantiation) — the
     /// primitive used by the synthetic query-performance experiments.
+    /// Searches both segments and applies the tombstone filter, like a full
+    /// query.
     pub fn query_sequence(&self, q: &QuerySequence) -> (Vec<DocId>, SearchStats) {
-        search::tree_search(&self.trie, q)
+        let (mut docs, mut st) = search::tree_search(&self.trie, q);
+        if !self.delta.is_empty() {
+            let (delta_docs, delta_st) = search::tree_search(self.delta.trie(), q);
+            docs.extend_from_slice(&delta_docs);
+            docs.sort_unstable();
+            docs.dedup();
+            st.candidates += delta_st.candidates;
+            st.cover_rejections += delta_st.cover_rejections;
+            st.completions += delta_st.completions;
+            st.link_probes += delta_st.link_probes;
+            st.scratch_reuses += delta_st.scratch_reuses;
+        }
+        search::filter_tombstones(&mut docs, &self.tombstones);
+        (docs, st)
     }
 
     /// The sequencing strategy in use.
@@ -596,9 +710,10 @@ impl XmlIndex {
         self.trie.node_count()
     }
 
-    /// Number of indexed documents.
+    /// Number of indexed documents (both segments; tombstoned documents
+    /// still count until compaction drops them).
     pub fn doc_count(&self) -> usize {
-        self.trie.sequence_count()
+        self.trie.sequence_count() + self.delta.sequence_count()
     }
 
     /// Access to the underlying trie (storage layer, baselines, tests).
@@ -617,15 +732,27 @@ impl XmlIndex {
     /// path-link order and coverage, sibling-cover bookkeeping, and the
     /// end-node registry.  Needs no path table, so it is cheap enough for
     /// sampled post-query spot checks.
+    ///
+    /// Covers **both segments**: the frozen trie and (when non-empty) the
+    /// delta segment, merged into one report.
     pub fn verify_structure(&self) -> IntegrityReport {
-        verify_trie_structure(&self.trie)
+        let mut report = verify_trie_structure(&self.trie);
+        if !self.delta.is_empty() {
+            report.merge(verify_trie_structure(self.delta.trie()));
+        }
+        report
     }
 
     /// Full integrity check: [`XmlIndex::verify_structure`] plus `f2`
     /// validity (Eq. 3) and the Theorem 1 round-trip of every distinct
-    /// stored constraint sequence.
+    /// stored constraint sequence — over the frozen trie *and* the delta
+    /// segment, merged into one report.
     pub fn verify_integrity(&self, paths: &mut PathTable) -> IntegrityReport {
-        verify_trie(&self.trie, paths, &self.strategy)
+        let mut report = verify_trie(&self.trie, paths, &self.strategy);
+        if !self.delta.is_empty() {
+            report.merge(verify_trie(self.delta.trie(), paths, &self.strategy));
+        }
+        report
     }
 
     /// The path dictionary (distinct data paths).

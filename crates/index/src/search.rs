@@ -17,10 +17,27 @@
 //! Following Algorithm 1's `ins` set, the check is only evaluated when the
 //! anchor node *embeds identical siblings*; otherwise it holds vacuously.
 
+use crate::delta::Tombstones;
 use crate::trie::{TrieNodeId, TrieView, NIL};
 use std::collections::HashMap;
 use xseq_sequence::{sequence_nodes, sequence_nodes_readonly, Sequence, Strategy};
 use xseq_xml::{DocId, Document, PathId, PathTable};
+
+/// Drops tombstoned document ids from a result list — the *− tombstones*
+/// step of the update model's *frozen ∪ delta − tombstones* query semantics
+/// (see [`delta`](crate::delta)).
+///
+/// Runs once per query, after the per-segment results have been unioned,
+/// sorted and deduplicated, so the matcher inner loops never look at the
+/// tombstone set.  Filtering only ever removes ids the caller deleted, so
+/// Theorem 2's no-false-alarm guarantee is preserved and no false
+/// dismissals are introduced.
+pub fn filter_tombstones(docs: &mut Vec<DocId>, tombstones: &Tombstones) {
+    if tombstones.is_empty() || docs.is_empty() {
+        return;
+    }
+    docs.retain(|d| !tombstones.contains(*d));
+}
 
 /// A query sequence with its tree-parent structure: `parent_pos[i]` is the
 /// sequence position of element `i`'s parent in the query tree (`None` for

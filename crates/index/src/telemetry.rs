@@ -8,7 +8,7 @@
 
 use crate::QueryStats;
 use std::sync::Arc;
-use xseq_telemetry::{Counter, Histogram, MetricsRegistry};
+use xseq_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Arc'd handles to the index-side metrics of a [`MetricsRegistry`].
 #[derive(Debug, Clone)]
@@ -33,6 +33,12 @@ pub struct IndexTelemetry {
     pub completions: Arc<Counter>,
     /// `index.search.link_probes` — path-link binary searches performed.
     pub link_probes: Arc<Counter>,
+    /// `index.delta.sequences` — sequences currently in the delta segment
+    /// (0 when compacted).
+    pub delta_sequences: Arc<Gauge>,
+    /// `index.tombstones` — document ids currently tombstoned
+    /// (0 when compacted).
+    pub tombstones: Arc<Gauge>,
 }
 
 impl IndexTelemetry {
@@ -48,6 +54,8 @@ impl IndexTelemetry {
             cover_rejections: registry.counter("index.search.cover_rejections"),
             completions: registry.counter("index.search.completions"),
             link_probes: registry.counter("index.search.link_probes"),
+            delta_sequences: registry.gauge("index.delta.sequences"),
+            tombstones: registry.gauge("index.tombstones"),
         }
     }
 

@@ -162,6 +162,20 @@ impl IntegrityReport {
         }
     }
 
+    /// Folds another segment's report into this one — used by the
+    /// two-segment (frozen + delta) verification paths so one report covers
+    /// the whole index.  Work counters add; violations append up to
+    /// [`IntegrityReport::MAX_VIOLATIONS`], the rest count as suppressed.
+    pub fn merge(&mut self, other: IntegrityReport) {
+        self.nodes_checked += other.nodes_checked;
+        self.links_checked += other.links_checked;
+        self.sequences_checked += other.sequences_checked;
+        self.suppressed += other.suppressed;
+        for v in other.violations {
+            self.push(v);
+        }
+    }
+
     /// One-line outcome, e.g. for `explain()` output.
     pub fn summary(&self) -> String {
         if self.is_clean() {

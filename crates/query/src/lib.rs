@@ -89,6 +89,12 @@ pub fn parse_xpath(input: &str, symbols: &mut SymbolTable) -> Result<TreePattern
 /// a designator or value absent from the table — no indexed document can
 /// contain that symbol, so the query provably matches nothing.  Syntax
 /// errors still surface as `Err`.
+///
+/// Under the update model (DESIGN.md §11) the table passed here is the
+/// **merged symbol view**: one table shared by the frozen segment and the
+/// delta overlay.  Names intern on *insert* only — a delta insert that
+/// introduces `z` makes `/a/z` resolve on the very next query, while the
+/// query path itself stays read-only and lock-free.
 pub fn parse_xpath_readonly(
     input: &str,
     symbols: &SymbolTable,
@@ -542,6 +548,26 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.axis(0), Axis::Child);
         assert_eq!(q.render(&s), "/inproceedings/title");
+    }
+
+    #[test]
+    fn readonly_parse_resolves_names_interned_after_the_fact() {
+        // The merged-symbol-view contract of the update model: a name
+        // unknown at one point parses to `Ok(None)` (provably empty), and
+        // once *some* ingest path interns it — never the query path — the
+        // same expression resolves to a pattern.
+        let mut s = st();
+        s.elem("a");
+        assert!(parse_xpath_readonly("/a/z", &s).unwrap().is_none());
+        s.elem("z");
+        let q = parse_xpath_readonly("/a/z", &s)
+            .unwrap()
+            .expect("resolves now");
+        assert_eq!(q.len(), 2);
+        // Same for values.
+        assert!(parse_xpath_readonly("/a[text='x']", &s).unwrap().is_none());
+        s.values.intern("x");
+        assert!(parse_xpath_readonly("/a[text='x']", &s).unwrap().is_some());
     }
 
     #[test]

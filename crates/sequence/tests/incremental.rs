@@ -1,0 +1,102 @@
+//! Incremental encoding: the update path (delta inserts, DESIGN.md §11)
+//! sequences one document at a time against a path table that already holds
+//! the frozen build's encodings.  These tests pin the properties that make
+//! that sound:
+//!
+//! * **Path reuse** — re-encoding a document whose paths are all known
+//!   interns nothing: the table length is unchanged and the sequence is
+//!   identical to the build-time one, so a delta sequence is comparable
+//!   with frozen sequences element for element.
+//! * **Append-only growth** — a genuinely new document only appends path
+//!   ids; existing ids never shift, so frozen trie labels and path links
+//!   stay valid while the delta grows beside them.
+//! * **Order independence of the increment** — encoding documents one by
+//!   one (build + later inserts) produces the same sequences and the same
+//!   final table as encoding them all in one batch.
+
+use xseq_sequence::{sequence_document, Strategy};
+use xseq_xml::{parse_document, Document, PathTable, SymbolTable, ValueMode};
+
+fn parse_all(xmls: &[&str]) -> (SymbolTable, Vec<Document>) {
+    let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+    let docs = xmls
+        .iter()
+        .map(|x| parse_document(x, &mut st).expect("valid test xml"))
+        .collect();
+    (st, docs)
+}
+
+#[test]
+fn re_encoding_a_known_document_interns_nothing() {
+    let (_, docs) = parse_all(&["<p><r><l>boston</l></r></p>", "<p><d><l>ny</l></d></p>"]);
+    let mut paths = PathTable::new();
+    let first: Vec<_> = docs
+        .iter()
+        .map(|d| sequence_document(d, &mut paths, &Strategy::DepthFirst))
+        .collect();
+    let len_after_build = paths.len();
+    for (doc, built) in docs.iter().zip(&first) {
+        let again = sequence_document(doc, &mut paths, &Strategy::DepthFirst);
+        assert_eq!(again.elems(), built.elems(), "identical re-encoding");
+        assert_eq!(paths.len(), len_after_build, "no new paths interned");
+    }
+}
+
+#[test]
+fn incremental_encoding_only_appends_paths() {
+    let (_, docs) = parse_all(&[
+        "<p><r><l>boston</l></r></p>",
+        "<p><r><l>boston</l></r><z><q/></z></p>",
+    ]);
+    let mut paths = PathTable::new();
+    let base = sequence_document(&docs[0], &mut paths, &Strategy::DepthFirst);
+    let len_before = paths.len();
+    // The second document shares a prefix of paths and adds new ones.
+    let grown = sequence_document(&docs[1], &mut paths, &Strategy::DepthFirst);
+    assert!(paths.len() > len_before, "new paths appended");
+    // Shared paths kept their ids: the first document's encoding is a
+    // subsequence-compatible prefix view, bit-for-bit.
+    let again = sequence_document(&docs[0], &mut paths, &Strategy::DepthFirst);
+    assert_eq!(again.elems(), base.elems(), "existing ids never shift");
+    assert!(
+        grown.elems().iter().any(|p| base.elems().contains(p)),
+        "shared structure reuses the same path ids"
+    );
+}
+
+#[test]
+fn one_by_one_equals_batch_encoding() {
+    let xmls = [
+        "<p><r><l>boston</l></r></p>",
+        "<p><d><l>ny</l></d></p>",
+        "<p><r><l>austin</l></r><d/></p>",
+        "<q><x><y/></x></q>",
+    ];
+    for strategy in [Strategy::DepthFirst, Strategy::Random { seed: 7 }] {
+        let (_, docs) = parse_all(&xmls);
+        // Batch: every document against one growing table.
+        let mut batch_paths = PathTable::new();
+        let batch: Vec<_> = docs
+            .iter()
+            .map(|d| sequence_document(d, &mut batch_paths, &strategy))
+            .collect();
+        // Incremental: "build" the first two, then "insert" the rest later.
+        let (_, docs2) = parse_all(&xmls);
+        let mut inc_paths = PathTable::new();
+        let mut inc = Vec::new();
+        for d in &docs2[..2] {
+            inc.push(sequence_document(d, &mut inc_paths, &strategy));
+        }
+        for d in &docs2[2..] {
+            inc.push(sequence_document(d, &mut inc_paths, &strategy));
+        }
+        assert_eq!(
+            inc_paths.len(),
+            batch_paths.len(),
+            "{strategy:?}: tables agree"
+        );
+        for (a, b) in batch.iter().zip(&inc) {
+            assert_eq!(a.elems(), b.elems(), "{strategy:?}: sequences agree");
+        }
+    }
+}

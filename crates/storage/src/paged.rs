@@ -47,6 +47,12 @@ const DOCS_PER_PAGE: usize = PAGE_SIZE / 4;
 
 /// Serializes a frozen [`SequenceTrie`] into `store`.
 ///
+/// Takes exactly one trie — callers serializing an `XmlIndex` pass its
+/// **frozen segment** (`index.trie()`), so the in-memory delta overlay and
+/// tombstones (DESIGN.md §11) are deliberately excluded from the paged
+/// layout: the overlay is transient by design, and compaction folds it into
+/// the frozen trie before anything durable is written.
+///
 /// Returns the number of pages written.
 pub fn write_paged_trie<S: PageStore>(trie: &SequenceTrie, store: &mut S) -> io::Result<PageId> {
     let frozen = trie.frozen();
@@ -458,6 +464,53 @@ mod tests {
         let mut store = MemStore::new();
         write_paged_trie(&fx.trie, &mut store).unwrap();
         PagedTrie::open(store, capacity).unwrap()
+    }
+
+    #[test]
+    fn paged_serialization_excludes_the_delta_overlay() {
+        use xseq_index::{PlanOptions, XmlIndex};
+        use xseq_xml::parse_document;
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let docs = vec![
+            parse_document("<a><b/></a>", &mut st).expect("valid xml"),
+            parse_document("<a><c/></a>", &mut st).expect("valid xml"),
+        ];
+        let mut pt = PathTable::new();
+        let mut index = XmlIndex::build(
+            &docs,
+            &mut pt,
+            xseq_sequence::Strategy::DepthFirst,
+            PlanOptions::default(),
+        );
+        let frozen_nodes = index.trie().node_count();
+        let delta_doc = parse_document("<a><z/></a>", &mut st).expect("valid xml");
+        index.insert_delta(&delta_doc, 2, &mut pt);
+        index.remove_doc(0);
+        assert!(index.delta().node_count() > 0);
+        // Serializing the index's frozen segment writes the frozen trie
+        // only: the delta overlay and tombstones never reach the pages.
+        let mut store = MemStore::new();
+        write_paged_trie(index.trie(), &mut store).expect("serialize");
+        let paged = PagedTrie::open(store, 16).expect("open");
+        assert_eq!(paged.node_count(), frozen_nodes);
+        assert!(
+            paged.node_count() < frozen_nodes + index.delta().node_count(),
+            "delta nodes must not be serialized"
+        );
+        let mut docs_on_disk = Vec::new();
+        let (lo, hi) = {
+            let root = TrieView::root(&paged);
+            let (l, h) = TrieView::label(&paged, root);
+            (l, h)
+        };
+        paged.collect_docs_in_range(lo, hi, &mut docs_on_disk);
+        docs_on_disk.sort_unstable();
+        docs_on_disk.dedup();
+        assert_eq!(
+            docs_on_disk,
+            vec![0, 1],
+            "pages hold the frozen docs verbatim: no delta doc, no tombstone filtering"
+        );
     }
 
     #[test]

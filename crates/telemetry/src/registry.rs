@@ -143,6 +143,14 @@ impl Snapshot {
         }
     }
 
+    /// Gauge value of `name`, when present and a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// Histogram snapshot of `name`, when present and a histogram.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         match self.metrics.get(name) {

@@ -179,8 +179,13 @@ impl Document {
 
     /// Rewrites every node label through `f` — used by parallel ingest to
     /// move a worker-parsed document from its local symbol namespace into
-    /// the merged one.
-    pub fn remap_symbols(&mut self, f: impl Fn(Symbol) -> Symbol) {
+    /// the merged one, and by compaction to re-intern surviving documents
+    /// into fresh tables.
+    ///
+    /// Nodes are visited in arena order, which for parsed documents is the
+    /// parse encounter order — so a *stateful* `f` that interns into a fresh
+    /// table replays the original first-occurrence interning order exactly.
+    pub fn remap_symbols(&mut self, mut f: impl FnMut(Symbol) -> Symbol) {
         for node in &mut self.nodes {
             node.sym = f(node.sym);
         }

@@ -581,6 +581,33 @@ fn f() {
     }
 
     #[test]
+    fn delta_module_is_covered_and_obeys_the_rules() {
+        // The update overlay (DESIGN.md §11) lives under the normal
+        // crates/*/src walk; this pins that the walk actually reaches it,
+        // so the telemetry-name-grammar and no-thread-spawn rules keep
+        // applying to the delta trie as it grows.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let delta = root.join("crates/index/src/delta.rs");
+        let source = std::fs::read_to_string(&delta).expect("delta module exists");
+        assert!(lint_file("crates/index/src/delta.rs", &source).is_empty());
+        // A grammar violation in it would be reported, not skipped (the
+        // poison is prepended — the module ends in `#[cfg(test)]`, where
+        // the rules relax).
+        let poisoned = format!(
+            "fn bad(r: &xseq_telemetry::MetricsRegistry) {{ r.gauge(\"Index.Delta\"); }}\n{source}"
+        );
+        assert!(lint_file("crates/index/src/delta.rs", &poisoned)
+            .iter()
+            .any(|f| f.rule == "span-name-grammar"));
+        // And a detached spawn would be too (the overlay must express
+        // parallelism through the exec pool).
+        let spawned = format!("fn worse() {{ std::thread::spawn(|| ()); }}\n{source}");
+        assert!(lint_file("crates/index/src/delta.rs", &spawned)
+            .iter()
+            .any(|f| f.rule == "no-thread-spawn"));
+    }
+
+    #[test]
     fn whole_repo_is_clean() {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let findings = lint_repo(&root).expect("repo walk succeeds");

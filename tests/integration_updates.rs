@@ -1,0 +1,326 @@
+//! Differential update testing (DESIGN.md §11).
+//!
+//! The update subsystem's contract is *equivalence with a from-scratch
+//! rebuild*: after **any** history of inserts, removes and compactions,
+//! query results and integrity reports must be exactly what an index built
+//! directly over the surviving documents produces — across all four
+//! sequencing strategies and 1–4 ingest threads.
+//!
+//! Two levels:
+//!
+//! * **Index level** (`updates_match_from_scratch_rebuild`): random
+//!   synthetic corpora, a random split into base build + delta inserts, a
+//!   random tombstone set; every document then runs as a whole-document
+//!   containment query against both the live (frozen ∪ delta − tombstones)
+//!   index and a from-scratch rebuild over the survivors.  Strategies are
+//!   re-derived per side (the probability estimator sees different corpora)
+//!   — result equality is exactly the paper's claim that answers are
+//!   strategy-independent.
+//! * **Database level** (`update_histories_compact_to_rebuild`): random
+//!   interleavings of `insert_document` / `remove_document` / `compact`
+//!   over XML strings, ending in a final compaction; the result must be
+//!   **bit-identical** (trie arenas, labels, links, interner sizes) to
+//!   `DatabaseBuilder::build_from_xml` over the surviving strings.
+//!
+//! The CI update-fuzz smoke job shrinks the case budget through
+//! `XSEQ_UPDATE_FUZZ_CASES`; locally the defaults below run.
+
+use proptest::prelude::*;
+use xseq::datagen::{SyntheticDataset, SyntheticParams};
+use xseq::index::QuerySequence;
+use xseq::schema::{ProbabilityModel, WeightMap};
+use xseq::sequence::Strategy;
+use xseq::xml::write_document;
+use xseq::{
+    DatabaseBuilder, DocId, Document, PathTable, PlanOptions, Pool, Sequencing, SymbolTable,
+    ValueMode, XmlIndex,
+};
+
+/// Case budget, shrinkable by the CI smoke job via `XSEQ_UPDATE_FUZZ_CASES`.
+fn fuzz_cases(default: u32) -> u32 {
+    std::env::var("XSEQ_UPDATE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The four sequencing strategies, each derived against the corpus and
+/// path table it will index (probability priorities hold table-specific
+/// path ids and corpus-specific estimates).
+fn strategy(kind: usize, docs: &[Document], paths: &mut PathTable) -> Strategy {
+    match kind {
+        0 => Strategy::DepthFirst,
+        1 => Strategy::BreadthFirst,
+        2 => Strategy::Random { seed: 0x5eed },
+        _ => {
+            let model = ProbabilityModel::estimate(docs, paths, 0);
+            Strategy::Probability(model.priorities(paths, &WeightMap::default()))
+        }
+    }
+}
+
+/// Runs `qdoc` as a whole-document containment query against `index`.
+fn containment_query(index: &XmlIndex, qdoc: &Document, paths: &PathTable) -> Vec<DocId> {
+    match QuerySequence::from_document_readonly(qdoc, paths, index.strategy()) {
+        Some(qs) => index.query_sequence(&qs).0,
+        // A query path absent from the table is provably empty.
+        None => Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases(6)))]
+
+    /// Index level: *frozen ∪ delta − tombstones* answers and verifies
+    /// exactly like a from-scratch rebuild over the survivors, for all four
+    /// strategies at 1–4 threads.
+    #[test]
+    fn updates_match_from_scratch_rebuild(
+        seed in 0u64..1_000,
+        nbase in 1usize..10,
+        nextra in 1usize..6,
+        threads in 1usize..=4,
+        max_fanout in 1u16..4,
+        remove_bits in any::<u64>(),
+    ) {
+        let params = SyntheticParams {
+            max_height: 4,
+            max_fanout,
+            value_pct: 25,
+            identical_pct: 0,
+            prob_floor_pct: 30,
+        };
+        let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+        let total = nbase + nextra;
+        let docs = SyntheticDataset::generate(&params, total, seed, &mut symbols).docs;
+        let removed: Vec<bool> = (0..total).map(|i| (remove_bits >> (i % 64)) & 1 == 1).collect();
+        for kind in 0..4 {
+            // Live: base build, then delta inserts, then tombstones.
+            let mut paths = PathTable::new();
+            let strat = strategy(kind, &docs[..nbase], &mut paths);
+            let mut live = XmlIndex::build_parallel(
+                &docs[..nbase],
+                &mut paths,
+                strat,
+                PlanOptions::default(),
+                None,
+                &Pool::new(threads),
+            );
+            for (i, d) in docs[nbase..].iter().enumerate() {
+                live.insert_delta(d, (nbase + i) as DocId, &mut paths);
+            }
+            let mut rank: Vec<Option<DocId>> = vec![None; total];
+            let mut surv_docs: Vec<Document> = Vec::new();
+            for (id, doc) in docs.iter().enumerate() {
+                if removed[id] {
+                    live.remove_doc(id as DocId);
+                } else {
+                    rank[id] = Some(surv_docs.len() as DocId);
+                    surv_docs.push(doc.clone());
+                }
+            }
+            // Reference: from-scratch build over the survivors, with the
+            // strategy re-derived over *them* (what a rebuild would do).
+            let mut ref_paths = PathTable::new();
+            let ref_strat = strategy(kind, &surv_docs, &mut ref_paths);
+            let reference = XmlIndex::build(
+                &surv_docs,
+                &mut ref_paths,
+                ref_strat,
+                PlanOptions::default(),
+            );
+            // Every document — surviving, removed, delta-inserted — as a
+            // containment query: answers must agree modulo id renumbering.
+            for (qid, qdoc) in docs.iter().enumerate() {
+                let live_hits = containment_query(&live, qdoc, &paths);
+                let mapped: Vec<DocId> = live_hits
+                    .iter()
+                    .map(|d| {
+                        rank[*d as usize]
+                            .unwrap_or_else(|| panic!("live query returned tombstoned doc {d}"))
+                    })
+                    .collect();
+                let ref_hits = containment_query(&reference, qdoc, &ref_paths);
+                prop_assert_eq!(
+                    mapped, ref_hits,
+                    "strategy {} / {} threads / query doc {}", kind, threads, qid
+                );
+            }
+            let live_report = live.verify_integrity(&mut paths);
+            prop_assert!(live_report.is_clean(), "live: {}", live_report.render());
+            let ref_report = reference.verify_integrity(&mut ref_paths);
+            prop_assert!(ref_report.is_clean(), "reference: {}", ref_report.render());
+        }
+    }
+}
+
+/// Tiny deterministic generator for the database-level op stream.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases(8)))]
+
+    /// Database level: any insert/remove/compact interleaving, once
+    /// compacted, is bit-identical to `build_from_xml` over the surviving
+    /// XML strings — for both database sequencing modes at 1–4 threads.
+    #[test]
+    fn update_histories_compact_to_rebuild(
+        seed in 0u64..1_000,
+        ninitial in 1usize..6,
+        npending in 1usize..8,
+        nops in 1usize..16,
+        threads in 1usize..=4,
+    ) {
+        let params = SyntheticParams {
+            max_height: 4,
+            max_fanout: 3,
+            value_pct: 25,
+            identical_pct: 0,
+            prob_floor_pct: 30,
+        };
+        let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+        let docs = SyntheticDataset::generate(&params, ninitial + npending, seed, &mut symbols).docs;
+        let xmls: Vec<String> = docs.iter().map(|d| write_document(d, &symbols)).collect();
+        for sequencing in [Sequencing::DepthFirst, Sequencing::Probability] {
+            let mut db = DatabaseBuilder::new()
+                .sequencing(sequencing)
+                .threads(threads)
+                .build_from_xml(xmls[..ninitial].iter().map(String::as_str))
+                .unwrap();
+            // Model: current id order → (xml, alive).
+            let mut model: Vec<(&str, bool)> =
+                xmls[..ninitial].iter().map(|x| (x.as_str(), true)).collect();
+            let mut pending = xmls[ninitial..].iter().map(String::as_str);
+            let mut rng = seed ^ 0x9e3779b97f4a7c15;
+            for _ in 0..nops {
+                match lcg(&mut rng) % 10 {
+                    0..=4 => {
+                        if let Some(xml) = pending.next() {
+                            let id = db.insert_document(xml).unwrap();
+                            prop_assert_eq!(id as usize, model.len(), "ids stay dense");
+                            model.push((xml, true));
+                        }
+                    }
+                    5..=7 => {
+                        let alive = model.iter().filter(|(_, a)| *a).count();
+                        if alive > 1 {
+                            let id = (lcg(&mut rng) as usize) % model.len();
+                            let did = db.remove_document(id as DocId);
+                            prop_assert_eq!(did, model[id].1, "remove reports liveness");
+                            model[id].1 = false;
+                        }
+                    }
+                    _ => {
+                        db.compact();
+                        model.retain(|(_, a)| *a);
+                    }
+                }
+            }
+            db.compact();
+            model.retain(|(_, a)| *a);
+            let survivors: Vec<&str> = model.iter().map(|(x, _)| *x).collect();
+            let reference = DatabaseBuilder::new()
+                .sequencing(sequencing)
+                .build_from_xml(survivors.iter().copied())
+                .unwrap();
+            prop_assert!(
+                db.index().trie().identical_to(reference.index().trie()),
+                "{sequencing:?}: compacted trie diverges from rebuild"
+            );
+            prop_assert_eq!(db.index().data_paths(), reference.index().data_paths());
+            prop_assert_eq!(db.corpus.paths.len(), reference.corpus.paths.len());
+            prop_assert_eq!(
+                db.corpus.symbols.designator_count(),
+                reference.corpus.symbols.designator_count()
+            );
+            prop_assert_eq!(
+                db.corpus.symbols.values.len(),
+                reference.corpus.symbols.values.len()
+            );
+            for q in ["/e0", "//e1", "//e2", "/e0/e1", "/e0/e2", "//e4"] {
+                prop_assert_eq!(
+                    db.query_xpath(q).unwrap(),
+                    reference.query_xpath(q).unwrap(),
+                    "{:?}: {}", sequencing, q
+                );
+            }
+            let mut db = db;
+            let report = db.verify_integrity();
+            prop_assert!(report.is_clean(), "{sequencing:?}: {}", report.render());
+        }
+    }
+}
+
+/// Concurrent readers vs. updates: `query_batch` racing the update path.
+///
+/// Rust's borrow rules make a *torn* read statically impossible —
+/// `insert_document`/`compact` take `&mut Database`, so readers only ever
+/// hold a reference to a fully pre- or fully post-update database (the
+/// logical interleavings of the delta structures themselves are model
+/// checked exhaustively in `xseq_index::check_updates`).  What this test
+/// pins is the epoch contract that rests on that: after *every* update
+/// step, a fleet of scoped-thread readers issuing `query_batch` (itself
+/// fanning out on the pool) all agree exactly with a serial query loop
+/// over the post-update state — no reader observes a stale delta, a
+/// dropped tombstone, or a half-compacted trie.
+#[test]
+fn concurrent_query_batches_agree_with_every_update_epoch() {
+    let params = SyntheticParams {
+        max_height: 4,
+        max_fanout: 3,
+        value_pct: 25,
+        identical_pct: 0,
+        prob_floor_pct: 30,
+    };
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let docs = SyntheticDataset::generate(&params, 10, 0xeb0c, &mut symbols).docs;
+    let xmls: Vec<String> = docs.iter().map(|d| write_document(d, &symbols)).collect();
+    let exprs = ["/e0", "//e1", "//e2", "/e0/e1", "/e0/e2", "//e3"];
+    let mut db = DatabaseBuilder::new()
+        .threads(4)
+        .build_from_xml(xmls[..4].iter().map(String::as_str))
+        .expect("initial corpus parses");
+    let mut pending = xmls[4..].iter();
+    // insert ×2, remove, insert, compact, insert, remove, compact.
+    let steps: [&str; 8] = [
+        "insert", "insert", "remove", "insert", "compact", "insert", "remove", "compact",
+    ];
+    let mut next_victim: DocId = 0;
+    for step in steps {
+        match step {
+            "insert" => {
+                let xml = pending.next().expect("enough pending documents");
+                db.insert_document(xml).expect("pending document parses");
+            }
+            "remove" => {
+                db.remove_document(next_victim);
+                next_victim += 1;
+            }
+            _ => {
+                db.compact();
+                next_victim = 0;
+            }
+        }
+        let expected: Vec<Vec<DocId>> = exprs
+            .iter()
+            .map(|e| db.query_xpath(e).expect("query parses"))
+            .collect();
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..4).map(|_| s.spawn(|| db.query_batch(&exprs))).collect();
+            for reader in readers {
+                let got: Vec<Vec<DocId>> = reader
+                    .join()
+                    .expect("reader thread")
+                    .into_iter()
+                    .map(|r| r.expect("query parses"))
+                    .collect();
+                assert_eq!(got, expected, "reader diverged after step {step:?}");
+            }
+        });
+    }
+}
