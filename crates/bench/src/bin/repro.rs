@@ -44,6 +44,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("fig16d", xseq_bench::fig16d),
     ("scaling", xseq_bench::scaling),
     ("updates", xseq_bench::updates),
+    ("profile_overhead", xseq_bench::profile_overhead),
 ];
 
 fn usage() -> ! {

@@ -41,6 +41,20 @@ fn is_throughput_key(key: &str) -> bool {
     key.contains(".docs_per_s.") || key.contains(".qps.")
 }
 
+/// The profiling zero-overhead guard: the `profile_overhead` experiment's
+/// gated ratio gauge may grow by at most this fraction over the baseline.
+/// The gauge is the profiled-over-unprofiled p50 ratio measured *within
+/// one run* (host noise cancels), so a tight gate is safe where a 3% gate
+/// on raw wall-clock quantiles would flake.
+pub const PROFILE_OVERHEAD_THRESHOLD: f64 = 0.03;
+
+/// True for the `profile_overhead` experiment's gated ratio keys — held to
+/// [`PROFILE_OVERHEAD_THRESHOLD`], exempt from the nanosecond noise floor
+/// (the value is a per-mille ratio, not a duration).
+fn is_profile_overhead_key(key: &str) -> bool {
+    key.starts_with("profile_overhead/") && key.ends_with(GATED_SUFFIX)
+}
+
 /// Metrics whose baseline has fewer samples than this are not gated: the
 /// p50 of a handful of samples in a pow2-bucketed histogram moves by a
 /// whole bucket (2×) between runs.
@@ -86,7 +100,16 @@ impl BenchReport {
                         }
                         entries.insert(format!("{experiment}/{metric}.count"), h.count);
                     }
-                    MetricValue::Gauge(v) if is_throughput_key(metric) && *v > 0 => {
+                    // Tracked gauges: throughput series, the derived
+                    // speedup-vs-t1 series, and the profiler-overhead
+                    // ratio (a gauge named `.p50` so the gate grammar
+                    // picks it up).
+                    MetricValue::Gauge(v)
+                        if *v > 0
+                            && (is_throughput_key(metric)
+                                || metric.contains(".speedup_x100.")
+                                || metric.ends_with(GATED_SUFFIX)) =>
+                    {
                         entries.insert(format!("{experiment}/{metric}"), *v as u64);
                     }
                     _ => {}
@@ -264,6 +287,8 @@ pub fn compare(
         let growth = cur as f64 / base as f64 - 1.0;
         let regressed = if is_throughput_key(key) {
             -growth > THROUGHPUT_THRESHOLD
+        } else if is_profile_overhead_key(key) {
+            growth > PROFILE_OVERHEAD_THRESHOLD
         } else if key.ends_with(GATED_SUFFIX) && base >= floor_ns && !too_few_samples(baseline, key)
         {
             growth > threshold
@@ -309,9 +334,10 @@ pub fn render_comparison(
         } else {
             cur as f64 / base as f64 - 1.0
         };
+        let profile_ratio = is_profile_overhead_key(key);
         let flag = if regressions.iter().any(|r| r.key == *key) {
             "  REGRESSED"
-        } else if throughput {
+        } else if throughput || profile_ratio {
             ""
         } else if base < NOISE_FLOOR_NS {
             "  (below noise floor)"
@@ -323,6 +349,8 @@ pub fn render_comparison(
         let render = |v: u64| {
             if throughput {
                 format!("{v}/s")
+            } else if profile_ratio {
+                format!("{}.{:03}x", v / 1000, v % 1000)
             } else {
                 xseq::telemetry::format_ns(v)
             }
@@ -467,6 +495,35 @@ mod tests {
             ("scaling/query.qps.t2", 6_000),
         ]);
         assert!(compare(&base, &ok, DEFAULT_THRESHOLD, NOISE_FLOOR_NS).is_empty());
+    }
+
+    #[test]
+    fn profile_overhead_ratio_gated_at_3_percent_below_the_floor() {
+        // per-mille ratio values sit far below NOISE_FLOOR_NS yet must gate
+        let base = report(&[("profile_overhead/query.overhead.p50", 1_000)]);
+        let bad = report(&[("profile_overhead/query.overhead.p50", 1_040)]);
+        let ok = report(&[("profile_overhead/query.overhead.p50", 1_020)]);
+        let regs = compare(&base, &bad, DEFAULT_THRESHOLD, NOISE_FLOOR_NS);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "profile_overhead/query.overhead.p50");
+        assert!(compare(&base, &ok, DEFAULT_THRESHOLD, NOISE_FLOOR_NS).is_empty());
+        // ordinary experiments keep the loose threshold and the floor
+        let base = report(&[("table7/index.search.p50", 1_000)]);
+        let cur = report(&[("table7/index.search.p50", 1_040)]);
+        assert!(compare(&base, &cur, DEFAULT_THRESHOLD, NOISE_FLOOR_NS).is_empty());
+    }
+
+    #[test]
+    fn from_sections_extracts_speedup_and_overhead_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("ingest.speedup_x100.t4").set(310);
+        reg.gauge("query.overhead.p50").set(1_005);
+        reg.gauge("query.profiled.p50_ns").set(123_456); // informational only
+        let sections = vec![("scaling".to_string(), reg.snapshot())];
+        let r = BenchReport::from_sections(&sections);
+        assert_eq!(r.entries.get("scaling/ingest.speedup_x100.t4"), Some(&310));
+        assert_eq!(r.entries.get("scaling/query.overhead.p50"), Some(&1_005));
+        assert!(!r.entries.keys().any(|k| k.contains("p50_ns")));
     }
 
     #[test]

@@ -72,15 +72,15 @@ pub use xseq_xml as xml;
 
 pub use xseq_exec::Pool;
 pub use xseq_index::{
-    IndexTelemetry, IntegrityReport, InvariantClass, PlanOptions, QueryContext, QueryOutcome,
-    QueryStats, SearchStats, Violation, XmlIndex,
+    IndexStats, IndexTelemetry, IntegrityReport, InvariantClass, PlanOptions, QueryContext,
+    QueryOutcome, QueryStats, SearchStats, SegmentStats, Violation, XmlIndex,
 };
 pub use xseq_query::{parse_xpath, parse_xpath_readonly, ParseError};
-pub use xseq_schema::{ProbabilityModel, SchemaTree, WeightMap};
+pub use xseq_schema::{ClassStats, ProbabilityModel, SchemaTree, WeightMap, WorkloadProfile};
 pub use xseq_sequence::{PriorityMap, Sequence, Strategy};
 pub use xseq_storage::{BufferPool, PagedTrie, PoolStats, PoolTelemetry};
 pub use xseq_telemetry::{
-    MetricsRegistry, Snapshot, SpanTimer, Trace, TraceConfig, TraceId, TraceSpan, Tracer,
+    HeapSize, MetricsRegistry, Snapshot, SpanTimer, Trace, TraceConfig, TraceId, TraceSpan, Tracer,
 };
 pub use xseq_xml::{
     Axis, Corpus, DocId, Document, PathId, PathTable, PatternLabel, SymbolTable, TreePattern,
@@ -90,7 +90,9 @@ pub use xseq_xml::{
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use xseq_telemetry::Histogram;
+use std::time::Instant;
+use xseq_schema::WorkloadRecorder;
+use xseq_telemetry::{Counter, Gauge, Histogram};
 
 /// Unified error type for the high-level API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,6 +152,7 @@ pub struct DatabaseBuilder {
     spot_check_rate: f64,
     threads: usize,
     compact_threshold: Option<usize>,
+    profiling: bool,
 }
 
 /// The build-time configuration a [`Database`] retains so
@@ -185,7 +188,19 @@ impl DatabaseBuilder {
             spot_check_rate: 0.0,
             threads: 1,
             compact_threshold: None,
+            profiling: true,
         }
+    }
+
+    /// Enables or disables the workload profiler (on by default): every
+    /// executed query is classified into its schema node classes `C` (the
+    /// concrete data paths it searched), and per-class frequency, result
+    /// cardinality and latency accumulate into
+    /// [`Database::workload_profile`] — the observed input for deriving
+    /// `w(C)` (Eq. 6) from live traffic instead of operator guesses.
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
     }
 
     /// Enables auto-compaction: whenever the outstanding update volume
@@ -363,9 +378,18 @@ impl DatabaseBuilder {
         let update_insert_hist = self.registry.histogram("update.insert");
         let update_remove_hist = self.registry.histogram("update.remove");
         let compact_hist = self.registry.histogram("index.compact");
+        // Workload metrics are registered even when profiling is off, so a
+        // snapshot always lists the family (at zero).
+        let workload_queries = self.registry.counter("workload.queries");
+        let workload_unclassified = self.registry.counter("workload.unclassified");
+        let workload_classes = self.registry.gauge("workload.classes");
         Ok(Database {
             corpus,
             index,
+            workload: self.profiling.then(WorkloadRecorder::new),
+            workload_queries,
+            workload_unclassified,
+            workload_classes,
             registry: self.registry,
             parse_hist,
             pool_tel,
@@ -425,6 +449,16 @@ pub struct Database {
     /// The indexed documents with their shared interners.
     pub corpus: Corpus,
     index: XmlIndex,
+    /// The live workload profiler (`None` when
+    /// [`DatabaseBuilder::profiling`] is off): per schema node class,
+    /// query frequency, result cardinality and latency.
+    workload: Option<WorkloadRecorder>,
+    /// `workload.queries` — profiled queries.
+    workload_queries: Arc<Counter>,
+    /// `workload.unclassified` — profiled queries with no searched class.
+    workload_unclassified: Arc<Counter>,
+    /// `workload.classes` — distinct classes seen so far.
+    workload_classes: Arc<Gauge>,
     registry: Arc<MetricsRegistry>,
     parse_hist: Arc<Histogram>,
     /// Registry handles for `storage.pool.*` — read around each traced
@@ -469,6 +503,72 @@ pub struct CompactionReport {
     pub remap: Vec<Option<DocId>>,
 }
 
+/// Modelled heap attribution of one database ([`Database::stats`]): bytes
+/// per component under the [`HeapSize`] accounting rules (capacity-based,
+/// validated against a counting allocator within 5%).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Corpus heap: interners (names, values, paths) plus document arenas.
+    pub corpus_bytes: usize,
+    /// Index heap: both trie segments, tombstones, the wildcard dictionary
+    /// and the strategy's priority tables.
+    pub index_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Total modelled footprint — the `memory.total.bytes` gauge.
+    pub fn total_bytes(&self) -> usize {
+        self.corpus_bytes + self.index_bytes
+    }
+}
+
+/// The database-wide observability report of [`Database::stats`].
+#[derive(Debug, Clone)]
+pub struct DatabaseStats {
+    /// Indexed documents (tombstoned ids included until compaction).
+    pub docs: usize,
+    /// Interned designator paths, counting ε.
+    pub paths: usize,
+    /// Deep index shape statistics (frozen ∪ delta walk).
+    pub index: xseq_index::IndexStats,
+    /// Modelled heap attribution per component.
+    pub memory: MemoryStats,
+    /// Cumulative `storage.pool.*` counters from the registry.
+    pub pool: PoolStats,
+    /// Snapshot of the workload profiler (empty when profiling is off).
+    pub workload: WorkloadProfile,
+}
+
+impl DatabaseStats {
+    /// Renders the full report as an indented text block.
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "database: {} docs | {} paths", self.docs, self.paths);
+        out.push_str(&self.index.render());
+        let _ = writeln!(
+            out,
+            "  memory: corpus {} B + index {} B = {} B",
+            self.memory.corpus_bytes,
+            self.memory.index_bytes,
+            self.memory.total_bytes()
+        );
+        let _ = writeln!(
+            out,
+            "  pool: {} hits, {} misses, {} evictions",
+            self.pool.hits, self.pool.misses, self.pool.evictions
+        );
+        let _ = writeln!(
+            out,
+            "  workload: {} queries over {} classes ({} unclassified)",
+            self.workload.queries(),
+            self.workload.len(),
+            self.workload.unclassified()
+        );
+        out
+    }
+}
+
 // Compile-time guarantee behind the concurrency model: one frozen database
 // is shareable across threads as-is.
 const _: () = {
@@ -491,8 +591,32 @@ impl Database {
     }
 
     /// One query against a caller-owned [`QueryContext`] (scratch reuse);
-    /// the batch path runs one context per worker.
+    /// the batch path runs one context per worker.  When profiling is on,
+    /// the executed query lands in the workload profiler: its classes are
+    /// the concrete data paths the search descended
+    /// ([`QueryOutcome::classes`]), its latency the wall time of the whole
+    /// parse → plan → search pipeline.
     fn query_xpath_ctx(&self, expr: &str, ctx: &mut QueryContext) -> Result<QueryOutcome, Error> {
+        let Some(recorder) = &self.workload else {
+            return self.query_xpath_inner(expr, ctx);
+        };
+        let t0 = Instant::now();
+        let out = self.query_xpath_inner(expr, ctx)?;
+        recorder.record(
+            &out.classes,
+            out.docs.len() as u64,
+            t0.elapsed().as_nanos() as u64,
+        );
+        self.workload_queries.inc();
+        if out.classes.is_empty() {
+            self.workload_unclassified.inc();
+        }
+        self.workload_classes.set(recorder.class_count() as i64);
+        Ok(out)
+    }
+
+    /// [`Database::query_xpath_ctx`] without the profiling wrapper.
+    fn query_xpath_inner(&self, expr: &str, ctx: &mut QueryContext) -> Result<QueryOutcome, Error> {
         let Some(tracer) = self.tracer.clone() else {
             let pattern = xseq_query::parse_xpath_readonly_instrumented(
                 expr,
@@ -634,6 +758,63 @@ impl Database {
     /// [`BufferPool`] or [`PagedTrie`] serving this database's index.
     pub fn pool_telemetry(&self) -> PoolTelemetry {
         PoolTelemetry::register(&self.registry)
+    }
+
+    /// A snapshot of the accumulated workload profile: per-class query
+    /// frequency, result cardinality and latency for every schema node
+    /// class touched so far — the Eq. 6 input for deriving `w(C)` from
+    /// live traffic.  Empty when the builder disabled
+    /// [`DatabaseBuilder::profiling`].
+    pub fn workload_profile(&self) -> WorkloadProfile {
+        self.workload
+            .as_ref()
+            .map(WorkloadRecorder::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// Hands off the accumulated profile and starts a fresh epoch (e.g.
+    /// feed the returned profile to a re-sequencing pass while new traffic
+    /// accumulates separately).  Empty when profiling is off.
+    pub fn take_workload_profile(&self) -> WorkloadProfile {
+        self.workload
+            .as_ref()
+            .map(WorkloadRecorder::take)
+            .unwrap_or_default()
+    }
+
+    /// The database-wide observability report: deep index shape statistics
+    /// (a read-only walk over frozen ∪ delta), modelled heap attribution,
+    /// cumulative pool counters and the current workload profile.
+    ///
+    /// As a side effect the `memory.corpus.bytes`, `memory.index.bytes`
+    /// and `memory.total.bytes` gauges are refreshed, so a metrics
+    /// snapshot taken after `stats()` carries the attribution too.
+    pub fn stats(&self) -> DatabaseStats {
+        let memory = MemoryStats {
+            corpus_bytes: self.corpus.heap_bytes(),
+            index_bytes: self.index.heap_bytes(),
+        };
+        self.registry
+            .gauge("memory.corpus.bytes")
+            .set(memory.corpus_bytes as i64);
+        self.registry
+            .gauge("memory.index.bytes")
+            .set(memory.index_bytes as i64);
+        self.registry
+            .gauge("memory.total.bytes")
+            .set(memory.total_bytes() as i64);
+        DatabaseStats {
+            docs: self.corpus.len(),
+            paths: self.corpus.paths.len(),
+            index: self.index.stats(),
+            memory,
+            pool: PoolStats {
+                hits: self.pool_tel.hits.get(),
+                misses: self.pool_tel.misses.get(),
+                evictions: self.pool_tel.evictions.get(),
+            },
+            workload: self.workload_profile(),
+        }
     }
 
     /// Answers a pre-built tree pattern.
@@ -1346,5 +1527,176 @@ mod tests {
         // hashed designators may collide, but boston's own document is
         // always included
         assert!(hits.contains(&0));
+    }
+
+    /// The scripted history: a mix of classified hits, a provably-empty
+    /// query (no classes → unclassified), and repeats.
+    const WORKLOAD_SCRIPT: [&str; 6] = [
+        "/project//loc",
+        "/project/research",
+        "/project//loc",
+        "/nosuchroot",
+        "//loc[text='boston']",
+        "/project/research/loc",
+    ];
+
+    fn workload_db() -> Database {
+        DatabaseBuilder::new()
+            .build_from_xml([
+                "<project><research><loc>newyork</loc></research></project>",
+                "<project><develop><loc>boston</loc></develop></project>",
+                "<project><research><loc>boston</loc><fund/></research></project>",
+            ])
+            .unwrap()
+    }
+
+    #[test]
+    fn workload_profile_is_reproduced_by_replaying_the_history() {
+        let db = workload_db();
+        // replay: rebuild the profile from the outcomes themselves
+        let mut replay = WorkloadProfile::new();
+        for expr in WORKLOAD_SCRIPT {
+            let out = db.query_xpath_full(expr).unwrap();
+            replay.record(&out.classes, out.docs.len() as u64, 1);
+        }
+        let live = db.workload_profile();
+        // Latency is wall time (nondeterministic); every other field of the
+        // profile must match the replay exactly.
+        assert_eq!(live.queries(), replay.queries());
+        assert_eq!(live.queries(), WORKLOAD_SCRIPT.len() as u64);
+        assert_eq!(live.unclassified(), replay.unclassified());
+        assert!(live.unclassified() >= 1, "/nosuchroot is unclassified");
+        assert_eq!(live.len(), replay.len());
+        assert!(live.len() >= 2, "research and loc classes are distinct");
+        for (class, stats) in replay.iter() {
+            let l = live.class(class).expect("replayed class exists live");
+            assert_eq!(l.queries, stats.queries, "class {class:?} frequency");
+            assert_eq!(l.results, stats.results, "class {class:?} cardinality");
+            assert!(l.latency_ns > 0, "live profile carries wall time");
+            assert_eq!(live.frequency(class), replay.frequency(class));
+        }
+        // and the profile round-trips through JSON
+        let back = WorkloadProfile::from_json(&live.to_json()).unwrap();
+        assert_eq!(back.queries(), live.queries());
+        assert_eq!(back.len(), live.len());
+    }
+
+    #[test]
+    fn workload_metrics_track_the_profiler() {
+        let db = workload_db();
+        for expr in WORKLOAD_SCRIPT {
+            db.query_xpath(expr).unwrap();
+        }
+        let snap = db.metrics();
+        assert_eq!(
+            snap.counter("workload.queries"),
+            WORKLOAD_SCRIPT.len() as u64
+        );
+        assert_eq!(
+            snap.counter("workload.unclassified"),
+            db.workload_profile().unclassified()
+        );
+        assert_eq!(
+            snap.gauge("workload.classes"),
+            Some(db.workload_profile().len() as i64)
+        );
+    }
+
+    #[test]
+    fn profiling_off_keeps_the_family_at_zero() {
+        let db = DatabaseBuilder::new()
+            .profiling(false)
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        db.query_xpath("/a/b").unwrap();
+        assert!(db.workload_profile().is_empty());
+        assert_eq!(db.workload_profile().queries(), 0);
+        // the family still exists in the snapshot, pinned at zero
+        let snap = db.metrics();
+        assert_eq!(snap.counter("workload.queries"), 0);
+        assert_eq!(snap.gauge("workload.classes"), Some(0));
+    }
+
+    #[test]
+    fn take_workload_profile_starts_a_fresh_epoch() {
+        let db = workload_db();
+        db.query_xpath("/project//loc").unwrap();
+        let epoch1 = db.take_workload_profile();
+        assert_eq!(epoch1.queries(), 1);
+        assert!(db.workload_profile().is_empty());
+        db.query_xpath("/project/research").unwrap();
+        assert_eq!(db.workload_profile().queries(), 1);
+    }
+
+    #[test]
+    fn explain_carries_the_stats_tail() {
+        let db = workload_db();
+        let out = db.query_xpath_full("/project//loc").unwrap();
+        let text = out.explain();
+        assert!(text.contains("stats:"), "missing stats tail: {text}");
+        assert!(text.contains("results 3"), "cardinality in tail: {text}");
+        assert!(text.contains("classes ["), "class ids in tail: {text}");
+        assert!(
+            text.contains("descents/variant ["),
+            "descent counts in tail: {text}"
+        );
+        assert!(!out.classes.is_empty());
+        assert!(out.descents.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn stats_report_shape_memory_and_workload() {
+        let db = workload_db();
+        db.query_xpath("/project//loc").unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.docs, 3);
+        assert!(stats.paths >= 5, "ε, project, research, develop, loc, …");
+        assert!(stats.index.frozen.nodes > 0);
+        assert_eq!(stats.index.frozen.sequences, 3);
+        assert!(stats.memory.corpus_bytes > 0);
+        assert!(stats.memory.index_bytes > 0);
+        assert_eq!(
+            stats.memory.total_bytes(),
+            stats.memory.corpus_bytes + stats.memory.index_bytes
+        );
+        assert_eq!(stats.workload.queries(), 1);
+        // stats() refreshed the memory gauges
+        let snap = db.metrics();
+        assert_eq!(
+            snap.gauge("memory.corpus.bytes"),
+            Some(stats.memory.corpus_bytes as i64)
+        );
+        assert_eq!(
+            snap.gauge("memory.index.bytes"),
+            Some(stats.memory.index_bytes as i64)
+        );
+        assert_eq!(
+            snap.gauge("memory.total.bytes"),
+            Some(stats.memory.total_bytes() as i64)
+        );
+        let text = stats.render();
+        for needle in [
+            "database: 3 docs",
+            "memory:",
+            "pool:",
+            "workload: 1 queries",
+        ] {
+            assert!(text.contains(needle), "render misses {needle:?}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn stats_see_the_delta_overlay() {
+        let mut db = workload_db();
+        db.insert_document("<project><audit/></project>").unwrap();
+        db.remove_document(0);
+        let stats = db.stats();
+        assert_eq!(stats.index.delta.sequences, 1);
+        assert_eq!(stats.index.tombstones, 1);
+        db.compact();
+        let stats = db.stats();
+        assert_eq!(stats.index.delta.sequences, 0);
+        assert_eq!(stats.index.tombstones, 0);
+        assert_eq!(stats.docs, 3);
     }
 }

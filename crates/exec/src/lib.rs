@@ -23,12 +23,19 @@
 //! merge of per-worker interning deltas happens in chunk order, which is
 //! document order.
 //!
+//! The crate also hosts [`Ticker`], the periodic driver behind the
+//! telemetry crate's clock-free watchdog and metrics journal: those are
+//! pure `tick()` state machines, and the one place allowed to own the
+//! background thread that calls them on a cadence is here.
+//!
 //! The `cargo xtask lint` rule `no-thread-spawn` forbids `thread::spawn`
 //! outside this crate: everything else goes through the pool.
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A wait-free chunk allocator over the index range `0..len`.
 ///
@@ -252,6 +259,73 @@ impl Pool {
     }
 }
 
+/// A background thread invoking a callback once per period until stopped.
+///
+/// This is the cadence source for the telemetry crate's tick-driven
+/// components (watchdog, metrics journal): they stay deterministic and
+/// thread-free, and a `Ticker` turns their `tick()` into wall-clock
+/// behaviour.  The callback runs once immediately on spawn, then once per
+/// period.  Stopping (explicitly or on drop) joins the thread, so the
+/// callback never outlives the `Ticker`.
+#[derive(Debug)]
+pub struct Ticker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Spawns a thread running `f` now and then every `period` until
+    /// [`Ticker::stop`] or drop.  The period is polled in small slices so
+    /// stopping takes milliseconds even with long periods.
+    pub fn spawn<F>(period: Duration, mut f: F) -> Ticker
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            loop {
+                // relaxed: the flag is a standalone shutdown latch; the
+                // join below is the only ordering anyone relies on.
+                if stop_flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                f();
+                let mut remaining = period;
+                while remaining > Duration::ZERO {
+                    // relaxed: same standalone shutdown latch as above
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let slice = remaining.min(Duration::from_millis(5));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        });
+        Ticker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread to stop and joins it.  Idempotent; also runs on
+    /// drop.
+    pub fn stop(&mut self) {
+        // relaxed: the join right after provides the happens-before edge
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +418,30 @@ mod tests {
         assert!(pool.is_sequential());
         assert_eq!(pool.map(&[1, 2, 3], |_, &x| x + 1), vec![2, 3, 4]);
         assert_eq!(pool.run(vec![|| 5]), vec![5]);
+    }
+
+    #[test]
+    fn ticker_fires_and_stops_cleanly() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&fired);
+        let mut ticker = Ticker::spawn(Duration::from_millis(1), move || {
+            // relaxed: test-only liveness counter
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        // the first invocation is immediate; wait for at least one more
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        // relaxed: test-only liveness counter
+        while fired.load(Ordering::Relaxed) < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ticker.stop();
+        // relaxed: read after the join inside stop()
+        let at_stop = fired.load(Ordering::Relaxed);
+        assert!(at_stop >= 2, "ticker fired {at_stop} time(s)");
+        std::thread::sleep(Duration::from_millis(10));
+        // relaxed: no concurrent writer remains after the join
+        assert_eq!(fired.load(Ordering::Relaxed), at_stop, "fired after stop");
+        ticker.stop(); // idempotent
     }
 
     #[test]

@@ -148,6 +148,13 @@ impl Tombstones {
     }
 }
 
+/// Heap attribution for the tombstone set: its sorted id vector.
+impl xseq_telemetry::HeapSize for Tombstones {
+    fn heap_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<DocId>()
+    }
+}
+
 /// One scripted operation against the update overlay, for
 /// [`check_updates`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -26,6 +26,7 @@
 pub mod delta;
 pub mod plan;
 pub mod search;
+pub mod stats;
 pub mod telemetry;
 pub mod trie;
 pub mod verify;
@@ -36,6 +37,7 @@ pub use search::{
     constraint_search, constraint_search_with, filter_tombstones, naive_search, naive_search_with,
     tree_search, tree_search_with, QuerySequence, SearchScratch, SearchStats,
 };
+pub use stats::{index_stats, IndexStats, SegmentStats};
 pub use telemetry::IndexTelemetry;
 pub use trie::{LinkEntry, SequenceTrie, TrieNodeId, TrieView, NIL};
 pub use verify::{verify_trie, verify_trie_structure, IntegrityReport, InvariantClass, Violation};
@@ -82,11 +84,20 @@ pub struct QueryOutcome {
     /// Post-query integrity spot check, when one fired (off by default;
     /// enabled via `DatabaseBuilder::integrity_spot_check`).
     pub integrity: Option<IntegrityReport>,
+    /// The schema node classes `C` this query touched: the distinct
+    /// [`PathId`]s across every searched variant's query sequence, sorted.
+    /// This is the classification the workload profiler accumulates
+    /// (Eq. 6's `w(C)` is keyed by exactly these ids).
+    pub classes: Vec<PathId>,
+    /// Candidates examined per searched variant, in variant order (frozen
+    /// and delta descents of one variant sum into one entry).
+    pub descents: Vec<u64>,
 }
 
 impl QueryOutcome {
     fn absorb(&mut self, docs: &[DocId], st: SearchStats) {
         self.stats.variants += 1;
+        self.descents.push(0);
         self.absorb_segment(docs, st);
     }
 
@@ -95,6 +106,9 @@ impl QueryOutcome {
     /// two-segment (frozen + delta) index still reports one variant per
     /// searched query sequence.
     fn absorb_segment(&mut self, docs: &[DocId], st: SearchStats) {
+        if let Some(last) = self.descents.last_mut() {
+            *last += st.candidates;
+        }
         self.stats.search.candidates += st.candidates;
         self.stats.search.cover_rejections += st.cover_rejections;
         self.stats.search.completions += st.completions;
@@ -138,6 +152,29 @@ impl QueryOutcome {
             st.search.cover_rejections,
             st.search.completions,
             st.search.link_probes
+        );
+        let fmt_list = |vals: &mut dyn Iterator<Item = u64>| {
+            const SHOWN: usize = 16;
+            let mut shown: Vec<String> = Vec::with_capacity(SHOWN + 1);
+            let mut truncated = false;
+            for (i, v) in vals.enumerate() {
+                if i == SHOWN {
+                    truncated = true;
+                    break;
+                }
+                shown.push(v.to_string());
+            }
+            if truncated {
+                shown.push("…".into());
+            }
+            format!("[{}]", shown.join(" "))
+        };
+        let _ = writeln!(
+            out,
+            "  stats: results {} | classes {} | descents/variant {}",
+            self.docs.len(),
+            fmt_list(&mut self.classes.iter().map(|c| u64::from(c.0))),
+            fmt_list(&mut self.descents.iter().copied()),
         );
         let pool_total = st.pool_hits + st.pool_misses;
         if pool_total > 0 {
@@ -535,6 +572,12 @@ impl XmlIndex {
         self.run_query(pattern, paths, Mode::Naive, None, &mut QueryContext::new())
     }
 
+    /// The index shape report: a read-only statistics walk over
+    /// *frozen ∪ delta* (see [`stats::IndexStats`]).
+    pub fn stats(&self) -> IndexStats {
+        stats::index_stats(self)
+    }
+
     fn run_query(
         &self,
         pattern: &TreePattern,
@@ -592,6 +635,7 @@ impl XmlIndex {
                     // A query path absent from the table matches no data —
                     // the variant is provably empty, skip the descent.
                     let Some(qs) = qs else { continue };
+                    outcome.classes.extend_from_slice(&qs.paths);
                     let descent = tr.as_mut().map(|t| t.start_span("trie.descent"));
                     let t0 = Instant::now();
                     let st = search::tree_search_with(&self.trie, &qs, &mut ctx.scratch);
@@ -630,6 +674,7 @@ impl XmlIndex {
                             t.end_span(sp);
                         }
                         let Some(qs) = qs else { continue };
+                        outcome.classes.extend_from_slice(&qs.paths);
                         let descent = tr.as_mut().map(|t| t.start_span("trie.descent"));
                         let t0 = Instant::now();
                         let st = if matches!(mode, Mode::Ordered) {
@@ -671,6 +716,8 @@ impl XmlIndex {
         }
         outcome.docs.sort_unstable();
         outcome.docs.dedup();
+        outcome.classes.sort_unstable();
+        outcome.classes.dedup();
         search::filter_tombstones(&mut outcome.docs, &self.tombstones);
         if let Some(tel) = &self.telemetry {
             tel.observe(&outcome.stats);
@@ -763,6 +810,20 @@ impl XmlIndex {
     /// Planner caps in use.
     pub fn options(&self) -> &PlanOptions {
         &self.options
+    }
+}
+
+/// Heap attribution for the whole index: both trie segments, the tombstone
+/// set, the wildcard dictionary and the strategy's priority tables.  The
+/// telemetry handles are excluded — they are `Arc`s shared with the
+/// registry, which accounts for itself.
+impl xseq_telemetry::HeapSize for XmlIndex {
+    fn heap_bytes(&self) -> usize {
+        self.trie.heap_bytes()
+            + self.delta.heap_bytes()
+            + self.tombstones.heap_bytes()
+            + self.data_paths.heap_bytes()
+            + self.strategy.heap_bytes()
     }
 }
 

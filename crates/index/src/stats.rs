@@ -1,0 +1,335 @@
+//! Deep index statistics: a read-only walk over *frozen ∪ delta*.
+//!
+//! [`XmlIndex::stats`] turns the index from a black box into an
+//! inspectable shape report: trie depth/fanout/preorder-range
+//! distributions, the stored-sequence length distribution the sequencing
+//! strategy produced, horizontal-link and sibling-cover density, and the
+//! update overlay's occupancy.  Everything is computed by traversal of
+//! already-frozen structures — no locks, no mutation, `O(nodes)` — so it
+//! is safe to call on a live database between queries.
+//!
+//! Distributions use the same power-of-two bucketing as the telemetry
+//! histograms ([`bucket_of`]/[`bucket_bounds`]), so the report composes
+//! with the rest of the observability surface.
+
+use crate::delta::DeltaSegment;
+use crate::trie::{SequenceTrie, NIL};
+use crate::XmlIndex;
+use std::fmt::Write as _;
+use xseq_telemetry::{bucket_bounds, bucket_of};
+
+/// Shape statistics of one trie segment (frozen or delta).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Real trie nodes (the virtual root excluded).
+    pub nodes: usize,
+    /// Inserted sequences (documents, counting duplicates).
+    pub sequences: usize,
+    /// Deepest real node (root children are depth 1).
+    pub max_depth: usize,
+    /// Node count per depth; `depth_counts[d]` is the number of real
+    /// nodes at depth `d` (index 0 unused).
+    pub depth_counts: Vec<u64>,
+    /// Node count per child count, over real nodes (leaves land at
+    /// index 0).
+    pub fanout_counts: Vec<u64>,
+    /// Children of the virtual root — the number of distinct leading
+    /// sequence elements.
+    pub root_fanout: usize,
+    /// Preorder-range width distribution: `range_width_buckets[b]` counts
+    /// real nodes whose subtree width `n⊣ − n⊢ + 1` falls in power-of-two
+    /// bucket `b` (see [`bucket_of`]).  Empty when the segment is not
+    /// frozen.
+    pub range_width_buckets: Vec<u64>,
+    /// Stored-sequence length distribution: `seq_len_counts[l]` counts end
+    /// nodes at depth `l` — the lengths the sequencing strategy produced.
+    pub seq_len_counts: Vec<u64>,
+    /// Distinct paths owning a horizontal link.
+    pub link_paths: usize,
+    /// Total link entries (equals `nodes` by construction; reported so the
+    /// invariant is visible).
+    pub link_entries: usize,
+    /// Nodes whose range embeds another node with the same path — the
+    /// nodes where Algorithm 1's sibling-cover check can actually fire.
+    pub sibling_cover_nodes: usize,
+    /// Nodes owning a document id list.
+    pub end_nodes: usize,
+    /// Total document ids across all lists.
+    pub doc_ids: usize,
+}
+
+impl SegmentStats {
+    /// Collects the statistics of one trie by a read-only walk.
+    pub fn collect(trie: &SequenceTrie) -> SegmentStats {
+        let mut s = SegmentStats {
+            nodes: trie.node_count(),
+            sequences: trie.sequence_count(),
+            ..SegmentStats::default()
+        };
+        let mut depths = vec![0u32; trie.arena_len()];
+        let mut stack = vec![trie.root()];
+        while let Some(n) = stack.pop() {
+            let depth = depths[n as usize] as usize;
+            let mut fanout = 0usize;
+            let mut c = trie.first_child(n);
+            while c != NIL {
+                depths[c as usize] = depth as u32 + 1;
+                fanout += 1;
+                stack.push(c);
+                c = trie.next_sibling(c);
+            }
+            if n == trie.root() {
+                s.root_fanout = fanout;
+            } else {
+                bump(&mut s.depth_counts, depth);
+                s.max_depth = s.max_depth.max(depth);
+                bump(&mut s.fanout_counts, fanout);
+            }
+        }
+        if trie.is_frozen() {
+            let f = trie.frozen();
+            for n in 1..trie.arena_len() {
+                let width = u64::from(f.max_desc[n] - f.serial[n]) + 1;
+                bump(&mut s.range_width_buckets, bucket_of(width));
+                if f.embeds_identical[n] {
+                    s.sibling_cover_nodes += 1;
+                }
+            }
+            s.link_paths = f.links.len();
+            s.link_entries = f.links.values().map(Vec::len).sum();
+            s.end_nodes = f.end_nodes.len();
+            for &(_, node) in &f.end_nodes {
+                bump(&mut s.seq_len_counts, depths[node as usize] as usize);
+            }
+        }
+        for (_, docs) in trie.doc_lists() {
+            s.doc_ids += docs.len();
+        }
+        s
+    }
+
+    /// Mean children per non-leaf node, `None` when the trie is empty or
+    /// all-leaf.
+    pub fn mean_fanout(&self) -> Option<f64> {
+        let interior: u64 = self.fanout_counts.iter().skip(1).sum();
+        let children: u64 = self
+            .fanout_counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as u64 * c)
+            .sum();
+        (interior > 0).then(|| children as f64 / interior as f64)
+    }
+
+    /// Mean entries per horizontal link — the path-sharing factor a
+    /// descent's binary searches run over.
+    pub fn link_density(&self) -> Option<f64> {
+        (self.link_paths > 0).then(|| self.link_entries as f64 / self.link_paths as f64)
+    }
+
+    /// Fraction of nodes where the sibling-cover check is live.
+    pub fn sibling_cover_density(&self) -> Option<f64> {
+        (self.nodes > 0).then(|| self.sibling_cover_nodes as f64 / self.nodes as f64)
+    }
+
+    /// Mean stored-sequence length (over end nodes), the strategy's
+    /// output-length signal.
+    pub fn mean_seq_len(&self) -> Option<f64> {
+        let ends: u64 = self.seq_len_counts.iter().sum();
+        let total: u64 = self
+            .seq_len_counts
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| l as u64 * c)
+            .sum();
+        (ends > 0).then(|| total as f64 / ends as f64)
+    }
+}
+
+fn bump(v: &mut Vec<u64>, idx: usize) {
+    if v.len() <= idx {
+        v.resize(idx + 1, 0);
+    }
+    v[idx] += 1;
+}
+
+/// The full index shape report: both segments plus overlay occupancy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// The sequencing strategy's short name.
+    pub strategy: String,
+    /// The bulk-built frozen segment.
+    pub frozen: SegmentStats,
+    /// The update overlay's delta segment.
+    pub delta: SegmentStats,
+    /// Tombstoned document ids awaiting compaction.
+    pub tombstones: usize,
+    /// Distinct data paths in the wildcard dictionary.
+    pub data_paths: usize,
+}
+
+impl IndexStats {
+    /// Renders the report as an indented text block (the shape half of the
+    /// observability example's output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "index stats (strategy {}):", self.strategy);
+        let _ = writeln!(
+            out,
+            "  dictionary: {} distinct data paths | tombstones {}",
+            self.data_paths, self.tombstones
+        );
+        for (name, seg) in [("frozen", &self.frozen), ("delta", &self.delta)] {
+            let _ = writeln!(
+                out,
+                "  {name}: {} nodes, {} sequences, {} end nodes, {} doc ids",
+                seg.nodes, seg.sequences, seg.end_nodes, seg.doc_ids
+            );
+            if seg.nodes == 0 {
+                continue;
+            }
+            let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.2}"));
+            let _ = writeln!(
+                out,
+                "    depth max {} | root fanout {} | mean fanout {} | mean seq len {}",
+                seg.max_depth,
+                seg.root_fanout,
+                fmt(seg.mean_fanout()),
+                fmt(seg.mean_seq_len()),
+            );
+            let _ = writeln!(
+                out,
+                "    links: {} paths, {} entries (density {}) | sibling-cover nodes {} ({})",
+                seg.link_paths,
+                seg.link_entries,
+                fmt(seg.link_density()),
+                seg.sibling_cover_nodes,
+                fmt(seg.sibling_cover_density()),
+            );
+            let _ = write!(out, "    depth histogram:");
+            for (d, &c) in seg.depth_counts.iter().enumerate() {
+                if c > 0 {
+                    let _ = write!(out, " {d}:{c}");
+                }
+            }
+            out.push('\n');
+            let _ = write!(out, "    range widths:");
+            for (b, &c) in seg.range_width_buckets.iter().enumerate() {
+                if c > 0 {
+                    let (lo, hi) = bucket_bounds(b);
+                    let _ = write!(out, " [{lo},{hi}]:{c}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Collects [`IndexStats`] over both segments of an index.
+pub fn index_stats(index: &XmlIndex) -> IndexStats {
+    IndexStats {
+        strategy: index.strategy().short_name().to_string(),
+        frozen: SegmentStats::collect(index.trie()),
+        delta: SegmentStats::collect(index.delta().trie()),
+        tombstones: index.tombstones().len(),
+        data_paths: index.data_paths().len(),
+    }
+}
+
+/// Heap attribution for the delta segment: its trie.
+impl xseq_telemetry::HeapSize for DeltaSegment {
+    fn heap_bytes(&self) -> usize {
+        self.trie().heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanOptions;
+    use xseq_sequence::Strategy;
+    use xseq_xml::{parse_document, PathTable, SymbolTable, ValueMode};
+
+    fn build(xmls: &[&str]) -> (XmlIndex, PathTable) {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let docs: Vec<_> = xmls
+            .iter()
+            .map(|x| parse_document(x, &mut st).expect("fixture parses"))
+            .collect();
+        let mut pt = PathTable::new();
+        let index = XmlIndex::build(&docs, &mut pt, Strategy::DepthFirst, PlanOptions::default());
+        (index, pt)
+    }
+
+    #[test]
+    fn segment_stats_count_the_shape() {
+        let (index, _) = build(&[
+            "<p><a><x/></a></p>", // P, P.A, P.A.X
+            "<p><a><y/></a></p>", // shares P, P.A
+            "<p><b/></p>",        // shares P
+        ]);
+        let stats = index_stats(&index);
+        let f = &stats.frozen;
+        // nodes: P, P.A, P.A.X, P.A.Y, P.B
+        assert_eq!(f.nodes, 5);
+        assert_eq!(f.sequences, 3);
+        assert_eq!(f.root_fanout, 1, "all sequences start with P");
+        assert_eq!(f.max_depth, 3);
+        assert_eq!(f.depth_counts, vec![0, 1, 2, 2]);
+        // links: one entry per node, one path per distinct encoding
+        assert_eq!(f.link_entries, 5);
+        assert_eq!(f.link_paths, 5);
+        assert_eq!(f.end_nodes, 3);
+        assert_eq!(f.doc_ids, 3);
+        // all three sequences have length 3 (P, P.x, P.x.y) except <p><b/>
+        assert_eq!(f.seq_len_counts, vec![0, 0, 1, 2]);
+        assert_eq!(f.mean_seq_len(), Some(8.0 / 3.0));
+        // no repeated same-path nesting in this corpus
+        assert_eq!(f.sibling_cover_nodes, 0);
+        // delta is empty
+        assert_eq!(stats.delta.nodes, 0);
+        assert_eq!(stats.tombstones, 0);
+        let text = stats.render();
+        assert!(text.contains("frozen: 5 nodes"), "{text}");
+        assert!(text.contains("depth histogram: 1:1 2:2 3:2"), "{text}");
+    }
+
+    #[test]
+    fn range_widths_cover_every_node_once() {
+        let (index, _) = build(&["<p><a><x/></a></p>", "<p><a><y/></a></p>", "<q><z/></q>"]);
+        let stats = index_stats(&index);
+        let total: u64 = stats.frozen.range_width_buckets.iter().sum();
+        assert_eq!(total as usize, stats.frozen.nodes);
+    }
+
+    #[test]
+    fn delta_and_tombstones_show_up() {
+        let mut st = SymbolTable::with_value_mode(ValueMode::Intern);
+        let docs: Vec<_> = ["<p><a/></p>", "<p><b/></p>"]
+            .iter()
+            .map(|x| parse_document(x, &mut st).expect("fixture parses"))
+            .collect();
+        let mut pt = PathTable::new();
+        let mut index =
+            XmlIndex::build(&docs, &mut pt, Strategy::DepthFirst, PlanOptions::default());
+        let extra = parse_document("<p><c/></p>", &mut st).expect("fixture parses");
+        index.insert_delta(&extra, 2, &mut pt);
+        index.remove_doc(0);
+        let stats = index_stats(&index);
+        assert_eq!(stats.delta.sequences, 1);
+        assert_eq!(stats.delta.nodes, 2, "P shared prefix plus P.C");
+        assert_eq!(stats.tombstones, 1);
+        let text = stats.render();
+        assert!(text.contains("tombstones 1"), "{text}");
+    }
+
+    #[test]
+    fn sibling_cover_nodes_match_embeds() {
+        // Identical siblings sequence as ⟨P, PL, PL⟩: a trie chain where the
+        // outer PL node's range embeds the identical inner PL node.
+        let (index, _) = build(&["<p><l/><l/></p>"]);
+        let stats = index_stats(&index);
+        assert!(stats.frozen.sibling_cover_nodes >= 1);
+    }
+}

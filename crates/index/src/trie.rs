@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 use xseq_sequence::Sequence;
+use xseq_telemetry::{hash_table_alloc_bytes, HeapSize};
 use xseq_xml::{DocId, PathId};
 
 /// Index of a node within the trie arena.
@@ -604,6 +605,44 @@ impl SequenceTrie {
             })
             .unwrap_or(0);
         node_bytes + edge_bytes + link_bytes
+    }
+}
+
+/// Exact-model heap attribution: arena, edge map, doc lists and (when
+/// frozen) labels plus links.  Unlike [`SequenceTrie::approx_bytes`] this
+/// charges *capacity* (what the allocator handed out), models the hash
+/// maps with [`hash_table_alloc_bytes`], and is validated against a
+/// counting allocator in the core crate's `heap_accounting` test.
+impl HeapSize for SequenceTrie {
+    fn heap_bytes(&self) -> usize {
+        let arena = self.nodes.capacity() * std::mem::size_of::<TrieNode>();
+        let edges = hash_table_alloc_bytes(
+            self.edges.capacity(),
+            std::mem::size_of::<((TrieNodeId, PathId), TrieNodeId)>(),
+        );
+        let docs = hash_table_alloc_bytes(
+            self.docs.capacity(),
+            std::mem::size_of::<(TrieNodeId, Vec<DocId>)>(),
+        ) + self
+            .docs
+            .values()
+            .map(|v| v.capacity() * std::mem::size_of::<DocId>())
+            .sum::<usize>();
+        let frozen = self.frozen.as_ref().map_or(0, |f| {
+            f.serial.capacity() * std::mem::size_of::<u32>()
+                + f.max_desc.capacity() * std::mem::size_of::<u32>()
+                + f.embeds_identical.capacity() * std::mem::size_of::<bool>()
+                + f.end_nodes.capacity() * std::mem::size_of::<(u32, TrieNodeId)>()
+                + hash_table_alloc_bytes(
+                    f.links.capacity(),
+                    std::mem::size_of::<(PathId, Vec<LinkEntry>)>(),
+                )
+                + f.links
+                    .values()
+                    .map(|v| v.capacity() * std::mem::size_of::<LinkEntry>())
+                    .sum::<usize>()
+        });
+        arena + edges + docs + frozen
     }
 }
 

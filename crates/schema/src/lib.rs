@@ -23,7 +23,16 @@
 //!   `p(C | root)` — including the paper's "second factor" for value nodes
 //!   (the probability that the value equals `v`), since value paths are
 //!   counted per concrete value designator.
+//!
+//! The measurement side of `w(C)` lives in [`workload`]: a
+//! [`WorkloadProfile`] accumulates per-class query frequency, result
+//! cardinality, and latency from the live query stream, so a later
+//! compaction can derive the weights instead of guessing them.
 #![forbid(unsafe_code)]
+
+pub mod workload;
+
+pub use workload::{ClassStats, WorkloadProfile, WorkloadRecorder};
 
 use std::collections::{HashMap, HashSet};
 use xseq_sequence::PriorityMap;

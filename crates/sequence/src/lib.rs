@@ -84,6 +84,13 @@ impl From<Vec<PathId>> for Sequence {
     }
 }
 
+/// Heap attribution for a sequence: its path vector.
+impl xseq_telemetry::HeapSize for Sequence {
+    fn heap_bytes(&self) -> usize {
+        self.0.capacity() * std::mem::size_of::<PathId>()
+    }
+}
+
 impl std::ops::Index<usize> for Sequence {
     type Output = PathId;
     fn index(&self, i: usize) -> &PathId {

@@ -15,6 +15,7 @@
 
 use crate::Sequence;
 use std::collections::{HashMap, VecDeque};
+use xseq_telemetry::HeapSize;
 use xseq_xml::{Document, NodeId, PathId, PathTable};
 
 /// Priorities for path encodings, produced by the schema/statistics layer
@@ -137,6 +138,24 @@ impl Strategy {
             Strategy::BreadthFirst => "BF",
             Strategy::Random { .. } => "Random",
             Strategy::Probability(_) => "CS",
+        }
+    }
+}
+
+/// Heap attribution for a priority map: its three path-keyed tables.
+impl HeapSize for PriorityMap {
+    fn heap_bytes(&self) -> usize {
+        self.map.heap_bytes() + self.contiguous.heap_bytes() + self.block.heap_bytes()
+    }
+}
+
+/// Heap attribution for a strategy: only `Probability` owns a heap (its
+/// priority map).
+impl HeapSize for Strategy {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Strategy::Probability(m) => m.heap_bytes(),
+            Strategy::DepthFirst | Strategy::BreadthFirst | Strategy::Random { .. } => 0,
         }
     }
 }

@@ -169,6 +169,18 @@ impl<S: PageStore> BufferPool<S> {
     }
 }
 
+/// Heap attribution for the pool: the frame table (one boxed page per
+/// resident frame) plus the wrapped store's own heap.
+impl<S: PageStore + xseq_telemetry::HeapSize> xseq_telemetry::HeapSize for BufferPool<S> {
+    fn heap_bytes(&self) -> usize {
+        xseq_telemetry::hash_table_alloc_bytes(
+            self.frames.capacity(),
+            std::mem::size_of::<(PageId, (Page, u64))>(),
+        ) + self.frames.len() * PAGE_SIZE
+            + self.store.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

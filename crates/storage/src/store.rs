@@ -51,6 +51,14 @@ impl PageStore for MemStore {
     }
 }
 
+/// Heap attribution for the in-memory store: the page pointer vector plus
+/// one boxed page per entry.
+impl xseq_telemetry::HeapSize for MemStore {
+    fn heap_bytes(&self) -> usize {
+        self.pages.capacity() * std::mem::size_of::<Page>() + self.pages.len() * PAGE_SIZE
+    }
+}
+
 /// File-backed page store (a plain page file).
 #[derive(Debug)]
 pub struct FileStore {

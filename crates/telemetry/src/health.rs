@@ -1,0 +1,280 @@
+//! Liveness watchdog and the snapshot-delta metrics journal.
+//!
+//! Both are *deterministic* tick-driven state machines: nothing in this
+//! module reads clocks or spawns threads.  A periodic driver (the
+//! `xseq-exec` `Ticker`, or a test calling `tick()` by hand) supplies the
+//! cadence, which keeps the logic testable without sleeps and keeps this
+//! crate dependency- and thread-free.
+//!
+//! The watchdog tracks named workers through heartbeat counters.  A worker
+//! that is marked active but whose heartbeat has not moved for
+//! `stall_ticks` consecutive ticks is flagged through its
+//! `health.<worker>.stalled` gauge and counted in `health.workers.stalled`.
+//! Inactive workers are never considered stalled — a pool worker that
+//! parked between batches is healthy, a compaction that stopped midway is
+//! not.
+//!
+//! The journal renders the delta between consecutive registry snapshots as
+//! compact text lines — the "metrics journal" a long-running process logs
+//! once per interval so an operator can tail activity without a scraper.
+
+use crate::export::format_ns;
+use crate::metrics::{Counter, Gauge};
+use crate::registry::{MetricValue, MetricsRegistry, Snapshot};
+use std::sync::{Arc, Mutex};
+
+/// A worker's handle onto its liveness metrics: bump [`beat`](Self::beat)
+/// from the work loop, bracket busy periods with
+/// [`set_active`](Self::set_active).
+#[derive(Debug, Clone)]
+pub struct WorkerHandle {
+    heartbeat: Arc<Counter>,
+    active: Arc<Gauge>,
+}
+
+impl WorkerHandle {
+    /// Records one unit of observable progress.
+    pub fn beat(&self) {
+        self.heartbeat.inc();
+    }
+
+    /// Marks the worker busy (`true`) or parked (`false`).  Parked workers
+    /// are exempt from stall detection.
+    pub fn set_active(&self, active: bool) {
+        self.active.set(active as i64);
+    }
+}
+
+#[derive(Debug)]
+struct WatchedWorker {
+    name: String,
+    heartbeat: Arc<Counter>,
+    active: Arc<Gauge>,
+    stalled: Arc<Gauge>,
+    last_beat: u64,
+    unchanged_ticks: u64,
+}
+
+/// Tick-driven liveness monitor over named workers.
+#[derive(Debug)]
+pub struct Watchdog {
+    registry: Arc<MetricsRegistry>,
+    stall_ticks: u64,
+    ticks: Arc<Counter>,
+    stalled_total: Arc<Gauge>,
+    workers: Mutex<Vec<WatchedWorker>>,
+}
+
+impl Watchdog {
+    /// A watchdog publishing into `registry`, flagging an active worker as
+    /// stalled after `stall_ticks` ticks without a heartbeat
+    /// (`stall_ticks` is clamped to ≥ 1).
+    pub fn new(registry: Arc<MetricsRegistry>, stall_ticks: u64) -> Self {
+        let ticks = registry.counter("health.watchdog.ticks");
+        let stalled_total = registry.gauge("health.workers.stalled");
+        Watchdog {
+            registry,
+            stall_ticks: stall_ticks.max(1),
+            ticks,
+            stalled_total,
+            workers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers worker `name` and returns its handle.  The worker's
+    /// gauges join the registry as `health.<name>.{heartbeat,active,stalled}`.
+    /// Workers start parked.
+    pub fn register(&self, name: &str) -> WorkerHandle {
+        let heartbeat = self.registry.counter(&format!("health.{name}.heartbeat"));
+        let active = self.registry.gauge(&format!("health.{name}.active"));
+        let stalled = self.registry.gauge(&format!("health.{name}.stalled"));
+        let handle = WorkerHandle {
+            heartbeat: heartbeat.clone(),
+            active: active.clone(),
+        };
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        workers.push(WatchedWorker {
+            name: name.to_string(),
+            heartbeat,
+            active,
+            stalled,
+            last_beat: 0,
+            unchanged_ticks: 0,
+        });
+        handle
+    }
+
+    /// Advances the watchdog one tick and returns the names of the workers
+    /// currently considered stalled.
+    pub fn tick(&self) -> Vec<String> {
+        self.ticks.inc();
+        let mut stalled_names = Vec::new();
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for w in workers.iter_mut() {
+            let beat = w.heartbeat.get();
+            let active = w.active.get() > 0;
+            if !active || beat != w.last_beat {
+                w.last_beat = beat;
+                w.unchanged_ticks = 0;
+                w.stalled.set(0);
+                continue;
+            }
+            w.unchanged_ticks += 1;
+            if w.unchanged_ticks >= self.stall_ticks {
+                w.stalled.set(1);
+                stalled_names.push(w.name.clone());
+            }
+        }
+        self.stalled_total.set(stalled_names.len() as i64);
+        stalled_names
+    }
+}
+
+/// Renders the activity between consecutive registry snapshots as text.
+///
+/// Each `tick()` takes a fresh snapshot, diffs it against the previous
+/// one, and returns one line per metric that moved: counters as `+N`,
+/// gauges as their current value (only when changed), histograms as the
+/// interval's sample count and mean latency.  An empty string means a
+/// quiet interval.
+#[derive(Debug)]
+pub struct MetricsJournal {
+    registry: Arc<MetricsRegistry>,
+    last: Mutex<Snapshot>,
+}
+
+impl MetricsJournal {
+    /// A journal whose first tick reports activity since this call.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let last = registry.snapshot();
+        MetricsJournal {
+            registry,
+            last: Mutex::new(last),
+        }
+    }
+
+    /// Diffs the registry against the previous tick and returns the
+    /// journal lines (without a trailing newline).
+    pub fn tick(&self) -> String {
+        let current = self.registry.snapshot();
+        let mut last = self.last.lock().unwrap_or_else(|e| e.into_inner());
+        let lines = render_delta(&current, &last);
+        *last = current;
+        lines
+    }
+}
+
+/// The journal formatting of `current - previous`, exposed for tests and
+/// for one-shot interval reports.
+pub fn render_delta(current: &Snapshot, previous: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let delta = current.delta(previous);
+    let mut out = String::new();
+    for (name, value) in &delta.metrics {
+        match value {
+            MetricValue::Counter(v) => {
+                if *v > 0 {
+                    let _ = writeln!(out, "journal {name} +{v}");
+                }
+            }
+            MetricValue::Gauge(v) => {
+                let moved = match previous.metrics.get(name) {
+                    Some(MetricValue::Gauge(prev)) => prev != v,
+                    _ => true,
+                };
+                if moved {
+                    let _ = writeln!(out, "journal {name} ={v}");
+                }
+            }
+            MetricValue::Histogram(h) => {
+                if let Some(mean) = h.sum.checked_div(h.count) {
+                    let _ = writeln!(
+                        out,
+                        "journal {name} +{} samples, mean {}",
+                        h.count,
+                        format_ns(mean)
+                    );
+                }
+            }
+        }
+    }
+    out.truncate(out.trim_end().len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parked_workers_never_stall() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let dog = Watchdog::new(reg.clone(), 2);
+        let w = dog.register("ingest");
+        for _ in 0..10 {
+            assert!(dog.tick().is_empty());
+        }
+        assert_eq!(reg.gauge("health.ingest.stalled").get(), 0);
+        drop(w);
+    }
+
+    #[test]
+    fn active_silent_worker_stalls_and_recovers() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let dog = Watchdog::new(reg.clone(), 2);
+        let w = dog.register("compact");
+        w.set_active(true);
+        w.beat();
+        assert!(dog.tick().is_empty()); // beat observed, baseline set
+        assert!(dog.tick().is_empty()); // 1 silent tick < stall_ticks
+        assert_eq!(dog.tick(), vec!["compact".to_string()]); // 2 silent ticks
+        assert_eq!(reg.gauge("health.compact.stalled").get(), 1);
+        assert_eq!(reg.gauge("health.workers.stalled").get(), 1);
+        w.beat(); // progress clears the flag
+        assert!(dog.tick().is_empty());
+        assert_eq!(reg.gauge("health.compact.stalled").get(), 0);
+        assert_eq!(reg.gauge("health.workers.stalled").get(), 0);
+        assert_eq!(reg.counter("health.watchdog.ticks").get(), 4);
+    }
+
+    #[test]
+    fn going_inactive_clears_a_stall() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let dog = Watchdog::new(reg.clone(), 1);
+        let w = dog.register("merge");
+        w.set_active(true);
+        dog.tick();
+        assert_eq!(dog.tick(), vec!["merge".to_string()]);
+        w.set_active(false);
+        assert!(dog.tick().is_empty());
+        assert_eq!(reg.gauge("health.merge.stalled").get(), 0);
+    }
+
+    #[test]
+    fn journal_reports_only_movement() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("query.count").add(5);
+        reg.gauge("index.docs").set(3);
+        let journal = MetricsJournal::new(reg.clone());
+        assert_eq!(journal.tick(), "");
+        reg.counter("query.count").add(2);
+        reg.histogram("query.lat").record(1_000);
+        reg.histogram("query.lat").record(3_000);
+        let lines = journal.tick();
+        assert!(lines.contains("journal query.count +2"), "{lines}");
+        assert!(lines.contains("journal query.lat +2 samples"), "{lines}");
+        assert!(!lines.contains("index.docs"), "unchanged gauge: {lines}");
+        // quiet interval again
+        assert_eq!(journal.tick(), "");
+    }
+
+    #[test]
+    fn journal_reports_gauge_moves() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.gauge("index.delta.sequences").set(1);
+        let journal = MetricsJournal::new(reg.clone());
+        reg.gauge("index.delta.sequences").set(7);
+        let lines = journal.tick();
+        assert_eq!(lines, "journal index.delta.sequences =7");
+    }
+}

@@ -14,7 +14,15 @@
 //!   interval measurements.
 //! - [`SpanTimer`] — an RAII guard recording a phase's wall time into a
 //!   histogram on drop.
-//! - [`export::to_json`] / [`export::render_table`] — snapshot exporters.
+//! - [`export::to_json`] / [`export::render_table`] /
+//!   [`export::to_prometheus`] — snapshot exporters, the last in the
+//!   Prometheus text exposition format with [`promlint`] as its
+//!   dep-free CI validator.
+//! - [`HeapSize`] — model-based heap attribution feeding the `memory.*`
+//!   gauge family (domain impls live next to their types).
+//! - [`Watchdog`] / [`MetricsJournal`] — tick-driven liveness flags
+//!   (`health.*`) and a snapshot-delta journal, driven externally (e.g.
+//!   by the `xseq-exec` ticker) so this crate stays thread-free.
 //! - [`Tracer`] / [`ActiveTrace`] / [`Trace`] — hierarchical per-query
 //!   tracing with head sampling and an always-retained slow-query log,
 //!   flushed through a lock-free [`BoundedRing`]; traces export as Chrome
@@ -26,17 +34,25 @@
 //! the measured behaviour.
 
 pub mod export;
+pub mod health;
+pub mod heap;
 pub mod metrics;
+pub mod promlint;
 pub mod registry;
 pub mod ring;
 pub mod sched;
 pub mod span;
 pub mod trace;
 
-pub use export::{format_ns, render_table, render_trace, to_chrome_json, to_json};
+pub use export::{
+    format_ns, prometheus_name, render_table, render_trace, to_chrome_json, to_json, to_prometheus,
+};
+pub use health::{MetricsJournal, Watchdog, WorkerHandle};
+pub use heap::{hash_table_alloc_bytes, HeapSize};
 pub use metrics::{
     bucket_bounds, bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };
+pub use promlint::{lint_prometheus, PromFinding};
 pub use registry::{Metric, MetricValue, MetricsRegistry, Snapshot};
 pub use ring::BoundedRing;
 pub use sched::{check_counter, check_ring, CounterOp, RingOp, Schedules};

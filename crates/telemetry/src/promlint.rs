@@ -1,0 +1,444 @@
+//! A dep-free linter for the Prometheus text exposition format.
+//!
+//! CI runs this (via `cargo xtask promlint`) over the output of
+//! [`crate::export::to_prometheus`] scraped from the observability
+//! example, so a rendering bug fails the build instead of a scrape.
+//!
+//! Checks, per the exposition-format spec:
+//!
+//! * every sample's base metric name is declared by a preceding
+//!   `# TYPE` line (histogram `_bucket`/`_sum`/`_count` suffixes resolve
+//!   to their base name);
+//! * no metric name carries two `# TYPE` declarations;
+//! * no duplicate series (same name and label set twice);
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+//! * sample values parse as numbers;
+//! * histogram bucket series are well-formed: `le` values strictly
+//!   increasing, cumulative counts non-decreasing, a final `le="+Inf"`
+//!   bucket present and equal to the histogram's `_count`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One problem found in an exposition-format document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromFinding {
+    /// 1-based line number (0 for document-level findings).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PromFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramSeries {
+    /// `(le, cumulative count, line)` in document order.
+    buckets: Vec<(f64, f64, usize)>,
+    count: Option<(f64, usize)>,
+    sum_seen: bool,
+}
+
+/// Lints `text` as a Prometheus text-format document.
+///
+/// Returns the findings in document order; an empty vector means the
+/// document is clean.
+pub fn lint_prometheus(text: &str) -> Vec<PromFinding> {
+    let mut findings = Vec::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    let mut histograms: BTreeMap<String, HistogramSeries> = BTreeMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = match (parts.next(), parts.next()) {
+                (Some(n), Some(k)) => (n.to_string(), k.to_string()),
+                _ => {
+                    findings.push(PromFinding {
+                        line: lineno,
+                        message: format!("malformed TYPE line: `{line}`"),
+                    });
+                    continue;
+                }
+            };
+            if !matches!(
+                kind.as_str(),
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                findings.push(PromFinding {
+                    line: lineno,
+                    message: format!("unknown metric type `{kind}` for `{name}`"),
+                });
+            }
+            if types.insert(name.clone(), kind).is_some() {
+                findings.push(PromFinding {
+                    line: lineno,
+                    message: format!("duplicate TYPE declaration for `{name}`"),
+                });
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+
+        // A sample line: `name{labels} value [timestamp]`.
+        let (series, value_str) = match split_sample(line) {
+            Some(parts) => parts,
+            None => {
+                findings.push(PromFinding {
+                    line: lineno,
+                    message: format!("malformed sample line: `{line}`"),
+                });
+                continue;
+            }
+        };
+        let name = series
+            .split('{')
+            .next()
+            .unwrap_or(series)
+            .trim()
+            .to_string();
+        if !valid_metric_name(&name) {
+            findings.push(PromFinding {
+                line: lineno,
+                message: format!("invalid metric name `{name}`"),
+            });
+        }
+        let value: f64 = match parse_value(value_str) {
+            Some(v) => v,
+            None => {
+                findings.push(PromFinding {
+                    line: lineno,
+                    message: format!("unparseable sample value `{value_str}` for `{name}`"),
+                });
+                continue;
+            }
+        };
+        if !seen_series.insert(series.to_string()) {
+            findings.push(PromFinding {
+                line: lineno,
+                message: format!("duplicate series `{series}`"),
+            });
+        }
+
+        // Resolve histogram-suffixed samples to their base declaration.
+        let base = histogram_base(&name, &types);
+        match types.get(base.unwrap_or(name.as_str())) {
+            Some(kind) => {
+                if let Some(base) = base {
+                    if kind != "histogram" && kind != "summary" {
+                        // suffix matched but base is not a histogram: the
+                        // sample itself must then be declared
+                        if !types.contains_key(&name) {
+                            findings.push(PromFinding {
+                                line: lineno,
+                                message: format!("sample `{name}` has no TYPE declaration"),
+                            });
+                        }
+                    } else {
+                        record_histogram_sample(
+                            &mut histograms,
+                            base,
+                            &name,
+                            series,
+                            value,
+                            lineno,
+                            &mut findings,
+                        );
+                    }
+                }
+            }
+            None => {
+                findings.push(PromFinding {
+                    line: lineno,
+                    message: format!("sample `{name}` has no TYPE declaration"),
+                });
+            }
+        }
+    }
+
+    for (base, h) in &histograms {
+        check_histogram(base, h, &mut findings);
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Splits a sample line into `(series, value)` where `series` includes the
+/// label set. Labels may contain spaces inside quoted values, so split at
+/// the first whitespace *after* any `{...}` block.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let split_at = match line.find('{') {
+        Some(open) => {
+            let close = find_label_close(line, open)?;
+            close + 1
+        }
+        None => line.find(char::is_whitespace)?,
+    };
+    let (series, rest) = line.split_at(split_at);
+    let mut parts = rest.split_whitespace();
+    let value = parts.next()?;
+    // an optional timestamp may follow; anything further is malformed
+    if parts.clone().count() > 1 {
+        return None;
+    }
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>().ok()?;
+    }
+    Some((series, value))
+}
+
+/// Index of the `}` closing the label block opened at `open`, skipping
+/// quoted label values (which may contain `}` or escaped quotes).
+fn find_label_close(line: &str, open: usize) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(open + 1) {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// If `name` ends with a histogram sample suffix and the stripped base has
+/// a TYPE declaration, returns the base name.
+fn histogram_base<'a>(name: &'a str, types: &BTreeMap<String, String>) -> Option<&'a str> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.contains_key(base) {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+fn record_histogram_sample(
+    histograms: &mut BTreeMap<String, HistogramSeries>,
+    base: &str,
+    name: &str,
+    series: &str,
+    value: f64,
+    lineno: usize,
+    findings: &mut Vec<PromFinding>,
+) {
+    let h = histograms.entry(base.to_string()).or_default();
+    if name.ends_with("_bucket") {
+        match le_of(series) {
+            Some(le) => h.buckets.push((le, value, lineno)),
+            None => findings.push(PromFinding {
+                line: lineno,
+                message: format!("bucket series `{series}` has no `le` label"),
+            }),
+        }
+    } else if name.ends_with("_count") {
+        h.count = Some((value, lineno));
+    } else if name.ends_with("_sum") {
+        h.sum_seen = true;
+    }
+}
+
+/// Extracts the `le` label value of a `_bucket` series.
+fn le_of(series: &str) -> Option<f64> {
+    let open = series.find('{')?;
+    let close = find_label_close(series, open)?;
+    for label in series[open + 1..close].split(',') {
+        let (key, value) = label.split_once('=')?;
+        if key.trim() == "le" {
+            return parse_value(value.trim().trim_matches('"'));
+        }
+    }
+    None
+}
+
+fn check_histogram(base: &str, h: &HistogramSeries, findings: &mut Vec<PromFinding>) {
+    let last_line = h.buckets.last().map_or(0, |&(_, _, l)| l);
+    if h.buckets.is_empty() {
+        findings.push(PromFinding {
+            line: 0,
+            message: format!("histogram `{base}` has no bucket series"),
+        });
+        return;
+    }
+    for pair in h.buckets.windows(2) {
+        let ((le_a, count_a, _), (le_b, count_b, line)) = (pair[0], pair[1]);
+        if le_b <= le_a {
+            findings.push(PromFinding {
+                line,
+                message: format!(
+                    "histogram `{base}` bucket bounds not increasing ({le_a} then {le_b})"
+                ),
+            });
+        }
+        if count_b < count_a {
+            findings.push(PromFinding {
+                line,
+                message: format!(
+                    "histogram `{base}` cumulative counts decrease ({count_a} then {count_b})"
+                ),
+            });
+        }
+    }
+    let (last_le, last_count, _) = *h.buckets.last().unwrap_or(&(0.0, 0.0, 0));
+    if !last_le.is_infinite() {
+        findings.push(PromFinding {
+            line: last_line,
+            message: format!("histogram `{base}` is missing the `le=\"+Inf\"` bucket"),
+        });
+    }
+    match h.count {
+        Some((count, line)) if count != last_count => findings.push(PromFinding {
+            line,
+            message: format!("histogram `{base}` _count {count} != +Inf bucket {last_count}"),
+        }),
+        Some(_) => {}
+        None => findings.push(PromFinding {
+            line: last_line,
+            message: format!("histogram `{base}` is missing its `_count` sample"),
+        }),
+    }
+    if !h.sum_seen {
+        findings.push(PromFinding {
+            line: last_line,
+            message: format!("histogram `{base}` is missing its `_sum` sample"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn messages(text: &str) -> Vec<String> {
+        lint_prometheus(text)
+            .into_iter()
+            .map(|f| f.message)
+            .collect()
+    }
+
+    #[test]
+    fn clean_document_passes() {
+        let text = "\
+# TYPE xseq_query_count counter
+xseq_query_count 42
+# TYPE xseq_pool_resident gauge
+xseq_pool_resident 16
+# TYPE xseq_query_lat histogram
+xseq_query_lat_bucket{le=\"1\"} 1
+xseq_query_lat_bucket{le=\"2\"} 3
+xseq_query_lat_bucket{le=\"+Inf\"} 4
+xseq_query_lat_sum 9
+xseq_query_lat_count 4
+";
+        assert_eq!(messages(text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn missing_type_is_flagged() {
+        let out = messages("orphan_metric 1\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("no TYPE declaration"), "{out:?}");
+    }
+
+    #[test]
+    fn duplicate_series_and_type_are_flagged() {
+        let text = "\
+# TYPE a counter
+# TYPE a counter
+a 1
+a 2
+";
+        let out = messages(text);
+        assert!(out.iter().any(|m| m.contains("duplicate TYPE")), "{out:?}");
+        assert!(
+            out.iter().any(|m| m.contains("duplicate series")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn non_monotone_buckets_are_flagged() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"2\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 5
+";
+        let out = messages(text);
+        assert!(
+            out.iter().any(|m| m.contains("cumulative counts decrease")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn missing_inf_bucket_and_count_mismatch_are_flagged() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_sum 9
+h_count 6
+";
+        let out = messages(text);
+        assert!(out.iter().any(|m| m.contains("+Inf")), "{out:?}");
+        let text2 = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 6
+";
+        let out2 = messages(text2);
+        assert!(out2.iter().any(|m| m.contains("_count 6")), "{out2:?}");
+    }
+
+    #[test]
+    fn invalid_names_and_values_are_flagged() {
+        let out = messages("# TYPE ok counter\nok notanumber\n");
+        assert!(out.iter().any(|m| m.contains("unparseable")), "{out:?}");
+        let out2 = messages("# TYPE 9bad counter\n9bad 1\n");
+        assert!(
+            out2.iter().any(|m| m.contains("invalid metric name")),
+            "{out2:?}"
+        );
+    }
+}

@@ -236,6 +236,19 @@ impl Document {
     }
 }
 
+/// Heap attribution for a document: the node arena plus every node's child
+/// list.
+impl xseq_telemetry::HeapSize for Document {
+    fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.capacity() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
+    }
+}
+
 /// Canonical form of a subtree: label + sorted canonical forms of children.
 fn canon(doc: &Document, n: NodeId) -> Vec<u8> {
     let mut kids: Vec<Vec<u8>> = doc.children(n).iter().map(|&c| canon(doc, c)).collect();

@@ -113,3 +113,12 @@ impl Corpus {
         self.docs.iter().map(|d| d.len()).sum()
     }
 }
+
+/// Heap attribution for the corpus: interners plus documents.  The parse
+/// histogram is excluded — it is shared with the metrics registry, which
+/// accounts for itself.
+impl xseq_telemetry::HeapSize for Corpus {
+    fn heap_bytes(&self) -> usize {
+        self.symbols.heap_bytes() + self.paths.heap_bytes() + self.docs.heap_bytes()
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::symbol::Symbol;
 use std::collections::HashMap;
+use xseq_telemetry::HeapSize;
 
 /// Interned identifier of a root-to-node designator path.
 ///
@@ -236,6 +237,27 @@ impl PathTable {
             stack.extend_from_slice(self.children(q));
         }
         out
+    }
+}
+
+impl HeapSize for PathId {
+    #[inline]
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Heap attribution for the path dictionary: the entry arena, the
+/// per-entry child lists and the `(parent, symbol)` lookup table.
+impl HeapSize for PathTable {
+    fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<PathEntry>()
+            + self
+                .entries
+                .iter()
+                .map(|e| e.children.capacity() * std::mem::size_of::<PathId>())
+                .sum::<usize>()
+            + self.lookup.heap_bytes()
     }
 }
 

@@ -8,6 +8,7 @@
 //! interning and the value schemes.
 
 use std::collections::HashMap;
+use xseq_telemetry::HeapSize;
 
 /// An interned element or attribute name.
 ///
@@ -358,6 +359,42 @@ impl SymbolTable {
             },
             _ => unreachable!(),
         }
+    }
+}
+
+impl HeapSize for Designator {
+    #[inline]
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl HeapSize for ValueId {
+    #[inline]
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl HeapSize for Symbol {
+    #[inline]
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Heap attribution for the value interner: the string → id table plus the
+/// reverse strings.
+impl HeapSize for ValueTable {
+    fn heap_bytes(&self) -> usize {
+        self.map.heap_bytes() + self.rev.heap_bytes()
+    }
+}
+
+/// Heap attribution for the symbol interners: names both ways plus values.
+impl HeapSize for SymbolTable {
+    fn heap_bytes(&self) -> usize {
+        self.names.heap_bytes() + self.names_rev.heap_bytes() + self.values.heap_bytes()
     }
 }
 

@@ -1,0 +1,18 @@
+//! Lint fixture: grammar-valid metric names outside the registered
+//! families.  Must fail `metric-family` exactly twice — span names are
+//! not registry metrics, and `workload.merge.latency` belongs to a
+//! registered family.
+
+pub fn register(t: &dyn Telemetry) {
+    t.start_span("custom.phase");
+    t.counter("latency.total");
+    t.gauge("pool.size");
+    t.histogram("workload.merge.latency");
+}
+
+pub trait Telemetry {
+    fn start_span(&self, name: &str);
+    fn counter(&self, name: &str);
+    fn gauge(&self, name: &str);
+    fn histogram(&self, name: &str);
+}

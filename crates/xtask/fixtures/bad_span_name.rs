@@ -1,12 +1,13 @@
 //! Lint fixture: telemetry names violating the `seg(.seg)*` grammar
 //! (segments must be `[a-z][a-z0-9_]*`).  Must fail `span-name-grammar`
-//! exactly three times — `pool.size` is valid.
+//! exactly three times — `storage.pool.size` is valid (and in a
+//! registered metric family, so `metric-family` stays quiet too).
 
 pub fn register(t: &dyn Telemetry) {
     t.start_span("Query.Execute");
     t.counter("index..lookups");
     t.histogram("latency-ms");
-    t.gauge("pool.size");
+    t.gauge("storage.pool.size");
 }
 
 pub trait Telemetry {

@@ -16,7 +16,7 @@ pub fn head(v: &[u32]) -> u32 {
 pub fn register(t: &dyn Telemetry) {
     t.start_span("query.execute");
     t.counter("index.lookups_total");
-    t.histogram("latency.path_search");
+    t.histogram("query.latency.path_search");
 }
 
 pub trait Telemetry {

@@ -26,6 +26,12 @@
 //!    sequential fall-back in one audited place.  (Scoped spawns via
 //!    `thread::scope` + `s.spawn` don't match and stay legal — they
 //!    cannot leak past their scope.)
+//! 7. **metric-family** — registry metric literals (`histogram`,
+//!    `counter`, `gauge`) must additionally open with a family from
+//!    [`METRIC_FAMILIES`], so the exported namespace (`memory.*`,
+//!    `health.*`, `workload.*`, …) grows deliberately instead of one
+//!    ad-hoc prefix per call site.  Span and event names are exempt —
+//!    they never reach the Prometheus surface.
 //!
 //! The linter is text-based: each file is masked (string-literal and
 //! comment *contents* blanked, delimiters kept, byte offsets preserved) so
@@ -51,6 +57,21 @@ const RELAXED_WINDOW: usize = 6;
 
 /// The only directory allowed to call `thread::spawn` — the worker pool.
 pub const THREAD_SPAWN_PREFIX: &str = "crates/exec/";
+
+/// Registered metric families: the first dot-segment of every registry
+/// metric literal must be one of these.  Extending the exported namespace
+/// means extending this list in the same change — which is the point.
+pub const METRIC_FAMILIES: &[&str] = &[
+    "health", "index", "ingest", "memory", "query", "sequence", "storage", "update", "workload",
+    "xml",
+];
+
+/// True when a registry metric name opens with a registered family.
+fn metric_family_ok(name: &str) -> bool {
+    name.split('.')
+        .next()
+        .is_some_and(|fam| METRIC_FAMILIES.contains(&fam))
+}
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -276,12 +297,13 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
         .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
         .unwrap_or(raw_lines.len());
 
+    // (needle, is a registry metric — spans/events skip the family rule)
     let span_needles = [
-        "start_span(\"",
-        ".event(\"",
-        "histogram(\"",
-        "counter(\"",
-        "gauge(\"",
+        ("start_span(\"", false),
+        (".event(\"", false),
+        ("histogram(\"", true),
+        ("counter(\"", true),
+        ("gauge(\"", true),
     ];
 
     for (i, m) in masked.lines.iter().enumerate() {
@@ -345,7 +367,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
         // Rule 4: telemetry name grammar.  The masked line keeps the
         // delimiters and byte offsets, so the literal can be read back out
         // of the raw line at the same positions.
-        for needle in span_needles {
+        for (needle, is_metric) in span_needles {
             let mut from = 0;
             while let Some(p) = code[from..].find(needle) {
                 let open = from + p + needle.len() - 1; // the opening quote
@@ -360,6 +382,17 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
                             message: format!(
                                 "telemetry name {name:?} violates `seg(.seg)*` with \
                                  seg = [a-z][a-z0-9_]*"
+                            ),
+                        });
+                    } else if is_metric && !metric_family_ok(name) {
+                        findings.push(Finding {
+                            file: rel_path.into(),
+                            line: lineno,
+                            rule: "metric-family",
+                            message: format!(
+                                "metric name {name:?} opens a family outside the registered \
+                                 set ({}); extend METRIC_FAMILIES deliberately",
+                                METRIC_FAMILIES.join(", ")
                             ),
                         });
                     }
@@ -489,6 +522,7 @@ mod tests {
     const BAD_UNSAFE: &str = include_str!("../fixtures/bad_unsafe.rs");
     const BAD_UNWRAP: &str = include_str!("../fixtures/bad_unwrap.rs");
     const BAD_SPAN: &str = include_str!("../fixtures/bad_span_name.rs");
+    const BAD_FAMILY: &str = include_str!("../fixtures/bad_metric_family.rs");
     const BAD_RELAXED: &str = include_str!("../fixtures/bad_relaxed.rs");
     const BAD_SPAWN: &str = include_str!("../fixtures/bad_thread_spawn.rs");
     const GOOD: &str = include_str!("../fixtures/good_clean.rs");
@@ -523,6 +557,26 @@ mod tests {
         let f = lint_file("crates/demo/src/lib.rs", BAD_SPAN);
         let spans: Vec<_> = f.iter().filter(|f| f.rule == "span-name-grammar").collect();
         assert_eq!(spans.len(), 3, "{f:?}");
+    }
+
+    #[test]
+    fn bad_metric_family_fixture_fails_outside_registered_families() {
+        let f = lint_file("crates/demo/src/lib.rs", BAD_FAMILY);
+        let fams: Vec<_> = f.iter().filter(|f| f.rule == "metric-family").collect();
+        // exactly the off-family counter and gauge: the span name and the
+        // workload.* histogram must not fire
+        assert_eq!(fams.len(), 2, "{f:?}");
+        assert!(!rules(&f).contains(&"span-name-grammar"), "{f:?}");
+        // a grammar violation reports once, not once per rule
+        let f = lint_file(
+            "crates/demo/src/lib.rs",
+            "fn f(t: &T) { t.gauge(\"Bad.Name\"); }\n",
+        );
+        assert_eq!(rules(&f), vec!["span-name-grammar"], "{f:?}");
+        // the observability families of DESIGN.md §12 are registered
+        for fam in ["memory", "health", "workload"] {
+            assert!(METRIC_FAMILIES.contains(&fam), "{fam}");
+        }
     }
 
     #[test]

@@ -4,12 +4,19 @@
 //! Subcommands:
 //!
 //! * `lint` (default) — the xseq-check lint pass: unsafe allowlist +
-//!   SAFETY: comments, no bare `unwrap()`, telemetry-name grammar, and
-//!   annotated `Ordering::Relaxed`.  See `lint.rs` for the rules.
+//!   SAFETY: comments, no bare `unwrap()`, telemetry-name grammar and
+//!   metric families, and annotated `Ordering::Relaxed`.  See `lint.rs`
+//!   for the rules.
+//! * `promlint <file|->` — validate a Prometheus text-format exposition
+//!   (as written by `Snapshot::to_prometheus`) with the dep-free linter
+//!   from `xseq-telemetry`: TYPE declarations, name grammar, histogram
+//!   bucket monotonicity.  CI scrapes the observability example's output
+//!   through this.
 #![forbid(unsafe_code)]
 
 mod lint;
 
+use std::io::Read as _;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -17,6 +24,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None | Some("lint") => run_lint(),
+        Some("promlint") => run_promlint(args.get(1).map(String::as_str)),
         Some("help" | "--help" | "-h") => {
             usage();
             ExitCode::SUCCESS
@@ -27,6 +35,40 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+fn run_promlint(path: Option<&str>) -> ExitCode {
+    let (label, text) = match path {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("xtask promlint: stdin: {e}");
+                return ExitCode::from(2);
+            }
+            ("<stdin>".to_string(), buf)
+        }
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => (p.to_string(), t),
+            Err(e) => {
+                eprintln!("xtask promlint: {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let findings = xseq_telemetry::lint_prometheus(&text);
+    if findings.is_empty() {
+        let series = text
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .count();
+        println!("xtask promlint: {label} clean ({series} series)");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        eprintln!("{label}: {f}");
+    }
+    eprintln!("xtask promlint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
 }
 
 fn run_lint() -> ExitCode {
@@ -52,10 +94,11 @@ fn run_lint() -> ExitCode {
 
 fn usage() {
     println!(
-        "usage: cargo xtask [lint]\n\n\
+        "usage: cargo xtask [lint | promlint <file|->]\n\n\
          subcommands:\n  \
-         lint    run the xseq-check lint pass over crates/*/src (default)\n  \
-         help    show this message\n\n\
+         lint        run the xseq-check lint pass over crates/*/src (default)\n  \
+         promlint    validate a Prometheus text exposition (file or stdin)\n  \
+         help        show this message\n\n\
          exit codes: 0 clean, 1 findings, 2 usage or I/O error"
     );
 }

@@ -14,11 +14,29 @@
 //! (including its span tree), the slow-query log, the metrics table, an
 //! interval delta, and the JSON export.
 
+use std::sync::Arc;
 use std::time::Duration;
+use xseq::exec::Ticker;
 use xseq::index::{tree_search, QuerySequence};
 use xseq::storage::{write_paged_trie, MemStore, PagedTrie};
-use xseq::telemetry::{render_table, to_json};
-use xseq::{DatabaseBuilder, Sequencing, TraceConfig};
+use xseq::telemetry::{render_table, to_json, to_prometheus, MetricsJournal, Watchdog};
+use xseq::{DatabaseBuilder, PathId, PathTable, Sequencing, SymbolTable, TraceConfig};
+
+/// Renders a schema node class back into `/a/b[='v']` form for display.
+fn render_class(paths: &PathTable, symbols: &SymbolTable, c: PathId) -> String {
+    let mut out = String::new();
+    for s in paths.symbols(c) {
+        if let Some(d) = s.as_elem() {
+            out.push('/');
+            out.push_str(symbols.name(d));
+        } else if let Some(v) = s.as_value() {
+            out.push_str("['");
+            out.push_str(symbols.values.resolve(v).unwrap_or("?"));
+            out.push_str("']");
+        }
+    }
+    out
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let docs = [
@@ -74,6 +92,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
+    // --- the workload profiler (Eq. 6 input) ------------------------------
+    // Every executed query lands in a per-class accounting: frequency,
+    // result cardinality, and latency per schema node class — the raw
+    // material for the paper's query weight `w(C)`.
+    let profile = db.workload_profile();
+    println!(
+        "workload profile: {} queries over {} classes ({} unclassified)",
+        profile.queries(),
+        profile.len(),
+        profile.unclassified()
+    );
+    for (class, stats) in profile.iter() {
+        println!(
+            "  {:<40} freq {:.2}  queries {}  mean results {:.1}",
+            render_class(&db.corpus.paths, &db.corpus.symbols, class),
+            profile.frequency(class),
+            stats.queries,
+            stats.mean_results().unwrap_or(0.0),
+        );
+    }
+    println!("profile JSON export: {} bytes", profile.to_json().len());
+    println!();
+
     // --- paged storage traffic into the same registry ---------------------
     let mut store = MemStore::new();
     write_paged_trie(db.index().trie(), &mut store)?;
@@ -100,8 +141,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
+    // --- deep index statistics + memory attribution -----------------------
+    // One read-only walk over frozen ∪ delta: trie shape, sequence-length
+    // distribution, link density, overlay occupancy, and modelled heap
+    // bytes per component (also mirrored into the `memory.*` gauges).
+    print!("{}", db.stats().render());
+    println!();
+
+    // --- liveness watchdog + metrics journal ------------------------------
+    // A Ticker drives `Watchdog::tick` on a wall-clock cadence in
+    // production; the demo also ticks by hand so the printed transcript is
+    // deterministic.
+    let registry = Arc::clone(db.metrics_registry());
+    let watchdog = Arc::new(Watchdog::new(Arc::clone(&registry), 2));
+    let ingest = watchdog.register("ingest");
+    let journal = MetricsJournal::new(Arc::clone(&registry));
+    let ticker = {
+        let watchdog = Arc::clone(&watchdog);
+        Ticker::spawn(Duration::from_millis(25), move || {
+            watchdog.tick();
+        })
+    };
+    ingest.set_active(true);
+    ingest.beat();
+    watchdog.tick(); // heartbeat observed
+    watchdog.tick(); // one silent tick
+    let stalled = watchdog.tick(); // two silent ticks -> flagged
+    println!("watchdog: stalled after 2 silent ticks: {stalled:?}");
+    ingest.beat();
+    ingest.set_active(false); // park the worker: heartbeats are no longer due
+    watchdog.tick();
+    println!(
+        "watchdog: heartbeat clears the flag; health.workers.stalled = {}",
+        db.metrics().gauge("health.workers.stalled").unwrap_or(0)
+    );
+    drop(ticker); // stops and joins the background thread
+    let _ = journal.tick(); // baseline interval
+    db.query_xpath("//manager")?;
+    print!("metrics journal (one interval):\n{}", journal.tick());
+    println!();
+
     // --- the full registry ------------------------------------------------
     println!("{}", render_table(&db.metrics()));
     println!("JSON export:\n{}", to_json(&db.metrics()));
+
+    // --- Prometheus text exposition ---------------------------------------
+    // CI scrapes this file with `cargo xtask promlint target/metrics.prom`.
+    let prom = to_prometheus(&db.metrics());
+    std::fs::create_dir_all("target")?;
+    std::fs::write("target/metrics.prom", &prom)?;
+    println!(
+        "prometheus exposition: {} bytes -> target/metrics.prom",
+        prom.len()
+    );
     Ok(())
 }

@@ -1,0 +1,105 @@
+//! Validates the `HeapSize` memory model against the allocator itself.
+//!
+//! The `memory.*` gauges ([`Database::stats`]) report *modelled* bytes —
+//! capacity-based accounting over every component.  This binary swaps in a
+//! counting global allocator and checks that the model agrees with the
+//! live-byte delta of actually building a corpus and index, within 5%.
+//!
+//! It is a separate integration-test binary on purpose: a process-wide
+//! allocator counter cannot tolerate unrelated tests allocating in
+//! parallel, and the library crates `forbid(unsafe_code)` (the counter
+//! needs two `unsafe impl` trampolines around `System`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use xseq::datagen::dblp::DblpGenerator;
+use xseq::{Corpus, HeapSize, PlanOptions, Strategy, ValueMode, XmlIndex};
+
+/// Bytes currently live (allocated minus deallocated).
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: every method delegates straight to `System` and only adjusts a
+// counter, so the allocator contract (layout fidelity, uniqueness of
+// returned pointers) is exactly `System`'s.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            LIVE.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; `ptr` came from this allocator.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            LIVE.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwarded verbatim; `ptr` came from this allocator and
+        // the caller upholds the resize contract.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            LIVE.fetch_add(new_size, Ordering::Relaxed);
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn live() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Builds the same corpus + index the model will be asked to attribute.
+fn build(docs: usize, seed: u64) -> (Corpus, XmlIndex) {
+    let mut corpus = Corpus::new(ValueMode::Intern);
+    let mut generator = DblpGenerator::new(seed);
+    corpus.docs = generator.generate(docs, &mut corpus.symbols);
+    let index = XmlIndex::build(
+        &corpus.docs,
+        &mut corpus.paths,
+        Strategy::DepthFirst,
+        PlanOptions::default(),
+    );
+    (corpus, index)
+}
+
+#[test]
+fn modelled_bytes_match_the_allocator_within_5_percent() {
+    // Warm up once so lazy one-time allocations (thread-locals, rng
+    // tables) are live before the measured window opens.
+    drop(build(8, 1));
+
+    let before = live();
+    let (corpus, index) = build(300, 42);
+    let after = live();
+    let measured = after - before;
+    let modelled = corpus.heap_bytes() + index.heap_bytes();
+
+    // keep the structures alive across the `after` reading
+    assert!(corpus.len() == 300 && index.trie().node_count() > 0);
+
+    let ratio = modelled as f64 / measured as f64;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "model {modelled} B vs allocator {measured} B (ratio {ratio:.4})"
+    );
+}
