@@ -9,6 +9,7 @@
 //! cargo run --release -p xseq-bench --bin repro -- table7 fig16b \
 //!     --baseline BENCH_main.json       # exits 1 on >15% p50 regression
 //! cargo run --release -p xseq-bench --bin repro -- --verify --scale 0.1
+//! cargo run --release -p xseq-bench --bin repro -- --diag out/diag
 //! ```
 //!
 //! With `--metrics <path.json>`, the process-wide metrics registry is
@@ -22,6 +23,12 @@
 //! written report and the process exits nonzero when any tracked p50
 //! regresses more than 15% or any throughput gauge drops more than 50% —
 //! the CI gate.  `--threads N` caps the `scaling` thread series.
+//!
+//! With `--diag <dir>` (alone or after the named experiments), a fully
+//! instrumented database runs a representative workload and writes a
+//! self-contained diagnostics bundle — metrics, stats, workload profile,
+//! traces, the flight-recorder journal, a collapsed phase profile and a
+//! build manifest — into `dir`; `cargo xtask diagcheck <dir>` validates it.
 
 use std::process::exit;
 use xseq::telemetry::{to_json, MetricsRegistry, Snapshot};
@@ -51,7 +58,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|check> [--scale X] [--threads N]\n\
          \x20           [--metrics PATH.json] [--bench-label LABEL]\n\
-         \x20           [--baseline BENCH.json] [--verify]"
+         \x20           [--baseline BENCH.json] [--verify] [--diag DIR]"
     );
     eprintln!("experiments:");
     for (name, _) in EXPERIMENTS {
@@ -61,7 +68,8 @@ fn usage() -> ! {
     eprintln!("  check   tiny-scale sweep with agreement assertions");
     eprintln!(
         "\n--verify runs the index invariant verifier over every corpus\n\
-         (alone or after the named experiments); exits 1 on any violation"
+         (alone or after the named experiments); exits 1 on any violation\n\
+         --diag writes a self-contained diagnostics bundle into DIR"
     );
     exit(2)
 }
@@ -136,6 +144,7 @@ fn main() {
     let mut bench_label: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut verify = false;
+    let mut diag_dir: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -152,11 +161,12 @@ fn main() {
             "--bench-label" => bench_label = Some(it.next().unwrap_or_else(|| usage())),
             "--baseline" => baseline_path = Some(it.next().unwrap_or_else(|| usage())),
             "--verify" => verify = true,
+            "--diag" => diag_dir = Some(it.next().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),
             name => names.push(name.to_string()),
         }
     }
-    if names.is_empty() && !verify {
+    if names.is_empty() && !verify && diag_dir.is_none() {
         usage();
     }
     let mut recorder = Recorder::new(metrics_path);
@@ -189,6 +199,12 @@ fn main() {
             exit(1);
         }
         recorder.record("verify");
+    }
+
+    if let Some(dir) = diag_dir {
+        eprintln!("[repro] writing diagnostics bundle to {dir} ...");
+        xseq_bench::diagnostics_bundle(&dir);
+        recorder.record("diagnostics");
     }
 
     if bench_label.is_none() && baseline_path.is_none() {

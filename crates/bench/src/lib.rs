@@ -26,8 +26,9 @@ use xseq::sequence::Strategy;
 use xseq::storage::{write_paged_trie, MemStore, PagedTrie};
 use xseq::xml::matcher::structure_match;
 use xseq::{
-    parse_xpath, Axis, Corpus, Database, DatabaseBuilder, Document, IndexTelemetry,
-    MetricsRegistry, PatternLabel, PlanOptions, PoolTelemetry, SymbolTable, TreePattern, ValueMode,
+    parse_xpath, AnomalyDetector, Axis, Corpus, Database, DatabaseBuilder, Document,
+    IndexTelemetry, MetricsRegistry, PatternLabel, PlanOptions, PoolTelemetry, SymbolTable,
+    TreePattern, ValueMode,
 };
 
 use rand::rngs::StdRng;
@@ -788,14 +789,16 @@ fn median_query_ns(db: &Database, exprs: &[&str]) -> u64 {
 /// profiling and one not, answer the same query batch interleaved; the
 /// best-of-3 medians are compared in-process and recorded for the gate.
 ///
-/// Records `query.profiled.p50_ns` / `query.unprofiled.p50_ns`
-/// (informational, `--metrics` only) and the **gated**
-/// `query.overhead.p50` gauge — the profiled p50 as a per-mille of the
-/// unprofiled p50, clamped below at parity (1000) because a profiler
-/// cannot speed queries up, so dips are noise.  `regress::compare` holds
-/// that key to [`regress::PROFILE_OVERHEAD_THRESHOLD`] (3%): profiling
-/// must stay free relative to the *same run's* unprofiled measurement,
-/// which cancels host noise out of the gated quantity.
+/// Records `query.profiled.p50_ns` / `query.unprofiled.p50_ns` /
+/// `query.observed.p50_ns` (informational, `--metrics` only) and the
+/// **gated** `query.overhead.p50` and `query.overhead.observed.p50`
+/// gauges — each variant's p50 as a per-mille of the unprofiled p50,
+/// clamped below at parity (1000) because instrumentation cannot speed
+/// queries up, so dips are noise.  `regress::compare` holds those keys to
+/// [`regress::PROFILE_OVERHEAD_THRESHOLD`] (3%): profiling — and the full
+/// flight-recorder + anomaly-detector stack — must stay free relative to
+/// the *same run's* unprofiled measurement, which cancels host noise out
+/// of the gated quantity.
 pub fn profile_overhead(scale: f64) {
     println!("## Profiler overhead — query p50 with the workload profiler on vs off");
     println!();
@@ -822,31 +825,54 @@ pub fn profile_overhead(scale: f64) {
     };
     let on = build(true);
     let off = build(false);
-    // Warm both sides, then interleave the measured passes so both see the
+    // Third variant: the full observability stack as production runs it —
+    // profiler on, flight recorder live, the slow-query check armed (with
+    // a threshold generous enough that nothing fires, so we measure the
+    // check, not the event traffic) and an anomaly detector ticking
+    // between passes.
+    let observed = build(true);
+    observed.set_slow_query_threshold(std::time::Duration::from_secs(60));
+    let detector = AnomalyDetector::new(
+        observed.metrics_registry().clone(),
+        xseq::SloPolicy::default(),
+    )
+    .events(observed.events().clone())
+    .watch_latency("index.search");
+    // Warm every side, then interleave the measured passes so all see the
     // same host weather; the min-median is the pass the scheduler left
     // alone.
     median_query_ns(&off, &exprs);
     median_query_ns(&on, &exprs);
-    let (mut on_ns, mut off_ns) = (u64::MAX, u64::MAX);
+    median_query_ns(&observed, &exprs);
+    let (mut on_ns, mut off_ns, mut obs_ns) = (u64::MAX, u64::MAX, u64::MAX);
     for _ in 0..3 {
         off_ns = off_ns.min(median_query_ns(&off, &exprs));
         on_ns = on_ns.min(median_query_ns(&on, &exprs));
+        obs_ns = obs_ns.min(median_query_ns(&observed, &exprs));
+        detector.tick();
     }
     let ratio_x1000 = ((on_ns as f64 / off_ns as f64) * 1000.0) as u64;
+    let obs_x1000 = ((obs_ns as f64 / off_ns as f64) * 1000.0) as u64;
     let registry = MetricsRegistry::global();
     registry.gauge("query.profiled.p50_ns").set(on_ns as i64);
     registry.gauge("query.unprofiled.p50_ns").set(off_ns as i64);
+    registry.gauge("query.observed.p50_ns").set(obs_ns as i64);
     registry
         .gauge("query.overhead.p50")
         .set(ratio_x1000.max(1000) as i64);
+    registry
+        .gauge("query.overhead.observed.p50")
+        .set(obs_x1000.max(1000) as i64);
     println!("| profiling | query p50 (µs) |");
     println!("|---|---|");
     println!("| off | {:.1} |", off_ns as f64 / 1e3);
     println!("| on | {:.1} |", on_ns as f64 / 1e3);
+    println!("| on + recorder + detector | {:.1} |", obs_ns as f64 / 1e3);
     println!();
     println!(
-        "overhead: {:+.2}% ({} workload classes accumulated)",
+        "overhead: {:+.2}% profiled, {:+.2}% fully observed ({} workload classes accumulated)",
         (on_ns as f64 / off_ns as f64 - 1.0) * 100.0,
+        (obs_ns as f64 / off_ns as f64 - 1.0) * 100.0,
         on.workload_profile().len()
     );
     println!();
@@ -857,6 +883,70 @@ pub fn profile_overhead(scale: f64) {
         on_ns <= off_ns.max(regress::NOISE_FLOOR_NS) * 3 / 2 + regress::NOISE_FLOOR_NS,
         "profiling overhead out of bounds: on {on_ns} ns vs off {off_ns} ns"
     );
+    assert!(
+        obs_ns <= off_ns.max(regress::NOISE_FLOOR_NS) * 3 / 2 + regress::NOISE_FLOOR_NS,
+        "observability overhead out of bounds: observed {obs_ns} ns vs off {off_ns} ns"
+    );
+}
+
+/// Builds a small, fully instrumented XMark database, drives a
+/// representative mixed workload over it — queries, an insert, a removal,
+/// a compaction, anomaly-detector ticks — then writes a complete
+/// diagnostics bundle into `dir`: the engine behind `repro --diag DIR`
+/// (validated in CI by `cargo xtask diagcheck DIR`).
+pub fn diagnostics_bundle(dir: &str) {
+    use std::time::Duration;
+    println!("## Diagnostics bundle — {dir}");
+    println!();
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let docs = XmarkGenerator::new(8, XmarkOptions::default()).generate(400, &mut symbols);
+    let corpus = Corpus {
+        symbols,
+        paths: xseq::PathTable::new(),
+        docs,
+        parse_histogram: None,
+    };
+    let mut db = DatabaseBuilder::new()
+        .trace_config(xseq::TraceConfig {
+            sample_rate: 0.25,
+            ..Default::default()
+        })
+        .integrity_spot_check(0.1)
+        .build_from_corpus(corpus)
+        .expect("xmark corpus indexes");
+    db.set_slow_query_threshold(Duration::from_millis(50));
+    let detector = AnomalyDetector::new(db.metrics_registry().clone(), xseq::SloPolicy::default())
+        .events(db.events().clone())
+        .watch_latency("index.search")
+        .watch_throughput("workload.queries");
+    // The paper's queries plus structural ones that always hit, so the
+    // bundle captures real plan/search activity on a small corpus.
+    let mut exprs: Vec<&str> = queries::XMARK_QUERIES.iter().map(|(_, q)| *q).collect();
+    exprs.extend(["/site//item/location", "//person/name", "/site//mail/date"]);
+    for round in 0..6 {
+        for e in &exprs {
+            db.query_xpath(e).expect("paper query parses");
+        }
+        detector.tick();
+        if round == 2 {
+            let id = db
+                .insert_document("<site><people><person><name>diag</name></person></people></site>")
+                .expect("diag doc parses");
+            db.remove_document(id);
+            db.compact();
+        }
+    }
+    let report = db.diagnostics(dir).expect("diagnostics bundle writes");
+    for f in &report.files {
+        println!("- {f}");
+    }
+    println!();
+    println!(
+        "wrote {} artifacts to {}",
+        report.files.len(),
+        report.dir.display()
+    );
+    println!();
 }
 
 /// Sanity sweep used by `repro check`: every experiment at tiny scale, with

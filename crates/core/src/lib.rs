@@ -80,7 +80,9 @@ pub use xseq_schema::{ClassStats, ProbabilityModel, SchemaTree, WeightMap, Workl
 pub use xseq_sequence::{PriorityMap, Sequence, Strategy};
 pub use xseq_storage::{BufferPool, PagedTrie, PoolStats, PoolTelemetry};
 pub use xseq_telemetry::{
-    HeapSize, MetricsRegistry, Snapshot, SpanTimer, Trace, TraceConfig, TraceId, TraceSpan, Tracer,
+    AnomalyAlert, AnomalyDetector, AnomalyKind, Event, EventJournal, HeapSize, MetricsRegistry,
+    PhaseNode, PhaseProfile, Severity, SloPolicy, Snapshot, SpanTimer, Trace, TraceConfig, TraceId,
+    TraceSpan, Tracer,
 };
 pub use xseq_xml::{
     Axis, Corpus, DocId, Document, PathId, PathTable, PatternLabel, SymbolTable, TreePattern,
@@ -88,9 +90,10 @@ pub use xseq_xml::{
 };
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xseq_schema::WorkloadRecorder;
 use xseq_telemetry::{Counter, Gauge, Histogram};
 
@@ -153,6 +156,7 @@ pub struct DatabaseBuilder {
     threads: usize,
     compact_threshold: Option<usize>,
     profiling: bool,
+    event_capacity: usize,
 }
 
 /// The build-time configuration a [`Database`] retains so
@@ -189,7 +193,17 @@ impl DatabaseBuilder {
             threads: 1,
             compact_threshold: None,
             profiling: true,
+            event_capacity: 256,
         }
+    }
+
+    /// Sets how many flight-recorder events [`Database::events`] retains
+    /// (default 256, clamped to at least 2).  The journal is always on —
+    /// recording an event is a handful of relaxed atomics — so this only
+    /// trades memory for history depth.
+    pub fn event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
     }
 
     /// Enables or disables the workload profiler (on by default): every
@@ -383,6 +397,18 @@ impl DatabaseBuilder {
         let workload_queries = self.registry.counter("workload.queries");
         let workload_unclassified = self.registry.counter("workload.unclassified");
         let workload_classes = self.registry.gauge("workload.classes");
+        // The flight recorder is always on; the slow-query threshold arms
+        // from the trace config (and is runtime-tunable either way).
+        let events = Arc::new(EventJournal::new(self.event_capacity));
+        let slow_threshold_ns = self.trace.as_ref().map_or(u64::MAX, |c| {
+            c.slow_threshold.as_nanos().min(u64::MAX as u128) as u64
+        });
+        events.record(
+            Event::new("ingest.build")
+                .attr("docs", corpus.len() as u64)
+                .attr("paths", corpus.paths.len() as u64)
+                .attr("threads", pool.threads() as u64),
+        );
         Ok(Database {
             corpus,
             index,
@@ -402,6 +428,8 @@ impl DatabaseBuilder {
             update_insert_hist,
             update_remove_hist,
             compact_hist,
+            events,
+            slow_threshold_ns: AtomicU64::new(slow_threshold_ns),
         })
     }
 }
@@ -425,6 +453,19 @@ fn compute_strategy(config: &BuildConfig, corpus: &mut Corpus) -> Strategy {
             Strategy::Probability(model.priorities(&corpus.paths, &weights))
         }
     }
+}
+
+/// Serializes traces as one JSON array of Chrome trace-event objects.
+fn traces_json(traces: &[Arc<Trace>]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&xseq_telemetry::to_chrome_json(t));
+    }
+    out.push(']');
+    out
 }
 
 /// Resolves `/a/b/c` to an interned path id, if every step exists.
@@ -480,6 +521,13 @@ pub struct Database {
     update_remove_hist: Arc<Histogram>,
     /// `index.compact` — full compaction latency.
     compact_hist: Arc<Histogram>,
+    /// The flight recorder: a bounded journal of severity-levelled
+    /// lifecycle events (always on).
+    events: Arc<EventJournal>,
+    /// Queries at least this slow record a `query.slow` event;
+    /// `u64::MAX` disables the check.  Runtime-tunable through
+    /// [`Database::set_slow_query_threshold`].
+    slow_threshold_ns: AtomicU64,
 }
 
 /// What one [`Database::compact`] did: sizes before/after, and the doc-id
@@ -501,6 +549,56 @@ pub struct CompactionReport {
     pub delta_merged: usize,
     /// Old id → new id (`None` for tombstoned documents).
     pub remap: Vec<Option<DocId>>,
+}
+
+/// The continuous profiler's phase tree ([`Database::phase_profile`]):
+/// every span-timer histogram the pipeline maintains, attributed to a
+/// stable two-frame stack (`area;phase`).  Attribution is per phase, not a
+/// strict partition — a compaction replays ingest phases, so nested time
+/// appears under both stacks.
+pub const PHASE_TREE: &[PhaseNode] = &[
+    PhaseNode {
+        metric: "xml.parse",
+        stack: &["ingest", "xml.parse"],
+    },
+    PhaseNode {
+        metric: "sequence.encode",
+        stack: &["ingest", "sequence.encode"],
+    },
+    PhaseNode {
+        metric: "query.parse",
+        stack: &["query", "query.parse"],
+    },
+    PhaseNode {
+        metric: "index.plan",
+        stack: &["query", "index.plan"],
+    },
+    PhaseNode {
+        metric: "index.search",
+        stack: &["query", "index.search"],
+    },
+    PhaseNode {
+        metric: "update.insert",
+        stack: &["update", "update.insert"],
+    },
+    PhaseNode {
+        metric: "update.remove",
+        stack: &["update", "update.remove"],
+    },
+    PhaseNode {
+        metric: "index.compact",
+        stack: &["update", "index.compact"],
+    },
+];
+
+/// What [`Database::diagnostics`] wrote: the bundle directory and every
+/// artifact file name inside it, in write order (`manifest.json` last).
+#[derive(Debug, Clone)]
+pub struct DiagnosticsReport {
+    /// The bundle directory.
+    pub dir: PathBuf,
+    /// File names written inside [`DiagnosticsReport::dir`].
+    pub files: Vec<&'static str>,
 }
 
 /// Modelled heap attribution of one database ([`Database::stats`]): bytes
@@ -597,21 +695,31 @@ impl Database {
     /// ([`QueryOutcome::classes`]), its latency the wall time of the whole
     /// parse → plan → search pipeline.
     fn query_xpath_ctx(&self, expr: &str, ctx: &mut QueryContext) -> Result<QueryOutcome, Error> {
-        let Some(recorder) = &self.workload else {
+        // relaxed: advisory config read; no memory is published through it.
+        let slow_ns = self.slow_threshold_ns.load(Ordering::Relaxed);
+        if self.workload.is_none() && slow_ns == u64::MAX {
             return self.query_xpath_inner(expr, ctx);
-        };
+        }
         let t0 = Instant::now();
         let out = self.query_xpath_inner(expr, ctx)?;
-        recorder.record(
-            &out.classes,
-            out.docs.len() as u64,
-            t0.elapsed().as_nanos() as u64,
-        );
-        self.workload_queries.inc();
-        if out.classes.is_empty() {
-            self.workload_unclassified.inc();
+        let elapsed_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(recorder) = &self.workload {
+            recorder.record(&out.classes, out.docs.len() as u64, elapsed_ns);
+            self.workload_queries.inc();
+            if out.classes.is_empty() {
+                self.workload_unclassified.inc();
+            }
+            self.workload_classes.set(recorder.class_count() as i64);
         }
-        self.workload_classes.set(recorder.class_count() as i64);
+        if elapsed_ns >= slow_ns {
+            self.events.record(
+                Event::new("query.slow")
+                    .severity(Severity::Warn)
+                    .message(expr)
+                    .attr("total_ns", elapsed_ns)
+                    .attr("docs", out.docs.len() as u64),
+            );
+        }
         Ok(out)
     }
 
@@ -700,8 +808,24 @@ impl Database {
         // published through it.
         let prev = self.spot_accum.fetch_add(self.spot_step, Ordering::Relaxed);
         if (prev.wrapping_add(self.spot_step) >> 32) != (prev >> 32) {
-            out.integrity = Some(self.index.verify_structure());
+            let report = self.index.verify_structure();
+            self.record_integrity_violation(&report);
+            out.integrity = Some(report);
         }
+    }
+
+    /// Flight-records an `integrity.violation` event when a verification
+    /// report is not clean (shared by the spot check and the full pass).
+    fn record_integrity_violation(&self, report: &IntegrityReport) {
+        if report.is_clean() {
+            return;
+        }
+        self.events.record(
+            Event::new("integrity.violation")
+                .severity(Severity::Error)
+                .message(report.summary())
+                .attr("violations", report.violations.len() as u64),
+        );
     }
 
     /// Full integrity verification of the index: preorder-label nesting and
@@ -714,8 +838,12 @@ impl Database {
     /// [`DatabaseBuilder::integrity_spot_check`] for the sampled in-band
     /// variant).
     pub fn verify_integrity(&mut self) -> IntegrityReport {
-        let Database { index, corpus, .. } = self;
-        index.verify_integrity(&mut corpus.paths)
+        let report = {
+            let Database { index, corpus, .. } = &mut *self;
+            index.verify_integrity(&mut corpus.paths)
+        };
+        self.record_integrity_violation(&report);
+        report
     }
 
     /// The tracer behind this database's per-query tracing, if enabled.
@@ -739,6 +867,149 @@ impl Database {
         self.tracer
             .as_ref()
             .map_or_else(Vec::new, |t| t.recent_traces())
+    }
+
+    /// The flight recorder: a bounded, always-on journal of
+    /// severity-levelled lifecycle events — builds, inserts, removals,
+    /// compactions, configuration changes, integrity violations and slow
+    /// queries — exportable as JSON Lines via [`EventJournal::to_jsonl`].
+    /// Share the `Arc` with a [`xseq_telemetry::Watchdog`] or an
+    /// [`AnomalyDetector`] to interleave their alerts into this timeline.
+    pub fn events(&self) -> &Arc<EventJournal> {
+        &self.events
+    }
+
+    /// Runtime-tunes the slow-query threshold: any query at least this
+    /// slow records a `query.slow` flight-recorder event, and when tracing
+    /// is on the tracer's slow-log threshold moves in lockstep.  Works
+    /// with or without tracing (untraced databases start disarmed); the
+    /// change itself is recorded as a `config.slow_query_threshold` event.
+    pub fn set_slow_query_threshold(&self, threshold: Duration) {
+        let ns = threshold.as_nanos().min(u64::MAX as u128) as u64;
+        // relaxed: advisory config value read per query; no memory is
+        // published through it.
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+        if let Some(tracer) = &self.tracer {
+            tracer.set_slow_threshold(threshold);
+        }
+        self.events
+            .record(Event::new("config.slow_query_threshold").attr("threshold_ns", ns));
+    }
+
+    /// The current slow-query threshold, or `None` when disarmed (the
+    /// default for untraced databases).
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        // relaxed: advisory config read.
+        let ns = self.slow_threshold_ns.load(Ordering::Relaxed);
+        (ns != u64::MAX).then(|| Duration::from_nanos(ns))
+    }
+
+    /// The continuous phase profile: cumulative wall-time attribution per
+    /// pipeline phase, folded from the span-timer histograms every path
+    /// already maintains — always on, sampling-free, and free to read.
+    /// Render with [`PhaseProfile::to_collapsed`] for flamegraph or
+    /// speedscope.
+    pub fn phase_profile(&self) -> PhaseProfile {
+        PhaseProfile::from_snapshot(&self.metrics(), PHASE_TREE)
+    }
+
+    /// Writes a self-contained diagnostics bundle into `dir` (created if
+    /// missing): Prometheus and JSON metric snapshots, the stats report,
+    /// the workload profile, heap attribution, recent and slow traces as
+    /// Chrome trace JSON, the flight-recorder journal as JSON Lines, the
+    /// collapsed phase profile, and a build/config manifest.  One call
+    /// captures everything a bug report needs; `repro --diag DIR` wraps it
+    /// on the command line and `cargo xtask diagcheck DIR` validates it.
+    pub fn diagnostics(&self, dir: impl AsRef<Path>) -> std::io::Result<DiagnosticsReport> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        // stats() first: it refreshes the memory.* gauges the metric
+        // exporters below then see.
+        let stats = self.stats();
+        let snap = self.metrics();
+        let mut artifacts: Vec<(&'static str, String)> = vec![
+            ("metrics.prom", xseq_telemetry::to_prometheus(&snap)),
+            ("metrics.json", xseq_telemetry::to_json(&snap)),
+            ("stats.txt", stats.render()),
+            ("workload.json", stats.workload.to_json()),
+            (
+                "heap.json",
+                format!(
+                    "{{\"corpus_bytes\":{},\"index_bytes\":{},\"total_bytes\":{}}}",
+                    stats.memory.corpus_bytes,
+                    stats.memory.index_bytes,
+                    stats.memory.total_bytes()
+                ),
+            ),
+            ("traces_recent.json", traces_json(&self.recent_traces())),
+            ("traces_slow.json", traces_json(&self.slow_queries())),
+            ("events.jsonl", self.events.to_jsonl()),
+            ("profile.collapsed", self.phase_profile().to_collapsed()),
+        ];
+        let manifest = self.manifest_json(&artifacts);
+        artifacts.push(("manifest.json", manifest));
+        let mut files = Vec::with_capacity(artifacts.len());
+        for (name, contents) in &artifacts {
+            std::fs::write(dir.join(name), contents)?;
+            files.push(*name);
+        }
+        Ok(DiagnosticsReport {
+            dir: dir.to_path_buf(),
+            files,
+        })
+    }
+
+    /// The bundle manifest: build/config provenance plus the artifact
+    /// listing (itself included).
+    fn manifest_json(&self, artifacts: &[(&'static str, String)]) -> String {
+        use fmt::Write as _;
+        let sequencing = match self.config.sequencing {
+            Sequencing::DepthFirst => "depth_first",
+            Sequencing::Probability => "probability",
+        };
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"version\":\"{}\",\"sequencing\":\"{}\",\"threads\":{},\"docs\":{},\"paths\":{}",
+            env!("CARGO_PKG_VERSION"),
+            sequencing,
+            self.pool.threads(),
+            self.corpus.len(),
+            self.corpus.paths.len()
+        );
+        match self.config.compact_threshold {
+            Some(t) => {
+                let _ = write!(out, ",\"compact_threshold\":{t}");
+            }
+            None => out.push_str(",\"compact_threshold\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"tracing\":{},\"profiling\":{}",
+            self.tracer.is_some(),
+            self.workload.is_some()
+        );
+        match self.slow_query_threshold() {
+            Some(t) => {
+                let _ = write!(out, ",\"slow_threshold_ns\":{}", t.as_nanos());
+            }
+            None => out.push_str(",\"slow_threshold_ns\":null"),
+        }
+        let _ = write!(out, ",\"event_capacity\":{}", self.events.capacity());
+        out.push_str(",\"files\":[");
+        for (i, name) in artifacts
+            .iter()
+            .map(|(n, _)| *n)
+            .chain(["manifest.json"])
+            .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\"");
+        }
+        out.push_str("]}");
+        out
     }
 
     /// A point-in-time snapshot of every pipeline metric: the `xml.parse`,
@@ -843,7 +1114,13 @@ impl Database {
         let id = self.corpus.parse_and_push(xml)?;
         let doc = &self.corpus.docs[id as usize];
         self.index.insert_delta(doc, id, &mut self.corpus.paths);
-        timer.finish();
+        let total_ns = timer.finish();
+        self.events.record(
+            Event::new("ingest.insert")
+                .severity(Severity::Debug)
+                .attr("doc", id as u64)
+                .attr("total_ns", total_ns),
+        );
         if self.should_auto_compact() {
             let report = self.compact();
             let new_id = report.remap[id as usize]
@@ -867,7 +1144,13 @@ impl Database {
             let id = self.corpus.parse_and_push(xml)?;
             let doc = &self.corpus.docs[id as usize];
             self.index.insert_delta(doc, id, &mut self.corpus.paths);
-            timer.finish();
+            let total_ns = timer.finish();
+            self.events.record(
+                Event::new("ingest.insert")
+                    .severity(Severity::Debug)
+                    .attr("doc", id as u64)
+                    .attr("total_ns", total_ns),
+            );
             ids.push(id);
         }
         if self.should_auto_compact() {
@@ -890,9 +1173,17 @@ impl Database {
         }
         let timer = SpanTimer::new(self.update_remove_hist.clone());
         let fresh = self.index.remove_doc(id);
-        timer.finish();
-        if fresh && self.should_auto_compact() {
-            self.compact();
+        let total_ns = timer.finish();
+        if fresh {
+            self.events.record(
+                Event::new("ingest.remove")
+                    .severity(Severity::Debug)
+                    .attr("doc", id as u64)
+                    .attr("total_ns", total_ns),
+            );
+            if self.should_auto_compact() {
+                self.compact();
+            }
         }
         fresh
     }
@@ -924,6 +1215,12 @@ impl Database {
         let docs_before = self.corpus.len();
         let tombstones_dropped = self.index.tombstones().len();
         let delta_merged = self.index.delta().sequence_count();
+        self.events.record(
+            Event::new("compact.start")
+                .attr("docs", docs_before as u64)
+                .attr("tombstones", tombstones_dropped as u64)
+                .attr("delta", delta_merged as u64),
+        );
         let mode = self.corpus.symbols.values.mode();
         let mut symbols = SymbolTable::with_value_mode(mode);
         let mut remap: Vec<Option<DocId>> = vec![None; docs_before];
@@ -975,7 +1272,14 @@ impl Database {
         self.index = index;
         self.registry.gauge("index.delta.sequences").set(0);
         self.registry.gauge("index.tombstones").set(0);
-        timer.finish();
+        let total_ns = timer.finish();
+        self.events.record(
+            Event::new("compact.finish")
+                .attr("docs", self.corpus.len() as u64)
+                .attr("dropped", tombstones_dropped as u64)
+                .attr("merged", delta_merged as u64)
+                .attr("total_ns", total_ns),
+        );
         CompactionReport {
             docs_before,
             docs_after: self.corpus.len(),

@@ -1,0 +1,695 @@
+//! Online SLO anomaly detection over metric-snapshot deltas.
+//!
+//! The detector keeps streaming per-metric baselines — a [`P2Quantile`]
+//! (Jain & Chlamtac's P² algorithm: five markers, piecewise-parabolic
+//! adjustment, O(1) memory) over interval p99 latencies, and an [`Ewma`]
+//! over interval throughput — and compares each new interval against them.
+//! Intervals come from [`Snapshot::delta`] on whatever cadence the caller
+//! drives [`AnomalyDetector::tick`] (the `xseq-exec` `Ticker` in
+//! production, a plain loop in tests), so the module itself stays
+//! clock- and thread-free like the rest of the crate.
+//!
+//! Alerting uses burn-rate hysteresis: a metric must breach its threshold
+//! for [`SloPolicy::burn_intervals`] *consecutive* judged intervals before
+//! an alert fires, and a breaching interval is never absorbed into the
+//! baseline (so a sustained regression cannot normalise itself).  Alerts
+//! flip `anomaly.*` gauges in the registry and, when a journal is
+//! attached, record `anomaly.latency` / `anomaly.throughput` /
+//! `anomaly.clear` flight-recorder events.
+
+use crate::events::{Event, EventJournal, Severity};
+use crate::metrics::{Counter, Gauge};
+use crate::registry::{MetricsRegistry, Snapshot};
+use std::sync::{Arc, Mutex};
+
+/// Streaming quantile estimation with the P² algorithm
+/// (Jain & Chlamtac, CACM 1985).
+///
+/// Maintains five markers whose heights approximate the `p`-quantile and
+/// its neighbourhood in O(1) memory per observation.  For fewer than five
+/// observations the estimate is the exact nearest-rank quantile of the
+/// sorted prefix.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    count: u64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile (`p` clamped to `0.0..=1.0`).
+    pub fn new(p: f64) -> Self {
+        P2Quantile {
+            p: p.clamp(0.0, 1.0),
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    }
+
+    /// The targeted quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            let n = self.count as usize;
+            self.heights[n] = x;
+            self.count += 1;
+            let filled = self.count as usize;
+            self.heights[..filled].sort_by(f64::total_cmp);
+            if self.count == 5 {
+                let p = self.p;
+                self.desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0];
+            }
+            return;
+        }
+        // Locate the cell containing x, updating the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x < self.heights[1] {
+            0
+        } else if x < self.heights[2] {
+            1
+        } else if x < self.heights[3] {
+            2
+        } else if x <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = x;
+            3
+        };
+        for pos in &mut self.positions[k + 1..] {
+            *pos += 1.0;
+        }
+        let p = self.p;
+        let increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0];
+        for (d, inc) in self.desired.iter_mut().zip(increments) {
+            *d += inc;
+        }
+        self.count += 1;
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                let adjusted = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.heights[i] = adjusted;
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + sign / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + sign) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = if sign > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current estimate, `None` before the first observation.  Exact
+    /// (nearest rank) for fewer than five observations.
+    pub fn value(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let n = self.count as usize;
+            let rank = ((self.p * n as f64).ceil() as usize).clamp(1, n);
+            return Some(self.heights[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// An EWMA with smoothing factor `alpha` (clamped to `(0.0, 1.0]`;
+    /// higher tracks faster).  The first observation seeds the average.
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(f64::EPSILON, 1.0),
+            value: None,
+        }
+    }
+
+    /// Feeds one observation and returns the updated average.
+    pub fn observe(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            Some(prev) => prev + self.alpha * (x - prev),
+            None => x,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current average, `None` before the first observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Thresholds and hysteresis for the anomaly detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// A latency interval breaches when its p99 exceeds
+    /// `latency_factor ×` the streaming baseline.
+    pub latency_factor: f64,
+    /// A throughput interval breaches when its rate drops below
+    /// `throughput_floor ×` the baseline (while the baseline is at least
+    /// [`min_rate`](Self::min_rate)).
+    pub throughput_floor: f64,
+    /// Judged intervals absorbed into the baseline before alerting can
+    /// start (clamped ≥ 1).
+    pub warmup_intervals: u64,
+    /// Consecutive breaching intervals required before an alert fires
+    /// (burn-rate hysteresis; clamped ≥ 1).
+    pub burn_intervals: u64,
+    /// Minimum histogram samples in an interval for a latency judgement;
+    /// quieter intervals are skipped entirely.
+    pub min_samples: u64,
+    /// Minimum baseline rate (events per interval) for a throughput
+    /// judgement; idle metrics are never flagged.
+    pub min_rate: f64,
+    /// EWMA smoothing factor for the baselines.
+    pub ewma_alpha: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            latency_factor: 2.0,
+            throughput_floor: 0.5,
+            warmup_intervals: 3,
+            burn_intervals: 2,
+            min_samples: 8,
+            min_rate: 1.0,
+            ewma_alpha: 0.3,
+        }
+    }
+}
+
+/// What kind of deviation an alert describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Interval p99 latency exceeded `latency_factor ×` baseline.
+    LatencyP99,
+    /// Interval throughput fell below `throughput_floor ×` baseline.
+    ThroughputDrop,
+}
+
+/// One fired alert, returned from [`AnomalyDetector::tick`] on the tick
+/// where the burn threshold is crossed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyAlert {
+    /// The watched metric name.
+    pub metric: String,
+    /// The deviation kind.
+    pub kind: AnomalyKind,
+    /// The interval's observed value (p99 nanoseconds, or rate).
+    pub observed: f64,
+    /// The baseline it was judged against.
+    pub baseline: f64,
+}
+
+#[derive(Debug)]
+struct LatencyWatch {
+    metric: String,
+    active_gauge: Arc<Gauge>,
+    baseline_gauge: Arc<Gauge>,
+    last_gauge: Arc<Gauge>,
+    baseline: P2Quantile,
+    smoothed: Ewma,
+    judged: u64,
+    breaches: u64,
+    alerting: bool,
+}
+
+#[derive(Debug)]
+struct ThroughputWatch {
+    metric: String,
+    active_gauge: Arc<Gauge>,
+    baseline_gauge: Arc<Gauge>,
+    last_gauge: Arc<Gauge>,
+    baseline: Ewma,
+    judged: u64,
+    breaches: u64,
+    alerting: bool,
+}
+
+#[derive(Debug)]
+struct DetectorState {
+    last: Snapshot,
+    latency: Vec<LatencyWatch>,
+    throughput: Vec<ThroughputWatch>,
+}
+
+/// Online anomaly detector over a registry's metric deltas.
+///
+/// Construct with [`new`](Self::new), add watches fluently, then drive
+/// [`tick`](Self::tick) on a fixed cadence:
+///
+/// ```
+/// use xseq_telemetry::{AnomalyDetector, MetricsRegistry, SloPolicy};
+/// use std::sync::Arc;
+///
+/// let reg = Arc::new(MetricsRegistry::new());
+/// let det = AnomalyDetector::new(reg.clone(), SloPolicy::default())
+///     .watch_latency("index.search")
+///     .watch_throughput("workload.queries");
+/// assert!(det.tick().is_empty(), "quiet interval");
+/// ```
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    registry: Arc<MetricsRegistry>,
+    policy: SloPolicy,
+    events: Option<Arc<EventJournal>>,
+    ticks: Arc<Counter>,
+    alerts: Arc<Counter>,
+    state: Mutex<DetectorState>,
+}
+
+fn gauge_name(kind: &str, metric: &str, field: &str) -> String {
+    format!("anomaly.{kind}.{}.{field}", metric.replace('.', "_"))
+}
+
+impl AnomalyDetector {
+    /// A detector reading (and publishing `anomaly.*` metrics into)
+    /// `registry`, judging with `policy`.  The first tick measures activity
+    /// since this call.
+    pub fn new(registry: Arc<MetricsRegistry>, policy: SloPolicy) -> Self {
+        let ticks = registry.counter("anomaly.ticks");
+        let alerts = registry.counter("anomaly.alerts");
+        let last = registry.snapshot();
+        let policy = SloPolicy {
+            warmup_intervals: policy.warmup_intervals.max(1),
+            burn_intervals: policy.burn_intervals.max(1),
+            ..policy
+        };
+        AnomalyDetector {
+            registry,
+            policy,
+            events: None,
+            ticks,
+            alerts,
+            state: Mutex::new(DetectorState {
+                last,
+                latency: Vec::new(),
+                throughput: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attaches a flight-recorder journal; alerts and recoveries are
+    /// recorded as `anomaly.*` events.
+    pub fn events(mut self, journal: Arc<EventJournal>) -> Self {
+        self.events = Some(journal);
+        self
+    }
+
+    /// Watches histogram `metric`'s interval p99 against a streaming
+    /// P²-median baseline of past interval p99s.  Publishes
+    /// `anomaly.latency.<metric>.{active,baseline_ns,last_ns}` gauges
+    /// (dots in `metric` become underscores).
+    pub fn watch_latency(self, metric: &str) -> Self {
+        let watch = LatencyWatch {
+            metric: metric.to_string(),
+            active_gauge: self
+                .registry
+                .gauge(&gauge_name("latency", metric, "active")),
+            baseline_gauge: self
+                .registry
+                .gauge(&gauge_name("latency", metric, "baseline_ns")),
+            last_gauge: self
+                .registry
+                .gauge(&gauge_name("latency", metric, "last_ns")),
+            baseline: P2Quantile::new(0.5),
+            smoothed: Ewma::new(self.policy.ewma_alpha),
+            judged: 0,
+            breaches: 0,
+            alerting: false,
+        };
+        self.state
+            .lock()
+            .expect("anomaly state lock")
+            .latency
+            .push(watch);
+        self
+    }
+
+    /// Watches counter `metric`'s per-interval rate against an EWMA
+    /// baseline.  Publishes
+    /// `anomaly.throughput.<metric>.{active,baseline,last}` gauges.
+    pub fn watch_throughput(self, metric: &str) -> Self {
+        let watch = ThroughputWatch {
+            metric: metric.to_string(),
+            active_gauge: self
+                .registry
+                .gauge(&gauge_name("throughput", metric, "active")),
+            baseline_gauge: self
+                .registry
+                .gauge(&gauge_name("throughput", metric, "baseline")),
+            last_gauge: self
+                .registry
+                .gauge(&gauge_name("throughput", metric, "last")),
+            baseline: Ewma::new(self.policy.ewma_alpha),
+            judged: 0,
+            breaches: 0,
+            alerting: false,
+        };
+        self.state
+            .lock()
+            .expect("anomaly state lock")
+            .throughput
+            .push(watch);
+        self
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Judges the interval since the previous tick and returns the alerts
+    /// that *fired* on this tick (transitions into the alerting state).
+    pub fn tick(&self) -> Vec<AnomalyAlert> {
+        self.ticks.inc();
+        let current = self.registry.snapshot();
+        let mut state = self.state.lock().expect("anomaly state lock");
+        let delta = current.delta(&state.last);
+        state.last = current;
+        let mut fired = Vec::new();
+
+        for w in &mut state.latency {
+            let Some(h) = delta.histogram(&w.metric) else {
+                continue;
+            };
+            if h.count < self.policy.min_samples {
+                continue;
+            }
+            let Some(p99) = h.p99() else { continue };
+            let p99 = p99 as f64;
+            w.last_gauge.set(p99 as i64);
+            let baseline = w.baseline.value();
+            let warmed = w.judged >= self.policy.warmup_intervals;
+            w.judged += 1;
+            let breach = match baseline {
+                Some(b) if warmed => p99 > self.policy.latency_factor * b,
+                _ => false,
+            };
+            if breach {
+                w.breaches += 1;
+                let b = baseline.unwrap_or(0.0);
+                if w.breaches >= self.policy.burn_intervals && !w.alerting {
+                    w.alerting = true;
+                    w.active_gauge.set(1);
+                    self.alerts.inc();
+                    if let Some(journal) = &self.events {
+                        journal.record(
+                            Event::new("anomaly.latency")
+                                .severity(Severity::Warn)
+                                .message(w.metric.clone())
+                                .attr("p99_ns", p99)
+                                .attr("baseline_ns", b),
+                        );
+                    }
+                    fired.push(AnomalyAlert {
+                        metric: w.metric.clone(),
+                        kind: AnomalyKind::LatencyP99,
+                        observed: p99,
+                        baseline: b,
+                    });
+                }
+            } else {
+                w.breaches = 0;
+                if w.alerting {
+                    w.alerting = false;
+                    w.active_gauge.set(0);
+                    if let Some(journal) = &self.events {
+                        journal.record(Event::new("anomaly.clear").message(w.metric.clone()));
+                    }
+                }
+                // Only healthy intervals feed the baseline, so a sustained
+                // regression cannot normalise itself away.
+                w.baseline.observe(p99);
+                w.smoothed.observe(p99);
+                if let Some(b) = w.baseline.value() {
+                    w.baseline_gauge.set(b as i64);
+                }
+            }
+        }
+
+        for w in &mut state.throughput {
+            let rate = delta.counter(&w.metric) as f64;
+            w.last_gauge.set(rate as i64);
+            let baseline = w.baseline.value();
+            let warmed = w.judged >= self.policy.warmup_intervals;
+            w.judged += 1;
+            let breach = match baseline {
+                Some(b) if warmed && b >= self.policy.min_rate => {
+                    rate < self.policy.throughput_floor * b
+                }
+                _ => false,
+            };
+            if breach {
+                w.breaches += 1;
+                let b = baseline.unwrap_or(0.0);
+                if w.breaches >= self.policy.burn_intervals && !w.alerting {
+                    w.alerting = true;
+                    w.active_gauge.set(1);
+                    self.alerts.inc();
+                    if let Some(journal) = &self.events {
+                        journal.record(
+                            Event::new("anomaly.throughput")
+                                .severity(Severity::Warn)
+                                .message(w.metric.clone())
+                                .attr("rate", rate)
+                                .attr("baseline", b),
+                        );
+                    }
+                    fired.push(AnomalyAlert {
+                        metric: w.metric.clone(),
+                        kind: AnomalyKind::ThroughputDrop,
+                        observed: rate,
+                        baseline: b,
+                    });
+                }
+            } else {
+                w.breaches = 0;
+                if w.alerting {
+                    w.alerting = false;
+                    w.active_gauge.set(0);
+                    if let Some(journal) = &self.events {
+                        journal.record(Event::new("anomaly.clear").message(w.metric.clone()));
+                    }
+                }
+                w.baseline.observe(rate);
+                if let Some(b) = w.baseline.value() {
+                    w.baseline_gauge.set(b as i64);
+                }
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+        let n = sorted.len();
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn p2_is_exact_below_five_samples() {
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let mut est = P2Quantile::new(p);
+            assert_eq!(est.value(), None);
+            let samples = [7.0, 3.0, 9.0, 1.0];
+            for (i, &s) in samples.iter().enumerate() {
+                est.observe(s);
+                let mut sorted: Vec<f64> = samples[..=i].to_vec();
+                sorted.sort_by(f64::total_cmp);
+                assert_eq!(
+                    est.value(),
+                    Some(exact_quantile(&sorted, p)),
+                    "p={p} n={}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p2_tracks_uniform_grid_median() {
+        let mut est = P2Quantile::new(0.5);
+        // Deterministically shuffled 0..1000 via a multiplicative stride.
+        for i in 0..1000u64 {
+            est.observe(((i * 617) % 1000) as f64);
+        }
+        let v = est.value().expect("estimate");
+        assert!((v - 500.0).abs() < 50.0, "median estimate {v}");
+        assert_eq!(est.count(), 1000);
+    }
+
+    #[test]
+    fn p2_stays_within_observed_range() {
+        let mut est = P2Quantile::new(0.99);
+        for i in 0..500u64 {
+            est.observe(((i * 271) % 97) as f64);
+        }
+        let v = est.value().expect("estimate");
+        assert!((0.0..=96.0).contains(&v), "estimate {v} escaped the range");
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.observe(100.0);
+        assert_eq!(e.value(), Some(100.0), "first sample seeds");
+        for _ in 0..20 {
+            e.observe(200.0);
+        }
+        let v = e.value().expect("value");
+        assert!((v - 200.0).abs() < 1.0, "converged to {v}");
+    }
+
+    fn spike_policy() -> SloPolicy {
+        SloPolicy {
+            warmup_intervals: 2,
+            burn_intervals: 2,
+            min_samples: 4,
+            ..SloPolicy::default()
+        }
+    }
+
+    fn feed(reg: &MetricsRegistry, name: &str, value_ns: u64, n: usize) {
+        let h = reg.histogram(name);
+        for _ in 0..n {
+            h.record(value_ns);
+        }
+    }
+
+    #[test]
+    fn latency_spike_fires_after_burn_and_clears() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let journal = Arc::new(EventJournal::new(16));
+        let det = AnomalyDetector::new(reg.clone(), spike_policy())
+            .events(journal.clone())
+            .watch_latency("index.search");
+        // Warmup + baseline: steady ~1µs intervals.
+        for _ in 0..4 {
+            feed(&reg, "index.search", 1_000, 10);
+            assert!(det.tick().is_empty());
+        }
+        // Spike interval 1: breach but below burn threshold.
+        feed(&reg, "index.search", 50_000, 10);
+        assert!(det.tick().is_empty(), "one breach is not an alert");
+        // Spike interval 2: burn threshold reached -> alert fires once.
+        feed(&reg, "index.search", 50_000, 10);
+        let alerts = det.tick();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AnomalyKind::LatencyP99);
+        assert_eq!(alerts[0].metric, "index.search");
+        assert_eq!(reg.gauge("anomaly.latency.index_search.active").get(), 1);
+        // Continuing spike does not re-fire.
+        feed(&reg, "index.search", 50_000, 10);
+        assert!(det.tick().is_empty(), "already alerting");
+        // Recovery clears the gauge and records a clear event.
+        feed(&reg, "index.search", 1_000, 10);
+        assert!(det.tick().is_empty());
+        assert_eq!(reg.gauge("anomaly.latency.index_search.active").get(), 0);
+        let names: Vec<&str> = journal.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["anomaly.latency", "anomaly.clear"]);
+        assert_eq!(reg.snapshot().counter("anomaly.alerts"), 1);
+    }
+
+    #[test]
+    fn clean_run_stays_silent() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let det = AnomalyDetector::new(reg.clone(), spike_policy()).watch_latency("index.search");
+        for _ in 0..20 {
+            feed(&reg, "index.search", 1_000, 10);
+            assert!(det.tick().is_empty());
+        }
+        assert_eq!(reg.snapshot().counter("anomaly.alerts"), 0);
+    }
+
+    #[test]
+    fn quiet_intervals_are_skipped() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let det = AnomalyDetector::new(reg.clone(), spike_policy()).watch_latency("index.search");
+        for _ in 0..10 {
+            assert!(det.tick().is_empty(), "no samples, no judgement");
+        }
+        assert_eq!(reg.gauge("anomaly.latency.index_search.last_ns").get(), 0);
+    }
+
+    #[test]
+    fn throughput_drop_fires_and_idle_metrics_never_flag() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let det = AnomalyDetector::new(reg.clone(), spike_policy())
+            .watch_throughput("workload.queries")
+            .watch_throughput("update.inserts");
+        let c = reg.counter("workload.queries");
+        reg.counter("update.inserts"); // stays at zero rate throughout
+        for _ in 0..4 {
+            c.add(100);
+            assert!(det.tick().is_empty());
+        }
+        // Two consecutive collapsed intervals -> alert.
+        c.add(5);
+        assert!(det.tick().is_empty());
+        c.add(5);
+        let alerts = det.tick();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AnomalyKind::ThroughputDrop);
+        assert_eq!(alerts[0].metric, "workload.queries");
+        assert_eq!(
+            reg.gauge("anomaly.throughput.workload_queries.active")
+                .get(),
+            1
+        );
+        assert_eq!(
+            reg.gauge("anomaly.throughput.update_inserts.active").get(),
+            0,
+            "idle metric below min_rate never alerts"
+        );
+    }
+}

@@ -95,7 +95,7 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // `{}` prints integral floats without a dot; keep it JSON-float-ish
@@ -312,7 +312,7 @@ fn micros(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
-fn attr_json(value: &AttrValue) -> String {
+pub(crate) fn attr_json(value: &AttrValue) -> String {
     match value {
         AttrValue::U64(v) => v.to_string(),
         AttrValue::I64(v) => v.to_string(),

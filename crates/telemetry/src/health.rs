@@ -12,12 +12,17 @@
 //! `health.<worker>.stalled` gauge and counted in `health.workers.stalled`.
 //! Inactive workers are never considered stalled — a pool worker that
 //! parked between batches is healthy, a compaction that stopped midway is
-//! not.
+//! not.  Clearing is hysteretic: a stalled worker must show progress for
+//! `recover_ticks` consecutive ticks before the flag drops (parking always
+//! clears immediately), so a worker limping along at one beat every few
+//! ticks does not flap the gauge on slow CI boxes.  Stall and recovery
+//! transitions can be recorded into a flight-recorder [`EventJournal`].
 //!
 //! The journal renders the delta between consecutive registry snapshots as
 //! compact text lines — the "metrics journal" a long-running process logs
 //! once per interval so an operator can tail activity without a scraper.
 
+use crate::events::{Event, EventJournal, Severity};
 use crate::export::format_ns;
 use crate::metrics::{Counter, Gauge};
 use crate::registry::{MetricValue, MetricsRegistry, Snapshot};
@@ -53,6 +58,10 @@ struct WatchedWorker {
     stalled: Arc<Gauge>,
     last_beat: u64,
     unchanged_ticks: u64,
+    /// Consecutive progress ticks since the stall (recovery hysteresis).
+    healthy_ticks: u64,
+    /// Whether the worker is currently flagged.
+    is_stalled: bool,
 }
 
 /// Tick-driven liveness monitor over named workers.
@@ -60,6 +69,8 @@ struct WatchedWorker {
 pub struct Watchdog {
     registry: Arc<MetricsRegistry>,
     stall_ticks: u64,
+    recover_ticks: u64,
+    events: Option<Arc<EventJournal>>,
     ticks: Arc<Counter>,
     stalled_total: Arc<Gauge>,
     workers: Mutex<Vec<WatchedWorker>>,
@@ -68,17 +79,41 @@ pub struct Watchdog {
 impl Watchdog {
     /// A watchdog publishing into `registry`, flagging an active worker as
     /// stalled after `stall_ticks` ticks without a heartbeat
-    /// (`stall_ticks` is clamped to ≥ 1).
+    /// (`stall_ticks` is clamped to ≥ 1).  A single progress tick clears
+    /// the flag; use [`with_hysteresis`](Self::with_hysteresis) for a
+    /// longer recovery window.
     pub fn new(registry: Arc<MetricsRegistry>, stall_ticks: u64) -> Self {
+        Self::with_hysteresis(registry, stall_ticks, 1)
+    }
+
+    /// A watchdog that flags after `stall_ticks` silent ticks and clears
+    /// only after `recover_ticks` consecutive progress ticks (both clamped
+    /// to ≥ 1).  A silent tick during recovery resets the progress streak;
+    /// going inactive always clears immediately.
+    pub fn with_hysteresis(
+        registry: Arc<MetricsRegistry>,
+        stall_ticks: u64,
+        recover_ticks: u64,
+    ) -> Self {
         let ticks = registry.counter("health.watchdog.ticks");
         let stalled_total = registry.gauge("health.workers.stalled");
         Watchdog {
             registry,
             stall_ticks: stall_ticks.max(1),
+            recover_ticks: recover_ticks.max(1),
+            events: None,
             ticks,
             stalled_total,
             workers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attaches a flight-recorder journal; stall and recovery *transitions*
+    /// are recorded as `watchdog.stall` / `watchdog.recover` events (steady
+    /// states are not re-reported).
+    pub fn events(mut self, journal: Arc<EventJournal>) -> Self {
+        self.events = Some(journal);
+        self
     }
 
     /// Registers worker `name` and returns its handle.  The worker's
@@ -100,6 +135,8 @@ impl Watchdog {
             stalled,
             last_beat: 0,
             unchanged_ticks: 0,
+            healthy_ticks: 0,
+            is_stalled: false,
         });
         handle
     }
@@ -113,15 +150,42 @@ impl Watchdog {
         for w in workers.iter_mut() {
             let beat = w.heartbeat.get();
             let active = w.active.get() > 0;
-            if !active || beat != w.last_beat {
-                w.last_beat = beat;
+            let progressed = !active || beat != w.last_beat;
+            w.last_beat = beat;
+            if progressed {
                 w.unchanged_ticks = 0;
-                w.stalled.set(0);
-                continue;
+                if w.is_stalled {
+                    w.healthy_ticks += 1;
+                    // Parking clears at once; a busy worker must hold a
+                    // progress streak of recover_ticks before unflagging.
+                    if !active || w.healthy_ticks >= self.recover_ticks {
+                        w.is_stalled = false;
+                        w.healthy_ticks = 0;
+                        w.stalled.set(0);
+                        if let Some(journal) = &self.events {
+                            journal.record(Event::new("watchdog.recover").message(w.name.clone()));
+                        }
+                    }
+                } else {
+                    w.stalled.set(0);
+                }
+            } else {
+                w.healthy_ticks = 0;
+                w.unchanged_ticks += 1;
+                if w.unchanged_ticks >= self.stall_ticks && !w.is_stalled {
+                    w.is_stalled = true;
+                    w.stalled.set(1);
+                    if let Some(journal) = &self.events {
+                        journal.record(
+                            Event::new("watchdog.stall")
+                                .severity(Severity::Warn)
+                                .message(w.name.clone())
+                                .attr("silent_ticks", w.unchanged_ticks),
+                        );
+                    }
+                }
             }
-            w.unchanged_ticks += 1;
-            if w.unchanged_ticks >= self.stall_ticks {
-                w.stalled.set(1);
+            if w.is_stalled {
                 stalled_names.push(w.name.clone());
             }
         }
@@ -248,6 +312,60 @@ mod tests {
         w.set_active(false);
         assert!(dog.tick().is_empty());
         assert_eq!(reg.gauge("health.merge.stalled").get(), 0);
+    }
+
+    #[test]
+    fn recovery_hysteresis_needs_a_progress_streak() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let journal = Arc::new(EventJournal::new(8));
+        let dog = Watchdog::with_hysteresis(reg.clone(), 1, 2).events(journal.clone());
+        let w = dog.register("flappy");
+        w.set_active(true);
+        assert_eq!(dog.tick(), vec!["flappy".to_string()]); // silent -> stalled
+                                                            // One beat is not enough to clear with recover_ticks = 2 …
+        w.beat();
+        assert_eq!(dog.tick(), vec!["flappy".to_string()]);
+        assert_eq!(reg.gauge("health.flappy.stalled").get(), 1);
+        // … and a silent tick resets the streak.
+        assert_eq!(dog.tick(), vec!["flappy".to_string()]);
+        w.beat();
+        assert_eq!(dog.tick(), vec!["flappy".to_string()]);
+        // Two consecutive progress ticks finally clear it.
+        w.beat();
+        assert!(dog.tick().is_empty());
+        assert_eq!(reg.gauge("health.flappy.stalled").get(), 0);
+        // Transitions only: one stall event, one recover event.
+        let names: Vec<&str> = journal.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["watchdog.stall", "watchdog.recover"]);
+    }
+
+    #[test]
+    fn flapping_worker_stays_flagged_under_hysteresis() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let dog = Watchdog::with_hysteresis(reg.clone(), 1, 2);
+        let w = dog.register("limp");
+        w.set_active(true);
+        dog.tick(); // stall
+        for _ in 0..6 {
+            // beat, silent, beat, silent… never two progress ticks in a row
+            w.beat();
+            assert_eq!(dog.tick(), vec!["limp".to_string()]);
+            assert_eq!(dog.tick(), vec!["limp".to_string()]);
+        }
+        assert_eq!(reg.gauge("health.limp.stalled").get(), 1, "no flapping");
+    }
+
+    #[test]
+    fn going_inactive_clears_despite_hysteresis() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let dog = Watchdog::with_hysteresis(reg.clone(), 1, 5);
+        let w = dog.register("parker");
+        w.set_active(true);
+        dog.tick();
+        assert_eq!(dog.tick(), vec!["parker".to_string()]);
+        w.set_active(false);
+        assert!(dog.tick().is_empty(), "parking clears immediately");
+        assert_eq!(reg.gauge("health.parker.stalled").get(), 0);
     }
 
     #[test]

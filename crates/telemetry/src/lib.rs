@@ -28,15 +28,27 @@
 //!   flushed through a lock-free [`BoundedRing`]; traces export as Chrome
 //!   trace-event JSON ([`export::to_chrome_json`]) or an indented text tree
 //!   ([`export::render_trace`]).
+//! - [`EventJournal`] / [`Event`] — the flight recorder: a bounded,
+//!   lock-free journal of severity-levelled lifecycle events, exportable
+//!   as JSON Lines.
+//! - [`AnomalyDetector`] — online SLO detection: streaming [`P2Quantile`]
+//!   and [`Ewma`] baselines over snapshot deltas, with burn-rate
+//!   hysteresis, `anomaly.*` gauges and flight-recorder alerts.
+//! - [`PhaseProfile`] — continuous phase profiling folded from the span
+//!   timers' histograms, rendered as collapsed stacks for flamegraph
+//!   or speedscope.
 //!
 //! Everything mutating is lock-free (relaxed atomics), so instrumentation
 //! can sit inside the paper's per-candidate inner loops without changing
 //! the measured behaviour.
 
+pub mod anomaly;
+pub mod events;
 pub mod export;
 pub mod health;
 pub mod heap;
 pub mod metrics;
+pub mod profile;
 pub mod promlint;
 pub mod registry;
 pub mod ring;
@@ -44,6 +56,8 @@ pub mod sched;
 pub mod span;
 pub mod trace;
 
+pub use anomaly::{AnomalyAlert, AnomalyDetector, AnomalyKind, Ewma, P2Quantile, SloPolicy};
+pub use events::{Event, EventCounts, EventJournal, Severity};
 pub use export::{
     format_ns, prometheus_name, render_table, render_trace, to_chrome_json, to_json, to_prometheus,
 };
@@ -52,6 +66,7 @@ pub use heap::{hash_table_alloc_bytes, HeapSize};
 pub use metrics::{
     bucket_bounds, bucket_of, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };
+pub use profile::{PhaseEntry, PhaseNode, PhaseProfile};
 pub use promlint::{lint_prometheus, PromFinding};
 pub use registry::{Metric, MetricValue, MetricsRegistry, Snapshot};
 pub use ring::BoundedRing;

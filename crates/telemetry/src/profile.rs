@@ -1,0 +1,137 @@
+//! Continuous phase profiling from span-timer histograms.
+//!
+//! The pipeline already brackets every phase with [`crate::SpanTimer`]s
+//! feeding per-phase histograms (`xml.parse`, `index.search`, …), so a
+//! wall-time profile needs no sampling and no extra instrumentation: the
+//! histograms *are* the profile.  This module folds a [`Snapshot`] over a
+//! static phase tree ([`PhaseNode`]) into a [`PhaseProfile`] and renders
+//! it in the collapsed-stack format consumed by `flamegraph.pl` and
+//! [speedscope](https://speedscope.app) — one `frame;frame value` line per
+//! leaf, with values in nanoseconds of accumulated wall time.
+//!
+//! Because phases are aggregated independently, a phase that runs nested
+//! inside another timed phase (document parsing inside an insert, say)
+//! contributes to both stacks; the output is per-phase attribution, not a
+//! strict partition of wall time.  The stacks in the tree make that
+//! nesting explicit instead of hiding it.
+
+use crate::registry::Snapshot;
+
+/// Maps one phase histogram to its place in the profile's stack tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseNode {
+    /// The histogram metric fed by the phase's span timers.
+    pub metric: &'static str,
+    /// The collapsed-stack frames for this phase, outermost first.
+    pub stack: &'static [&'static str],
+}
+
+/// One profiled phase: a stack and its accumulated wall time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseEntry {
+    /// Stack frames, outermost first.
+    pub stack: &'static [&'static str],
+    /// Accumulated wall time, nanoseconds (the histogram's sum).
+    pub total_ns: u64,
+    /// Number of timed executions (the histogram's count).
+    pub samples: u64,
+}
+
+/// A point-in-time wall-clock attribution across pipeline phases.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Per-phase entries in tree order; phases that never ran are included
+    /// with zero samples so the profile shape is stable.
+    pub entries: Vec<PhaseEntry>,
+}
+
+impl PhaseProfile {
+    /// Folds `snapshot`'s phase histograms over `tree`.  Metrics absent
+    /// from the snapshot produce zero-sample entries.
+    pub fn from_snapshot(snapshot: &Snapshot, tree: &[PhaseNode]) -> PhaseProfile {
+        let entries = tree
+            .iter()
+            .map(|node| {
+                let (total_ns, samples) = snapshot
+                    .histogram(node.metric)
+                    .map(|h| (h.sum, h.count))
+                    .unwrap_or((0, 0));
+                PhaseEntry {
+                    stack: node.stack,
+                    total_ns,
+                    samples,
+                }
+            })
+            .collect();
+        PhaseProfile { entries }
+    }
+
+    /// Total attributed wall time, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.entries.iter().map(|e| e.total_ns).sum()
+    }
+
+    /// Renders the profile in the collapsed-stack format (`a;b 1234`, one
+    /// line per phase that ran, values in nanoseconds).
+    pub fn to_collapsed(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            if e.samples == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "{} {}", e.stack.join(";"), e.total_ns);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    const TREE: &[PhaseNode] = &[
+        PhaseNode {
+            metric: "xml.parse",
+            stack: &["ingest", "xml.parse"],
+        },
+        PhaseNode {
+            metric: "index.search",
+            stack: &["query", "index.search"],
+        },
+        PhaseNode {
+            metric: "index.compact",
+            stack: &["update", "index.compact"],
+        },
+    ];
+
+    #[test]
+    fn folds_sums_and_counts() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("xml.parse").record(100);
+        reg.histogram("xml.parse").record(50);
+        reg.histogram("index.search").record(7);
+        let p = PhaseProfile::from_snapshot(&reg.snapshot(), TREE);
+        assert_eq!(p.entries.len(), 3, "stable shape includes idle phases");
+        assert_eq!(p.entries[0].total_ns, 150);
+        assert_eq!(p.entries[0].samples, 2);
+        assert_eq!(p.entries[2].samples, 0, "compaction never ran");
+        assert_eq!(p.total_ns(), 157);
+    }
+
+    #[test]
+    fn collapsed_output_skips_idle_phases() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("index.search").record(42);
+        let p = PhaseProfile::from_snapshot(&reg.snapshot(), TREE);
+        assert_eq!(p.to_collapsed(), "query;index.search 42\n");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let p = PhaseProfile::from_snapshot(&Snapshot::default(), TREE);
+        assert_eq!(p.to_collapsed(), "");
+        assert_eq!(p.total_ns(), 0);
+    }
+}

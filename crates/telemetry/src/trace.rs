@@ -340,6 +340,10 @@ pub struct TracerStats {
 #[derive(Debug)]
 pub struct Tracer {
     config: TraceConfig,
+    /// Runtime-tunable slow threshold, nanoseconds; initialised from
+    /// [`TraceConfig::slow_threshold`], updated by
+    /// [`set_slow_threshold`](Self::set_slow_threshold).
+    slow_threshold_ns: AtomicU64,
     next_id: AtomicU64,
     /// Fixed-point (32.32) sampling accumulator: each trace adds
     /// `rate · 2³²`; crossing an integer boundary selects the trace.
@@ -359,6 +363,9 @@ impl Tracer {
     /// A tracer with the given policy.
     pub fn new(config: TraceConfig) -> Self {
         Tracer {
+            slow_threshold_ns: AtomicU64::new(
+                config.slow_threshold.as_nanos().min(u64::MAX as u128) as u64,
+            ),
             next_id: AtomicU64::new(1),
             sample_accum: AtomicU64::new(0),
             started: AtomicU64::new(0),
@@ -372,9 +379,26 @@ impl Tracer {
         }
     }
 
-    /// The policy in effect.
+    /// The policy in effect.  `config().slow_threshold` is the build-time
+    /// value; the live one is [`slow_threshold`](Self::slow_threshold).
     pub fn config(&self) -> &TraceConfig {
         &self.config
+    }
+
+    /// The slow-query threshold currently in effect.
+    pub fn slow_threshold(&self) -> Duration {
+        // relaxed: an advisory configuration read; any recent value is fine.
+        Duration::from_nanos(self.slow_threshold_ns.load(Ordering::Relaxed))
+    }
+
+    /// Retunes the slow-query threshold at runtime.  Takes effect for
+    /// traces finishing after the store; in-flight `finish` calls may use
+    /// either value.
+    pub fn set_slow_threshold(&self, threshold: Duration) {
+        let ns = threshold.as_nanos().min(u64::MAX as u128) as u64;
+        // relaxed: configuration cell read/written independently of any
+        // other state; no ordering with trace data is required.
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
     }
 
     /// Retention counters so far.
@@ -420,7 +444,7 @@ impl Tracer {
     /// slow-query log; sampled traces enter the recent ring.  Returns the
     /// sealed trace either way, so the caller can attach it to its result.
     pub fn finish(&self, active: ActiveTrace) -> Arc<Trace> {
-        let trace = Arc::new(active.seal(self.config.slow_threshold));
+        let trace = Arc::new(active.seal(self.slow_threshold()));
         if trace.slow {
             // relaxed: independent retention counter
             self.slow_count.fetch_add(1, Ordering::Relaxed);
@@ -555,6 +579,24 @@ mod tests {
         assert!(sealed.slow);
         assert!(!sealed.sampled);
         assert_eq!(sealed.total_ns, sealed.root().end_ns);
+    }
+
+    #[test]
+    fn slow_threshold_is_runtime_tunable() {
+        let tr = tracer(0.0, u64::MAX); // nothing slow at build time
+        tr.finish(tr.begin("q0"));
+        assert!(tr.slow_queries().is_empty());
+        tr.set_slow_threshold(Duration::ZERO); // everything is slow now
+        assert_eq!(tr.slow_threshold(), Duration::ZERO);
+        tr.finish(tr.begin("q1"));
+        let slow = tr.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].name, "q1");
+        assert_eq!(
+            tr.config().slow_threshold,
+            Duration::from_nanos(u64::MAX),
+            "build-time config is preserved"
+        );
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! producer/consumer threads runs against a reference model — no schedule
 //! may lose, duplicate or reorder an entry.
 
+use std::sync::Arc;
 use xseq_telemetry::sched::check_ring_model;
-use xseq_telemetry::{check_counter, check_ring, CounterOp, RingOp, Schedules};
+use xseq_telemetry::{
+    check_counter, check_ring, CounterOp, MetricsRegistry, RingOp, Schedules, Watchdog,
+};
 
 use CounterOp::{Add, Snapshot};
 use RingOp::{ForcePush, Pop, Push};
@@ -90,6 +93,88 @@ fn checker_detects_a_wrong_model() {
         err.contains("schedule"),
         "failure names its schedule: {err}"
     );
+}
+
+/// Declarative reference for the watchdog's stall/recovery hysteresis,
+/// recomputed from the full observation history: a stall trigger is a
+/// silent run of ≥ `stall_ticks`, a clear is parking or a progress run of
+/// ≥ `recover_ticks`, and the state is whichever trigger came last.
+fn reference_stalled(history: &[(bool, bool)], stall_ticks: u64, recover_ticks: u64) -> bool {
+    let mut stalled = false;
+    let mut silent_run = 0u64;
+    let mut progress_run = 0u64;
+    for &(progressed, active) in history {
+        if progressed {
+            silent_run = 0;
+            progress_run += 1;
+            if stalled && (!active || progress_run >= recover_ticks) {
+                stalled = false;
+            }
+        } else {
+            progress_run = 0;
+            silent_run += 1;
+            if silent_run >= stall_ticks {
+                stalled = true;
+            }
+        }
+    }
+    stalled
+}
+
+#[test]
+fn watchdog_hysteresis_matches_reference_under_all_interleavings() {
+    #[derive(Clone, Copy, Debug)]
+    enum Op {
+        Beat,
+        SetActive(bool),
+        Tick,
+    }
+    // One worker thread (activate, two beats, park) interleaved every way
+    // with five monitor ticks: 126 exhaustive schedules covering stalls
+    // that begin before, between and after the beats.
+    let threads: Vec<Vec<Op>> = vec![
+        vec![
+            Op::SetActive(true),
+            Op::Beat,
+            Op::Beat,
+            Op::SetActive(false),
+        ],
+        vec![Op::Tick; 5],
+    ];
+    let scheds = Schedules::new(&[4, 5], 3_000, 7);
+    assert!(scheds.is_exhaustive());
+    let checked = scheds.for_each(|sched| {
+        let reg = Arc::new(MetricsRegistry::new());
+        let dog = Watchdog::with_hysteresis(reg.clone(), 1, 2);
+        let w = dog.register("model");
+        let mut idx = [0usize; 2];
+        let mut history: Vec<(bool, bool)> = Vec::new();
+        let mut last_beat = 0u64;
+        for &t in sched {
+            let op = threads[t][idx[t]];
+            idx[t] += 1;
+            match op {
+                Op::Beat => w.beat(),
+                Op::SetActive(a) => w.set_active(a),
+                Op::Tick => {
+                    // Observe exactly what the watchdog will observe.
+                    let beat = reg.snapshot().counter("health.model.heartbeat");
+                    let active = reg.gauge("health.model.active").get() > 0;
+                    let progressed = !active || beat != last_beat;
+                    last_beat = beat;
+                    history.push((progressed, active));
+                    dog.tick();
+                    let got = reg.gauge("health.model.stalled").get() == 1;
+                    let want = reference_stalled(&history, 1, 2);
+                    assert_eq!(
+                        got, want,
+                        "schedule {sched:?} diverged; history {history:?}"
+                    );
+                }
+            }
+        }
+    });
+    assert_eq!(checked, 126);
 }
 
 #[test]

@@ -1,0 +1,160 @@
+//! Integration tests for the flight recorder and the P² estimator:
+//! multi-thread journal retention/ordering (mirroring the slow-log tests)
+//! and property tests of [`P2Quantile`] against exact sorted-sample
+//! quantiles on random streams.
+
+use proptest::prelude::*;
+use xseq_telemetry::{Event, EventJournal, P2Quantile, Severity};
+
+/// Exact nearest-rank quantile of a sorted sample set.
+fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// splitmix64, the repo's standard test PRNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    /// On uniform random streams the P² estimate lands inside the exact
+    /// quantile envelope `[quantile(p − 0.08), quantile(p + 0.08)]` — the
+    /// algorithm's documented accuracy regime — and always inside the
+    /// observed range.
+    #[test]
+    fn p2_tracks_exact_quantiles_on_random_streams(
+        seed in 0u64..u64::MAX,
+        n in 64usize..600,
+        q_idx in 0usize..3,
+    ) {
+        let p = [0.5, 0.9, 0.99][q_idx];
+        let mut est = P2Quantile::new(p);
+        let mut state = seed;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = (splitmix64(&mut state) % 1_000_000) as f64;
+            samples.push(v);
+            est.observe(v);
+        }
+        let v = est.value().expect("non-empty stream");
+        let mut sorted = samples;
+        sorted.sort_by(f64::total_cmp);
+        let lo = exact_quantile(&sorted, (p - 0.08).max(0.0));
+        let hi = exact_quantile(&sorted, (p + 0.08).min(1.0));
+        prop_assert!(
+            (sorted[0]..=sorted[sorted.len() - 1]).contains(&v),
+            "p={} estimate {} escaped the observed range", p, v
+        );
+        prop_assert!(
+            (lo..=hi).contains(&v),
+            "p={} n={} estimate {} outside exact envelope [{}, {}]", p, n, v, lo, hi
+        );
+    }
+
+    /// Below five observations the estimator is *exactly* the nearest-rank
+    /// quantile, for any values and any p.
+    #[test]
+    fn p2_is_exact_for_tiny_streams(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..5),
+        p in 0.0f64..1.0,
+    ) {
+        let mut est = P2Quantile::new(p);
+        for &s in &samples {
+            est.observe(s as f64);
+        }
+        let mut sorted: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(est.value(), Some(exact_quantile(&sorted, est.p())));
+    }
+}
+
+#[test]
+fn event_journal_retention_under_thread_load() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 100;
+    const CAPACITY: usize = 32;
+    let journal = EventJournal::new(CAPACITY);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let journal = &journal;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    journal.record(
+                        Event::new("ingest.insert")
+                            .severity(Severity::Debug)
+                            .attr("thread", t as u64)
+                            .attr("i", i as u64),
+                    );
+                }
+            });
+        }
+    });
+    let total = (THREADS * PER_THREAD) as u64;
+    let counts = journal.counts();
+    assert_eq!(counts.recorded, total, "no record lost");
+    assert_eq!(counts.by_severity, [total, 0, 0, 0]);
+    let events = journal.events();
+    assert_eq!(
+        events.len(),
+        CAPACITY,
+        "journal settles at exactly its capacity"
+    );
+    let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), CAPACITY, "retained events are distinct");
+    for e in &events {
+        assert_eq!(e.name, "ingest.insert");
+        assert_eq!(e.severity, Severity::Debug);
+        assert_eq!(e.attrs.len(), 2, "structure survives contention");
+        assert!((1..=total).contains(&e.seq));
+    }
+    // Reads are stable and non-destructive.
+    assert_eq!(journal.events().len(), CAPACITY);
+}
+
+#[test]
+fn single_writer_ordering_is_preserved() {
+    let journal = EventJournal::new(4);
+    for i in 0..10u64 {
+        journal.record(Event::new("compact.start").attr("round", i));
+    }
+    let events = journal.events();
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![7, 8, 9, 10], "oldest first, newest retained");
+    let rounds: Vec<u64> = events
+        .iter()
+        .map(|e| match &e.attrs[0].1 {
+            xseq_telemetry::AttrValue::U64(v) => *v,
+            other => panic!("unexpected attr {other:?}"),
+        })
+        .collect();
+    assert_eq!(rounds, vec![6, 7, 8, 9]);
+}
+
+#[test]
+fn jsonl_export_is_line_per_event() {
+    let journal = EventJournal::new(8);
+    journal.record(Event::new("ingest.build").attr("docs", 3u64));
+    journal.record(
+        Event::new("integrity.violation")
+            .severity(Severity::Error)
+            .message("node count drift"),
+    );
+    let jsonl = journal.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].starts_with("{\"seq\":1,"));
+    assert!(lines[0].contains("\"name\":\"ingest.build\""));
+    assert!(lines[1].contains("\"severity\":\"error\""));
+    assert!(lines[1].contains("\"message\":\"node count drift\""));
+    for l in &lines {
+        assert!(l.starts_with('{') && l.ends_with('}'));
+    }
+}

@@ -32,6 +32,9 @@
 //!    `health.*`, `workload.*`, …) grows deliberately instead of one
 //!    ad-hoc prefix per call site.  Span and event names are exempt —
 //!    they never reach the Prometheus surface.
+//! 8. **event-name-grammar** — flight-recorder event literals
+//!    (`Event::new("…")`) follow the same `seg(.seg)*` grammar as span
+//!    names, keeping the event taxonomy of DESIGN.md §13 mechanical.
 //!
 //! The linter is text-based: each file is masked (string-literal and
 //! comment *contents* blanked, delimiters kept, byte offsets preserved) so
@@ -62,8 +65,8 @@ pub const THREAD_SPAWN_PREFIX: &str = "crates/exec/";
 /// metric literal must be one of these.  Extending the exported namespace
 /// means extending this list in the same change — which is the point.
 pub const METRIC_FAMILIES: &[&str] = &[
-    "health", "index", "ingest", "memory", "query", "sequence", "storage", "update", "workload",
-    "xml",
+    "anomaly", "health", "index", "ingest", "memory", "query", "sequence", "storage", "update",
+    "workload", "xml",
 ];
 
 /// True when a registry metric name opens with a registered family.
@@ -403,6 +406,33 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
             }
         }
 
+        // Rule 8: flight-recorder event literals follow the span grammar.
+        {
+            let needle = "Event::new(\"";
+            let mut from = 0;
+            while let Some(p) = code[from..].find(needle) {
+                let open = from + p + needle.len() - 1; // the opening quote
+                if let Some(q) = m[open + 1..].find('"') {
+                    let close = open + 1 + q;
+                    let name = &raw[open + 1..close];
+                    if !valid_span_name(name) {
+                        findings.push(Finding {
+                            file: rel_path.into(),
+                            line: lineno,
+                            rule: "event-name-grammar",
+                            message: format!(
+                                "event name {name:?} violates `seg(.seg)*` with \
+                                 seg = [a-z][a-z0-9_]*"
+                            ),
+                        });
+                    }
+                    from = close;
+                } else {
+                    break;
+                }
+            }
+        }
+
         // Rule 5: Relaxed ordering must be annotated.
         if code.contains("Ordering::Relaxed") {
             let annotated = (i.saturating_sub(RELAXED_WINDOW)..=i).any(|j| {
@@ -524,6 +554,7 @@ mod tests {
     const BAD_SPAN: &str = include_str!("../fixtures/bad_span_name.rs");
     const BAD_FAMILY: &str = include_str!("../fixtures/bad_metric_family.rs");
     const BAD_RELAXED: &str = include_str!("../fixtures/bad_relaxed.rs");
+    const BAD_EVENT: &str = include_str!("../fixtures/bad_event_name.rs");
     const BAD_SPAWN: &str = include_str!("../fixtures/bad_thread_spawn.rs");
     const GOOD: &str = include_str!("../fixtures/good_clean.rs");
 
@@ -577,6 +608,21 @@ mod tests {
         for fam in ["memory", "health", "workload"] {
             assert!(METRIC_FAMILIES.contains(&fam), "{fam}");
         }
+    }
+
+    #[test]
+    fn bad_event_name_fixture_fails_grammar() {
+        let f = lint_file("crates/demo/src/lib.rs", BAD_EVENT);
+        let events: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == "event-name-grammar")
+            .collect();
+        // exactly the uppercase and empty-segment literals: the good names,
+        // the doc comment, the string payload and the test module must not
+        // fire
+        assert_eq!(events.len(), 2, "{f:?}");
+        assert!(events.iter().all(|f| f.line < 10), "{f:?}");
+        assert_eq!(rules(&f), vec!["event-name-grammar", "event-name-grammar"]);
     }
 
     #[test]

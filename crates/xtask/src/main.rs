@@ -12,8 +12,13 @@
 //!   from `xseq-telemetry`: TYPE declarations, name grammar, histogram
 //!   bucket monotonicity.  CI scrapes the observability example's output
 //!   through this.
+//! * `diagcheck <dir>` — validate a diagnostics bundle (as written by
+//!   `Database::diagnostics` / `repro --diag`): presence of every
+//!   artifact, promlint over `metrics.prom`, JSON/JSONL well-formedness,
+//!   collapsed-stack format, manifest provenance keys.
 #![forbid(unsafe_code)]
 
+mod diagcheck;
 mod lint;
 
 use std::io::Read as _;
@@ -25,6 +30,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         None | Some("lint") => run_lint(),
         Some("promlint") => run_promlint(args.get(1).map(String::as_str)),
+        Some("diagcheck") => run_diagcheck(args.get(1).map(String::as_str)),
         Some("help" | "--help" | "-h") => {
             usage();
             ExitCode::SUCCESS
@@ -71,6 +77,29 @@ fn run_promlint(path: Option<&str>) -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn run_diagcheck(dir: Option<&str>) -> ExitCode {
+    let Some(dir) = dir else {
+        eprintln!("xtask diagcheck: missing bundle directory\n");
+        usage();
+        return ExitCode::from(2);
+    };
+    let path = Path::new(dir);
+    if !path.is_dir() {
+        eprintln!("xtask diagcheck: {dir}: not a directory");
+        return ExitCode::from(2);
+    }
+    let findings = diagcheck::check_bundle(path);
+    if findings.is_empty() {
+        println!("xtask diagcheck: {dir} clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        eprintln!("{dir}/{f}");
+    }
+    eprintln!("xtask diagcheck: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
+
 fn run_lint() -> ExitCode {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     match lint::lint_repo(&root) {
@@ -94,10 +123,11 @@ fn run_lint() -> ExitCode {
 
 fn usage() {
     println!(
-        "usage: cargo xtask [lint | promlint <file|->]\n\n\
+        "usage: cargo xtask [lint | promlint <file|-> | diagcheck <dir>]\n\n\
          subcommands:\n  \
          lint        run the xseq-check lint pass over crates/*/src (default)\n  \
          promlint    validate a Prometheus text exposition (file or stdin)\n  \
+         diagcheck   validate a diagnostics bundle directory\n  \
          help        show this message\n\n\
          exit codes: 0 clean, 1 findings, 2 usage or I/O error"
     );

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! cargo run --example observability
+//! cargo run --example observability -- --diag target/diag
 //! ```
 //!
 //! Every database owns a metrics registry.  Ingestion records `xml.parse`,
@@ -11,8 +12,12 @@
 //! page traffic into `storage.pool.*` when attached.  With tracing enabled,
 //! every query additionally records a span tree retained in the slow-query
 //! log.  This example runs a small workload and prints one query's EXPLAIN
-//! (including its span tree), the slow-query log, the metrics table, an
-//! interval delta, and the JSON export.
+//! (including its span tree), the slow-query log, the flight-recorder
+//! journal, an anomaly-detector transcript, the collapsed phase profile,
+//! the metrics table, an interval delta, and the JSON export.  With
+//! `--diag DIR` it finishes by writing the whole state as one
+//! self-contained diagnostics bundle (validated in CI by
+//! `cargo xtask diagcheck DIR`).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,7 +25,10 @@ use xseq::exec::Ticker;
 use xseq::index::{tree_search, QuerySequence};
 use xseq::storage::{write_paged_trie, MemStore, PagedTrie};
 use xseq::telemetry::{render_table, to_json, to_prometheus, MetricsJournal, Watchdog};
-use xseq::{DatabaseBuilder, PathId, PathTable, Sequencing, SymbolTable, TraceConfig};
+use xseq::{
+    AnomalyDetector, DatabaseBuilder, PathId, PathTable, Sequencing, SloPolicy, SymbolTable,
+    TraceConfig,
+};
 
 /// Renders a schema node class back into `/a/b[='v']` form for display.
 fn render_class(paths: &PathTable, symbols: &SymbolTable, c: PathId) -> String {
@@ -39,6 +47,16 @@ fn render_class(paths: &PathTable, symbols: &SymbolTable, c: PathId) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--diag DIR`: finish by writing the diagnostics bundle into DIR.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let diag_dir = match args.as_slice() {
+        [] => None,
+        [flag, dir] if flag == "--diag" => Some(dir.clone()),
+        _ => {
+            eprintln!("usage: observability [--diag DIR]");
+            std::process::exit(2);
+        }
+    };
     let docs = [
         r#"<project name="xml">
              <research><manager>tom</manager><location>newyork</location></research>
@@ -181,6 +199,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("metrics journal (one interval):\n{}", journal.tick());
     println!();
 
+    // --- the flight recorder ----------------------------------------------
+    // Every lifecycle event — builds, inserts, removals, compactions,
+    // configuration changes, integrity violations, slow queries — lands in
+    // a bounded journal the moment it happens.  Updates exercise it here;
+    // the threshold change below flight-records itself too.
+    db.set_slow_query_threshold(Duration::from_secs(30));
+    let id = db.insert_document(
+        r#"<project name="ops"><develop><location>berlin</location></develop></project>"#,
+    )?;
+    db.remove_document(id);
+    db.compact();
+    let counts = db.events().counts();
+    println!(
+        "flight recorder: {} events recorded ({} warn+, journal JSONL export below)",
+        counts.recorded,
+        counts.by_severity[2] + counts.by_severity[3]
+    );
+    for e in db.events().events() {
+        println!("  #{} [{}] {}", e.seq, e.severity.as_str(), e.name);
+    }
+    println!();
+
+    // --- online anomaly / SLO detection -----------------------------------
+    // The detector learns per-metric baselines (a P² p50 estimate for
+    // latency, an EWMA for throughput) from snapshot deltas on a tick
+    // cadence, and raises `anomaly.*` gauges + flight-recorder alerts when
+    // an interval's p99 deviates past the policy's burn-rate thresholds.
+    let detector = AnomalyDetector::new(Arc::clone(&registry), SloPolicy::default())
+        .events(Arc::clone(db.events()))
+        .watch_latency("index.search");
+    let mut alerts = 0;
+    for _ in 0..4 {
+        for q in ["//location", "/project/research", "/project/*/manager"] {
+            for _ in 0..4 {
+                db.query_xpath(q)?;
+            }
+        }
+        alerts += detector.tick().len();
+    }
+    println!(
+        "anomaly detector: 4 intervals judged, {alerts} alert(s), baseline p50 {} ns",
+        db.metrics()
+            .gauge("anomaly.latency.index_search.baseline_ns")
+            .unwrap_or(0)
+    );
+    println!();
+
+    // --- the continuous phase profiler ------------------------------------
+    // Always-on wall-time attribution folded from the span-timer
+    // histograms every path already maintains — no sampling, no profiler
+    // process.  The collapsed form loads directly into flamegraph tooling.
+    println!("collapsed phase profile (frame;frame nanoseconds):");
+    print!("{}", db.phase_profile().to_collapsed());
+    println!();
+
     // --- the full registry ------------------------------------------------
     println!("{}", render_table(&db.metrics()));
     println!("JSON export:\n{}", to_json(&db.metrics()));
@@ -194,5 +267,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "prometheus exposition: {} bytes -> target/metrics.prom",
         prom.len()
     );
+
+    // --- one-command diagnostics bundle -----------------------------------
+    if let Some(dir) = diag_dir {
+        let report = db.diagnostics(&dir)?;
+        println!(
+            "diagnostics bundle: {} artifacts -> {}",
+            report.files.len(),
+            report.dir.display()
+        );
+    }
     Ok(())
 }

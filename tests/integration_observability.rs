@@ -1,0 +1,237 @@
+//! Integration tests for the observability stack: the flight recorder on
+//! the database lifecycle, the runtime-tunable slow-query threshold, the
+//! online anomaly detector against a deterministically injected latency
+//! spike, the continuous phase profiler, and the one-command diagnostics
+//! bundle.
+
+use std::time::Duration;
+use xseq::{AnomalyDetector, AnomalyKind, DatabaseBuilder, Severity, SloPolicy, TraceConfig};
+
+fn small_db() -> xseq::Database {
+    DatabaseBuilder::new()
+        .build_from_xml([
+            "<project><research><loc>newyork</loc></research></project>",
+            "<project><develop><loc>boston</loc></develop></project>",
+        ])
+        .expect("corpus indexes")
+}
+
+#[test]
+fn lifecycle_lands_in_the_flight_recorder() {
+    let mut db = small_db();
+    let id = db
+        .insert_document("<project><audit/></project>")
+        .expect("doc parses");
+    db.remove_document(id);
+    db.compact();
+    let names: Vec<&str> = db.events().events().iter().map(|e| e.name).collect();
+    for expected in [
+        "ingest.build",
+        "ingest.insert",
+        "ingest.remove",
+        "compact.start",
+        "compact.finish",
+    ] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    // Sequence numbers are strictly increasing in recorded order.
+    let seqs: Vec<u64> = db.events().events().iter().map(|e| e.seq).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    // …and the journal round-trips through JSONL, one line per event.
+    assert_eq!(db.events().to_jsonl().lines().count(), names.len());
+}
+
+#[test]
+fn slow_query_threshold_is_runtime_tunable_and_flight_recorded() {
+    let db = small_db();
+    // Untraced databases start disarmed: no threshold, no query.slow.
+    assert_eq!(db.slow_query_threshold(), None);
+    db.query_xpath("/project//loc").expect("query parses");
+    assert!(db.events().events().iter().all(|e| e.name != "query.slow"));
+    // Arm at zero: every query is now slow, and the change itself is an
+    // event.
+    db.set_slow_query_threshold(Duration::ZERO);
+    assert_eq!(db.slow_query_threshold(), Some(Duration::ZERO));
+    db.query_xpath("/project//loc").expect("query parses");
+    let events = db.events().events();
+    assert!(events
+        .iter()
+        .any(|e| e.name == "config.slow_query_threshold"));
+    let slow: Vec<_> = events.iter().filter(|e| e.name == "query.slow").collect();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].severity, Severity::Warn);
+    assert_eq!(slow[0].message, "/project//loc");
+}
+
+#[test]
+fn tracer_threshold_moves_in_lockstep() {
+    let db = DatabaseBuilder::new()
+        .trace_config(TraceConfig {
+            slow_threshold: Duration::from_secs(5),
+            ..TraceConfig::default()
+        })
+        .build_from_xml(["<a><b/></a>"])
+        .expect("corpus indexes");
+    // Armed from the trace config.
+    assert_eq!(db.slow_query_threshold(), Some(Duration::from_secs(5)));
+    assert!(db.slow_queries().is_empty());
+    // Lowering it to zero routes every traced query into the slow log AND
+    // the flight recorder.
+    db.set_slow_query_threshold(Duration::ZERO);
+    db.query_xpath("/a/b").expect("query parses");
+    assert_eq!(db.slow_queries().len(), 1);
+    assert!(db.events().events().iter().any(|e| e.name == "query.slow"));
+}
+
+/// The ISSUE's acceptance scenario: a deterministically injected p99
+/// latency spike must raise exactly one alert (gauge, counter, event),
+/// and the identical clean run must stay silent.
+#[test]
+fn anomaly_detector_flags_an_injected_spike_and_stays_silent_when_clean() {
+    let db = small_db();
+    let registry = db.metrics_registry().clone();
+    let policy = SloPolicy {
+        warmup_intervals: 2,
+        burn_intervals: 2,
+        min_samples: 4,
+        ..SloPolicy::default()
+    };
+    let detector = AnomalyDetector::new(registry.clone(), policy)
+        .events(db.events().clone())
+        .watch_latency("index.search");
+    let h = registry.histogram("index.search");
+    // Clean phase: steady ~1ms intervals, well past warmup.
+    let mut alerts = Vec::new();
+    for _ in 0..8 {
+        for _ in 0..16 {
+            h.record(1_000_000);
+        }
+        alerts.extend(detector.tick());
+    }
+    assert!(alerts.is_empty(), "clean run must stay silent: {alerts:?}");
+    let snap = registry.snapshot();
+    assert_eq!(snap.gauge("anomaly.latency.index_search.active"), Some(0));
+    assert_eq!(snap.counter("anomaly.alerts"), 0);
+    // Spike phase: a sustained 20× regression fires after exactly
+    // `burn_intervals` breaching intervals — once, not per interval.
+    for _ in 0..4 {
+        for _ in 0..16 {
+            h.record(20_000_000);
+        }
+        alerts.extend(detector.tick());
+    }
+    assert_eq!(alerts.len(), 1, "one alert for one sustained spike");
+    assert_eq!(alerts[0].kind, AnomalyKind::LatencyP99);
+    assert_eq!(alerts[0].metric, "index.search");
+    assert!(alerts[0].observed > alerts[0].baseline);
+    let snap = registry.snapshot();
+    assert_eq!(snap.gauge("anomaly.latency.index_search.active"), Some(1));
+    assert_eq!(snap.counter("anomaly.alerts"), 1);
+    let events = db.events().events();
+    let alert_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "anomaly.latency")
+        .collect();
+    assert_eq!(alert_events.len(), 1);
+    assert_eq!(alert_events[0].severity, Severity::Warn);
+    assert_eq!(alert_events[0].message, "index.search");
+    // Recovery: healthy intervals clear the alert and flight-record it.
+    for _ in 0..6 {
+        for _ in 0..16 {
+            h.record(1_000_000);
+        }
+        detector.tick();
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.gauge("anomaly.latency.index_search.active"), Some(0));
+    assert!(db
+        .events()
+        .events()
+        .iter()
+        .any(|e| e.name == "anomaly.clear"));
+}
+
+#[test]
+fn phase_profile_attributes_real_work() {
+    let mut db = small_db();
+    db.query_xpath("/project//loc").expect("query parses");
+    db.insert_document("<project><x/></project>")
+        .expect("doc parses");
+    db.compact();
+    let profile = db.phase_profile();
+    assert!(profile.total_ns() > 0);
+    let collapsed = db.phase_profile().to_collapsed();
+    for needle in [
+        "ingest;sequence.encode ",
+        "query;query.parse ",
+        "update;update.insert ",
+        "update;index.compact ",
+    ] {
+        assert!(
+            collapsed.contains(needle),
+            "missing {needle:?}:\n{collapsed}"
+        );
+    }
+    // Every line is `frame;frame <u64>`.
+    for line in collapsed.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("value tail");
+        assert!(value.parse::<u64>().is_ok(), "{line}");
+        assert!(stack.split(';').all(|f| !f.is_empty()), "{line}");
+    }
+}
+
+#[test]
+fn diagnostics_bundle_is_complete_and_self_describing() {
+    let dir = std::env::temp_dir().join(format!("xseq-diag-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = DatabaseBuilder::new()
+        .trace_config(TraceConfig {
+            sample_rate: 1.0,
+            slow_threshold: Duration::ZERO,
+            ..TraceConfig::default()
+        })
+        .build_from_xml(["<a><b>boston</b></a>", "<a><c/></a>"])
+        .expect("corpus indexes");
+    db.query_xpath("/a/b").expect("query parses");
+    db.insert_document("<a><d/></a>").expect("doc parses");
+    db.compact();
+    let report = db.diagnostics(&dir).expect("bundle writes");
+    assert_eq!(report.dir, dir);
+    assert_eq!(
+        report.files,
+        vec![
+            "metrics.prom",
+            "metrics.json",
+            "stats.txt",
+            "workload.json",
+            "heap.json",
+            "traces_recent.json",
+            "traces_slow.json",
+            "events.jsonl",
+            "profile.collapsed",
+            "manifest.json",
+        ]
+    );
+    for name in &report.files {
+        assert!(dir.join(name).is_file(), "missing {name}");
+    }
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest reads");
+    for key in [
+        "\"version\"",
+        "\"sequencing\":\"probability\"",
+        "\"docs\":3",
+        "\"tracing\":true",
+        "\"slow_threshold_ns\":0",
+        "\"files\":[\"metrics.prom\"",
+    ] {
+        assert!(manifest.contains(key), "manifest misses {key}: {manifest}");
+    }
+    // The journal artifact carries the same events the live journal holds.
+    let jsonl = std::fs::read_to_string(dir.join("events.jsonl")).expect("journal reads");
+    assert_eq!(jsonl.lines().count(), db.events().events().len());
+    assert!(jsonl.contains("\"name\":\"compact.finish\""));
+    // metrics.prom is promlint-clean, straight from the exporter.
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("prom reads");
+    assert!(xseq::telemetry::lint_prometheus(&prom).is_empty());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
