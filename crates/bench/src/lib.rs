@@ -545,7 +545,7 @@ static THREAD_CAP: AtomicUsize = AtomicUsize::new(8);
 
 /// Caps the [`scaling`] thread series at `n` (clamped to at least 1).
 pub fn set_thread_cap(n: usize) {
-    // relaxed: standalone config cell, written once before experiments run
+    // ORDERING: config — standalone cell, written once before experiments run
     THREAD_CAP.store(n.max(1), Ordering::Relaxed);
 }
 
@@ -573,7 +573,7 @@ pub fn scaling(scale: f64) {
         .cycle()
         .take(600)
         .collect();
-    let cap = THREAD_CAP.load(Ordering::Relaxed); // relaxed: config read
+    let cap = THREAD_CAP.load(Ordering::Relaxed); // ORDERING: config — advisory read
     println!(
         "{n} records, {} queries per batch, threads ≤ {cap}",
         exprs.len()
@@ -675,7 +675,7 @@ pub fn updates(scale: f64) {
         .cycle()
         .take(600)
         .collect();
-    let cap = THREAD_CAP.load(Ordering::Relaxed); // relaxed: config read
+    let cap = THREAD_CAP.load(Ordering::Relaxed); // ORDERING: config — advisory read
     println!(
         "{nbase} base records, {nextra} inserts, {} removes, threads ≤ {cap}",
         nbase / 8

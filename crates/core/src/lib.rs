@@ -695,7 +695,7 @@ impl Database {
     /// ([`QueryOutcome::classes`]), its latency the wall time of the whole
     /// parse → plan → search pipeline.
     fn query_xpath_ctx(&self, expr: &str, ctx: &mut QueryContext) -> Result<QueryOutcome, Error> {
-        // relaxed: advisory config read; no memory is published through it.
+        // ORDERING: config — advisory read; no memory is published through it.
         let slow_ns = self.slow_threshold_ns.load(Ordering::Relaxed);
         if self.workload.is_none() && slow_ns == u64::MAX {
             return self.query_xpath_inner(expr, ctx);
@@ -803,9 +803,9 @@ impl Database {
         if self.spot_step == 0 {
             return;
         }
-        // relaxed: the accumulator is a pure sampling counter; each query
-        // claims its window with the RMW alone and no other memory is
-        // published through it.
+        // ORDERING: sample — a pure sampling accumulator; each query claims
+        // its window with the RMW alone and no other memory is published
+        // through it.
         let prev = self.spot_accum.fetch_add(self.spot_step, Ordering::Relaxed);
         if (prev.wrapping_add(self.spot_step) >> 32) != (prev >> 32) {
             let report = self.index.verify_structure();
@@ -886,7 +886,7 @@ impl Database {
     /// change itself is recorded as a `config.slow_query_threshold` event.
     pub fn set_slow_query_threshold(&self, threshold: Duration) {
         let ns = threshold.as_nanos().min(u64::MAX as u128) as u64;
-        // relaxed: advisory config value read per query; no memory is
+        // ORDERING: config — advisory value read per query; no memory is
         // published through it.
         self.slow_threshold_ns.store(ns, Ordering::Relaxed);
         if let Some(tracer) = &self.tracer {
@@ -899,7 +899,7 @@ impl Database {
     /// The current slow-query threshold, or `None` when disarmed (the
     /// default for untraced databases).
     pub fn slow_query_threshold(&self) -> Option<Duration> {
-        // relaxed: advisory config read.
+        // ORDERING: config — advisory read.
         let ns = self.slow_threshold_ns.load(Ordering::Relaxed);
         (ns != u64::MAX).then(|| Duration::from_nanos(ns))
     }

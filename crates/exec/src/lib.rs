@@ -69,8 +69,8 @@ impl ChunkQueue {
     /// `None` (the pool's workers do), which bounds the cursor overshoot
     /// to one claim per caller.
     pub fn claim(&self) -> Option<(usize, usize)> {
-        // relaxed: the fetch_add RMW is the whole synchronization story —
-        // it alone makes claims disjoint.  Results computed from a claim
+        // ORDERING: cursor — the fetch_add RMW is the whole synchronization
+        // story; it alone makes claims disjoint.  Results computed from a claim
         // travel back to the caller through the scope join (a full
         // happens-before edge), never through this counter.
         let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
@@ -197,8 +197,12 @@ impl Pool {
             for _ in 0..self.threads.min(n_chunks) {
                 s.spawn(|| {
                     while let Some((start, end)) = queue.claim() {
+                        // PANIC-FREE: chunk >= 1 (clamped at entry)
                         let ci = start / chunk;
+                        // PANIC-FREE: claim() returns start < len, end <= len
                         let result = f(ci, &items[start..end]);
+                        // PANIC-FREE: ci < n_chunks since start < len; the
+                        // lock only poisons if f panicked (already unwinding)
                         *slots[ci].lock().expect("chunk result lock poisoned") = Some(result);
                     }
                 });
@@ -207,8 +211,11 @@ impl Pool {
         slots
             .into_iter()
             .map(|slot| {
+                // PANIC-FREE: the scope joined every worker, so each slot
+                // was filled exactly once and its lock cannot be poisoned
                 slot.into_inner()
                     .expect("chunk result lock poisoned")
+                    // PANIC-FREE: every chunk index was claimed and stored
                     .expect("chunk queue hands every chunk to exactly one worker")
             })
             .collect()
@@ -285,15 +292,15 @@ impl Ticker {
         let stop_flag = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
             loop {
-                // relaxed: the flag is a standalone shutdown latch; the
-                // join below is the only ordering anyone relies on.
+                // ORDERING: latch — standalone shutdown flag; the join
+                // below is the only ordering anyone relies on.
                 if stop_flag.load(Ordering::Relaxed) {
                     return;
                 }
                 f();
                 let mut remaining = period;
                 while remaining > Duration::ZERO {
-                    // relaxed: same standalone shutdown latch as above
+                    // ORDERING: latch — same standalone shutdown flag as above
                     if stop_flag.load(Ordering::Relaxed) {
                         return;
                     }
@@ -312,7 +319,7 @@ impl Ticker {
     /// Signals the thread to stop and joins it.  Idempotent; also runs on
     /// drop.
     pub fn stop(&mut self) {
-        // relaxed: the join right after provides the happens-before edge
+        // ORDERING: latch — the join right after provides the happens-before edge
         self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();

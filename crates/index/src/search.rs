@@ -62,6 +62,8 @@ impl QuerySequence {
             .collect();
         let parent_pos = nodes
             .iter()
+            // PANIC-FREE: sequencing emits every node, so a parent of an
+            // emitted node is itself a key of pos_of
             .map(|&n| doc.parent(n).map(|p| pos_of[&p]))
             .collect();
         QuerySequence {
@@ -88,6 +90,8 @@ impl QuerySequence {
             .collect();
         let parent_pos = nodes
             .iter()
+            // PANIC-FREE: sequencing emits every node, so a parent of an
+            // emitted node is itself a key of pos_of
             .map(|&n| doc.parent(n).map(|p| pos_of[&p]))
             .collect();
         Some(QuerySequence {
@@ -290,7 +294,14 @@ pub fn tree_search_with<V: TrieView + ?Sized>(
                 best = Some(e);
             }
         }
-        let e = best.expect("parents precede children in the element list");
+        let Some(e) = best else {
+            // Unreachable: parent_pos forms a forest, so an unplaced
+            // element whose parent is placed (or absent) always exists.
+            // Degrade to an empty result rather than panic on the query
+            // path.
+            debug_assert!(false, "query element order is not a forest");
+            return stats;
+        };
         placed[e] = true;
         order.push(e);
     }
@@ -442,6 +453,7 @@ fn go<V: TrieView + ?Sized>(
         trie.collect_docs_in_range(v_serial, v_max, out);
         return;
     }
+    // PANIC-FREE: i < q.len() (checked above), so paths[i] is in bounds
     let path = q.paths[i];
     // candidates: serial ∈ (v⊢, v⊣]
     let len = trie.link_len(path);
@@ -455,8 +467,13 @@ fn go<V: TrieView + ?Sized>(
         idx += 1;
         stats.candidates += 1;
         if check {
+            // PANIC-FREE: i < q.len(); pp < i because parents are emitted
+            // before children, and matched holds one entry per element
+            // already placed, so both lookups are in bounds
             if let Some(pp) = q.parent_pos[i] {
+                // PANIC-FREE: same bound — pp < i <= matched.len()
                 let anchor = matched[pp as usize];
+                // PANIC-FREE: same bound — pp < i <= len of each table
                 if trie.embeds_identical(anchor)
                     && trie.nearest_ancestor_with_path(e.node, q.paths[pp as usize]) != Some(anchor)
                 {

@@ -60,6 +60,8 @@ pub struct SegmentStats {
 
 impl SegmentStats {
     /// Collects the statistics of one trie by a read-only walk.
+    // PANIC-FREE: depths and the frozen tables are sized to the arena,
+    // and the walk only visits arena-minted node ids
     pub fn collect(trie: &SequenceTrie) -> SegmentStats {
         let mut s = SegmentStats {
             nodes: trie.node_count(),
@@ -150,6 +152,7 @@ fn bump(v: &mut Vec<u64>, idx: usize) {
     if v.len() <= idx {
         v.resize(idx + 1, 0);
     }
+    // PANIC-FREE: the resize above guarantees idx < v.len()
     v[idx] += 1;
 }
 

@@ -186,12 +186,14 @@ impl SequenceTrie {
     }
 
     /// The path encoding of a node.
+    // PANIC-FREE: TrieNodeIds are only minted by this arena's insert
     #[inline]
     pub fn path(&self, n: TrieNodeId) -> PathId {
         self.nodes[n as usize].path
     }
 
     /// The parent of a node (`NIL` for the virtual root).
+    // PANIC-FREE: arena-minted TrieNodeId contract (see `path`)
     #[inline]
     pub fn parent(&self, n: TrieNodeId) -> TrieNodeId {
         self.nodes[n as usize].parent
@@ -204,12 +206,14 @@ impl SequenceTrie {
 
     /// The first child of a node in the arena's sibling chain (`NIL` when
     /// the node is a leaf) — traversal primitive for the verifier.
+    // PANIC-FREE: arena-minted TrieNodeId contract (see `path`)
     #[inline]
     pub(crate) fn first_child(&self, n: TrieNodeId) -> TrieNodeId {
         self.nodes[n as usize].first_child
     }
 
     /// The next sibling of a node in the arena's sibling chain.
+    // PANIC-FREE: arena-minted TrieNodeId contract (see `path`)
     #[inline]
     pub(crate) fn next_sibling(&self, n: TrieNodeId) -> TrieNodeId {
         self.nodes[n as usize].next_sibling
@@ -256,6 +260,7 @@ impl SequenceTrie {
                 Some(&c) => c,
                 None => {
                     let id = self.nodes.len() as TrieNodeId;
+                    // PANIC-FREE: cur is always an existing arena id
                     let first = self.nodes[cur as usize].first_child;
                     self.nodes.push(TrieNode {
                         path: p,
@@ -263,6 +268,7 @@ impl SequenceTrie {
                         first_child: NIL,
                         next_sibling: first,
                     });
+                    // PANIC-FREE: cur is always an existing arena id
                     self.nodes[cur as usize].first_child = id;
                     self.edges.insert((cur, p), id);
                     id
@@ -299,6 +305,9 @@ impl SequenceTrie {
 
     /// Labels the trie and builds the path links (Sections 4.1 steps 2–3).
     /// Idempotent; call again after further insertions.
+    // PANIC-FREE: serial/max_desc/embeds are sized to the arena and the
+    // DFS only visits arena ids; every Exit's path_stack entry was pushed
+    // by its own Enter; next_serial counts at most arena_len nodes
     pub fn freeze(&mut self) {
         if self.frozen.is_some() {
             return;
@@ -541,6 +550,8 @@ impl SequenceTrie {
 
     /// The frozen labels/links; panics if [`SequenceTrie::freeze`] has not
     /// been called since the last insertion.
+    // PANIC-FREE: every index constructor and mutation path re-freezes
+    // before returning, so query-time callers always see Some
     pub fn frozen(&self) -> &Frozen {
         self.frozen
             .as_ref()
@@ -553,6 +564,7 @@ impl SequenceTrie {
     }
 
     /// The label `(n⊢, n⊣)` of a node.
+    // PANIC-FREE: frozen tables are sized to the arena; ids are arena-minted
     pub fn label(&self, n: TrieNodeId) -> (u32, u32) {
         let f = self.frozen();
         (f.serial[n as usize], f.max_desc[n as usize])
@@ -566,6 +578,7 @@ impl SequenceTrie {
 
     /// Walks up from `n` to the nearest proper ancestor whose path is `t`
     /// (the "closest same-path ancestor" used by the sibling-cover check).
+    // PANIC-FREE: arena-minted TrieNodeId contract (see `path`)
     pub fn nearest_ancestor_with_path(&self, n: TrieNodeId, t: PathId) -> Option<TrieNodeId> {
         let mut cur = self.nodes[n as usize].parent;
         while cur != NIL {
@@ -581,6 +594,7 @@ impl SequenceTrie {
     pub fn collect_docs_in_range(&self, lo: u32, hi: u32, out: &mut Vec<DocId>) {
         let f = self.frozen();
         let start = f.end_nodes.partition_point(|&(s, _)| s < lo);
+        // PANIC-FREE: partition_point returns an index <= len
         for &(s, node) in &f.end_nodes[start..] {
             if s > hi {
                 break;
@@ -660,12 +674,15 @@ impl TrieView for SequenceTrie {
         SequenceTrie::parent(self, n)
     }
     fn embeds_identical(&self, n: TrieNodeId) -> bool {
+        // PANIC-FREE: frozen tables are sized to the arena
         self.frozen().embeds_identical[n as usize]
     }
     fn link_len(&self, path: PathId) -> usize {
         self.frozen().links.get(&path).map(Vec::len).unwrap_or(0)
     }
     fn link_entry(&self, path: PathId, idx: usize) -> LinkEntry {
+        // PANIC-FREE: callers iterate idx < link_len(path), which also
+        // guarantees the links map contains the path
         self.frozen().links[&path][idx]
     }
     fn collect_docs_in_range(&self, lo: u32, hi: u32, out: &mut Vec<DocId>) {

@@ -248,6 +248,8 @@ pub fn verify_trie_structure(trie: &SequenceTrie) -> IntegrityReport {
     // Serials are a permutation of 0..n.
     let mut seen = vec![false; n];
     for (i, &s) in f.serial.iter().enumerate() {
+        // PANIC-FREE: the || short-circuits, so seen (len n) is only
+        // indexed once s < n holds
         if (s as usize) >= n || seen[s as usize] {
             report.push(Violation {
                 class: InvariantClass::PreorderNesting,
@@ -256,6 +258,7 @@ pub fn verify_trie_structure(trie: &SequenceTrie) -> IntegrityReport {
                 detail: format!("serial {s} out of range or duplicated (arena of {n})"),
             });
         } else {
+            // PANIC-FREE: else branch of the s >= n test, so s < n
             seen[s as usize] = true;
         }
     }
@@ -319,6 +322,7 @@ pub fn verify_trie_structure(trie: &SequenceTrie) -> IntegrityReport {
         }
         ranges.sort_unstable();
         for w in ranges.windows(2) {
+            // PANIC-FREE: windows(2) yields exactly two entries
             let (_, am, an) = w[0];
             let (bs, _, bn) = w[1];
             if bs <= am {
@@ -338,14 +342,16 @@ pub fn verify_trie_structure(trie: &SequenceTrie) -> IntegrityReport {
     let mut covered = vec![0u32; n];
     for (&path, entries) in &f.links {
         for w in entries.windows(2) {
-            if w[0].serial >= w[1].serial {
+            // PANIC-FREE: windows(2) yields exactly two entries
+            let (a, b) = (&w[0], &w[1]);
+            if a.serial >= b.serial {
                 report.push(Violation {
                     class: InvariantClass::LinkOrder,
-                    node: Some(w[1].node),
-                    serial: Some(w[1].serial),
+                    node: Some(b.node),
+                    serial: Some(b.serial),
                     detail: format!(
                         "link of path {path:?} not strictly ascending: {} then {}",
-                        w[0].serial, w[1].serial
+                        a.serial, b.serial
                     ),
                 });
             }
@@ -360,6 +366,7 @@ pub fn verify_trie_structure(trie: &SequenceTrie) -> IntegrityReport {
                 });
                 continue;
             }
+            // PANIC-FREE: e.node < n — the out-of-arena case continued
             covered[e.node as usize] += 1;
             let (s, m) = trie.label(e.node);
             if e.serial != s || e.max_desc != m {
@@ -390,28 +397,30 @@ pub fn verify_trie_structure(trie: &SequenceTrie) -> IntegrityReport {
             let expected = entries
                 .get(idx + 1)
                 .is_some_and(|next| next.serial <= e.max_desc && next.serial > e.serial);
-            if f.embeds_identical[e.node as usize] != expected {
+            // PANIC-FREE: e.node < n — the out-of-arena case continued
+            let actual = f.embeds_identical[e.node as usize];
+            if actual != expected {
                 report.push(Violation {
                     class: InvariantClass::SiblingCover,
                     node: Some(e.node),
                     serial: Some(s),
                     detail: format!(
-                        "embeds_identical is {} but recomputation says {expected}",
-                        f.embeds_identical[e.node as usize]
+                        "embeds_identical is {actual} but recomputation says {expected}"
                     ),
                 });
             }
         }
     }
     for i in 1..n as TrieNodeId {
-        if covered[i as usize] != 1 {
+        // PANIC-FREE: i < n and covered was sized to n
+        let times = covered[i as usize];
+        if times != 1 {
             report.push(Violation {
                 class: InvariantClass::LinkCoverage,
                 node: Some(i),
                 serial: Some(trie.label(i).0),
                 detail: format!(
-                    "node appears {} times across the path links (expected exactly once)",
-                    covered[i as usize]
+                    "node appears {times} times across the path links (expected exactly once)"
                 ),
             });
         }
@@ -420,11 +429,13 @@ pub fn verify_trie_structure(trie: &SequenceTrie) -> IntegrityReport {
     // End-node registry: strictly ascending serials, in exact agreement
     // with the document-id lists, totalling the inserted sequence count.
     for w in f.end_nodes.windows(2) {
-        if w[0].0 >= w[1].0 {
+        // PANIC-FREE: windows(2) yields exactly two entries
+        let (a, b) = (w[0], w[1]);
+        if a.0 >= b.0 {
             report.push(Violation {
                 class: InvariantClass::EndNodes,
-                node: Some(w[1].1),
-                serial: Some(w[1].0),
+                node: Some(b.1),
+                serial: Some(b.0),
                 detail: "end-node registry not strictly ascending by serial".into(),
             });
         }

@@ -181,6 +181,7 @@ pub fn sequence_nodes(
     }
     let enc = doc.path_encode(paths);
     let order = emit_order(doc, &enc, strategy);
+    // PANIC-FREE: enc has one entry per node and order holds node ids
     let seq = Sequence(order.iter().map(|&n| enc[n as usize]).collect());
     (seq, order)
 }
@@ -203,6 +204,7 @@ pub fn sequence_nodes_readonly(
     }
     let enc = doc.path_encode_readonly(paths)?;
     let order = emit_order(doc, &enc, strategy);
+    // PANIC-FREE: enc has one entry per node and order holds node ids
     let seq = Sequence(order.iter().map(|&n| enc[n as usize]).collect());
     Some((seq, order))
 }
@@ -210,6 +212,7 @@ pub fn sequence_nodes_readonly(
 /// The strategy-driven emission order over an already-encoded document.
 /// Pure in `(doc, enc, strategy)` — interning happens strictly before.
 fn emit_order(doc: &Document, enc: &[PathId], strategy: &Strategy) -> Vec<NodeId> {
+    // PANIC-FREE: both callers return early when the document is empty
     let root = doc
         .root()
         .expect("emit order is only computed for non-empty documents");
@@ -253,11 +256,13 @@ fn emit_order(doc: &Document, enc: &[PathId], strategy: &Strategy) -> Vec<NodeId
             let pri: Vec<f64> = (0..doc.len() as u64)
                 .map(|n| splitmix64(seed.wrapping_add(0x9e37_79b9).wrapping_mul(31) ^ n) as f64)
                 .collect();
+            // PANIC-FREE: pri has exactly doc.len() entries, one per node
             emit_with_priority(doc, enc, &|n: NodeId| pri[n as usize])
         }
         Strategy::Probability(map) => emit_with_priority_grouped(
             doc,
             enc,
+            // PANIC-FREE: enc has one entry per node id
             &|n: NodeId| map.get(enc[n as usize]),
             &|p: PathId| map.is_contiguous(p),
             &|p: PathId| map.block_priority(p),
@@ -270,6 +275,7 @@ pub fn has_identical_siblings(doc: &Document) -> bool {
     doc.node_ids().any(|n| {
         let kids = doc.children(n);
         for (i, &a) in kids.iter().enumerate() {
+            // PANIC-FREE: i < kids.len(), so i + 1 is a valid range start
             for &b in &kids[i + 1..] {
                 if doc.sym(a) == doc.sym(b) {
                     return true;
@@ -327,11 +333,14 @@ fn emit_with_priority_grouped(
     for &n in doc.preorder().iter().rev() {
         let mut m = priority(n);
         for &c in doc.children(n) {
+            // PANIC-FREE: minp has one entry per document node id
             m = m.min(minp[c as usize]);
         }
+        // PANIC-FREE: preorder yields ids < doc.len() == minp.len()
         minp[n as usize] = m;
     }
     let eff = move |c: NodeId| {
+        // PANIC-FREE: same per-node table contract as minp above
         if has_identical_sibling(doc, c) || contiguous(enc[c as usize]) {
             block_priority(enc[c as usize]).unwrap_or(minp[c as usize])
         } else {
@@ -339,6 +348,7 @@ fn emit_with_priority_grouped(
         }
     };
     let mut out = Vec::with_capacity(doc.len());
+    // PANIC-FREE: reached only through emit_order's non-empty guard
     let root = doc
         .root()
         .expect("emit order is only computed for non-empty documents");
@@ -346,6 +356,8 @@ fn emit_with_priority_grouped(
     out
 }
 
+// PANIC-FREE: avail indices come from 0..avail.len(); enc carries one
+// entry per document node id
 fn emit_subtree(
     doc: &Document,
     enc: &[PathId],
@@ -376,6 +388,7 @@ fn emit_subtree(
 }
 
 /// Strict "a should be emitted before b" ordering.
+// PANIC-FREE: enc carries one entry per document node id
 fn better(
     doc: &Document,
     enc: &[PathId],

@@ -44,6 +44,8 @@ pub fn put_u64(page: &mut [u8; PAGE_SIZE], off: usize, v: u64) {
 /// Addressing helper: which page and offset hold record `idx` of a section
 /// starting at page `base`, with `rec` bytes per record and `per` records
 /// per page.
+// PANIC-FREE: every caller passes one of the *_PER_PAGE constants,
+// all of which are nonzero by construction
 #[inline]
 pub fn locate(base: PageId, idx: usize, rec: usize, per: usize) -> (PageId, usize) {
     (base + (idx / per) as PageId, (idx % per) * rec)

@@ -301,6 +301,9 @@ impl<S: PageStore> PagedTrie<S> {
         self.node_count as usize - 1
     }
 
+    // PANIC-FREE: the pool mutex poisons only if a holder panicked (the
+    // process is already unwinding); with_page fails only on store I/O
+    // errors, which the storage layer treats as fatal by design
     fn node_field(&self, n: TrieNodeId, field: usize) -> u32 {
         let (pg, off) = locate(self.nodes_start, n as usize, NODE_REC, NODES_PER_PAGE);
         self.pool
@@ -310,6 +313,7 @@ impl<S: PageStore> PagedTrie<S> {
             .expect("paged trie I/O")
     }
 
+    // PANIC-FREE: same pool-poison / fatal-I/O argument as node_field
     fn end_record(&self, i: usize) -> (u32, TrieNodeId, u32, u32) {
         let (pg, off) = locate(self.ends_start, i, END_REC, ENDS_PER_PAGE);
         self.pool
@@ -332,6 +336,7 @@ impl<S: PageStore> TrieView for PagedTrie<S> {
         0
     }
 
+    // PANIC-FREE: same pool-poison / fatal-I/O argument as node_field
     fn label(&self, n: TrieNodeId) -> (u32, u32) {
         let (pg, off) = locate(self.nodes_start, n as usize, NODE_REC, NODES_PER_PAGE);
         self.pool
@@ -357,6 +362,8 @@ impl<S: PageStore> TrieView for PagedTrie<S> {
         self.dir.get(&path).map(|&(_, l)| l as usize).unwrap_or(0)
     }
 
+    // PANIC-FREE: callers iterate idx < link_len(path), which also
+    // guarantees `dir` contains the path; I/O failure is fatal by design
     fn link_entry(&self, path: PathId, idx: usize) -> LinkEntry {
         let (start, len) = self.dir[&path];
         assert!(idx < len as usize, "link index out of range");
@@ -377,6 +384,7 @@ impl<S: PageStore> TrieView for PagedTrie<S> {
             .expect("paged trie I/O")
     }
 
+    // PANIC-FREE: same pool-poison / fatal-I/O argument as node_field
     fn collect_docs_in_range(&self, lo: u32, hi: u32, out: &mut Vec<DocId>) {
         // binary search the first end record with serial >= lo
         let n = self.end_count as usize;

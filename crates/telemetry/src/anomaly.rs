@@ -61,6 +61,8 @@ impl P2Quantile {
     }
 
     /// Feeds one observation.
+    // PANIC-FREE: heights/positions/desired are [_; 5]; every index is a
+    // constant in 0..5 or i±1 with i in 1..4, and f64 division never panics
     pub fn observe(&mut self, x: f64) {
         if self.count < 5 {
             let n = self.count as usize;
@@ -119,6 +121,8 @@ impl P2Quantile {
         }
     }
 
+    // PANIC-FREE: called only with i in 1..4 over [_; 5] arrays; float
+    // division by a zero gap yields inf/NaN, not a panic
     fn parabolic(&self, i: usize, sign: f64) -> f64 {
         let q = &self.heights;
         let n = &self.positions;
@@ -127,6 +131,8 @@ impl P2Quantile {
                 + (n[i + 1] - n[i] - sign) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
     }
 
+    // PANIC-FREE: called only with i in 1..4, so j in 0..5; float division
+    // never panics
     fn linear(&self, i: usize, sign: f64) -> f64 {
         let j = if sign > 0.0 { i + 1 } else { i - 1 };
         self.heights[i]
@@ -142,6 +148,7 @@ impl P2Quantile {
         if self.count < 5 {
             let n = self.count as usize;
             let rank = ((self.p * n as f64).ceil() as usize).clamp(1, n);
+            // PANIC-FREE: rank clamped to 1..=n with n < 5
             return Some(self.heights[rank - 1]);
         }
         Some(self.heights[2])

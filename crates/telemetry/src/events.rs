@@ -198,10 +198,11 @@ impl EventJournal {
     /// Stamps `event` with its sequence number and journal-relative
     /// timestamp, records it, and returns the shared stamped event.
     pub fn record(&self, mut event: Event) -> Arc<Event> {
-        // relaxed: sequence uniqueness needs only fetch_add atomicity, and
-        // the per-severity tallies are independent statistics.
+        // ORDERING: id — sequence uniqueness needs only fetch_add atomicity.
         event.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         event.elapsed_ns = self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // ORDERING: counter — per-severity tallies are independent statistics.
+        // PANIC-FREE: Severity::index is 0..4 and by_severity is [_; 4]
         self.by_severity[event.severity.index()].fetch_add(1, Ordering::Relaxed);
         let event = Arc::new(event);
         self.ring.force_push(event.clone());
@@ -210,7 +211,7 @@ impl EventJournal {
 
     /// Record counts so far.
     pub fn counts(&self) -> EventCounts {
-        // relaxed: advisory reads of independent statistics counters.
+        // ORDERING: counter — advisory reads of independent statistics.
         let by_severity = [
             self.by_severity[0].load(Ordering::Relaxed),
             self.by_severity[1].load(Ordering::Relaxed),

@@ -30,13 +30,13 @@ impl Counter {
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
-        // relaxed: standalone monotone counter, ordered with nothing else
+        // ORDERING: counter — standalone monotone counter, ordered with nothing else
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        // relaxed: advisory read of an independent counter
+        // ORDERING: counter — advisory read of an independent counter
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -55,19 +55,19 @@ impl Gauge {
 
     /// Sets the value.
     pub fn set(&self, v: i64) {
-        // relaxed: last-writer-wins gauge, ordered with nothing else
+        // ORDERING: gauge — last-writer-wins level, ordered with nothing else
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative).
     pub fn add(&self, delta: i64) {
-        // relaxed: standalone gauge delta, ordered with nothing else
+        // ORDERING: gauge — standalone delta, ordered with nothing else
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        // relaxed: advisory read of an independent gauge
+        // ORDERING: gauge — advisory read of an independent level
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -129,9 +129,11 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
-        // relaxed: each statistic is an independent counter; snapshots are
-        // documented as approximate under concurrent recording.
+        // ORDERING: counter — each statistic is an independent counter;
+        // snapshots are documented as approximate under concurrent recording.
+        // PANIC-FREE: bucket_of returns 64 - leading_zeros <= 64 < BUCKETS
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        // ORDERING: counter — as above, independent statistics.
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
@@ -145,7 +147,7 @@ impl Histogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        // relaxed: advisory read of an independent counter
+        // ORDERING: counter — advisory read of an independent counter
         self.count.load(Ordering::Relaxed)
     }
 
@@ -153,12 +155,12 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; BUCKETS];
         for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
-            // relaxed: approximate snapshot of independent counters
+            // ORDERING: counter — approximate snapshot of independent counters
             *dst = src.load(Ordering::Relaxed);
         }
         HistogramSnapshot {
             buckets,
-            // relaxed: approximate snapshot of independent counters
+            // ORDERING: counter — approximate snapshot of independent counters
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),

@@ -77,8 +77,8 @@ impl<T> BoundedRing<T> {
     /// Instantaneous element count (racy under concurrency, exact when
     /// quiescent).
     pub fn len(&self) -> usize {
-        // relaxed: monotone counters read for an advisory count; the method
-        // documents itself as racy under concurrency.
+        // ORDERING: cursor — advisory count only; the method documents
+        // itself as racy under concurrency.
         let push = self.push_pos.load(Ordering::Relaxed);
         let pop = self.pop_pos.load(Ordering::Relaxed);
         push.saturating_sub(pop).min(self.capacity)
@@ -91,17 +91,21 @@ impl<T> BoundedRing<T> {
 
     /// Appends `value`; fails (returning it) when the ring is full.
     pub fn push(&self, value: T) -> Result<(), T> {
-        // relaxed: the cursor is only a claim ticket — publication happens
-        // through the slot's `seq` stamp (Acquire above, Release below), so
+        // ORDERING: cursor — the cursor is only a claim ticket; publication
+        // happens through the slot's `seq` stamp (Acquire/Release below), so
         // cursor loads and the CAS itself need no ordering of their own.
         let mut pos = self.push_pos.load(Ordering::Relaxed);
         loop {
+            // PANIC-FREE: capacity >= 1 (constructor clamps), and the
+            // modulo keeps the index below slots.len() == capacity
             let slot = &self.slots[pos % self.capacity];
+            // ORDERING: acquire — pairs with the Release stamp store so the
+            // consumer's slot release happens-before this producer's reuse.
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq as isize - pos as isize;
             if dif == 0 {
                 // the slot is empty for lap `pos`: claim it
-                // relaxed: see the cursor comment at the top of `push`.
+                // ORDERING: cursor — see the comment at the top of `push`.
                 match self.push_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -113,6 +117,8 @@ impl<T> BoundedRing<T> {
                         // claim this slot (the cursor moved past it for this
                         // lap) and no consumer may read it (stamp ≠ pos + 1).
                         debug_assert_eq!(
+                            // ORDERING: acquire — re-checks the claimed
+                            // slot's published stamp (debug builds only).
                             slot.seq.load(Ordering::Acquire),
                             pos,
                             "claimed slot's lap stamp moved under its writer"
@@ -120,6 +126,8 @@ impl<T> BoundedRing<T> {
                         // SAFETY: winning the CAS makes this thread the only
                         // writer of this slot until `seq` is bumped below.
                         unsafe { (*slot.value.get()).write(value) };
+                        // ORDERING: release — publishes the slot value
+                        // written above to the consumer's Acquire load.
                         slot.seq.store(pos + 1, Ordering::Release);
                         return Ok(());
                     }
@@ -129,7 +137,7 @@ impl<T> BoundedRing<T> {
                 // a full lap behind: the ring is full
                 return Err(value);
             } else {
-                // relaxed: see the cursor comment at the top of `push`.
+                // ORDERING: cursor — see the comment at the top of `push`.
                 pos = self.push_pos.load(Ordering::Relaxed);
             }
         }
@@ -137,15 +145,19 @@ impl<T> BoundedRing<T> {
 
     /// Removes and returns the oldest element, `None` when empty.
     pub fn pop(&self) -> Option<T> {
-        // relaxed: same claim-ticket discipline as `push` — the slot's `seq`
-        // stamp carries all inter-thread publication.
+        // ORDERING: cursor — same claim-ticket discipline as `push`; the
+        // slot's `seq` stamp carries all inter-thread publication.
         let mut pos = self.pop_pos.load(Ordering::Relaxed);
         loop {
+            // PANIC-FREE: capacity >= 1 (constructor clamps), and the
+            // modulo keeps the index below slots.len() == capacity
             let slot = &self.slots[pos % self.capacity];
+            // ORDERING: acquire — pairs with the producer's Release stamp
+            // store; makes the slot value visible before we read it.
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq as isize - (pos + 1) as isize;
             if dif == 0 {
-                // relaxed: see the cursor comment at the top of `pop`.
+                // ORDERING: cursor — see the comment at the top of `pop`.
                 match self.pop_pos.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -157,6 +169,8 @@ impl<T> BoundedRing<T> {
                         // before our Acquire load; nobody else may claim lap
                         // `pos` of this slot until the Release store below.
                         debug_assert_eq!(
+                            // ORDERING: acquire — re-checks the claimed
+                            // slot's published stamp (debug builds only).
                             slot.seq.load(Ordering::Acquire),
                             pos + 1,
                             "claimed slot's lap stamp moved under its reader"
@@ -164,6 +178,8 @@ impl<T> BoundedRing<T> {
                         // SAFETY: winning the CAS makes this thread the only
                         // reader of this slot's published value.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // ORDERING: release — hands the emptied slot back to
+                        // producers; pairs with their Acquire stamp load.
                         slot.seq.store(pos + self.capacity, Ordering::Release);
                         return Some(value);
                     }
@@ -172,7 +188,7 @@ impl<T> BoundedRing<T> {
             } else if dif < 0 {
                 return None;
             } else {
-                // relaxed: see the cursor comment at the top of `pop`.
+                // ORDERING: cursor — see the comment at the top of `pop`.
                 pos = self.pop_pos.load(Ordering::Relaxed);
             }
         }

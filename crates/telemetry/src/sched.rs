@@ -87,6 +87,7 @@ impl Schedules {
                 placed += 1;
                 // total *= placed; total /= i — binomial building stays exact
                 total = total.checked_mul(placed)?;
+                // PANIC-FREE: i ranges over 1..=ops, never zero
                 total /= i;
             }
         }
@@ -143,11 +144,13 @@ impl Schedules {
             return;
         }
         for t in 0..remaining.len() {
+            // PANIC-FREE: t < remaining.len() by the loop bound
             if remaining[t] > 0 {
                 remaining[t] -= 1;
                 prefix.push(t);
                 Self::enumerate(remaining, prefix, left - 1, f, visited);
                 prefix.pop();
+                // PANIC-FREE: same loop bound — t < remaining.len()
                 remaining[t] += 1;
             }
         }

@@ -126,16 +126,20 @@ pub struct Trace {
 
 impl Trace {
     /// The root span.
+    // PANIC-FREE: every trace is minted with its root span at index 0
     pub fn root(&self) -> &TraceSpan {
         &self.spans[0]
     }
 
     /// Looks up a span.
+    // PANIC-FREE: SpanIds are minted by begin_span/event from spans.len(),
+    // so every id indexes an existing span
     pub fn span(&self, id: SpanId) -> &TraceSpan {
         &self.spans[id.0 as usize]
     }
 
     /// Depth of a span (root = 0).
+    // PANIC-FREE: ids and recorded parents are all arena-minted SpanIds
     pub fn depth(&self, id: SpanId) -> usize {
         let mut d = 0;
         let mut cur = self.spans[id.0 as usize].parent;
@@ -269,6 +273,8 @@ impl ActiveTrace {
             return; // the root closes only via Tracer::finish
         }
         let now = self.elapsed_ns();
+        // PANIC-FREE: at <= stack.len() from rposition; stack holds only
+        // arena-minted SpanIds
         for &open in &self.stack[at..] {
             self.spans[open.0 as usize].end_ns = now;
         }
@@ -291,6 +297,7 @@ impl ActiveTrace {
     }
 
     /// Attaches a typed attribute to a span.
+    // PANIC-FREE: SpanIds are arena-minted (see span), always in bounds
     pub fn attr(&mut self, span: SpanId, key: &'static str, value: impl Into<AttrValue>) {
         self.spans[span.0 as usize].attrs.push((key, value.into()));
     }
@@ -387,7 +394,7 @@ impl Tracer {
 
     /// The slow-query threshold currently in effect.
     pub fn slow_threshold(&self) -> Duration {
-        // relaxed: an advisory configuration read; any recent value is fine.
+        // ORDERING: config — advisory configuration read; any recent value is fine.
         Duration::from_nanos(self.slow_threshold_ns.load(Ordering::Relaxed))
     }
 
@@ -396,7 +403,7 @@ impl Tracer {
     /// either value.
     pub fn set_slow_threshold(&self, threshold: Duration) {
         let ns = threshold.as_nanos().min(u64::MAX as u128) as u64;
-        // relaxed: configuration cell read/written independently of any
+        // ORDERING: config — tuning cell read/written independently of any
         // other state; no ordering with trace data is required.
         self.slow_threshold_ns.store(ns, Ordering::Relaxed);
     }
@@ -404,7 +411,7 @@ impl Tracer {
     /// Retention counters so far.
     pub fn stats(&self) -> TracerStats {
         TracerStats {
-            // relaxed: advisory reads of independent retention counters
+            // ORDERING: counter — advisory reads of independent retention counters
             started: self.started.load(Ordering::Relaxed),
             sampled: self.sampled_count.load(Ordering::Relaxed),
             slow: self.slow_count.load(Ordering::Relaxed),
@@ -413,13 +420,14 @@ impl Tracer {
 
     /// Starts a trace, making the head-sampling decision now.
     pub fn begin(&self, name: impl Into<String>) -> ActiveTrace {
-        // relaxed: retention counters are independent statistics.
+        // ORDERING: counter — retention counters are independent statistics.
         self.started.fetch_add(1, Ordering::Relaxed);
         let sampled = self.decide_sample();
         if sampled {
+            // ORDERING: counter — independent retention statistic.
             self.sampled_count.fetch_add(1, Ordering::Relaxed);
         }
-        // relaxed: id uniqueness needs only fetch_add atomicity.
+        // ORDERING: id — uniqueness needs only fetch_add atomicity.
         let id = TraceId(self.next_id.fetch_add(1, Ordering::Relaxed));
         ActiveTrace::new(id, name.into(), sampled)
     }
@@ -435,7 +443,7 @@ impl Tracer {
             return true;
         }
         let step = (rate * (1u64 << 32) as f64) as u64;
-        // relaxed: sampling accumulator is an independent counter
+        // ORDERING: sample — probabilistic accumulator, ordered with nothing
         let prev = self.sample_accum.fetch_add(step, Ordering::Relaxed);
         (prev.wrapping_add(step) >> 32) != (prev >> 32)
     }
@@ -446,7 +454,7 @@ impl Tracer {
     pub fn finish(&self, active: ActiveTrace) -> Arc<Trace> {
         let trace = Arc::new(active.seal(self.slow_threshold()));
         if trace.slow {
-            // relaxed: independent retention counter
+            // ORDERING: counter — independent retention statistic
             self.slow_count.fetch_add(1, Ordering::Relaxed);
             self.slow.force_push(trace.clone());
         }

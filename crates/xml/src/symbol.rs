@@ -156,6 +156,7 @@ impl ValueTable {
                 self.rev.push(s.to_owned());
                 id
             }
+            // PANIC-FREE: the divisor is clamped to at least 1
             ValueMode::Hashed { range } => ValueId(fnv1a(s.as_bytes()) % range.max(1)),
         }
     }
@@ -167,6 +168,7 @@ impl ValueTable {
     pub fn lookup(&self, s: &str) -> Option<ValueId> {
         match self.mode {
             ValueMode::Intern | ValueMode::Chars => self.map.get(s).copied(),
+            // PANIC-FREE: the divisor is clamped to at least 1
             ValueMode::Hashed { range } => Some(ValueId(fnv1a(s.as_bytes()) % range.max(1))),
         }
     }
@@ -415,6 +417,8 @@ pub struct SymbolRemap {
 
 impl SymbolRemap {
     /// Maps a local designator into the merged namespace.
+    // PANIC-FREE: the remap covers every id the local table minted, and
+    // `d >= base` implies `d - base < names.len()` by construction
     pub fn designator(&self, d: Designator) -> Designator {
         if d.0 < self.base_names {
             d

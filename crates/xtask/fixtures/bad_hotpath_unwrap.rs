@@ -1,0 +1,13 @@
+//! Analyze fixture: hot-path panic sites (slice indexing, bare unwrap)
+//! reachable from the `query_batch` seed — hot-path-panic must flag each
+//! with its reachability path.
+#![forbid(unsafe_code)]
+
+pub fn query_batch(inputs: &[&str]) -> usize {
+    let head = inputs[0];
+    decode(head)
+}
+
+fn decode(s: &str) -> usize {
+    s.parse::<usize>().unwrap()
+}

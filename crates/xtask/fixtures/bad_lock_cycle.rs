@@ -1,0 +1,27 @@
+//! Analyze fixture: AB/BA lock acquisition order — the lock-order pass
+//! must report a deadlock cycle carrying both witness acquisition paths.
+
+use std::sync::Mutex;
+
+pub struct Pools {
+    alloc: Mutex<Vec<u32>>,
+    free: Mutex<Vec<u32>>,
+}
+
+impl Pools {
+    pub fn promote(&self) {
+        let mut a = self.alloc.lock().expect("alloc");
+        let mut f = self.free.lock().expect("free");
+        if let Some(x) = f.pop() {
+            a.push(x);
+        }
+    }
+
+    pub fn demote(&self) {
+        let mut f = self.free.lock().expect("free");
+        let mut a = self.alloc.lock().expect("alloc");
+        if let Some(x) = a.pop() {
+            f.push(x);
+        }
+    }
+}

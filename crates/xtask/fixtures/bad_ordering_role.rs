@@ -1,0 +1,14 @@
+//! Analyze fixture: a declared role inconsistent with the site's memory
+//! ordering — `counter` permits only `Relaxed`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn sample(stat: &AtomicU64) -> u64 {
+    // ORDERING: counter — per-query statistic
+    stat.load(Ordering::Acquire)
+}
+
+pub fn publish(stat: &AtomicU64) {
+    // ORDERING: release — pairs with the sample load above
+    stat.store(1, Ordering::Release);
+}

@@ -1,0 +1,21 @@
+//! Analyze fixture: a publication pair whose consumer load is `Relaxed` —
+//! the atomic audit must flag the hand-off even though every site's own
+//! role annotation is internally consistent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Flag {
+    ready: AtomicUsize,
+}
+
+impl Flag {
+    pub fn publish(&self) {
+        // ORDERING: release — payload writes precede the flag
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn poll(&self) -> usize {
+        // ORDERING: latch — wrong: this read gates the published payload
+        self.ready.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,16 @@
+//! Analyze fixture: a `Release` store on a field with no `Acquire` load
+//! anywhere in the crate — the atomic-ordering pass must flag the broken
+//! publication pair (the site annotation itself is valid).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Cell {
+    ready: AtomicUsize,
+}
+
+impl Cell {
+    pub fn publish(&self) {
+        // ORDERING: release — payload writes precede this flag
+        self.ready.store(1, Ordering::Release);
+    }
+}

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub fn bump(c: &AtomicU64) -> u64 {
-    // relaxed: a monotone statistics counter; orders with no other data.
+    // ORDERING: counter — a monotone statistic; orders with no other data.
     c.fetch_add(1, Ordering::Relaxed)
 }
 

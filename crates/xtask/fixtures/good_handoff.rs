@@ -1,0 +1,20 @@
+//! Analyze fixture: a correctly paired publication — `Release` store,
+//! `Acquire` load, both annotated — must produce zero findings.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Flag {
+    ready: AtomicUsize,
+}
+
+impl Flag {
+    pub fn publish(&self) {
+        // ORDERING: release — payload writes precede the flag
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn wait(&self) -> usize {
+        // ORDERING: acquire — pairs with the Release in publish
+        self.ready.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,12 @@
+//! Analyze fixture: the same shape with checked alternatives and a
+//! PANIC-FREE proof — hot-path-panic must stay silent.
+
+pub fn query_batch(inputs: &[&str]) -> usize {
+    let Some(head) = inputs.first() else { return 0 };
+    head.parse::<usize>().unwrap_or(0) + fixed(head.as_bytes())
+}
+
+// PANIC-FREE: callers pass the fixed-size header slice (len >= 1)
+fn fixed(b: &[u8]) -> usize {
+    b[0] as usize
+}

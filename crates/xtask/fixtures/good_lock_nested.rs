@@ -1,0 +1,27 @@
+//! Analyze fixture: nested acquisition in one consistent order (`alloc`
+//! before `free`, everywhere) — the lock-order pass must stay silent.
+
+use std::sync::Mutex;
+
+pub struct Pools {
+    alloc: Mutex<Vec<u32>>,
+    free: Mutex<Vec<u32>>,
+}
+
+impl Pools {
+    pub fn promote(&self) {
+        let mut a = self.alloc.lock().expect("alloc");
+        let mut f = self.free.lock().expect("free");
+        if let Some(x) = f.pop() {
+            a.push(x);
+        }
+    }
+
+    pub fn demote(&self) {
+        let mut a = self.alloc.lock().expect("alloc");
+        let mut f = self.free.lock().expect("free");
+        if let Some(x) = a.pop() {
+            f.push(x);
+        }
+    }
+}

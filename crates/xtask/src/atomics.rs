@@ -1,0 +1,448 @@
+//! Atomic-ordering audit (`cargo xtask analyze`, rule `atomic-ordering`).
+//!
+//! Extends PR 3's "every `Relaxed` needs a `// relaxed:` comment" rule to
+//! the full ordering vocabulary.  Every `Ordering::<X>` literal (for the
+//! five *atomic* orderings — `cmp::Ordering` variants never match) must
+//! carry a `// ORDERING: <role>` annotation within [`ORDERING_WINDOW`]
+//! lines, and the declared role must be *consistent* with the ordering:
+//!
+//! | role                | meaning                                   | allowed orderings |
+//! |---------------------|-------------------------------------------|-------------------|
+//! | `counter`           | monotonic statistic, read for reporting   | `Relaxed`         |
+//! | `gauge`             | last-write-wins level                     | `Relaxed`         |
+//! | `cursor`            | queue/ring claim ticket; publication is elsewhere | `Relaxed`  |
+//! | `config`            | tuning knob; staleness acceptable         | `Relaxed`         |
+//! | `sample`            | probabilistic accumulator                 | `Relaxed`         |
+//! | `id`                | unique-id allocator; uniqueness only      | `Relaxed`         |
+//! | `latch`             | one-way stop/shutdown flag; laggy reads fine | `Relaxed`      |
+//! | `acquire`           | consume-side of a publication pair        | `Acquire`         |
+//! | `release`           | publish-side of a publication pair        | `Release`         |
+//! | `acqrel`            | read-modify-write on a publication point  | `AcqRel`          |
+//! | `handoff`           | either side of a publication pair (mixed-ordering call sites) | `Acquire`, `Release`, `AcqRel` |
+//! | `seqcst`            | total-order required; justify in prose    | `SeqCst`          |
+//!
+//! On top of the per-site check, publication pairing is verified per
+//! *atomic field* (`crate:field`, the receiver's last identifier): a field
+//! with a Release-side write must also have an Acquire-side read somewhere
+//! in the crate and vice versa — a mis-paired `Release` means the data it
+//! guards is read without synchronization.  A field that mixes a
+//! Release-side write with `Relaxed` loads (or Acquire-side reads with
+//! `Relaxed` stores) is flagged as a **relaxed hand-off**: the cross-thread
+//! edge exists but one side opted out of it.
+//!
+//! Test regions are exempt (single-threaded assertions), matching every
+//! other rule.
+
+use crate::lexer::TokKind;
+use crate::lint::Finding;
+use crate::scan::SourceFile;
+use std::collections::BTreeMap;
+
+/// Lines above an `Ordering::*` site searched for `// ORDERING: <role>`
+/// (same value as PR 3's `RELAXED_WINDOW` so migrated comments keep
+/// working in place).
+pub const ORDERING_WINDOW: u32 = 6;
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Roles whose only consistent ordering is `Relaxed`.
+const RELAXED_ROLES: &[&str] = &[
+    "counter", "gauge", "cursor", "config", "sample", "id", "latch",
+];
+
+/// role → allowed orderings (`None` = unknown role).
+fn allowed(role: &str) -> Option<&'static [&'static str]> {
+    match role {
+        _ if RELAXED_ROLES.contains(&role) => Some(&["Relaxed"]),
+        "acquire" => Some(&["Acquire"]),
+        "release" => Some(&["Release"]),
+        "acqrel" => Some(&["AcqRel"]),
+        "handoff" => Some(&["Acquire", "Release", "AcqRel"]),
+        "seqcst" => Some(&["SeqCst"]),
+        _ => None,
+    }
+}
+
+/// Which side of a publication pair a site is on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Side {
+    Load,
+    Store,
+    Rmw,
+    Unknown,
+}
+
+fn side_of(method: &str) -> Side {
+    match method {
+        "load" => Side::Load,
+        "store" => Side::Store,
+        m if m.starts_with("fetch_") || m == "swap" || m.starts_with("compare_exchange") => {
+            Side::Rmw
+        }
+        _ => Side::Unknown,
+    }
+}
+
+#[derive(Debug)]
+struct Site {
+    file: usize,
+    line: u32,
+    ordering: String,
+    /// `crate:field` when the receiver could be named.
+    field: Option<String>,
+    side: Side,
+}
+
+/// Walks back from the ordering literal to the enclosing call's method
+/// name and receiver field: `self.seq.load(Ordering::Acquire)` →
+/// (`load`, `seq`).
+fn enclosing_call(
+    file: &SourceFile,
+    code: &[usize],
+    ord_pos: usize,
+) -> (Option<String>, Option<String>) {
+    // find the unbalanced `(` that opened the argument list
+    let mut depth = 0i32;
+    let mut j = ord_pos;
+    let open = loop {
+        if j == 0 {
+            return (None, None);
+        }
+        j -= 1;
+        match file.text(code[j]) {
+            ")" | "]" => depth += 1,
+            "(" | "[" if depth > 0 => depth -= 1,
+            "(" => break j,
+            "{" | "}" | ";" => return (None, None),
+            _ => {}
+        }
+    };
+    if open == 0 || file.tokens[code[open - 1]].kind != TokKind::Ident {
+        return (None, None);
+    }
+    let method = file.text(code[open - 1]).to_string();
+    // receiver: last identifier before the `.` preceding the method
+    let mut field = None;
+    if open >= 2 && file.text(code[open - 2]) == "." {
+        let mut r = open - 2;
+        let mut indexed = false;
+        while r > 0 {
+            r -= 1;
+            match file.text(code[r]) {
+                "]" => {
+                    indexed = true;
+                    let mut d = 1;
+                    while r > 0 && d > 0 {
+                        r -= 1;
+                        match file.text(code[r]) {
+                            "]" => d += 1,
+                            "[" => d -= 1,
+                            _ => {}
+                        }
+                    }
+                }
+                _ if file.tokens[code[r]].kind == TokKind::Ident => {
+                    let _ = indexed; // indexed elements still share one field's protocol
+                    field = Some(file.text(code[r]).to_string());
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    (Some(method), field)
+}
+
+/// Runs the audit over `files`.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut sites: Vec<Site> = Vec::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        let code: Vec<usize> = crate::lexer::code_tokens(&file.tokens)
+            .map(|(i, _)| i)
+            .collect();
+        for k in 0..code.len() {
+            if file.text(code[k]) != "Ordering" {
+                continue;
+            }
+            // `Ordering :: X` — `::` lexes as two `:` puncts
+            let is_path = k + 3 < code.len()
+                && file.text(code[k + 1]) == ":"
+                && file.text(code[k + 2]) == ":";
+            if !is_path {
+                continue;
+            }
+            let variant = file.text(code[k + 3]);
+            if !ATOMIC_ORDERINGS.contains(&variant) {
+                continue; // `cmp::Ordering::{Less,Equal,Greater}` et al.
+            }
+            if file.in_tests(code[k]) {
+                continue;
+            }
+            let line = file.tokens[code[k]].line;
+            let (method, field) = enclosing_call(file, &code, k);
+            let side = method.as_deref().map_or(Side::Unknown, side_of);
+            let field_id = field.map(|f| format!("{}:{}", file.crate_name, f));
+
+            match file.annotation_text(line, ORDERING_WINDOW, "ORDERING:") {
+                None => findings.push(Finding {
+                    file: file.rel_path.clone(),
+                    line,
+                    rule: "atomic-ordering",
+                    message: format!(
+                        "`Ordering::{variant}` without an `// ORDERING: <role>` annotation within {ORDERING_WINDOW} lines"
+                    ),
+                }),
+                Some(text) => {
+                    let role = text
+                        .split(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                        .next()
+                        .unwrap_or("")
+                        .to_string();
+                    match allowed(&role) {
+                        None => findings.push(Finding {
+                            file: file.rel_path.clone(),
+                            line,
+                            rule: "atomic-ordering",
+                            message: format!(
+                                "unknown ORDERING role `{role}` (expected one of: {}, acquire, release, acqrel, handoff, seqcst)",
+                                RELAXED_ROLES.join(", ")
+                            ),
+                        }),
+                        Some(ok) if !ok.contains(&variant) => findings.push(Finding {
+                            file: file.rel_path.clone(),
+                            line,
+                            rule: "atomic-ordering",
+                            message: format!(
+                                "role `{role}` is inconsistent with `Ordering::{variant}` (allowed: {})",
+                                ok.join(", ")
+                            ),
+                        }),
+                        Some(_) => {}
+                    }
+                }
+            }
+
+            sites.push(Site {
+                file: fi,
+                line,
+                ordering: variant.to_string(),
+                field: field_id,
+                side,
+            });
+        }
+    }
+
+    // per-field pairing: Release-side writes need Acquire-side reads and
+    // vice versa; mixing a synchronized side with Relaxed on the opposite
+    // side is a relaxed hand-off
+    let mut by_field: BTreeMap<&String, Vec<&Site>> = BTreeMap::new();
+    for s in &sites {
+        if let Some(f) = &s.field {
+            by_field.entry(f).or_default().push(s);
+        }
+    }
+    for (field, sites) in by_field {
+        let release_write = sites.iter().find(|s| {
+            matches!(s.side, Side::Store | Side::Rmw)
+                && matches!(s.ordering.as_str(), "Release" | "AcqRel" | "SeqCst")
+        });
+        let acquire_read = sites.iter().find(|s| {
+            matches!(s.side, Side::Load | Side::Rmw)
+                && matches!(s.ordering.as_str(), "Acquire" | "AcqRel" | "SeqCst")
+        });
+        let relaxed_read = sites
+            .iter()
+            .find(|s| matches!(s.side, Side::Load | Side::Rmw) && s.ordering == "Relaxed");
+        let relaxed_write = sites
+            .iter()
+            .find(|s| matches!(s.side, Side::Store | Side::Rmw) && s.ordering == "Relaxed");
+
+        if let (Some(w), None) = (release_write, acquire_read) {
+            let (file, detail) = (&files[w.file], match relaxed_read {
+                Some(r) => format!(
+                    "relaxed hand-off on `{field}`: Release-side write at line {} but the load at {}:{} is `Relaxed` — the consumer reads published data without synchronization",
+                    w.line, files[r.file].rel_path, r.line
+                ),
+                None => format!(
+                    "mis-paired `Release` on `{field}`: Release-side write at line {} has no Acquire-side load anywhere in the crate",
+                    w.line
+                ),
+            });
+            findings.push(Finding {
+                file: file.rel_path.clone(),
+                line: w.line,
+                rule: "atomic-ordering",
+                message: detail,
+            });
+        }
+        if let (None, Some(r)) = (release_write, acquire_read) {
+            let (file, detail) = (&files[r.file], match relaxed_write {
+                Some(w) => format!(
+                    "relaxed hand-off on `{field}`: Acquire-side load at line {} but the store at {}:{} is `Relaxed` — the publisher gives the consumer nothing to synchronize with",
+                    r.line, files[w.file].rel_path, w.line
+                ),
+                None => format!(
+                    "mis-paired `Acquire` on `{field}`: Acquire-side load at line {} has no Release-side store anywhere in the crate",
+                    r.line
+                ),
+            });
+            findings.push(Finding {
+                file: file.rel_path.clone(),
+                line: r.line,
+                rule: "atomic-ordering",
+                message: detail,
+            });
+        }
+    }
+
+    findings.sort_by(|x, y| (&x.file, x.line).cmp(&(&y.file, y.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::scan("crates/demo/src/lib.rs", src)];
+        check(&files)
+    }
+
+    #[test]
+    fn paired_publication_with_roles_is_clean() {
+        let src = r#"
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            pub struct S { seq: AtomicUsize }
+            impl S {
+                pub fn publish(&self, v: usize) {
+                    // ORDERING: release — slot contents written before this
+                    self.seq.store(v, Ordering::Release);
+                }
+                pub fn consume(&self) -> usize {
+                    // ORDERING: acquire — pairs with the Release in publish
+                    self.seq.load(Ordering::Acquire)
+                }
+            }
+        "#;
+        assert!(analyze(src).is_empty(), "{:?}", analyze(src));
+    }
+
+    #[test]
+    fn unannotated_ordering_is_flagged() {
+        let src = r#"
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            pub fn f(x: &AtomicUsize) -> usize { x.load(Ordering::Relaxed) }
+        "#;
+        let f = analyze(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("without an `// ORDERING:"));
+    }
+
+    #[test]
+    fn role_ordering_mismatch_is_flagged() {
+        let src = r#"
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            pub fn f(x: &AtomicUsize) -> usize {
+                // ORDERING: counter — per-query statistic
+                x.load(Ordering::Acquire)
+            }
+            pub fn g(x: &AtomicUsize) {
+                // ORDERING: release — pairs with the load in f
+                x.store(1, Ordering::Release);
+            }
+        "#;
+        let f = analyze(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message
+                .contains("inconsistent with `Ordering::Acquire`"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_role_is_flagged() {
+        let src = r#"
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            pub fn f(x: &AtomicUsize) -> usize {
+                // ORDERING: vibes
+                x.load(Ordering::Relaxed)
+            }
+        "#;
+        let f = analyze(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("unknown ORDERING role `vibes`"));
+    }
+
+    #[test]
+    fn mispaired_release_is_flagged() {
+        let src = r#"
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            pub struct S { flag: AtomicUsize }
+            impl S {
+                pub fn publish(&self) {
+                    // ORDERING: release — payload written before this
+                    self.flag.store(1, Ordering::Release);
+                }
+            }
+        "#;
+        let f = analyze(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("mis-paired `Release`"), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_handoff_is_flagged() {
+        let src = r#"
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            pub struct S { flag: AtomicUsize }
+            impl S {
+                pub fn publish(&self) {
+                    // ORDERING: release — payload written before this
+                    self.flag.store(1, Ordering::Release);
+                }
+                pub fn peek(&self) -> usize {
+                    // ORDERING: counter — reporting only (wrong: gates a read of the payload)
+                    self.flag.load(Ordering::Relaxed)
+                }
+            }
+        "#;
+        let f = analyze(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("relaxed hand-off on `demo:flag`"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn cmp_ordering_and_tests_are_exempt() {
+        let src = r#"
+            pub fn f(a: u32, b: u32) -> std::cmp::Ordering { a.cmp(&b) }
+            pub fn g(a: u32) -> bool { matches!(a.cmp(&1), std::cmp::Ordering::Less) }
+            #[cfg(test)]
+            mod tests {
+                use std::sync::atomic::{AtomicUsize, Ordering};
+                fn t(x: &AtomicUsize) -> usize { x.load(Ordering::Relaxed) }
+            }
+        "#;
+        assert!(analyze(src).is_empty());
+    }
+
+    #[test]
+    fn rmw_acqrel_counts_for_both_sides() {
+        let src = r#"
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            pub struct S { epoch: AtomicUsize }
+            impl S {
+                pub fn bump(&self) -> usize {
+                    // ORDERING: acqrel — closes the old epoch, opens the new
+                    self.epoch.fetch_add(1, Ordering::AcqRel)
+                }
+            }
+        "#;
+        assert!(analyze(src).is_empty(), "{:?}", analyze(src));
+    }
+}

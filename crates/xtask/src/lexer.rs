@@ -1,0 +1,628 @@
+//! A real Rust lexer for the static-analysis pass (`cargo xtask analyze`).
+//!
+//! PR 3's lint masked source line-by-line with a hand-rolled state machine;
+//! that cannot see token boundaries, so every rule needed bespoke needle
+//! logic and stayed blind to scopes.  This module produces a proper token
+//! stream — identifiers, lifetimes, string/char/number literals, single
+//! punctuation characters, and comments *as tokens* (the annotation
+//! grammars live in comments, so analyses must be able to find them).
+//!
+//! Coverage: raw strings `r"…"`/`r#"…"#` (any hash count), byte and C
+//! strings (`b"…"`, `br#"…"#`, `c"…"`, `cr#"…"#`), byte chars `b'x'`,
+//! raw identifiers `r#match`, nested block comments, `'a` lifetimes vs
+//! `'x'` char literals, numeric literals with underscores / radix
+//! prefixes / exponents / suffixes, and `0..n` ranges (the `.` stays
+//! punctuation unless a digit follows).
+//!
+//! Invariants (checked by the proptests below): tokens are in strictly
+//! increasing span order, spans never overlap, and every byte outside all
+//! spans is ASCII whitespace — so the token stream is a lossless partition
+//! of the source and any analysis finding can be mapped back to an exact
+//! `line:column`.
+
+use std::fmt;
+
+/// Token classes — deliberately coarse: analyses match on identifier text
+/// and punctuation characters, not on a full Rust grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`), without the quote.
+    Lifetime,
+    /// Any string literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, …
+    Str,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// A numeric literal (integer or float, with suffix if glued on).
+    Num,
+    /// One punctuation character (`::` is two `Punct` tokens).
+    Punct,
+    /// `// …` to end of line (text includes the slashes).
+    LineComment,
+    /// `/* … */`, nesting respected (text includes the delimiters).
+    BlockComment,
+}
+
+/// One token: a classified byte span of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the same string given to [`lex`]).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// True for comment tokens (excluded from code-pattern matching).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokKind::Ident => "ident",
+            TokKind::Lifetime => "lifetime",
+            TokKind::Str => "str",
+            TokKind::Char => "char",
+            TokKind::Num => "num",
+            TokKind::Punct => "punct",
+            TokKind::LineComment => "line-comment",
+            TokKind::BlockComment => "block-comment",
+        };
+        f.write_str(s)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Tokenizes `src`.  Invalid Rust never panics the lexer: unterminated
+/// literals run to end of input and stray bytes become `Punct` tokens, so
+/// the analyses degrade gracefully on fixtures and work-in-progress code.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::with_capacity(src.len() / 4),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    b: &'s [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.i),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed(),
+                _ => {
+                    self.push(TokKind::Punct, self.i, self.i + 1);
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize) {
+        self.out.push(Token {
+            kind,
+            start,
+            end,
+            line: self.line,
+        });
+    }
+
+    /// Advances `i` to `to`, counting newlines (multi-line tokens record
+    /// the line they *start* on).
+    fn advance_to(&mut self, to: usize) {
+        while self.i < to {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(TokKind::LineComment, start, self.i);
+        // line tokens end before the newline; the main loop counts it
+        let line = self.line;
+        let last = self.out.len() - 1;
+        self.out[last].line = line;
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let mut depth = 0usize;
+        let mut j = self.i;
+        while j < self.b.len() {
+            if self.b[j] == b'/' && self.b.get(j + 1) == Some(&b'*') {
+                depth += 1;
+                j += 2;
+            } else if self.b[j] == b'*' && self.b.get(j + 1) == Some(&b'/') {
+                depth -= 1;
+                j += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                j += 1;
+            }
+        }
+        self.advance_to(j.min(self.b.len()));
+        self.out.push(Token {
+            kind: TokKind::BlockComment,
+            start,
+            end: self.i,
+            line: start_line,
+        });
+    }
+
+    /// A plain (non-raw) string starting at the quote; `start` marks where
+    /// the token began (before any `b`/`c` prefix).
+    fn string(&mut self, start: usize) {
+        let start_line = self.line;
+        let mut j = self.i + 1;
+        while j < self.b.len() {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'"' => {
+                    j += 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        self.advance_to(j.min(self.b.len()));
+        self.out.push(Token {
+            kind: TokKind::Str,
+            start,
+            end: self.i,
+            line: start_line,
+        });
+    }
+
+    /// A raw string: `i` sits on the first `#` or the quote; `start` marks
+    /// the token start (at the `r`/`br`/`cr` prefix).
+    fn raw_string(&mut self, start: usize) {
+        let start_line = self.line;
+        let mut j = self.i;
+        let mut hashes = 0usize;
+        while self.b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        debug_assert_eq!(self.b.get(j), Some(&b'"'), "caller checked the quote");
+        j += 1;
+        while j < self.b.len() {
+            if self.b[j] == b'"'
+                && self.b[j + 1..].iter().take_while(|&&c| c == b'#').count() >= hashes
+            {
+                j += 1 + hashes;
+                break;
+            }
+            j += 1;
+        }
+        self.advance_to(j.min(self.b.len()));
+        self.out.push(Token {
+            kind: TokKind::Str,
+            start,
+            end: self.i,
+            line: start_line,
+        });
+    }
+
+    /// `'` — a char literal, byte-char tail, lifetime, or loop label.
+    fn quote(&mut self) {
+        let start = self.i;
+        match self.peek(1) {
+            // escaped char literal: the byte after the backslash is always
+            // part of the escape (`'\''`, `'\\'`), then scan to the close
+            Some(b'\\') => {
+                let mut j = self.i + 3;
+                while j < self.b.len() {
+                    match self.b[j] {
+                        b'\\' => j += 2,
+                        b'\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                self.advance_to(j.min(self.b.len()));
+                self.push_span(TokKind::Char, start);
+            }
+            // 'x' with one (possibly multi-byte) char: a literal iff a
+            // quote closes it; otherwise it's a lifetime
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // find the end of the ident-ish run
+                let mut j = self.i + 1;
+                while j < self.b.len() && is_ident_continue(self.b[j]) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    self.i = j + 1;
+                    self.push_span(TokKind::Char, start);
+                } else {
+                    self.i = j;
+                    self.push_span(TokKind::Lifetime, start);
+                }
+            }
+            // any other single char in quotes ('"', ' ', '(' …)
+            Some(_) if self.peek_char_close().is_some() => {
+                let close = self.peek_char_close().unwrap_or(self.i + 2);
+                self.advance_to(close + 1);
+                self.push_span(TokKind::Char, start);
+            }
+            _ => {
+                self.i += 1;
+                self.push(TokKind::Punct, start, self.i);
+            }
+        }
+    }
+
+    /// For `'<one char>'`: the index of the closing quote, if present.
+    fn peek_char_close(&self) -> Option<usize> {
+        let first = self.i + 1;
+        let c = *self.b.get(first)?;
+        // skip the (possibly multi-byte) scalar after the opening quote
+        let width = match c {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        };
+        (self.b.get(first + width) == Some(&b'\'')).then_some(first + width)
+    }
+
+    fn push_span(&mut self, kind: TokKind, start: usize) {
+        let end = self.i;
+        let line = self.line;
+        self.out.push(Token {
+            kind,
+            start,
+            end,
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let mut j = self.i + 1;
+        // radix prefix bodies and plain digit runs share one loop: consume
+        // alphanumerics and underscores (this also swallows suffixes and
+        // hex digits), plus exponent signs
+        while j < self.b.len() {
+            let c = self.b[j];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                j += 1;
+            } else if (c == b'+' || c == b'-')
+                && matches!(self.b[j - 1], b'e' | b'E')
+                && !matches!(self.b[start], b'0' if self.b.get(start + 1) == Some(&b'x'))
+            {
+                // exponent sign in 1e-3 / 2.5E+7 (not hex)
+                j += 1;
+            } else if c == b'.'
+                && self.b.get(j + 1).is_some_and(u8::is_ascii_digit)
+                && self.b.get(j.wrapping_sub(1)) != Some(&b'.')
+            {
+                // fractional part: `.` only joins when a digit follows,
+                // so `0..n` stays Num Punct Punct Num
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        self.i = j;
+        self.push_span(TokKind::Num, start);
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let start = self.i;
+        let mut j = self.i + 1;
+        while j < self.b.len() && is_ident_continue(self.b[j]) {
+            j += 1;
+        }
+        let word = &self.b[start..j];
+        // string prefixes glue directly onto a quote or raw-string hashes
+        let next = self.b.get(j).copied();
+        match (word, next) {
+            (b"r" | b"br" | b"cr", Some(b'"' | b'#')) => {
+                // r#"…"# | r#ident — decide by what follows the hashes
+                let mut k = j;
+                while self.b.get(k) == Some(&b'#') {
+                    k += 1;
+                }
+                if self.b.get(k) == Some(&b'"') {
+                    self.i = j;
+                    self.raw_string(start);
+                    return;
+                }
+                if word == b"r" && j + 1 == k && self.b.get(k).copied().is_some_and(is_ident_start)
+                {
+                    // raw identifier r#match
+                    let mut m = k + 1;
+                    while m < self.b.len() && is_ident_continue(self.b[m]) {
+                        m += 1;
+                    }
+                    self.i = m;
+                    self.push_span(TokKind::Ident, start);
+                    return;
+                }
+            }
+            (b"b" | b"c", Some(b'"')) => {
+                self.i = j;
+                self.string(start);
+                return;
+            }
+            (b"b", Some(b'\'')) => {
+                // byte char b'x': delegate to quote(), then widen the span
+                self.i = j;
+                self.quote();
+                let last = self.out.len() - 1;
+                if self.out[last].kind == TokKind::Char {
+                    self.out[last].start = start;
+                }
+                return;
+            }
+            _ => {}
+        }
+        self.i = j;
+        self.push_span(TokKind::Ident, start);
+    }
+}
+
+/// The non-comment tokens of `tokens`, as (index, token) pairs — the view
+/// most analyses iterate.
+pub fn code_tokens(tokens: &[Token]) -> impl Iterator<Item = (usize, &Token)> {
+    tokens.iter().enumerate().filter(|(_, t)| !t.is_comment())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    /// The partition invariants every lex must uphold.
+    fn check_partition(src: &str) {
+        let toks = lex(src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            assert!(
+                t.start >= prev_end,
+                "overlap at {}..{} in {src:?}",
+                t.start,
+                t.end
+            );
+            assert!(
+                t.end <= src.len() && t.start < t.end || t.start == t.end,
+                "span"
+            );
+            assert!(
+                src[prev_end..t.start]
+                    .bytes()
+                    .all(|c| c.is_ascii_whitespace()),
+                "gap {:?} not whitespace in {src:?}",
+                &src[prev_end..t.start]
+            );
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prev_end = t.end;
+        }
+        assert!(
+            src[prev_end..].bytes().all(|c| c.is_ascii_whitespace()),
+            "tail {:?} not whitespace",
+            &src[prev_end..]
+        );
+        // line numbers are monotone and correct
+        for t in &toks {
+            let expect = 1 + src[..t.start].bytes().filter(|&c| c == b'\n').count() as u32;
+            assert_eq!(t.line, expect, "line of {:?}", t.text(src));
+        }
+    }
+
+    #[test]
+    fn basic_items() {
+        let src = "fn f(x: u32) -> u32 { x + 1 }";
+        check_partition(src);
+        let k = kinds(src);
+        assert_eq!(k[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(k[1], (TokKind::Ident, "f".into()));
+        assert!(k.iter().any(|(kind, t)| *kind == TokKind::Num && t == "1"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r##"let s = "has .unwrap() and unsafe"; let r = r#"raw "quoted" unsafe"#;"##;
+        check_partition(src);
+        let strs: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].starts_with("r#\""));
+        // no Ident token says "unsafe"
+        assert!(!lex(src)
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text(src) == "unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        check_partition(src);
+        let k = kinds(src);
+        assert_eq!(k.len(), 3);
+        assert_eq!(k[1].0, TokKind::BlockComment);
+        assert_eq!(k[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src =
+            "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let s = ' '; loop { break; } }";
+        check_partition(src);
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\''", "' '"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_and_raw_idents() {
+        let src = r###"let a = b"bytes"; let b2 = b'\n'; let c = br#"raw"#; let d = r#match;"###;
+        check_partition(src);
+        let toks = lex(src);
+        let strs = toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 2);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text(src) == "b'\\n'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text(src) == "r#match"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let src = "let a = 0..10; let b = 1.5e-3; let c = 0xfff_u32; let d = x.0;";
+        check_partition(src);
+        let nums: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3", "0xfff_u32", "0"]);
+    }
+
+    #[test]
+    fn ordering_in_strings_is_not_an_ident() {
+        let src = r#"let s = "Ordering::Relaxed"; // Ordering::Relaxed in a comment"#;
+        let toks = lex(src);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text(src) == "Ordering"));
+        assert_eq!(
+            toks.iter().filter(|t| t.is_comment()).count(),
+            1,
+            "the comment itself is kept as a token"
+        );
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["let s = \"open", "let r = r#\"open", "/* open", "let c = '"] {
+            let _ = lex(src); // must not panic; partition may end mid-token
+        }
+    }
+
+    /// Generates token-soup fragments and asserts the partition invariants
+    /// — the "round-trip token spans over generated raw-string / comment /
+    /// lifetime soup" property from the issue.
+    fn fragment(ix: usize, payload: u8) -> String {
+        let p = payload as usize;
+        match ix % 12 {
+            0 => format!("ident{p}"),
+            1 => format!("\"s{}\"", "\\\"".repeat(p % 3)),
+            2 => format!("r{h}\"raw {p} \"# inner\"{h}", h = "#".repeat(p % 4 + 1)),
+            3 => format!("/* d{} /* n */ */", p % 5),
+            4 => format!("// line {p}\n"),
+            5 => format!("'l{}", (b'a' + payload % 26) as char),
+            6 => format!("'{}'", (b'a' + payload % 26) as char),
+            7 => format!("{p}.{}e-{}", p % 7, p % 5),
+            8 => "'\\u{41}'".to_string(),
+            9 => format!("b\"b{p}\""),
+            10 => "::().=>[]{}#!".to_string(),
+            11 => format!("0..{p}"),
+            _ => unreachable!(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn lex_partitions_generated_soup(
+            picks in proptest::collection::vec((0usize..12, proptest::arbitrary::any::<u8>()), 0..24)
+        ) {
+            let mut src = String::new();
+            for (ix, payload) in picks {
+                src.push_str(&fragment(ix, payload));
+                src.push(' ');
+            }
+            check_partition(&src);
+        }
+
+        #[test]
+        fn lex_never_panics_on_arbitrary_ascii(bytes in proptest::collection::vec(32u8..127, 0..64)) {
+            let src: String = bytes.into_iter().map(char::from).collect();
+            let toks = lex(&src);
+            // spans are ordered and in bounds even on nonsense input
+            let mut prev = 0;
+            for t in &toks {
+                prop_assert!(t.start >= prev && t.end <= src.len());
+                prev = t.start.max(prev);
+            }
+        }
+    }
+}

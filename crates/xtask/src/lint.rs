@@ -1,5 +1,6 @@
 //! The `xseq-check` repo lint pass: mechanical rules the compiler does not
-//! enforce, run as `cargo xtask lint` (and in CI).
+//! enforce, run as `cargo xtask lint` (and in CI, plus as the first rule
+//! group of `cargo xtask analyze`).
 //!
 //! Rules:
 //!
@@ -16,32 +17,37 @@
 //!    names (`start_span`, `event`, `histogram`, `counter`, `gauge`) must
 //!    match the `phase.name` grammar: dot-separated segments of
 //!    `[a-z][a-z0-9_]*`.
-//! 5. **relaxed-annotation** — `Ordering::Relaxed` may only appear on
-//!    lines annotated (same line or within the six lines above) with a
-//!    comment containing `relaxed`, stating why no stronger ordering is
-//!    needed.
-//! 6. **no-thread-spawn** — `thread::spawn(` may appear only under
+//! 5. **no-thread-spawn** — `thread::spawn(` may appear only under
 //!    `crates/exec/`: every other crate expresses parallelism through the
 //!    `xseq-exec::Pool`, which keeps thread counts, scoping and the
 //!    sequential fall-back in one audited place.  (Scoped spawns via
 //!    `thread::scope` + `s.spawn` don't match and stay legal — they
 //!    cannot leak past their scope.)
-//! 7. **metric-family** — registry metric literals (`histogram`,
+//! 6. **metric-family** — registry metric literals (`histogram`,
 //!    `counter`, `gauge`) must additionally open with a family from
 //!    [`METRIC_FAMILIES`], so the exported namespace (`memory.*`,
 //!    `health.*`, `workload.*`, …) grows deliberately instead of one
 //!    ad-hoc prefix per call site.  Span and event names are exempt —
 //!    they never reach the Prometheus surface.
-//! 8. **event-name-grammar** — flight-recorder event literals
+//! 7. **event-name-grammar** — flight-recorder event literals
 //!    (`Event::new("…")`) follow the same `seg(.seg)*` grammar as span
 //!    names, keeping the event taxonomy of DESIGN.md §13 mechanical.
 //!
-//! The linter is text-based: each file is masked (string-literal and
-//! comment *contents* blanked, delimiters kept, byte offsets preserved) so
-//! rule needles never match themselves inside strings or docs.  Test
-//! regions — everything from the first `#[cfg(test)]` line to the end of
-//! the file — are exempt from rules 3–6.
+//! PR 3's `relaxed-annotation` rule graduated into the full
+//! atomic-ordering audit ([`crate::atomics`], `cargo xtask analyze`),
+//! which checks every ordering — not just `Relaxed` — against a declared
+//! role.
+//!
+//! Since PR 8 the linter runs on the real token stream
+//! ([`crate::lexer`] + [`crate::scan`]) instead of masked lines: rule
+//! needles are token patterns, so string/comment contents can never match
+//! by construction, and test-region exemption is the scanner's
+//! `#[cfg(test)]`-to-EOF region.  Only the crate-root
+//! `#![forbid(unsafe_code)]` check stays textual — it is an
+//! exact-attribute presence test.
 
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -53,10 +59,7 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/telemetry/src/ring.rs"];
 pub const UNSAFE_CRATES: &[&str] = &["telemetry"];
 
 /// How many lines above an `unsafe` site a `SAFETY:` comment may sit.
-const SAFETY_WINDOW: usize = 3;
-
-/// How many lines above an `Ordering::Relaxed` a `relaxed` comment may sit.
-const RELAXED_WINDOW: usize = 6;
+const SAFETY_WINDOW: u32 = 3;
 
 /// The only directory allowed to call `thread::spawn` — the worker pool.
 pub const THREAD_SPAWN_PREFIX: &str = "crates/exec/";
@@ -76,13 +79,13 @@ fn metric_family_ok(name: &str) -> bool {
         .is_some_and(|fam| METRIC_FAMILIES.contains(&fam))
 }
 
-/// One lint violation.
+/// One lint/analysis violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Repo-relative path.
     pub file: String,
     /// 1-based line number.
-    pub line: usize,
+    pub line: u32,
     /// Rule identifier (e.g. `no-bare-unwrap`).
     pub rule: &'static str,
     /// What went wrong.
@@ -99,167 +102,6 @@ impl fmt::Display for Finding {
     }
 }
 
-/// A masked copy of the source: string-literal and comment contents are
-/// blanked (delimiters kept), with byte lengths preserved so columns line
-/// up with the raw text.  `comment_start[i]` is the byte column where a
-/// comment begins on line `i` (`usize::MAX` when none).
-struct Masked {
-    lines: Vec<String>,
-    comment_start: Vec<usize>,
-}
-
-fn mask_source(source: &str) -> Masked {
-    #[derive(Clone, Copy, PartialEq)]
-    enum St {
-        Code,
-        Str,
-        RawStr(usize),
-        Block(usize),
-        Line,
-    }
-    let mut st = St::Code;
-    let mut lines = Vec::new();
-    let mut comment_start = Vec::new();
-    for raw in source.lines() {
-        let b = raw.as_bytes();
-        let mut out = Vec::with_capacity(b.len());
-        let mut cstart = usize::MAX;
-        if st == St::Line {
-            st = St::Code;
-        }
-        let mut i = 0;
-        while i < b.len() {
-            match st {
-                St::Code => {
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        st = St::Line;
-                        cstart = cstart.min(i);
-                        out.extend_from_slice(b"//");
-                        i += 2;
-                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        st = St::Block(1);
-                        cstart = cstart.min(i);
-                        out.extend_from_slice(b"/*");
-                        i += 2;
-                    } else if b[i] == b'"' {
-                        st = St::Str;
-                        out.push(b'"');
-                        i += 1;
-                    } else if b[i] == b'r'
-                        && i + 1 < b.len()
-                        && (b[i + 1] == b'"' || b[i + 1] == b'#')
-                        && !matches!(i.checked_sub(1).map(|p| b[p]), Some(c) if c.is_ascii_alphanumeric() || c == b'_')
-                    {
-                        // raw string: r"..." or r#"..."# (any # count)
-                        let mut hashes = 0;
-                        let mut j = i + 1;
-                        while j < b.len() && b[j] == b'#' {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if j < b.len() && b[j] == b'"' {
-                            st = St::RawStr(hashes);
-                            out.resize(out.len() + (j - i + 1), b' ');
-                            i = j + 1;
-                        } else {
-                            out.push(b[i]);
-                            i += 1;
-                        }
-                    } else if b[i] == b'\'' {
-                        // char literal ('x', '\n', '\u{..}') vs lifetime
-                        let rest = &b[i + 1..];
-                        let close = if rest.first() == Some(&b'\\') {
-                            rest.iter().skip(1).position(|&c| c == b'\'').map(|p| p + 1)
-                        } else if rest.len() >= 2 && rest[1] == b'\'' && rest[0] != b'\'' {
-                            Some(1)
-                        } else {
-                            None
-                        };
-                        match close {
-                            Some(p) => {
-                                // blank the contents, keep the quotes
-                                out.push(b'\'');
-                                out.resize(out.len() + p, b' ');
-                                out.push(b'\'');
-                                i += p + 2;
-                            }
-                            None => {
-                                out.push(b'\'');
-                                i += 1;
-                            }
-                        }
-                    } else {
-                        out.push(b[i]);
-                        i += 1;
-                    }
-                }
-                St::Str => {
-                    if b[i] == b'\\' && i + 1 < b.len() {
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if b[i] == b'"' {
-                        st = St::Code;
-                        out.push(b'"');
-                        i += 1;
-                    } else {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                }
-                St::RawStr(hashes) => {
-                    if b[i] == b'"'
-                        && b[i + 1..].iter().take_while(|&&c| c == b'#').count() >= hashes
-                    {
-                        st = St::Code;
-                        out.resize(out.len() + hashes + 1, b' ');
-                        i += hashes + 1;
-                    } else {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                }
-                St::Block(depth) => {
-                    cstart = cstart.min(i);
-                    if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        st = if depth == 1 {
-                            St::Code
-                        } else {
-                            St::Block(depth - 1)
-                        };
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        st = St::Block(depth + 1);
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                }
-                St::Line => {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-        }
-        if matches!(st, St::Block(_)) && cstart == usize::MAX {
-            cstart = 0;
-        }
-        // Unterminated single-line strings cannot occur in valid Rust;
-        // reset to avoid poisoning the rest of the file.
-        if st == St::Str {
-            st = St::Code;
-        }
-        lines.push(String::from_utf8(out).expect("mask preserves utf-8 boundaries"));
-        comment_start.push(cstart);
-    }
-    Masked {
-        lines,
-        comment_start,
-    }
-}
-
 /// True when `name` matches the telemetry grammar `seg(.seg)*` with
 /// `seg = [a-z][a-z0-9_]*`.
 fn valid_span_name(name: &str) -> bool {
@@ -271,77 +113,73 @@ fn valid_span_name(name: &str) -> bool {
         })
 }
 
-/// True when the masked line has a code-position occurrence of `unsafe`.
-fn has_unsafe_token(masked: &str) -> bool {
-    let b = masked.as_bytes();
-    let mut from = 0;
-    while let Some(p) = masked[from..].find("unsafe") {
-        let at = from + p;
-        let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
-        let end = at + "unsafe".len();
-        let after_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
-        if before_ok && after_ok {
-            return true;
-        }
-        from = at + 1;
+/// The contents of a plain `"…"` literal token, if it is one.
+fn str_contents(file: &SourceFile, ix: usize) -> Option<&str> {
+    if file.tokens[ix].kind != TokKind::Str {
+        return None;
     }
-    false
+    let text = file.text(ix);
+    text.strip_prefix('"').and_then(|t| t.strip_suffix('"'))
 }
 
 /// Lints one file's source.  `rel_path` is the repo-relative path used in
-/// findings and for allowlist decisions.
+/// findings and for allowlist decisions.  Test-facing convenience over
+/// [`lint_source`].
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let masked = mask_source(source);
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&rel_path);
-    let test_start = raw_lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .unwrap_or(raw_lines.len());
+    lint_source(&SourceFile::scan(rel_path, source))
+}
 
-    // (needle, is a registry metric — spans/events skip the family rule)
-    let span_needles = [
-        ("start_span(\"", false),
-        (".event(\"", false),
-        ("histogram(\"", true),
-        ("counter(\"", true),
-        ("gauge(\"", true),
+/// Token-stream lint over an already-scanned file.
+pub fn lint_source(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let code: Vec<usize> = crate::lexer::code_tokens(&file.tokens)
+        .map(|(i, _)| i)
+        .collect();
+    let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&file.rel_path.as_str());
+
+    // (method, is a registry metric — spans/events skip the family rule,
+    //  needs a leading dot — `event` is too generic for a bare match)
+    let name_sinks: &[(&str, bool, bool)] = &[
+        ("start_span", false, false),
+        ("event", false, true),
+        ("histogram", true, false),
+        ("counter", true, false),
+        ("gauge", true, false),
     ];
 
-    for (i, m) in masked.lines.iter().enumerate() {
-        let raw = raw_lines[i];
-        let lineno = i + 1;
-        let in_tests = i >= test_start;
-        let code = match masked.comment_start[i] {
-            usize::MAX => m.as_str(),
-            c => &m[..c],
+    for (k, &ix) in code.iter().enumerate() {
+        let text = file.text(ix);
+        let line = file.tokens[ix].line;
+        let in_tests = file.in_tests(ix);
+        let push = |findings: &mut Vec<Finding>, rule: &'static str, message: String| {
+            findings.push(Finding {
+                file: file.rel_path.clone(),
+                line,
+                rule,
+                message,
+            });
         };
 
-        // Rule 1 + 2: unsafe allowlist and SAFETY: comments.
-        if has_unsafe_token(code) {
+        // Rules 1 + 2: unsafe allowlist and SAFETY: comments (tests too —
+        // unsound test code is still unsound).
+        if text == "unsafe" && file.tokens[ix].kind == TokKind::Ident {
             if !unsafe_allowed {
-                findings.push(Finding {
-                    file: rel_path.into(),
-                    line: lineno,
-                    rule: "unsafe-allowlist",
-                    message: format!(
+                push(
+                    &mut findings,
+                    "unsafe-allowlist",
+                    format!(
                         "`unsafe` outside the allowlisted modules ({})",
                         UNSAFE_ALLOWLIST.join(", ")
                     ),
-                });
+                );
             }
-            let documented =
-                (i.saturating_sub(SAFETY_WINDOW)..=i).any(|j| raw_lines[j].contains("SAFETY:"));
-            if !documented {
-                findings.push(Finding {
-                    file: rel_path.into(),
-                    line: lineno,
-                    rule: "safety-comment",
-                    message: format!(
-                        "`unsafe` without a SAFETY: comment within {SAFETY_WINDOW} lines"
-                    ),
-                });
+            if !file.has_annotation(line, SAFETY_WINDOW, "SAFETY:") {
+                push(
+                    &mut findings,
+                    "safety-comment",
+                    format!("`unsafe` without a SAFETY: comment within {SAFETY_WINDOW} lines"),
+                );
             }
         }
 
@@ -350,132 +188,114 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
         }
 
         // Rule 3: bare unwrap / empty expect.
-        if code.contains(".unwrap()") {
-            findings.push(Finding {
-                file: rel_path.into(),
-                line: lineno,
-                rule: "no-bare-unwrap",
-                message: ".unwrap() outside #[cfg(test)]; propagate or .expect(\"why\")".into(),
-            });
+        if text == "."
+            && code.get(k + 2).is_some_and(|&p| file.text(p) == "(")
+            && file.text(code[k + 1]) == "unwrap"
+            && code.get(k + 3).is_some_and(|&p| file.text(p) == ")")
+        {
+            push(
+                &mut findings,
+                "no-bare-unwrap",
+                ".unwrap() outside #[cfg(test)]; propagate or .expect(\"why\")".into(),
+            );
         }
-        if code.contains(".expect(\"\")") {
-            findings.push(Finding {
-                file: rel_path.into(),
-                line: lineno,
-                rule: "no-bare-unwrap",
-                message: "empty .expect(\"\") outside #[cfg(test)]; say why it cannot fail".into(),
-            });
+        if text == "."
+            && code.get(k + 2).is_some_and(|&p| file.text(p) == "(")
+            && file.text(code[k + 1]) == "expect"
+            && code
+                .get(k + 3)
+                .and_then(|&p| str_contents(file, p))
+                .is_some_and(str::is_empty)
+        {
+            push(
+                &mut findings,
+                "no-bare-unwrap",
+                "empty .expect(\"\") outside #[cfg(test)]; say why it cannot fail".into(),
+            );
         }
 
-        // Rule 4: telemetry name grammar.  The masked line keeps the
-        // delimiters and byte offsets, so the literal can be read back out
-        // of the raw line at the same positions.
-        for (needle, is_metric) in span_needles {
-            let mut from = 0;
-            while let Some(p) = code[from..].find(needle) {
-                let open = from + p + needle.len() - 1; // the opening quote
-                if let Some(q) = m[open + 1..].find('"') {
-                    let close = open + 1 + q;
-                    let name = &raw[open + 1..close];
+        // Rules 4 + 6: telemetry name grammar and metric families.
+        if file.tokens[ix].kind == TokKind::Ident {
+            if let Some(&(_, is_metric, needs_dot)) = name_sinks.iter().find(|(m, _, _)| *m == text)
+            {
+                let dotted = k > 0 && file.text(code[k - 1]) == ".";
+                let name = (!needs_dot || dotted)
+                    .then(|| code.get(k + 1).zip(code.get(k + 2)))
+                    .flatten()
+                    .filter(|(&p, _)| file.text(p) == "(")
+                    .and_then(|(_, &a)| str_contents(file, a));
+                if let Some(name) = name {
                     if !valid_span_name(name) {
-                        findings.push(Finding {
-                            file: rel_path.into(),
-                            line: lineno,
-                            rule: "span-name-grammar",
-                            message: format!(
+                        push(
+                            &mut findings,
+                            "span-name-grammar",
+                            format!(
                                 "telemetry name {name:?} violates `seg(.seg)*` with \
                                  seg = [a-z][a-z0-9_]*"
                             ),
-                        });
+                        );
                     } else if is_metric && !metric_family_ok(name) {
-                        findings.push(Finding {
-                            file: rel_path.into(),
-                            line: lineno,
-                            rule: "metric-family",
-                            message: format!(
+                        push(
+                            &mut findings,
+                            "metric-family",
+                            format!(
                                 "metric name {name:?} opens a family outside the registered \
                                  set ({}); extend METRIC_FAMILIES deliberately",
                                 METRIC_FAMILIES.join(", ")
                             ),
-                        });
+                        );
                     }
-                    from = close;
-                } else {
-                    break;
                 }
             }
         }
 
-        // Rule 8: flight-recorder event literals follow the span grammar.
+        // Rule 7: flight-recorder event literals follow the span grammar.
+        if text == "Event"
+            && k + 5 < code.len()
+            && file.text(code[k + 1]) == ":"
+            && file.text(code[k + 2]) == ":"
+            && file.text(code[k + 3]) == "new"
+            && file.text(code[k + 4]) == "("
         {
-            let needle = "Event::new(\"";
-            let mut from = 0;
-            while let Some(p) = code[from..].find(needle) {
-                let open = from + p + needle.len() - 1; // the opening quote
-                if let Some(q) = m[open + 1..].find('"') {
-                    let close = open + 1 + q;
-                    let name = &raw[open + 1..close];
-                    if !valid_span_name(name) {
-                        findings.push(Finding {
-                            file: rel_path.into(),
-                            line: lineno,
-                            rule: "event-name-grammar",
-                            message: format!(
-                                "event name {name:?} violates `seg(.seg)*` with \
-                                 seg = [a-z][a-z0-9_]*"
-                            ),
-                        });
-                    }
-                    from = close;
-                } else {
-                    break;
+            if let Some(name) = str_contents(file, code[k + 5]) {
+                if !valid_span_name(name) {
+                    push(
+                        &mut findings,
+                        "event-name-grammar",
+                        format!(
+                            "event name {name:?} violates `seg(.seg)*` with \
+                             seg = [a-z][a-z0-9_]*"
+                        ),
+                    );
                 }
             }
         }
 
-        // Rule 5: Relaxed ordering must be annotated.
-        if code.contains("Ordering::Relaxed") {
-            let annotated = (i.saturating_sub(RELAXED_WINDOW)..=i).any(|j| {
-                let l = raw_lines[j];
-                match l.find("//") {
-                    Some(c) => l[c..].to_ascii_lowercase().contains("relaxed"),
-                    None => false,
-                }
-            });
-            if !annotated {
-                findings.push(Finding {
-                    file: rel_path.into(),
-                    line: lineno,
-                    rule: "relaxed-annotation",
-                    message: format!(
-                        "Ordering::Relaxed without a `relaxed` comment within \
-                         {RELAXED_WINDOW} lines explaining why it suffices"
-                    ),
-                });
-            }
-        }
-
-        // Rule 6: threads are spawned only by the exec worker pool.
-        if code.contains("thread::spawn(") && !rel_path.starts_with(THREAD_SPAWN_PREFIX) {
-            findings.push(Finding {
-                file: rel_path.into(),
-                line: lineno,
-                rule: "no-thread-spawn",
-                message: format!(
+        // Rule 5: threads are spawned only by the exec worker pool.
+        if text == "thread"
+            && !file.rel_path.starts_with(THREAD_SPAWN_PREFIX)
+            && k + 4 < code.len()
+            && file.text(code[k + 1]) == ":"
+            && file.text(code[k + 2]) == ":"
+            && file.text(code[k + 3]) == "spawn"
+            && file.text(code[k + 4]) == "("
+        {
+            push(
+                &mut findings,
+                "no-thread-spawn",
+                format!(
                     "thread::spawn outside {THREAD_SPAWN_PREFIX}; go through \
                      xseq_exec::Pool (or a std::thread::scope) instead"
                 ),
-            });
+            );
         }
     }
     findings
 }
 
-/// Walks `crates/*/src` under `root`, linting every `.rs` file, and checks
-/// each crate root for `#![forbid(unsafe_code)]` (unless the crate is in
-/// [`UNSAFE_CRATES`]).
-pub fn lint_repo(root: &Path) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
+/// Walks `crates/*/src` under `root` and scans every `.rs` file — the
+/// shared corpus for `lint` and the `analyze` passes.
+pub fn scan_repo(root: &Path) -> Result<Vec<SourceFile>, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
         .map_err(|e| format!("{}: {e}", crates_dir.display()))?
@@ -483,12 +303,8 @@ pub fn lint_repo(root: &Path) -> Result<Vec<Finding>, String> {
         .filter(|p| p.is_dir())
         .collect();
     crate_dirs.sort();
+    let mut out = Vec::new();
     for crate_dir in crate_dirs {
-        let crate_name = crate_dir
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or_default()
-            .to_owned();
         let src = crate_dir.join("src");
         if !src.is_dir() {
             continue;
@@ -504,32 +320,42 @@ pub fn lint_repo(root: &Path) -> Result<Vec<Finding>, String> {
                 .replace('\\', "/");
             let source =
                 std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
-            findings.extend(lint_file(&rel, &source));
-        }
-        // Crate-root forbid check.
-        if !UNSAFE_CRATES.contains(&crate_name.as_str()) {
-            for root_file in ["lib.rs", "main.rs"] {
-                let path = src.join(root_file);
-                if let Ok(source) = std::fs::read_to_string(&path) {
-                    if !source.contains("#![forbid(unsafe_code)]") {
-                        let rel = path
-                            .strip_prefix(root)
-                            .unwrap_or(&path)
-                            .to_string_lossy()
-                            .replace('\\', "/");
-                        findings.push(Finding {
-                            file: rel,
-                            line: 1,
-                            rule: "unsafe-allowlist",
-                            message: "crate root of an unsafe-free crate must declare \
-                                      #![forbid(unsafe_code)]"
-                                .into(),
-                        });
-                    }
-                }
-            }
+            out.push(SourceFile::scan(&rel, &source));
         }
     }
+    Ok(out)
+}
+
+/// Crate-root `#![forbid(unsafe_code)]` presence check over a scanned
+/// corpus (textual: it is an exact-attribute test, not a token pattern).
+pub fn forbid_findings(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let is_root =
+            file.rel_path.ends_with("/src/lib.rs") || file.rel_path.ends_with("/src/main.rs");
+        if !is_root || UNSAFE_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        if !file.src.contains("#![forbid(unsafe_code)]") {
+            findings.push(Finding {
+                file: file.rel_path.clone(),
+                line: 1,
+                rule: "unsafe-allowlist",
+                message: "crate root of an unsafe-free crate must declare \
+                          #![forbid(unsafe_code)]"
+                    .into(),
+            });
+        }
+    }
+    findings
+}
+
+/// Lints the whole repo: every `crates/*/src/**.rs` plus the crate-root
+/// forbid check.
+pub fn lint_repo(root: &Path) -> Result<Vec<Finding>, String> {
+    let files = scan_repo(root)?;
+    let mut findings: Vec<Finding> = files.iter().flat_map(lint_source).collect();
+    findings.extend(forbid_findings(&files));
     Ok(findings)
 }
 
@@ -553,7 +379,6 @@ mod tests {
     const BAD_UNWRAP: &str = include_str!("../fixtures/bad_unwrap.rs");
     const BAD_SPAN: &str = include_str!("../fixtures/bad_span_name.rs");
     const BAD_FAMILY: &str = include_str!("../fixtures/bad_metric_family.rs");
-    const BAD_RELAXED: &str = include_str!("../fixtures/bad_relaxed.rs");
     const BAD_EVENT: &str = include_str!("../fixtures/bad_event_name.rs");
     const BAD_SPAWN: &str = include_str!("../fixtures/bad_thread_spawn.rs");
     const GOOD: &str = include_str!("../fixtures/good_clean.rs");
@@ -626,12 +451,6 @@ mod tests {
     }
 
     #[test]
-    fn bad_relaxed_fixture_fails_annotation() {
-        let f = lint_file("crates/demo/src/lib.rs", BAD_RELAXED);
-        assert_eq!(rules(&f), vec!["relaxed-annotation"], "{f:?}");
-    }
-
-    #[test]
     fn bad_thread_spawn_fixture_fails_outside_exec() {
         let f = lint_file("crates/demo/src/lib.rs", BAD_SPAWN);
         let spawns: Vec<_> = f.iter().filter(|f| f.rule == "no-thread-spawn").collect();
@@ -667,16 +486,17 @@ mod tests {
     }
 
     #[test]
-    fn masking_ignores_strings_and_comments() {
-        let src = r#"
+    fn strings_and_comments_never_match_rule_needles() {
+        let src = r##"
 fn f() {
-    let _ = "contains .unwrap() and unsafe and Ordering::Relaxed";
+    let _ = "contains .unwrap() and unsafe and thread::spawn(";
     // .unwrap() in a comment is fine, as is unsafe
     /* block with .expect("") too */
     let _c = '"'; // a quote char literal must not open a string
     let _ = g(".unwrap()");
+    let _raw = r#"unsafe .unwrap() thread::spawn("#;
 }
-"#;
+"##;
         assert!(lint_file("crates/demo/src/lib.rs", src).is_empty());
     }
 

@@ -5,8 +5,12 @@
 //!
 //! * `lint` (default) — the xseq-check lint pass: unsafe allowlist +
 //!   SAFETY: comments, no bare `unwrap()`, telemetry-name grammar and
-//!   metric families, and annotated `Ordering::Relaxed`.  See `lint.rs`
-//!   for the rules.
+//!   metric families.  See `lint.rs` for the rules.
+//! * `analyze [--json <path>]` — the token-aware static-analysis pass
+//!   (DESIGN.md §14): the lint rules plus lock-order deadlock detection,
+//!   the atomic-ordering audit, and hot-path panic-freedom.  Prints a
+//!   per-rule timing table; `--json` writes the findings document CI
+//!   uploads as an artifact.
 //! * `promlint <file|->` — validate a Prometheus text-format exposition
 //!   (as written by `Snapshot::to_prometheus`) with the dep-free linter
 //!   from `xseq-telemetry`: TYPE declarations, name grammar, histogram
@@ -18,8 +22,15 @@
 //!   collapsed-stack format, manifest provenance keys.
 #![forbid(unsafe_code)]
 
+mod analyze;
+mod atomics;
 mod diagcheck;
+mod graph;
+mod lexer;
 mod lint;
+mod lockorder;
+mod panicfree;
+mod scan;
 
 use std::io::Read as _;
 use std::path::Path;
@@ -29,6 +40,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None | Some("lint") => run_lint(),
+        Some("analyze") => run_analyze(&args[1..]),
         Some("promlint") => run_promlint(args.get(1).map(String::as_str)),
         Some("diagcheck") => run_diagcheck(args.get(1).map(String::as_str)),
         Some("help" | "--help" | "-h") => {
@@ -121,11 +133,57 @@ fn run_lint() -> ExitCode {
     }
 }
 
+fn run_analyze(args: &[String]) -> ExitCode {
+    let mut json_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("xtask analyze: --json needs a path\n");
+                    usage();
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask analyze: unknown argument `{other}`\n");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = match analyze::analyze_repo(&root) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("xtask analyze: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, analyze::to_json(&report)) {
+            eprintln!("xtask analyze: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", analyze::render(&report));
+    if report.findings.is_empty() {
+        println!("xtask analyze: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask analyze: {} finding(s)", report.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() {
     println!(
-        "usage: cargo xtask [lint | promlint <file|-> | diagcheck <dir>]\n\n\
+        "usage: cargo xtask [lint | analyze [--json <path>] | promlint <file|-> | diagcheck <dir>]\n\n\
          subcommands:\n  \
          lint        run the xseq-check lint pass over crates/*/src (default)\n  \
+         analyze     token-aware static analysis: lint + lock-order +\n              \
+         atomic-ordering + hot-path panic-freedom (--json writes findings)\n  \
          promlint    validate a Prometheus text exposition (file or stdin)\n  \
          diagcheck   validate a diagnostics bundle directory\n  \
          help        show this message\n\n\
