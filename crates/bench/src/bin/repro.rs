@@ -56,7 +56,7 @@ const EXPERIMENTS: &[Experiment] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all|check> [--scale X] [--threads N]\n\
+        "usage: repro <experiment|all|check> [--scale X] [--threads N] [--shards N]\n\
          \x20           [--metrics PATH.json] [--bench-label LABEL]\n\
          \x20           [--baseline BENCH.json] [--verify] [--diag DIR]"
     );
@@ -156,6 +156,10 @@ fn main() {
             "--threads" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 xseq_bench::set_thread_cap(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--shards" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                xseq_bench::set_shard_cap(v.parse().unwrap_or_else(|_| usage()));
             }
             "--metrics" => metrics_path = Some(it.next().unwrap_or_else(|| usage())),
             "--bench-label" => bench_label = Some(it.next().unwrap_or_else(|| usage())),

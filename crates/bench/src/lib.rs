@@ -549,6 +549,15 @@ pub fn set_thread_cap(n: usize) {
     THREAD_CAP.store(n.max(1), Ordering::Relaxed);
 }
 
+/// Upper bound of the shard series [`scaling`] sweeps (`repro --shards N`).
+static SHARD_CAP: AtomicUsize = AtomicUsize::new(8);
+
+/// Caps the [`scaling`] shard series at `n` (clamped to at least 1).
+pub fn set_shard_cap(n: usize) {
+    // ORDERING: config — standalone cell, written once before experiments run
+    SHARD_CAP.store(n.max(1), Ordering::Relaxed);
+}
+
 /// Throughput series over the parallel ingest pipeline and the shared-read
 /// batch query path: one XMark corpus, indexed and queried at 1/2/4/8
 /// worker threads (capped by [`set_thread_cap`]).
@@ -603,8 +612,12 @@ pub fn scaling(scale: f64) {
                 parse_histogram: None,
             };
             let t0 = Instant::now();
+            // shards(1): this series is the historical single-shard one,
+            // kept under the same `tN` keys so old baselines stay
+            // comparable; the shard series below records `sN.tN` keys.
             let db = DatabaseBuilder::new()
                 .threads(t)
+                .shards(1)
                 .build_from_corpus(corpus)
                 .expect("xmark corpus indexes");
             ingest = ingest.max(docs.len() as f64 / t0.elapsed().as_secs_f64());
@@ -638,6 +651,74 @@ pub fn scaling(scale: f64) {
             .set((qps / q1 * 100.0) as i64);
         println!(
             "| {t} | {ingest:.0} | {qps:.0} | {:.2}× / {:.2}× |",
+            ingest / i1,
+            qps / q1
+        );
+    }
+    println!();
+
+    // Shard-per-core series: shards = threads (capped by `--shards`), the
+    // configuration ISSUE 9's scatter/gather architecture targets.  Each
+    // cell records `ingest.docs_per_s.sS.tT` / `query.qps.sS.tT` gauges —
+    // new keys, so old baselines skip them and fresh ones gate them with
+    // the same tolerant throughput threshold as the `tN` series.
+    let scap = SHARD_CAP.load(Ordering::Relaxed); // ORDERING: config — advisory read
+    println!("### Sharded — shards = threads (shards ≤ {scap})");
+    println!();
+    println!("| shards × threads | ingest (docs/s) | batch queries (q/s) | speedup vs s1·t1 |");
+    println!("|---|---|---|---|");
+    let mut s1: Option<(f64, f64)> = None; // (s1, t1) reference cell
+    for t in [1usize, 2, 4, 8] {
+        if t > cap {
+            continue;
+        }
+        let s = t.min(scap);
+        let mut ingest = 0f64;
+        let mut qps = 0f64;
+        for _ in 0..2 {
+            let corpus = Corpus {
+                symbols: symbols.clone(),
+                paths: xseq::PathTable::new(),
+                docs: docs.clone(),
+                parse_histogram: None,
+            };
+            let t0 = Instant::now();
+            let db = DatabaseBuilder::new()
+                .threads(t)
+                .shards(s)
+                .build_from_corpus(corpus)
+                .expect("xmark corpus indexes");
+            ingest = ingest.max(docs.len() as f64 / t0.elapsed().as_secs_f64());
+
+            let t0 = Instant::now();
+            let mut hits = 0usize;
+            for r in db.query_batch(&exprs) {
+                hits += r.expect("paper query parses").len();
+            }
+            qps = qps.max(exprs.len() as f64 / t0.elapsed().as_secs_f64());
+            // Shard-merge ≡ sequential, measured on the bench corpus too:
+            // the sharded batch must match the single-shard series' hits.
+            match expect_hits {
+                None => expect_hits = Some(hits),
+                Some(h) => assert_eq!(h, hits, "answers diverged at {s} shards, {t} threads"),
+            }
+        }
+
+        registry
+            .gauge(&format!("ingest.docs_per_s.s{s}.t{t}"))
+            .set(ingest as i64);
+        registry.gauge(&format!("query.qps.s{s}.t{t}")).set(qps as i64);
+        // Speedup gauges vs the sharded series' own 1×1 cell (×100),
+        // outside the gated throughput grammar like the `tN` ones.
+        let (i1, q1) = *s1.get_or_insert((ingest, qps));
+        registry
+            .gauge(&format!("ingest.speedup_x100.s{s}.t{t}"))
+            .set((ingest / i1 * 100.0) as i64);
+        registry
+            .gauge(&format!("query.speedup_x100.s{s}.t{t}"))
+            .set((qps / q1 * 100.0) as i64);
+        println!(
+            "| {s} × {t} | {ingest:.0} | {qps:.0} | {:.2}× / {:.2}× |",
             ingest / i1,
             qps / q1
         );
@@ -703,8 +784,11 @@ pub fn updates(scale: f64) {
                 docs: docs[..nbase].to_vec(),
                 parse_histogram: None,
             };
+            // shards(1): keeps the `update.*.tN` keys on the historical
+            // single-shard path so old baselines stay comparable.
             let mut db = DatabaseBuilder::new()
                 .threads(t)
+                .shards(1)
                 .build_from_corpus(corpus)
                 .expect("xmark corpus indexes");
             let t0 = Instant::now();

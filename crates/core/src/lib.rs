@@ -92,7 +92,7 @@ pub use xseq_xml::{
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use xseq_schema::WorkloadRecorder;
 use xseq_telemetry::{Counter, Gauge, Histogram};
@@ -154,6 +154,7 @@ pub struct DatabaseBuilder {
     trace: Option<TraceConfig>,
     spot_check_rate: f64,
     threads: usize,
+    shards: usize,
     compact_threshold: Option<usize>,
     profiling: bool,
     event_capacity: usize,
@@ -191,6 +192,7 @@ impl DatabaseBuilder {
             trace: None,
             spot_check_rate: 0.0,
             threads: 1,
+            shards: 0,
             compact_threshold: None,
             profiling: true,
             event_capacity: 256,
@@ -228,12 +230,39 @@ impl DatabaseBuilder {
     }
 
     /// Sets the worker count for ingest (parallel parse, sequencing, and
-    /// index freeze) and for [`Database::query_batch`].  The built index is
-    /// bit-identical to a single-threaded build at any thread count; 1 (the
-    /// default) runs everything in place with no thread traffic.
+    /// index freeze) and for [`Database::query_batch`].  1 (the default)
+    /// runs everything in place with no thread traffic.
+    ///
+    /// The shard count follows the thread count unless
+    /// [`DatabaseBuilder::shards`] pins it.  At `shards(1)` the built index
+    /// is bit-identical to a single-threaded build at any thread count; a
+    /// sharded build partitions documents instead, and is answer-identical
+    /// (not trie-identical) to the single-shard build.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
         self
+    }
+
+    /// Sets the number of independent index shards (0, the default, follows
+    /// the thread count).  Documents are hash-routed to shards by id; each
+    /// shard owns its own symbol/path tables, frozen trie, delta segment,
+    /// tombstones and query-context pool, so shards share nothing on the
+    /// hot path.  Queries fan out across shards and k-way merge their
+    /// sorted results — answers, aggregate stats and integrity verdicts
+    /// are identical to a single-shard build over the same corpus.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// The effective shard count: an explicit [`DatabaseBuilder::shards`]
+    /// wins, otherwise one shard per worker thread.
+    fn resolved_shards(&self) -> usize {
+        if self.shards == 0 {
+            self.threads.max(1)
+        } else {
+            self.shards
+        }
     }
 
     /// Enables sampled post-query integrity spot checks: after roughly
@@ -310,6 +339,9 @@ impl DatabaseBuilder {
         self,
         xmls: impl IntoIterator<Item = &'a str>,
     ) -> Result<Database, Error> {
+        if self.resolved_shards() > 1 {
+            return self.build_from_xml_sharded(xmls.into_iter().collect());
+        }
         let mut corpus = Corpus::new(self.value_mode);
         corpus.attach_parse_histogram(self.registry.histogram("xml.parse"));
         let pool = Pool::new(self.threads);
@@ -359,16 +391,104 @@ impl DatabaseBuilder {
         self.build_from_corpus(corpus)
     }
 
+    /// [`DatabaseBuilder::build_from_xml`] for a sharded build: documents
+    /// are hash-routed by their would-be id **before** parsing, then each
+    /// shard parses its own subset into its own interners on one worker —
+    /// the parse phase itself is shared-nothing.
+    fn build_from_xml_sharded(self, xmls: Vec<&str>) -> Result<Database, Error> {
+        if xmls.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        let nshards = self.resolved_shards();
+        let mut shard_xmls: Vec<Vec<&str>> = vec![Vec::new(); nshards];
+        let mut doc_map = Vec::with_capacity(xmls.len());
+        let mut global_ids: Vec<Vec<DocId>> = vec![Vec::new(); nshards];
+        for (gid, xml) in xmls.iter().enumerate() {
+            let s = shard_of(gid as DocId, nshards);
+            doc_map.push((s as u32, shard_xmls[s].len() as DocId));
+            global_ids[s].push(gid as DocId);
+            shard_xmls[s].push(xml);
+        }
+        let pool = Pool::new(self.threads);
+        let parse_hist = self.registry.histogram("xml.parse");
+        let mode = self.value_mode;
+        let tasks: Vec<_> = shard_xmls
+            .into_iter()
+            .zip(global_ids.iter())
+            .map(|(sx, gids)| {
+                let hist = parse_hist.clone();
+                move || {
+                    let mut corpus = Corpus::new(mode);
+                    corpus.attach_parse_histogram(hist);
+                    for (i, xml) in sx.iter().enumerate() {
+                        if let Err(e) = corpus.parse_and_push(xml) {
+                            // gids[i] exists for every input: the routing
+                            // loop pushed one gid per xml
+                            return Err((gids[i], e));
+                        }
+                    }
+                    Ok(corpus)
+                }
+            })
+            .collect();
+        let mut corpora = Vec::with_capacity(nshards);
+        let mut first_err: Option<(DocId, XmlError)> = None;
+        for r in pool.run(tasks) {
+            match r {
+                Ok(c) => corpora.push(c),
+                // Workers stop at their first parse error (their own subset
+                // is in document order), so the minimum over shards is the
+                // earliest error in global document order — exactly what
+                // the sequential loop reports.
+                Err((gid, e)) => {
+                    if first_err.as_ref().is_none_or(|(g, _)| gid < *g) {
+                        first_err = Some((gid, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e.into());
+        }
+        self.finish_build(corpora, doc_map, global_ids)
+    }
+
     /// Indexes an already-built corpus.
-    pub fn build_from_corpus(self, mut corpus: Corpus) -> Result<Database, Error> {
+    ///
+    /// With more than one shard, the corpus is split by re-interning each
+    /// document into its shard's fresh symbol/path tables (arena order is
+    /// parse-encounter order, so stateful re-interning replays a
+    /// from-scratch parse of the shard's subset exactly).
+    pub fn build_from_corpus(self, corpus: Corpus) -> Result<Database, Error> {
         if corpus.is_empty() {
             return Err(Error::EmptyDatabase);
         }
+        let nshards = self.resolved_shards();
+        if nshards <= 1 {
+            let len = corpus.len();
+            let doc_map = (0..len).map(|g| (0u32, g as DocId)).collect();
+            let global_ids = vec![(0..len as DocId).collect()];
+            return self.finish_build(vec![corpus], doc_map, global_ids);
+        }
+        let pool = Pool::new(self.threads);
+        let (corpora, doc_map, global_ids) = split_corpus(&corpus, nshards, &pool);
+        self.finish_build(corpora, doc_map, global_ids)
+    }
+
+    /// Builds one index per shard corpus and assembles the [`Database`].
+    /// Single-shard builds use the parallel (bit-identical) index build on
+    /// the pool; sharded builds run one sequential index build per shard,
+    /// fanned out across the pool — the shard-per-core model.
+    fn finish_build(
+        self,
+        corpora: Vec<Corpus>,
+        doc_map: Vec<(u32, DocId)>,
+        global_ids: Vec<Vec<DocId>>,
+    ) -> Result<Database, Error> {
         // Register every pipeline phase up front so a fresh database's
         // snapshot already lists them (at zero), and later inserts through
-        // this corpus keep recording xml.parse.
+        // the shard corpora keep recording xml.parse.
         let parse_hist = self.registry.histogram("query.parse");
-        corpus.attach_parse_histogram(self.registry.histogram("xml.parse"));
         let pool_tel = PoolTelemetry::register(&self.registry);
         let config = BuildConfig {
             sequencing: self.sequencing,
@@ -377,16 +497,55 @@ impl DatabaseBuilder {
             boosts: self.boosts,
             compact_threshold: self.compact_threshold,
         };
-        let strategy = compute_strategy(&config, &mut corpus);
         let pool = Pool::new(self.threads);
-        let index = XmlIndex::build_parallel(
-            &corpus.docs,
-            &mut corpus.paths,
-            strategy,
-            config.plan,
-            Some(IndexTelemetry::register(&self.registry)),
-            &pool,
-        );
+        let nshards = corpora.len();
+        let shards: Vec<Shard> = if nshards == 1 {
+            let mut corpus = corpora
+                .into_iter()
+                .next()
+                .expect("finish_build callers pass exactly nshards corpora");
+            corpus.attach_parse_histogram(self.registry.histogram("xml.parse"));
+            let strategy = compute_strategy(&config, &mut corpus);
+            let index = XmlIndex::build_parallel(
+                &corpus.docs,
+                &mut corpus.paths,
+                strategy,
+                config.plan,
+                Some(IndexTelemetry::register(&self.registry)),
+                &pool,
+            );
+            let gids = global_ids
+                .into_iter()
+                .next()
+                .expect("finish_build callers pass exactly nshards id lists");
+            vec![Shard::new(corpus, index, gids)]
+        } else {
+            let registry = &self.registry;
+            let config_ref = &config;
+            let tasks: Vec<_> = corpora
+                .into_iter()
+                .enumerate()
+                .map(|(s, mut corpus)| {
+                    move || {
+                        corpus.attach_parse_histogram(registry.histogram("xml.parse"));
+                        let strategy = compute_strategy(config_ref, &mut corpus);
+                        let index = XmlIndex::build_instrumented(
+                            &corpus.docs,
+                            &mut corpus.paths,
+                            strategy,
+                            config_ref.plan,
+                            Some(IndexTelemetry::register_shard(registry, s, nshards)),
+                        );
+                        (corpus, index)
+                    }
+                })
+                .collect();
+            pool.run(tasks)
+                .into_iter()
+                .zip(global_ids)
+                .map(|((corpus, index), gids)| Shard::new(corpus, index, gids))
+                .collect()
+        };
         // Register the update-path phases up front so a fresh database's
         // snapshot already lists them (at zero).
         let update_insert_hist = self.registry.histogram("update.insert");
@@ -405,13 +564,17 @@ impl DatabaseBuilder {
         });
         events.record(
             Event::new("ingest.build")
-                .attr("docs", corpus.len() as u64)
-                .attr("paths", corpus.paths.len() as u64)
-                .attr("threads", pool.threads() as u64),
+                .attr("docs", doc_map.len() as u64)
+                .attr(
+                    "paths",
+                    shards.iter().map(|sh| sh.corpus.paths.len() as u64).sum::<u64>(),
+                )
+                .attr("threads", pool.threads() as u64)
+                .attr("shards", nshards as u64),
         );
         Ok(Database {
-            corpus,
-            index,
+            shards,
+            doc_map,
             workload: self.profiling.then(WorkloadRecorder::new),
             workload_queries,
             workload_unclassified,
@@ -455,6 +618,257 @@ fn compute_strategy(config: &BuildConfig, corpus: &mut Corpus) -> Strategy {
     }
 }
 
+/// Routes a global document id to its shard: the splitmix64 finalizer over
+/// the id, reduced mod the shard count — uniform, stateless and
+/// deterministic, so the same corpus always shards the same way.
+fn shard_of(global: DocId, nshards: usize) -> usize {
+    if nshards <= 1 {
+        return 0;
+    }
+    let mut z = (global as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    // PANIC-FREE: nshards > 1 here, so the modulus is never zero
+    ((z ^ (z >> 31)) % nshards as u64) as usize
+}
+
+/// Re-interns one symbol from `old`'s tables into `fresh`'s — the shared
+/// primitive behind corpus splitting and compaction.  Interned values
+/// resolve and re-intern; hashed value ids are stateless (`h(s) mod
+/// range`), so the original id is already what a fresh parse would mint.
+fn reintern_symbol(s: xml::Symbol, old: &SymbolTable, fresh: &mut SymbolTable) -> xml::Symbol {
+    if let Some(d) = s.as_elem() {
+        xml::Symbol::elem(fresh.designator(old.name(d)))
+    } else {
+        let v = s.as_value().expect("a symbol is an element or a value");
+        match old.values.resolve(v) {
+            Some(text) => xml::Symbol::value(fresh.values.intern(text)),
+            None => s,
+        }
+    }
+}
+
+/// Splits a corpus into per-shard corpora by hash-routing each document and
+/// re-interning it into its shard's fresh tables (arena order = parse
+/// encounter order, so the shard corpus is bit-identical to parsing the
+/// subset from scratch).  One worker per shard; every worker scans the
+/// routing table and claims only its own documents, so the split itself is
+/// shared-nothing.  Returns the shard corpora, the global→(shard, local)
+/// map, and the per-shard local→global lists.
+#[allow(clippy::type_complexity)]
+fn split_corpus(
+    corpus: &Corpus,
+    nshards: usize,
+    pool: &Pool,
+) -> (Vec<Corpus>, Vec<(u32, DocId)>, Vec<Vec<DocId>>) {
+    let mode = corpus.symbols.values.mode();
+    let routes: Vec<usize> = (0..corpus.docs.len())
+        .map(|g| shard_of(g as DocId, nshards))
+        .collect();
+    let mut doc_map = Vec::with_capacity(corpus.docs.len());
+    let mut counts = vec![0u32; nshards];
+    for &s in &routes {
+        doc_map.push((s as u32, counts[s] as DocId));
+        counts[s] += 1;
+    }
+    let routes = &routes;
+    let tasks: Vec<_> = (0..nshards)
+        .map(|s| {
+            move || {
+                let mut shard = Corpus::new(mode);
+                let mut gids = Vec::new();
+                for (gid, doc) in corpus.docs.iter().enumerate() {
+                    if routes[gid] != s {
+                        continue;
+                    }
+                    let mut doc = doc.clone();
+                    doc.remap_symbols(|sym| reintern_symbol(sym, &corpus.symbols, &mut shard.symbols));
+                    shard.push(doc);
+                    gids.push(gid as DocId);
+                }
+                (shard, gids)
+            }
+        })
+        .collect();
+    let (corpora, global_ids) = pool.run(tasks).into_iter().unzip();
+    (corpora, doc_map, global_ids)
+}
+
+/// Re-resolves a tree pattern built against `from`'s symbol tables into
+/// `to`'s id space.  `None` when a named element or interned value is
+/// absent from `to` — the pattern is provably empty for that shard (the
+/// same short-circuit the per-shard read-only query parse uses).
+fn rebind_pattern(p: &TreePattern, from: &SymbolTable, to: &SymbolTable) -> Option<TreePattern> {
+    let rebind = |label: PatternLabel| -> Option<PatternLabel> {
+        match label {
+            PatternLabel::Elem(d) => Some(PatternLabel::Elem(to.lookup_designator(from.name(d))?)),
+            PatternLabel::AnyElem => Some(PatternLabel::AnyElem),
+            PatternLabel::Value(v) => match from.values.resolve(v) {
+                Some(text) => Some(PatternLabel::Value(to.values.lookup(text)?)),
+                // Hashed mode: value ids are stateless, every table agrees.
+                None => Some(PatternLabel::Value(v)),
+            },
+        }
+    };
+    let root = p.root_id();
+    let mut out = TreePattern::with_root_axis(rebind(p.label(root))?, p.axis(root));
+    // `add` appends children after their parents, so a pass in id order
+    // sees every parent first and reproduces the original node ids.
+    for n in p.node_ids().skip(1) {
+        let parent = p
+            .parent(n)
+            .expect("every non-root pattern node has a parent");
+        out.add(parent, p.axis(n), rebind(p.label(n))?);
+    }
+    Some(out)
+}
+
+/// One independent index shard: its own corpus (symbol/path tables and
+/// documents, locally id'd), its own two-segment index, the local→global
+/// id map, and a small pool of reusable query contexts.  Shards share
+/// nothing on the query hot path.
+#[derive(Debug)]
+struct Shard {
+    corpus: Corpus,
+    index: XmlIndex,
+    /// Local doc id → global doc id, ascending (locals are dense and
+    /// assigned in global-id order, so mapping a sorted local result list
+    /// keeps it sorted).
+    global_ids: Vec<DocId>,
+    /// Reusable [`QueryContext`]s for scatter workers; the lock is a leaf,
+    /// held only for a pop/push and never across a search.
+    ctx_pool: Mutex<Vec<QueryContext>>,
+}
+
+/// Cap on pooled contexts per shard — enough for every plausible worker
+/// count without hoarding scratch memory.
+const CTX_POOL_CAP: usize = 16;
+
+impl Shard {
+    fn new(corpus: Corpus, index: XmlIndex, global_ids: Vec<DocId>) -> Self {
+        Shard {
+            corpus,
+            index,
+            global_ids,
+            ctx_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Checks a context out of the shard's pool (fresh when empty or the
+    /// lock is poisoned); the guard drops before any search work.
+    fn checkout_ctx(&self) -> QueryContext {
+        self.ctx_pool
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default()
+    }
+
+    /// Returns a context to the pool for the next scatter worker.
+    fn checkin_ctx(&self, ctx: QueryContext) {
+        if let Ok(mut pool) = self.ctx_pool.lock() {
+            if pool.len() < CTX_POOL_CAP {
+                pool.push(ctx);
+            }
+        }
+    }
+
+    /// Rewrites a sorted list of this shard's local doc ids to global ids
+    /// (ascending map, so the list stays sorted).
+    fn globalize(&self, docs: &mut [DocId]) {
+        for d in docs {
+            // PANIC-FREE: the shard's trie stores only local ids this shard
+            // minted, and global_ids holds one entry per local id
+            *d = self.global_ids[*d as usize];
+        }
+    }
+
+    /// Outstanding delta sequences + tombstones in this shard.
+    fn pending_updates(&self) -> usize {
+        self.index.pending_updates()
+    }
+}
+
+/// Merges sorted, disjoint per-shard global doc-id lists into one sorted
+/// list — the gather half of a scatter query.  Shards partition the id
+/// space, so there are no duplicates to collapse.
+fn kway_merge(lists: Vec<Vec<DocId>>) -> Vec<DocId> {
+    if lists.len() == 1 {
+        // PANIC-FREE: the length was just checked
+        return lists.into_iter().next().expect("one list");
+    }
+    let total = lists.iter().map(Vec::len).sum();
+    let mut heads = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(usize, DocId)> = None;
+        for (i, list) in lists.iter().enumerate() {
+            // PANIC-FREE: heads and lists are the same length by
+            // construction, and get() bounds-checks the head itself
+            if let Some(&d) = list.get(heads[i]) {
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+        }
+        let Some((i, d)) = best else {
+            return out;
+        };
+        // PANIC-FREE: i comes from the enumerate above
+        heads[i] += 1;
+        out.push(d);
+    }
+}
+
+/// Folds one shard's outcome counters into the gathered aggregate: stats
+/// and phase times sum, per-variant descents append, classes union (their
+/// ids live in per-shard path spaces).  Docs are merged separately by
+/// [`kway_merge`].
+fn absorb_shard_outcome(acc: &mut QueryOutcome, shard: QueryOutcome) {
+    acc.stats.instantiations += shard.stats.instantiations;
+    acc.stats.variants += shard.stats.variants;
+    acc.stats.search.candidates += shard.stats.search.candidates;
+    acc.stats.search.cover_rejections += shard.stats.search.cover_rejections;
+    acc.stats.search.completions += shard.stats.search.completions;
+    acc.stats.search.link_probes += shard.stats.search.link_probes;
+    acc.stats.search.scratch_reuses += shard.stats.search.scratch_reuses;
+    acc.stats.plan_ns += shard.stats.plan_ns;
+    acc.stats.encode_ns += shard.stats.encode_ns;
+    acc.stats.search_ns += shard.stats.search_ns;
+    acc.stats.pool_hits += shard.stats.pool_hits;
+    acc.stats.pool_misses += shard.stats.pool_misses;
+    acc.classes.extend(shard.classes);
+    acc.descents.extend(shard.descents);
+}
+
+/// Renders the diagnostics bundle's `heap.json`: whole-database byte
+/// attribution plus one entry per shard.
+fn heap_json(stats: &DatabaseStats) -> String {
+    use fmt::Write as _;
+    let mut out = format!(
+        "{{\"corpus_bytes\":{},\"index_bytes\":{},\"total_bytes\":{},\"shards\":[",
+        stats.memory.corpus_bytes,
+        stats.memory.index_bytes,
+        stats.memory.total_bytes()
+    );
+    for (i, sh) in stats.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"docs\":{},\"corpus_bytes\":{},\"index_bytes\":{},\"total_bytes\":{}}}",
+            i,
+            sh.docs,
+            sh.memory.corpus_bytes,
+            sh.memory.index_bytes,
+            sh.memory.total_bytes()
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Serializes traces as one JSON array of Chrome trace-event objects.
 fn traces_json(traces: &[Arc<Trace>]) -> String {
     let mut out = String::from("[");
@@ -480,16 +894,27 @@ fn resolve_simple_path(path: &str, symbols: &SymbolTable, paths: &PathTable) -> 
 
 /// A corpus plus its constraint-sequence index: the top-level handle.
 ///
+/// Since the shard-per-core refactor a database is **N independent
+/// shards** ([`DatabaseBuilder::shards`], default = thread count):
+/// documents are hash-routed to shards by id, each shard owns its own
+/// symbol/path tables, frozen trie, delta segment, tombstones and query
+/// scratch, and queries scatter across shards and k-way merge their
+/// sorted results.  Global doc ids stay dense; a global→(shard, local)
+/// map preserves the single-shard numbering exactly.
+///
 /// A built database is `Send + Sync` and all query entry points take
-/// `&self`: queries never intern (symbols absent from the tables prove the
-/// query empty), so any number of threads may share one database —
-/// [`Database::query_batch`] does exactly that on the builder's pool.
-/// Mutation ([`Database::insert_xml`]) still requires `&mut self`.
+/// `&self`: queries never intern (symbols absent from a shard's tables
+/// prove the query empty *for that shard*), so any number of threads may
+/// share one database — [`Database::query_batch`] does exactly that on
+/// the builder's pool.  Mutation ([`Database::insert_xml`]) still
+/// requires `&mut self`.
 #[derive(Debug)]
 pub struct Database {
-    /// The indexed documents with their shared interners.
-    pub corpus: Corpus,
-    index: XmlIndex,
+    /// The index shards, each with its own corpus slice and interners.
+    shards: Vec<Shard>,
+    /// Global doc id → (shard, local doc id).  Tombstoned ids keep their
+    /// entries until a compaction drops them.
+    doc_map: Vec<(u32, DocId)>,
     /// The live workload profiler (`None` when
     /// [`DatabaseBuilder::profiling`] is off): per schema node class,
     /// query frequency, result cardinality and latency.
@@ -620,21 +1045,39 @@ impl MemoryStats {
     }
 }
 
+/// One shard's slice of a [`DatabaseStats`] report.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Documents routed to this shard (tombstoned ids included until
+    /// compaction).
+    pub docs: usize,
+    /// Paths interned by this shard's own table, counting ε.
+    pub paths: usize,
+    /// The shard's index shape report.
+    pub index: xseq_index::IndexStats,
+    /// The shard's modelled heap attribution.
+    pub memory: MemoryStats,
+}
+
 /// The database-wide observability report of [`Database::stats`].
 #[derive(Debug, Clone)]
 pub struct DatabaseStats {
     /// Indexed documents (tombstoned ids included until compaction).
     pub docs: usize,
-    /// Interned designator paths, counting ε.
+    /// Interned designator paths, counting ε — summed over shard tables,
+    /// so shared prefixes count once per shard that interned them.
     pub paths: usize,
-    /// Deep index shape statistics (frozen ∪ delta walk).
+    /// Deep index shape statistics (frozen ∪ delta walk), aggregated over
+    /// every shard.
     pub index: xseq_index::IndexStats,
-    /// Modelled heap attribution per component.
+    /// Modelled heap attribution per component, summed over shards.
     pub memory: MemoryStats,
     /// Cumulative `storage.pool.*` counters from the registry.
     pub pool: PoolStats,
     /// Snapshot of the workload profiler (empty when profiling is off).
     pub workload: WorkloadProfile,
+    /// Per-shard breakdown (one entry for a single-shard database).
+    pub shards: Vec<ShardStats>,
 }
 
 impl DatabaseStats {
@@ -642,8 +1085,28 @@ impl DatabaseStats {
     pub fn render(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "database: {} docs | {} paths", self.docs, self.paths);
+        let _ = writeln!(
+            out,
+            "database: {} docs | {} paths | {} shard(s)",
+            self.docs,
+            self.paths,
+            self.shards.len()
+        );
         out.push_str(&self.index.render());
+        if self.shards.len() > 1 {
+            for (i, sh) in self.shards.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  shard {i}: {} docs | {} paths | frozen {} seq | delta {} seq | tombstones {} | {} B",
+                    sh.docs,
+                    sh.paths,
+                    sh.index.frozen.sequences,
+                    sh.index.delta.sequences,
+                    sh.index.tombstones,
+                    sh.memory.total_bytes()
+                );
+            }
+        }
         let _ = writeln!(
             out,
             "  memory: corpus {} B + index {} B = {} B",
@@ -685,7 +1148,14 @@ impl Database {
     /// [`DatabaseBuilder::trace_config`], the query's span tree in
     /// [`QueryOutcome::trace`].
     pub fn query_xpath_full(&self, expr: &str) -> Result<QueryOutcome, Error> {
-        self.query_xpath_ctx(expr, &mut QueryContext::new())
+        self.query_xpath_ctx(expr, &mut QueryContext::new(), true)
+    }
+
+    /// The first shard, for single-shard accessors.
+    fn shard0(&self) -> &Shard {
+        // PANIC-FREE: builders reject empty corpora, so a database always
+        // holds at least one shard
+        &self.shards[0]
     }
 
     /// One query against a caller-owned [`QueryContext`] (scratch reuse);
@@ -694,14 +1164,19 @@ impl Database {
     /// the concrete data paths the search descended
     /// ([`QueryOutcome::classes`]), its latency the wall time of the whole
     /// parse → plan → search pipeline.
-    fn query_xpath_ctx(&self, expr: &str, ctx: &mut QueryContext) -> Result<QueryOutcome, Error> {
+    fn query_xpath_ctx(
+        &self,
+        expr: &str,
+        ctx: &mut QueryContext,
+        scatter: bool,
+    ) -> Result<QueryOutcome, Error> {
         // ORDERING: config — advisory read; no memory is published through it.
         let slow_ns = self.slow_threshold_ns.load(Ordering::Relaxed);
         if self.workload.is_none() && slow_ns == u64::MAX {
-            return self.query_xpath_inner(expr, ctx);
+            return self.query_xpath_inner(expr, ctx, scatter);
         }
         let t0 = Instant::now();
-        let out = self.query_xpath_inner(expr, ctx)?;
+        let out = self.query_xpath_inner(expr, ctx, scatter)?;
         let elapsed_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         if let Some(recorder) = &self.workload {
             recorder.record(&out.classes, out.docs.len() as u64, elapsed_ns);
@@ -724,17 +1199,30 @@ impl Database {
     }
 
     /// [`Database::query_xpath_ctx`] without the profiling wrapper.
-    fn query_xpath_inner(&self, expr: &str, ctx: &mut QueryContext) -> Result<QueryOutcome, Error> {
+    ///
+    /// `scatter` allows a multi-shard query to fan out across the worker
+    /// pool; batch workers pass `false` (their parallelism already comes
+    /// from the batch level, and nested fan-out would oversubscribe).
+    fn query_xpath_inner(
+        &self,
+        expr: &str,
+        ctx: &mut QueryContext,
+        scatter: bool,
+    ) -> Result<QueryOutcome, Error> {
+        if self.shards.len() > 1 {
+            return self.query_sharded(expr, scatter);
+        }
+        let sh = self.shard0();
         let Some(tracer) = self.tracer.clone() else {
             let pattern = xseq_query::parse_xpath_readonly_instrumented(
                 expr,
-                &self.corpus.symbols,
+                &sh.corpus.symbols,
                 &self.parse_hist,
             )?;
             // None: the expression names a symbol no indexed document
             // contains — provably empty, no descent needed.
             let mut out = match &pattern {
-                Some(p) => self.index.query_with(p, &self.corpus.paths, ctx),
+                Some(p) => sh.index.query_with(p, &sh.corpus.paths, ctx),
                 None => QueryOutcome::default(),
             };
             self.maybe_spot_check(&mut out);
@@ -744,7 +1232,7 @@ impl Database {
         let pool0 = (self.pool_tel.hits.get(), self.pool_tel.misses.get());
         let pattern = match xseq_query::parse_xpath_readonly_traced(
             expr,
-            &self.corpus.symbols,
+            &sh.corpus.symbols,
             &self.parse_hist,
             &mut active,
         ) {
@@ -758,9 +1246,118 @@ impl Database {
             }
         };
         let mut out = match &pattern {
-            Some(p) => self.index.query_traced(p, &self.corpus.paths, &mut active),
+            Some(p) => sh.index.query_traced(p, &sh.corpus.paths, &mut active),
             None => QueryOutcome::default(),
         };
+        out.stats.pool_hits = self.pool_tel.hits.get().saturating_sub(pool0.0);
+        out.stats.pool_misses = self.pool_tel.misses.get().saturating_sub(pool0.1);
+        active.root_attr("docs", out.docs.len() as u64);
+        active.root_attr("candidates", out.stats.search.candidates);
+        active.root_attr("pool_hits", out.stats.pool_hits);
+        active.root_attr("pool_misses", out.stats.pool_misses);
+        self.maybe_spot_check(&mut out);
+        if let Some(report) = &out.integrity {
+            active.root_attr("integrity", report.summary());
+        }
+        out.trace = Some(tracer.finish(active));
+        Ok(out)
+    }
+
+    /// One shard's share of a scatter query: the expression re-resolves
+    /// against the shard's own interners (an absent symbol proves the
+    /// shard empty — `Ok(None)`, no descent), the shard's index answers
+    /// with local ids, and the result list rewrites to global ids.
+    fn query_shard(&self, sh: &Shard, expr: &str) -> Result<Option<QueryOutcome>, ParseError> {
+        let Some(pattern) = xseq_query::parse_xpath_readonly_instrumented(
+            expr,
+            &sh.corpus.symbols,
+            &self.parse_hist,
+        )?
+        else {
+            return Ok(None);
+        };
+        let mut ctx = sh.checkout_ctx();
+        let mut out = sh.index.query_with(&pattern, &sh.corpus.paths, &mut ctx);
+        sh.checkin_ctx(ctx);
+        sh.globalize(&mut out.docs);
+        Ok(Some(out))
+    }
+
+    /// A query over every shard: scatter (on the pool when `scatter` is
+    /// set and the pool has workers, else a sequential shard loop), then
+    /// gather — sorted per-shard doc lists k-way merge, counters sum.
+    fn query_sharded(&self, expr: &str, scatter: bool) -> Result<QueryOutcome, Error> {
+        if let Some(tracer) = self.tracer.clone() {
+            return self.query_sharded_traced(expr, &tracer);
+        }
+        let per_shard: Vec<Result<Option<QueryOutcome>, ParseError>> =
+            if scatter && !self.pool.is_sequential() {
+                let tasks: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|sh| move || self.query_shard(sh, expr))
+                    .collect();
+                self.pool.run(tasks)
+            } else {
+                self.shards
+                    .iter()
+                    .map(|sh| self.query_shard(sh, expr))
+                    .collect()
+            };
+        let mut out = QueryOutcome::default();
+        let mut lists = Vec::with_capacity(per_shard.len());
+        for r in per_shard {
+            if let Some(mut shard_out) = r? {
+                lists.push(std::mem::take(&mut shard_out.docs));
+                absorb_shard_outcome(&mut out, shard_out);
+            }
+        }
+        out.docs = kway_merge(lists);
+        out.classes.sort_unstable();
+        out.classes.dedup();
+        self.maybe_spot_check(&mut out);
+        Ok(out)
+    }
+
+    /// The traced variant of [`Database::query_sharded`]: shards run
+    /// sequentially under one span tree (per-shard parse and descent spans
+    /// nest below the root, which carries the shard count).
+    fn query_sharded_traced(
+        &self,
+        expr: &str,
+        tracer: &Arc<Tracer>,
+    ) -> Result<QueryOutcome, Error> {
+        let mut active = tracer.begin(expr);
+        active.root_attr("shards", self.shards.len() as u64);
+        let pool0 = (self.pool_tel.hits.get(), self.pool_tel.misses.get());
+        let mut out = QueryOutcome::default();
+        let mut lists = Vec::with_capacity(self.shards.len());
+        for sh in &self.shards {
+            let pattern = match xseq_query::parse_xpath_readonly_traced(
+                expr,
+                &sh.corpus.symbols,
+                &self.parse_hist,
+                &mut active,
+            ) {
+                Ok(p) => p,
+                Err(e) => {
+                    // a failed parse still finishes its trace: the time was
+                    // spent, and a slow failure is still a slow query
+                    active.root_attr("error", e.to_string());
+                    tracer.finish(active);
+                    return Err(e.into());
+                }
+            };
+            if let Some(p) = &pattern {
+                let mut shard_out = sh.index.query_traced(p, &sh.corpus.paths, &mut active);
+                sh.globalize(&mut shard_out.docs);
+                lists.push(std::mem::take(&mut shard_out.docs));
+                absorb_shard_outcome(&mut out, shard_out);
+            }
+        }
+        out.docs = kway_merge(lists);
+        out.classes.sort_unstable();
+        out.classes.dedup();
         out.stats.pool_hits = self.pool_tel.hits.get().saturating_sub(pool0.0);
         out.stats.pool_misses = self.pool_tel.misses.get().saturating_sub(pool0.1);
         active.root_attr("docs", out.docs.len() as u64);
@@ -779,7 +1376,8 @@ impl Database {
     /// one result per expression in input order.  Equivalent to (and, on a
     /// sequential pool, literally) a serial `query_xpath` loop; workers
     /// share the database read-only and reuse one [`QueryContext`] per
-    /// chunk.
+    /// chunk.  On a sharded database each worker walks the shards
+    /// sequentially — the parallelism already comes from the batch level.
     pub fn query_batch(&self, exprs: &[&str]) -> Vec<Result<Vec<DocId>, Error>> {
         let chunk = self.pool.chunk_for(exprs.len());
         self.pool
@@ -787,7 +1385,7 @@ impl Database {
                 let mut ctx = QueryContext::new();
                 slice
                     .iter()
-                    .map(|expr| Ok(self.query_xpath_ctx(expr, &mut ctx)?.docs))
+                    .map(|expr| Ok(self.query_xpath_ctx(expr, &mut ctx, false)?.docs))
                     .collect::<Vec<_>>()
             })
             .into_iter()
@@ -808,10 +1406,20 @@ impl Database {
         // through it.
         let prev = self.spot_accum.fetch_add(self.spot_step, Ordering::Relaxed);
         if (prev.wrapping_add(self.spot_step) >> 32) != (prev >> 32) {
-            let report = self.index.verify_structure();
+            let report = self.verify_structure_all();
             self.record_integrity_violation(&report);
             out.integrity = Some(report);
         }
+    }
+
+    /// The cheap structure-only verification pass over every shard, merged
+    /// into one report (the spot check's work).
+    fn verify_structure_all(&self) -> IntegrityReport {
+        let mut report = IntegrityReport::default();
+        for sh in &self.shards {
+            report.merge(sh.index.verify_structure());
+        }
+        report
     }
 
     /// Flight-records an `integrity.violation` event when a verification
@@ -838,10 +1446,10 @@ impl Database {
     /// [`DatabaseBuilder::integrity_spot_check`] for the sampled in-band
     /// variant).
     pub fn verify_integrity(&mut self) -> IntegrityReport {
-        let report = {
-            let Database { index, corpus, .. } = &mut *self;
-            index.verify_integrity(&mut corpus.paths)
-        };
+        let mut report = IntegrityReport::default();
+        for sh in &mut self.shards {
+            report.merge(sh.index.verify_integrity(&mut sh.corpus.paths));
+        }
         self.record_integrity_violation(&report);
         report
     }
@@ -932,15 +1540,7 @@ impl Database {
             ("metrics.json", xseq_telemetry::to_json(&snap)),
             ("stats.txt", stats.render()),
             ("workload.json", stats.workload.to_json()),
-            (
-                "heap.json",
-                format!(
-                    "{{\"corpus_bytes\":{},\"index_bytes\":{},\"total_bytes\":{}}}",
-                    stats.memory.corpus_bytes,
-                    stats.memory.index_bytes,
-                    stats.memory.total_bytes()
-                ),
-            ),
+            ("heap.json", heap_json(&stats)),
             ("traces_recent.json", traces_json(&self.recent_traces())),
             ("traces_slow.json", traces_json(&self.slow_queries())),
             ("events.jsonl", self.events.to_jsonl()),
@@ -970,12 +1570,13 @@ impl Database {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"version\":\"{}\",\"sequencing\":\"{}\",\"threads\":{},\"docs\":{},\"paths\":{}",
+            "{{\"version\":\"{}\",\"sequencing\":\"{}\",\"threads\":{},\"shards\":{},\"docs\":{},\"paths\":{}",
             env!("CARGO_PKG_VERSION"),
             sequencing,
             self.pool.threads(),
-            self.corpus.len(),
-            self.corpus.paths.len()
+            self.shards.len(),
+            self.doc_map.len(),
+            self.shards.iter().map(|sh| sh.corpus.paths.len()).sum::<usize>()
         );
         match self.config.compact_threshold {
             Some(t) => {
@@ -1061,9 +1662,30 @@ impl Database {
     /// and `memory.total.bytes` gauges are refreshed, so a metrics
     /// snapshot taken after `stats()` carries the attribution too.
     pub fn stats(&self) -> DatabaseStats {
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .map(|sh| ShardStats {
+                docs: sh.corpus.len(),
+                paths: sh.corpus.paths.len(),
+                index: sh.index.stats(),
+                memory: MemoryStats {
+                    corpus_bytes: sh.corpus.heap_bytes(),
+                    index_bytes: sh.index.heap_bytes(),
+                },
+            })
+            .collect();
+        let mut shard_iter = shards.iter();
+        let mut index = shard_iter
+            .next()
+            .map(|sh| sh.index.clone())
+            .unwrap_or_default();
+        for sh in shard_iter {
+            index.merge(&sh.index);
+        }
         let memory = MemoryStats {
-            corpus_bytes: self.corpus.heap_bytes(),
-            index_bytes: self.index.heap_bytes(),
+            corpus_bytes: shards.iter().map(|s| s.memory.corpus_bytes).sum(),
+            index_bytes: shards.iter().map(|s| s.memory.index_bytes).sum(),
         };
         self.registry
             .gauge("memory.corpus.bytes")
@@ -1075,9 +1697,9 @@ impl Database {
             .gauge("memory.total.bytes")
             .set(memory.total_bytes() as i64);
         DatabaseStats {
-            docs: self.corpus.len(),
-            paths: self.corpus.paths.len(),
-            index: self.index.stats(),
+            docs: self.doc_map.len(),
+            paths: shards.iter().map(|s| s.paths).sum(),
+            index,
             memory,
             pool: PoolStats {
                 hits: self.pool_tel.hits.get(),
@@ -1085,12 +1707,38 @@ impl Database {
                 evictions: self.pool_tel.evictions.get(),
             },
             workload: self.workload_profile(),
+            shards,
         }
     }
 
-    /// Answers a pre-built tree pattern.
+    /// Answers a pre-built tree pattern.  The pattern's labels are bound
+    /// to shard 0's symbol tables (see [`Database::corpus_mut`]); for the
+    /// other shards each label is re-bound to the local interner, and a
+    /// shard lacking any label provably matches nothing and is skipped.
     pub fn query_pattern(&self, pattern: &TreePattern) -> QueryOutcome {
-        self.index.query(pattern, &self.corpus.paths)
+        if self.shards.len() == 1 {
+            let sh = self.shard0();
+            return sh.index.query(pattern, &sh.corpus.paths);
+        }
+        let mut acc = QueryOutcome::default();
+        let mut lists = Vec::with_capacity(self.shards.len());
+        let from = &self.shard0().corpus.symbols;
+        for (s, sh) in self.shards.iter().enumerate() {
+            let local = if s == 0 {
+                Some(pattern.clone())
+            } else {
+                rebind_pattern(pattern, from, &sh.corpus.symbols)
+            };
+            let Some(local) = local else { continue };
+            let mut out = sh.index.query(&local, &sh.corpus.paths);
+            sh.globalize(&mut out.docs);
+            lists.push(std::mem::take(&mut out.docs));
+            absorb_shard_outcome(&mut acc, out);
+        }
+        acc.docs = kway_merge(lists);
+        acc.classes.sort_unstable();
+        acc.classes.dedup();
+        acc
     }
 
     /// The worker pool shared by ingest and [`Database::query_batch`].
@@ -1110,24 +1758,42 @@ impl Database {
     /// threshold, a [`Database::compact`] runs inline and the returned id
     /// is the **post-compaction** id.
     pub fn insert_document(&mut self, xml: &str) -> Result<DocId, Error> {
-        let timer = SpanTimer::new(self.update_insert_hist.clone());
-        let id = self.corpus.parse_and_push(xml)?;
-        let doc = &self.corpus.docs[id as usize];
-        self.index.insert_delta(doc, id, &mut self.corpus.paths);
-        let total_ns = timer.finish();
-        self.events.record(
-            Event::new("ingest.insert")
-                .severity(Severity::Debug)
-                .attr("doc", id as u64)
-                .attr("total_ns", total_ns),
-        );
-        if self.should_auto_compact() {
-            let report = self.compact();
-            let new_id = report.remap[id as usize]
+        let id = self.insert_one(xml)?;
+        if let Some(remap) = self.auto_compact_if_needed() {
+            let new_id = remap[id as usize]
                 .expect("freshly inserted document survives its own compaction");
             return Ok(new_id);
         }
         Ok(id)
+    }
+
+    /// The shared insert kernel: routes the document to its shard by the
+    /// global-id hash, parses into that shard's corpus (new element names
+    /// and values intern *there*, never at query time), and appends to the
+    /// shard's delta segment.  No auto-compaction check.
+    fn insert_one(&mut self, xml: &str) -> Result<DocId, Error> {
+        let timer = SpanTimer::new(self.update_insert_hist.clone());
+        let global = self.doc_map.len() as DocId;
+        let s = shard_of(global, self.shards.len());
+        // PANIC-FREE: shard_of reduces modulo self.shards.len()
+        let sh = &mut self.shards[s];
+        let local = sh.corpus.parse_and_push(xml)?;
+        // PANIC-FREE: parse_and_push returned local as the freshly pushed
+        // document's index
+        let doc = &sh.corpus.docs[local as usize];
+        sh.index.insert_delta(doc, local, &mut sh.corpus.paths);
+        sh.global_ids.push(global);
+        self.doc_map.push((s as u32, local));
+        self.refresh_update_gauges();
+        let total_ns = timer.finish();
+        self.events.record(
+            Event::new("ingest.insert")
+                .severity(Severity::Debug)
+                .attr("doc", global as u64)
+                .attr("shard", s as u64)
+                .attr("total_ns", total_ns),
+        );
+        Ok(global)
     }
 
     /// [`Database::insert_document`] for a batch: all documents join the
@@ -1140,23 +1806,11 @@ impl Database {
     ) -> Result<Vec<DocId>, Error> {
         let mut ids = Vec::new();
         for xml in xmls {
-            let timer = SpanTimer::new(self.update_insert_hist.clone());
-            let id = self.corpus.parse_and_push(xml)?;
-            let doc = &self.corpus.docs[id as usize];
-            self.index.insert_delta(doc, id, &mut self.corpus.paths);
-            let total_ns = timer.finish();
-            self.events.record(
-                Event::new("ingest.insert")
-                    .severity(Severity::Debug)
-                    .attr("doc", id as u64)
-                    .attr("total_ns", total_ns),
-            );
-            ids.push(id);
+            ids.push(self.insert_one(xml)?);
         }
-        if self.should_auto_compact() {
-            let report = self.compact();
+        if let Some(remap) = self.auto_compact_if_needed() {
             for id in &mut ids {
-                *id = report.remap[*id as usize]
+                *id = remap[*id as usize]
                     .expect("freshly inserted documents survive their own compaction");
             }
         }
@@ -1168,32 +1822,53 @@ impl Database {
     /// document (and its sequences) for good.  Returns `false` when `id`
     /// does not exist or was already removed.
     pub fn remove_document(&mut self, id: DocId) -> bool {
-        if (id as usize) >= self.corpus.len() {
+        let Some(&(s, local)) = self.doc_map.get(id as usize) else {
             return false;
-        }
+        };
         let timer = SpanTimer::new(self.update_remove_hist.clone());
-        let fresh = self.index.remove_doc(id);
+        // PANIC-FREE: doc_map entries name the shard that minted them
+        let fresh = self.shards[s as usize].index.remove_doc(local);
         let total_ns = timer.finish();
         if fresh {
+            self.refresh_update_gauges();
             self.events.record(
                 Event::new("ingest.remove")
                     .severity(Severity::Debug)
                     .attr("doc", id as u64)
+                    .attr("shard", u64::from(s))
                     .attr("total_ns", total_ns),
             );
-            if self.should_auto_compact() {
-                self.compact();
-            }
+            self.auto_compact_if_needed();
         }
         fresh
     }
 
-    /// True when auto-compaction is configured and the outstanding update
-    /// volume has reached its threshold.
-    fn should_auto_compact(&self) -> bool {
-        self.config
-            .compact_threshold
-            .is_some_and(|t| self.index.pending_updates() >= t)
+    /// Runs the configured auto-compaction policy: with one shard the
+    /// whole database compacts once total pending updates reach the
+    /// threshold (the historical behaviour); with several, each shard is
+    /// checked **independently** and only the shards over the threshold
+    /// compact — the per-shard schedulability the shard split buys.
+    /// Returns the global remap when anything compacted.
+    fn auto_compact_if_needed(&mut self) -> Option<Vec<Option<DocId>>> {
+        let threshold = self.config.compact_threshold?;
+        let due: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, sh)| sh.pending_updates() >= threshold)
+            .map(|(s, _)| s)
+            .collect();
+        if self.shards.len() == 1 {
+            let total: usize = self.shards.iter().map(Shard::pending_updates).sum();
+            if total >= threshold {
+                return Some(self.compact().remap);
+            }
+            return None;
+        }
+        if due.is_empty() {
+            return None;
+        }
+        Some(self.compact_shards(&due).remap)
     }
 
     /// Folds the delta segment and tombstones back into a single frozen
@@ -1211,82 +1886,177 @@ impl Database {
     /// Theorem 1/2 invariants therefore keep holding after any update
     /// history.
     pub fn compact(&mut self) -> CompactionReport {
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        self.compact_shards(&all)
+    }
+
+    /// [`Database::compact`] for one shard — the independently schedulable
+    /// unit the shard split buys: only shard `s`'s delta and tombstones
+    /// fold into its frozen segment; every other shard's structures are
+    /// untouched.  Global doc ids still renumber densely across the whole
+    /// database (the returned remap covers every document), so callers
+    /// can compact shards one at a time between query waves.
+    pub fn compact_shard(&mut self, s: usize) -> CompactionReport {
+        assert!(s < self.shards.len(), "shard index out of range");
+        self.compact_shards(&[s])
+    }
+
+    /// The shared compaction kernel: rebuilds each selected shard from its
+    /// surviving documents, then renumbers global ids densely by walking
+    /// the old global order (survivors keep their relative order, so the
+    /// per-shard local→global maps stay ascending and merged query results
+    /// stay sorted).
+    fn compact_shards(&mut self, which: &[usize]) -> CompactionReport {
         let timer = SpanTimer::new(self.compact_hist.clone());
-        let docs_before = self.corpus.len();
-        let tombstones_dropped = self.index.tombstones().len();
-        let delta_merged = self.index.delta().sequence_count();
+        let nshards = self.shards.len();
+        let docs_before = self.doc_map.len();
+        let tombstones_dropped: usize = which
+            .iter()
+            .map(|&s| self.shards[s].index.tombstones().len())
+            .sum();
+        let delta_merged: usize = which
+            .iter()
+            .map(|&s| self.shards[s].index.delta().sequence_count())
+            .sum();
         self.events.record(
             Event::new("compact.start")
                 .attr("docs", docs_before as u64)
                 .attr("tombstones", tombstones_dropped as u64)
                 .attr("delta", delta_merged as u64),
         );
-        let mode = self.corpus.symbols.values.mode();
-        let mut symbols = SymbolTable::with_value_mode(mode);
-        let mut remap: Vec<Option<DocId>> = vec![None; docs_before];
-        let mut docs = Vec::with_capacity(docs_before - tombstones_dropped.min(docs_before));
-        {
-            let old = &self.corpus.symbols;
-            let tombstones = self.index.tombstones();
-            for (id, doc) in self.corpus.docs.iter().enumerate() {
-                if tombstones.contains(id as DocId) {
-                    continue;
-                }
-                let mut doc = doc.clone();
-                // Arena order = parse encounter order, so interning through
-                // the fresh tables here replays a from-scratch parse.
-                doc.remap_symbols(|s| {
-                    if let Some(d) = s.as_elem() {
-                        xml::Symbol::elem(symbols.designator(old.name(d)))
-                    } else {
-                        let v = s.as_value().expect("a symbol is an element or a value");
-                        match old.values.resolve(v) {
-                            Some(text) => xml::Symbol::value(symbols.values.intern(text)),
-                            // Hashed mode: ids are stateless (h(s) mod
-                            // range), so the original id is already what a
-                            // fresh parse would produce.
-                            None => s,
-                        }
+        let mut local_remaps: Vec<Option<Vec<Option<DocId>>>> = vec![None; nshards];
+        for &s in which {
+            // PANIC-FREE: compact_shard bounds-checks and compact
+            // enumerates 0..nshards
+            let sh = &mut self.shards[s];
+            let mode = sh.corpus.symbols.values.mode();
+            let mut symbols = SymbolTable::with_value_mode(mode);
+            let locals = sh.corpus.docs.len();
+            let mut remap: Vec<Option<DocId>> = vec![None; locals];
+            let mut docs = Vec::with_capacity(locals);
+            {
+                let old = &sh.corpus.symbols;
+                let tombstones = sh.index.tombstones();
+                for (id, doc) in sh.corpus.docs.iter().enumerate() {
+                    if tombstones.contains(id as DocId) {
+                        continue;
                     }
-                });
-                remap[id] = Some(docs.len() as DocId);
-                docs.push(doc);
+                    let mut doc = doc.clone();
+                    // Arena order = parse encounter order, so interning
+                    // through the fresh tables here replays a from-scratch
+                    // parse.
+                    doc.remap_symbols(|sym| reintern_symbol(sym, old, &mut symbols));
+                    remap[id] = Some(docs.len() as DocId);
+                    docs.push(doc);
+                }
+            }
+            let mut fresh = Corpus::new(mode);
+            fresh.symbols = symbols;
+            for doc in docs {
+                fresh.push(doc);
+            }
+            fresh.attach_parse_histogram(self.registry.histogram("xml.parse"));
+            let strategy = compute_strategy(&self.config, &mut fresh);
+            let index = if nshards == 1 {
+                XmlIndex::build_parallel(
+                    &fresh.docs,
+                    &mut fresh.paths,
+                    strategy,
+                    self.config.plan,
+                    Some(IndexTelemetry::register(&self.registry)),
+                    &self.pool,
+                )
+            } else {
+                // Shards are rebuilt the same way finish_build built them,
+                // so a compacted shard stays bit-identical to a fresh
+                // build over its survivors.
+                XmlIndex::build_instrumented(
+                    &fresh.docs,
+                    &mut fresh.paths,
+                    strategy,
+                    self.config.plan,
+                    Some(IndexTelemetry::register_shard(&self.registry, s, nshards)),
+                )
+            };
+            sh.corpus = fresh;
+            sh.index = index;
+            local_remaps[s] = Some(remap);
+            if nshards == 1 {
+                self.registry.gauge("index.delta.sequences").set(0);
+                self.registry.gauge("index.tombstones").set(0);
+            } else {
+                self.registry
+                    .gauge(&format!("index.shard{s}.delta.sequences"))
+                    .set(0);
+                self.registry
+                    .gauge(&format!("index.shard{s}.tombstones"))
+                    .set(0);
             }
         }
-        let mut fresh = Corpus::new(mode);
-        fresh.symbols = symbols;
-        for doc in docs {
-            fresh.push(doc);
+        // Dense global renumbering: walk the old global order.  A shard's
+        // locals appear in ascending global order (routing is sticky and
+        // locals mint sequentially), so pushing survivors in walk order
+        // rebuilds each shard's global_ids aligned with its local ids.
+        let old_map = std::mem::take(&mut self.doc_map);
+        let mut remap: Vec<Option<DocId>> = vec![None; docs_before];
+        for sh in &mut self.shards {
+            sh.global_ids.clear();
         }
-        fresh.attach_parse_histogram(self.registry.histogram("xml.parse"));
-        let strategy = compute_strategy(&self.config, &mut fresh);
-        let index = XmlIndex::build_parallel(
-            &fresh.docs,
-            &mut fresh.paths,
-            strategy,
-            self.config.plan,
-            Some(IndexTelemetry::register(&self.registry)),
-            &self.pool,
-        );
-        self.corpus = fresh;
-        self.index = index;
-        self.registry.gauge("index.delta.sequences").set(0);
-        self.registry.gauge("index.tombstones").set(0);
+        for (g, (s, local)) in old_map.into_iter().enumerate() {
+            let su = s as usize;
+            let new_local = match &local_remaps[su] {
+                // An untouched shard keeps every local id.
+                None => Some(local),
+                // PANIC-FREE: the shard's remap is sized to its old corpus
+                Some(lr) => lr[local as usize],
+            };
+            let Some(new_local) = new_local else { continue };
+            let new_global = self.doc_map.len() as DocId;
+            // PANIC-FREE: su comes from a doc_map entry naming its shard
+            debug_assert_eq!(new_local as usize, self.shards[su].global_ids.len());
+            self.shards[su].global_ids.push(new_global);
+            self.doc_map.push((s, new_local));
+            remap[g] = Some(new_global);
+        }
+        self.refresh_update_gauges();
         let total_ns = timer.finish();
         self.events.record(
             Event::new("compact.finish")
-                .attr("docs", self.corpus.len() as u64)
+                .attr("docs", self.doc_map.len() as u64)
                 .attr("dropped", tombstones_dropped as u64)
                 .attr("merged", delta_merged as u64)
                 .attr("total_ns", total_ns),
         );
         CompactionReport {
             docs_before,
-            docs_after: self.corpus.len(),
+            docs_after: self.doc_map.len(),
             tombstones_dropped,
             delta_merged,
             remap,
         }
+    }
+
+    /// Re-derives the aggregate `index.delta.sequences` and
+    /// `index.tombstones` gauges from the shards.  With one shard the
+    /// index telemetry sets the plain gauges itself; with several, each
+    /// shard only sets its `index.shardN.*` family (gauges are `set`, so
+    /// shards sharing one would clobber each other) and this sums them.
+    fn refresh_update_gauges(&self) {
+        if self.shards.len() <= 1 {
+            return;
+        }
+        let delta: usize = self
+            .shards
+            .iter()
+            .map(|sh| sh.index.delta().sequence_count())
+            .sum();
+        let tomb: usize = self
+            .shards
+            .iter()
+            .map(|sh| sh.index.tombstones().len())
+            .sum();
+        self.registry.gauge("index.delta.sequences").set(delta as i64);
+        self.registry.gauge("index.tombstones").set(tomb as i64);
     }
 
     /// Adds one more document.  Alias of [`Database::insert_document`] —
@@ -1296,19 +2066,58 @@ impl Database {
         self.insert_document(xml)
     }
 
-    /// The underlying index.
+    /// The underlying index — shard 0's.  With `shards(1)` (the
+    /// historical configuration) this is the whole database's index; with
+    /// more, use [`Database::shard_index`] to reach the others.
     pub fn index(&self) -> &XmlIndex {
-        &self.index
+        &self.shard0().index
+    }
+
+    /// Shard 0's corpus.  With `shards(1)` this is the whole database's
+    /// corpus; its symbol tables are the binding context for
+    /// [`Database::query_pattern`] patterns.
+    pub fn corpus(&self) -> &Corpus {
+        &self.shard0().corpus
+    }
+
+    /// Mutable access to shard 0's corpus, e.g. for interning query
+    /// symbols when hand-building a [`TreePattern`].
+    pub fn corpus_mut(&mut self) -> &mut Corpus {
+        // PANIC-FREE: finish_build always creates at least one shard
+        &mut self.shards[0].corpus
+    }
+
+    /// Number of shards the documents are hash-partitioned across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `s`'s index.
+    pub fn shard_index(&self, s: usize) -> &XmlIndex {
+        &self.shards[s].index
+    }
+
+    /// Shard `s`'s corpus.
+    pub fn shard_corpus(&self, s: usize) -> &Corpus {
+        &self.shards[s].corpus
+    }
+
+    /// Where global document `id` lives: `(shard, local id)`, or `None`
+    /// for an id this database never minted.
+    pub fn doc_location(&self, id: DocId) -> Option<(usize, DocId)> {
+        self.doc_map
+            .get(id as usize)
+            .map(|&(s, local)| (s as usize, local))
     }
 
     /// Number of indexed documents.
     pub fn len(&self) -> usize {
-        self.corpus.len()
+        self.doc_map.len()
     }
 
     /// True when the database holds no documents (never, post-build).
     pub fn is_empty(&self) -> bool {
-        self.corpus.is_empty()
+        self.doc_map.is_empty()
     }
 }
 
@@ -1454,16 +2263,19 @@ mod tests {
         write_paged_trie(db.index().trie(), &mut store).unwrap();
         let paged = PagedTrie::open(store, 4).unwrap();
         paged.attach_pool_telemetry(db.pool_telemetry());
-        let pattern = parse_xpath("/a/b", &mut db.corpus.symbols).unwrap();
+        let pattern = parse_xpath("/a/b", &mut db.corpus_mut().symbols).unwrap();
         let strategy = db.index().strategy().clone();
         for qdoc in xseq_index::instantiate(
             &pattern,
-            &db.corpus.paths,
+            &db.corpus().paths,
             db.index().data_paths(),
             db.index().options(),
         ) {
-            let qs =
-                xseq_index::QuerySequence::from_document(&qdoc, &mut db.corpus.paths, &strategy);
+            let qs = xseq_index::QuerySequence::from_document(
+                &qdoc,
+                &mut db.corpus_mut().paths,
+                &strategy,
+            );
             let _ = xseq_index::tree_search(&paged, &qs);
         }
         let snap = db.metrics();
@@ -1679,14 +2491,14 @@ mod tests {
                 "{seq:?}: compacted trie diverges from rebuild"
             );
             assert_eq!(db.index().data_paths(), reference.index().data_paths());
-            assert_eq!(db.corpus.paths.len(), reference.corpus.paths.len());
+            assert_eq!(db.corpus().paths.len(), reference.corpus().paths.len());
             assert_eq!(
-                db.corpus.symbols.designator_count(),
-                reference.corpus.symbols.designator_count()
+                db.corpus().symbols.designator_count(),
+                reference.corpus().symbols.designator_count()
             );
             assert_eq!(
-                db.corpus.symbols.values.len(),
-                reference.corpus.symbols.values.len()
+                db.corpus().symbols.values.len(),
+                reference.corpus().symbols.values.len()
             );
             for q in ["/p/r/l", "//l[text='austin']", "/q/x", "/p/z"] {
                 assert_eq!(

@@ -147,6 +147,20 @@ impl SyntheticDataset {
         }
     }
 
+    /// Generates `n` documents and serializes them straight to XML
+    /// strings — the form the sharded `Database` builders route by
+    /// document.  Generation runs against a private symbol table, so
+    /// callers (differential shard tests, the scaling bench) don't have
+    /// to thread interner state just to obtain parseable input.
+    pub fn generate_xml(params: &SyntheticParams, n: usize, seed: u64) -> Vec<String> {
+        let mut symbols = SymbolTable::with_value_mode(xseq_xml::ValueMode::Intern);
+        let ds = Self::generate(params, n, seed, &mut symbols);
+        ds.docs
+            .iter()
+            .map(|d| xseq_xml::write_document(d, &symbols))
+            .collect()
+    }
+
     /// Generates `extra` additional documents from the same schema (for
     /// dataset-size sweeps that must share one schema).
     pub fn extend(&mut self, extra: usize, seed: u64) {

@@ -245,11 +245,18 @@ impl Pool {
             for _ in 0..self.threads.min(n) {
                 s.spawn(|| {
                     while let Some((i, _)) = queue.claim() {
-                        let task = task_slots[i]
-                            .lock()
+                        // PANIC-FREE: claim() yields indices below n and
+                        // task_slots has exactly n entries
+                        let slot = task_slots[i].lock();
+                        // PANIC-FREE: slot mutexes are leaf locks no task
+                        // holds while running, so they cannot be poisoned
+                        let task = slot
                             .expect("task slot lock poisoned")
                             .take()
+                            // PANIC-FREE: the queue hands index i out once
                             .expect("chunk queue hands every task index out once");
+                        // PANIC-FREE: same n-entry bound and leaf-lock
+                        // argument as the task slot above
                         *out_slots[i].lock().expect("result slot lock poisoned") = Some(task());
                     }
                 });
@@ -258,8 +265,11 @@ impl Pool {
         out_slots
             .into_iter()
             .map(|slot| {
+                // PANIC-FREE: the scope joined every worker, so each slot
+                // was filled exactly once and its lock cannot be poisoned
                 slot.into_inner()
                     .expect("result slot lock poisoned")
+                    // PANIC-FREE: every claimed index stored before join
                     .expect("every claimed task stores its result before the join")
             })
             .collect()

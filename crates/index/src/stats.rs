@@ -110,6 +110,25 @@ impl SegmentStats {
         s
     }
 
+    /// Folds another segment's statistics into this one — the cross-shard
+    /// aggregate view: counters sum, distribution vectors add element-wise
+    /// (extending to the longer length), and `max_depth` takes the max.
+    pub fn merge(&mut self, other: &SegmentStats) {
+        self.nodes += other.nodes;
+        self.sequences += other.sequences;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        add_counts(&mut self.depth_counts, &other.depth_counts);
+        add_counts(&mut self.fanout_counts, &other.fanout_counts);
+        self.root_fanout += other.root_fanout;
+        add_counts(&mut self.range_width_buckets, &other.range_width_buckets);
+        add_counts(&mut self.seq_len_counts, &other.seq_len_counts);
+        self.link_paths += other.link_paths;
+        self.link_entries += other.link_entries;
+        self.sibling_cover_nodes += other.sibling_cover_nodes;
+        self.end_nodes += other.end_nodes;
+        self.doc_ids += other.doc_ids;
+    }
+
     /// Mean children per non-leaf node, `None` when the trie is empty or
     /// all-leaf.
     pub fn mean_fanout(&self) -> Option<f64> {
@@ -148,6 +167,15 @@ impl SegmentStats {
     }
 }
 
+fn add_counts(a: &mut Vec<u64>, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
 fn bump(v: &mut Vec<u64>, idx: usize) {
     if v.len() <= idx {
         v.resize(idx + 1, 0);
@@ -172,6 +200,19 @@ pub struct IndexStats {
 }
 
 impl IndexStats {
+    /// Folds another index's report into this one — used by sharded
+    /// databases to present one aggregate shape report over every shard.
+    /// `strategy` keeps `self`'s name (all shards share one configured
+    /// strategy kind); `data_paths` and `tombstones` sum, which counts a
+    /// path once per shard that contains it (shard tables are independent
+    /// id spaces).
+    pub fn merge(&mut self, other: &IndexStats) {
+        self.frozen.merge(&other.frozen);
+        self.delta.merge(&other.delta);
+        self.tombstones += other.tombstones;
+        self.data_paths += other.data_paths;
+    }
+
     /// Renders the report as an indented text block (the shape half of the
     /// observability example's output).
     pub fn render(&self) -> String {
@@ -325,6 +366,33 @@ mod tests {
         assert_eq!(stats.tombstones, 1);
         let text = stats.render();
         assert!(text.contains("tombstones 1"), "{text}");
+    }
+
+    #[test]
+    fn merged_stats_sum_the_shards() {
+        let (a, _) = build(&["<p><a><x/></a></p>", "<p><b/></p>"]);
+        let (b, _) = build(&["<q><z/></q>"]);
+        let mut merged = index_stats(&a);
+        let sb = index_stats(&b);
+        merged.merge(&sb);
+        let sa = index_stats(&a);
+        assert_eq!(merged.frozen.nodes, sa.frozen.nodes + sb.frozen.nodes);
+        assert_eq!(
+            merged.frozen.sequences,
+            sa.frozen.sequences + sb.frozen.sequences
+        );
+        assert_eq!(merged.frozen.doc_ids, sa.frozen.doc_ids + sb.frozen.doc_ids);
+        assert_eq!(
+            merged.frozen.max_depth,
+            sa.frozen.max_depth.max(sb.frozen.max_depth)
+        );
+        assert_eq!(merged.data_paths, sa.data_paths + sb.data_paths);
+        // distribution vectors add element-wise
+        let total: u64 = merged.frozen.depth_counts.iter().sum();
+        let ta: u64 = sa.frozen.depth_counts.iter().sum();
+        let tb: u64 = sb.frozen.depth_counts.iter().sum();
+        assert_eq!(total, ta + tb);
+        assert_eq!(merged.strategy, sa.strategy);
     }
 
     #[test]

@@ -59,6 +59,24 @@ impl IndexTelemetry {
         }
     }
 
+    /// [`IndexTelemetry::register`] for shard `s` of an `n`-shard database.
+    ///
+    /// Phase histograms and work counters keep their shared names — they
+    /// are additive, so concurrent shards summing into one family is the
+    /// correct aggregate — but the occupancy **gauges** move to per-shard
+    /// names (`index.shard3.delta.sequences`, `index.shard3.tombstones`):
+    /// gauges are `set`, and shards setting one shared gauge would clobber
+    /// each other.  The database maintains the aggregate gauges itself.
+    /// With `n <= 1` this is exactly [`IndexTelemetry::register`].
+    pub fn register_shard(registry: &MetricsRegistry, s: usize, n: usize) -> Self {
+        let mut tel = Self::register(registry);
+        if n > 1 {
+            tel.delta_sequences = registry.gauge(&format!("index.shard{s}.delta.sequences"));
+            tel.tombstones = registry.gauge(&format!("index.shard{s}.tombstones"));
+        }
+        tel
+    }
+
     /// Flushes one query's accumulated stats into the registry handles.
     pub fn observe(&self, st: &QueryStats) {
         self.plan.record(st.plan_ns);

@@ -53,6 +53,8 @@ pub fn check_bundle(dir: &Path) -> Vec<String> {
             "stats.txt" => {
                 if !text.starts_with("database:") {
                     findings.push(format!("{name}: missing the stats header line"));
+                } else if !text.contains("shard(s)") {
+                    findings.push(format!("{name}: header missing the shard count"));
                 }
             }
             "events.jsonl" => {
@@ -74,10 +76,18 @@ pub fn check_bundle(dir: &Path) -> Vec<String> {
             "manifest.json" => match validate_json(&text) {
                 Err(e) => findings.push(format!("{name}: {e}")),
                 Ok(()) => {
-                    for key in ["\"version\"", "\"sequencing\"", "\"files\""] {
+                    for key in ["\"version\"", "\"sequencing\"", "\"shards\"", "\"files\""] {
                         if !text.contains(key) {
                             findings.push(format!("{name}: missing the {key} key"));
                         }
+                    }
+                }
+            },
+            "heap.json" => match validate_json(&text) {
+                Err(e) => findings.push(format!("{name}: {e}")),
+                Ok(()) => {
+                    if !text.contains("\"shards\"") {
+                        findings.push(format!("{name}: missing the per-shard breakdown"));
                     }
                 }
             },
@@ -330,11 +340,11 @@ mod tests {
         let valid: &[(&str, &str)] = &[
             ("metrics.prom", ""),
             ("metrics.json", "{\"metrics\":{}}"),
-            ("stats.txt", "database: 1 docs | 2 paths\n"),
+            ("stats.txt", "database: 1 docs | 2 paths | 1 shard(s)\n"),
             ("workload.json", "{\"queries\":0}"),
             (
                 "heap.json",
-                "{\"corpus_bytes\":1,\"index_bytes\":2,\"total_bytes\":3}",
+                "{\"corpus_bytes\":1,\"index_bytes\":2,\"total_bytes\":3,\"shards\":[{\"shard\":0,\"docs\":1,\"corpus_bytes\":1,\"index_bytes\":2,\"total_bytes\":3}]}",
             ),
             ("traces_recent.json", "[]"),
             ("traces_slow.json", "[]"),
@@ -342,7 +352,7 @@ mod tests {
             ("profile.collapsed", "ingest;xml.parse 10\n"),
             (
                 "manifest.json",
-                "{\"version\":\"0.1.0\",\"sequencing\":\"probability\",\"files\":[]}",
+                "{\"version\":\"0.1.0\",\"sequencing\":\"probability\",\"shards\":1,\"files\":[]}",
             ),
         ];
         for (name, contents) in valid {

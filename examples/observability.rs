@@ -124,7 +124,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (class, stats) in profile.iter() {
         println!(
             "  {:<40} freq {:.2}  queries {}  mean results {:.1}",
-            render_class(&db.corpus.paths, &db.corpus.symbols, class),
+            render_class(&db.corpus().paths, &db.corpus().symbols, class),
             profile.frequency(class),
             stats.queries,
             stats.mean_results().unwrap_or(0.0),
@@ -138,16 +138,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_paged_trie(db.index().trie(), &mut store)?;
     let paged = PagedTrie::open(store, 16)?;
     paged.attach_pool_telemetry(db.pool_telemetry());
-    let pattern = xseq::parse_xpath("//location", &mut db.corpus.symbols)?;
+    let pattern = xseq::parse_xpath("//location", &mut db.corpus_mut().symbols)?;
     let concrete = xseq::index::instantiate(
         &pattern,
-        &db.corpus.paths,
+        &db.corpus().paths,
         db.index().data_paths(),
         db.index().options(),
     );
     let strategy = db.index().strategy().clone();
     for qdoc in concrete {
-        let qs = QuerySequence::from_document(&qdoc, &mut db.corpus.paths, &strategy);
+        let qs = QuerySequence::from_document(&qdoc, &mut db.corpus_mut().paths, &strategy);
         let _ = tree_search(&paged, &qs);
     }
     let pool = paged.pool_stats();

@@ -85,10 +85,10 @@ fn prefix_operator_in_branch_predicates() {
 fn chars_roundtrip_through_writer() {
     let d = db(Sequencing::DepthFirst);
     let texts: Vec<String> = d
-        .corpus
+        .corpus()
         .docs
         .iter()
-        .map(|doc| xseq::xml::write_document(doc, &d.corpus.symbols))
+        .map(|doc| xseq::xml::write_document(doc, &d.corpus().symbols))
         .collect();
     assert_eq!(texts[0], "<p><loc>boston</loc></p>");
     // rebuild from serialized text: same answers

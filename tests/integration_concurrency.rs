@@ -106,9 +106,12 @@ fn threaded_database_build_answers_like_sequential() {
             .build_from_xml(CORPUS)
             .unwrap();
         for threads in [2, 4, 8] {
+            // shards(1): trie bit-identity is a single-shard property —
+            // the sharded equivalences live in integration_sharding.rs.
             let mut parallel = DatabaseBuilder::new()
                 .sequencing(sequencing)
                 .threads(threads)
+                .shards(1)
                 .build_from_xml(CORPUS)
                 .unwrap();
             assert!(

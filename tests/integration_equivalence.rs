@@ -96,7 +96,7 @@ fn xmark_corpus_xpath_queries_match_oracle() {
         "//bidder[date][personref]",
     ];
     for expr in queries {
-        let pattern = parse_xpath(expr, &mut db.corpus.symbols).unwrap();
+        let pattern = parse_xpath(expr, &mut db.corpus_mut().symbols).unwrap();
         let got = db.query_pattern(&pattern).docs;
         let expect = oracle(&pattern, &docs_copy);
         assert_eq!(got, expect, "{expr}");
@@ -129,7 +129,7 @@ fn strategies_agree_with_each_other() {
         .unwrap();
 
     let mut rng = StdRng::seed_from_u64(31);
-    let docs = df.corpus.docs.clone();
+    let docs = df.corpus().docs.clone();
     for i in 0..40 {
         let src = &docs[(i * 7) % docs.len()];
         let qt = random_query_tree(src, 2 + i % 6, &mut rng);

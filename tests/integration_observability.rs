@@ -219,6 +219,7 @@ fn diagnostics_bundle_is_complete_and_self_describing() {
     for key in [
         "\"version\"",
         "\"sequencing\":\"probability\"",
+        "\"shards\":1",
         "\"docs\":3",
         "\"tracing\":true",
         "\"slow_threshold_ns\":0",
@@ -226,6 +227,11 @@ fn diagnostics_bundle_is_complete_and_self_describing() {
     ] {
         assert!(manifest.contains(key), "manifest misses {key}: {manifest}");
     }
+    let heap = std::fs::read_to_string(dir.join("heap.json")).expect("heap reads");
+    assert!(
+        heap.contains("\"shards\":[{\"shard\":0,"),
+        "heap.json misses the per-shard breakdown: {heap}"
+    );
     // The journal artifact carries the same events the live journal holds.
     let jsonl = std::fs::read_to_string(dir.join("events.jsonl")).expect("journal reads");
     assert_eq!(jsonl.lines().count(), db.events().events().len());
@@ -233,5 +239,37 @@ fn diagnostics_bundle_is_complete_and_self_describing() {
     // metrics.prom is promlint-clean, straight from the exporter.
     let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("prom reads");
     assert!(xseq::telemetry::lint_prometheus(&prom).is_empty());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn sharded_diagnostics_enumerate_every_shard() {
+    let dir = std::env::temp_dir().join(format!("xseq-diag-sh-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = DatabaseBuilder::new()
+        .shards(3)
+        .build_from_xml(["<a><b/></a>", "<a><c/></a>", "<a><d/></a>", "<a><e/></a>"])
+        .expect("corpus indexes");
+    db.insert_document("<a><f/></a>").expect("doc parses");
+    db.query_xpath("/a/b").expect("query parses");
+    db.diagnostics(&dir).expect("bundle writes");
+    let stats = std::fs::read_to_string(dir.join("stats.txt")).expect("stats reads");
+    assert!(stats.starts_with("database: 5 docs"), "{stats}");
+    assert!(stats.contains("3 shard(s)"), "{stats}");
+    for s in 0..3 {
+        assert!(stats.contains(&format!("shard {s}:")), "{stats}");
+    }
+    let heap = std::fs::read_to_string(dir.join("heap.json")).expect("heap reads");
+    for s in 0..3 {
+        assert!(heap.contains(&format!("{{\"shard\":{s},")), "{heap}");
+    }
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest reads");
+    assert!(manifest.contains("\"shards\":3"), "{manifest}");
+    assert!(manifest.contains("\"docs\":5"), "{manifest}");
+    // The per-shard overlay gauges reach the exporter, and the aggregate
+    // gauges carry the cross-shard sums.
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("prom reads");
+    assert!(xseq::telemetry::lint_prometheus(&prom).is_empty());
+    assert!(prom.contains("index_shard0_delta_sequences"), "{prom}");
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }

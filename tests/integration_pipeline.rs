@@ -70,10 +70,10 @@ fn serialization_round_trip_preserves_answers() {
         .unwrap();
     // write out, re-parse, rebuild: same answers
     let texts: Vec<String> = db
-        .corpus
+        .corpus()
         .docs
         .iter()
-        .map(|d| write_document(d, &db.corpus.symbols))
+        .map(|d| write_document(d, &db.corpus().symbols))
         .collect();
     let db2 = DatabaseBuilder::new()
         .build_from_xml(texts.iter().map(String::as_str))

@@ -1,0 +1,359 @@
+//! Differential sharding tests: **shard-merge ≡ sequential** (ISSUE 9).
+//!
+//! A hash-partitioned database is an implementation detail the query
+//! surface must not leak: for every shard count N and thread count, the
+//! documents a query matches, the aggregate statistics, and the integrity
+//! verdicts must be exactly what the historical single-shard build over
+//! the same corpus produces.  These tests pin that contract across
+//!
+//! * **builds** — random synthetic corpora at 1/2/4/8 shards × 1–4
+//!   threads × both sequencing strategies;
+//! * **update histories** — random insert/remove/compact interleavings
+//!   applied in lockstep to a sharded and a single-shard database
+//!   (global ids, compaction remaps and answers must stay identical);
+//! * **per-shard compaction** — independently scheduled `compact_shard`
+//!   calls, validated against a from-scratch rebuild over the survivors;
+//! * **`query_batch` fleets** — batch answers against the serial loop.
+//!
+//! The CI update-fuzz smoke job shrinks the case budget through
+//! `XSEQ_UPDATE_FUZZ_CASES`; locally the defaults below run.
+
+use proptest::prelude::*;
+use xseq::datagen::{SyntheticDataset, SyntheticParams};
+use xseq::{DatabaseBuilder, DocId, Error, Sequencing};
+
+/// Case budget, shrinkable by the CI smoke job via `XSEQ_UPDATE_FUZZ_CASES`.
+fn fuzz_cases(default: u32) -> u32 {
+    std::env::var("XSEQ_UPDATE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn params() -> SyntheticParams {
+    SyntheticParams {
+        max_height: 4,
+        max_fanout: 3,
+        value_pct: 25,
+        identical_pct: 0,
+        prob_floor_pct: 30,
+    }
+}
+
+/// Queries over the synthetic `e{k}` element vocabulary: rooted, `//`,
+/// multi-step, and one that is provably empty on most corpora.
+const QUERIES: [&str; 7] = ["/e0", "//e1", "//e2", "/e0/e1", "/e0/e2", "//e4", "//e9"];
+
+const SHARDED: [usize; 3] = [2, 4, 8];
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases(6)))]
+
+    /// Build equivalence: an N-shard build answers every query exactly
+    /// like the 1-shard build, agrees on document/sequence totals, and
+    /// verifies clean — for both strategies at 1–4 threads.
+    #[test]
+    fn sharded_builds_answer_like_single_shard(
+        seed in 0u64..1_000,
+        ndocs in 1usize..20,
+        threads in 1usize..=4,
+    ) {
+        let xmls = SyntheticDataset::generate_xml(&params(), ndocs, seed);
+        for sequencing in [Sequencing::DepthFirst, Sequencing::Probability] {
+            let mut reference = DatabaseBuilder::new()
+                .sequencing(sequencing)
+                .shards(1)
+                .build_from_xml(xmls.iter().map(String::as_str))
+                .unwrap();
+            let expected: Vec<Vec<DocId>> = QUERIES
+                .iter()
+                .map(|q| reference.query_xpath(q).unwrap())
+                .collect();
+            let ref_stats = reference.stats();
+            prop_assert!(reference.verify_integrity().is_clean());
+            for shards in SHARDED {
+                let mut db = DatabaseBuilder::new()
+                    .sequencing(sequencing)
+                    .threads(threads)
+                    .shards(shards)
+                    .build_from_xml(xmls.iter().map(String::as_str))
+                    .unwrap();
+                prop_assert_eq!(db.shard_count(), shards);
+                prop_assert_eq!(db.len(), reference.len());
+                for (q, want) in QUERIES.iter().zip(&expected) {
+                    prop_assert_eq!(
+                        &db.query_xpath(q).unwrap(), want,
+                        "{:?} s{} t{}: {}", sequencing, shards, threads, q
+                    );
+                }
+                let stats = db.stats();
+                prop_assert_eq!(stats.docs, ref_stats.docs);
+                prop_assert_eq!(
+                    stats.index.frozen.sequences + stats.index.delta.sequences,
+                    ref_stats.index.frozen.sequences + ref_stats.index.delta.sequences,
+                    "{:?} s{}: sequence totals", sequencing, shards
+                );
+                prop_assert_eq!(stats.index.tombstones, ref_stats.index.tombstones);
+                prop_assert_eq!(stats.shards.len(), shards);
+                prop_assert_eq!(
+                    stats.shards.iter().map(|s| s.docs).sum::<usize>(),
+                    ndocs,
+                    "shards partition the corpus"
+                );
+                let report = db.verify_integrity();
+                prop_assert!(
+                    report.is_clean(),
+                    "{:?} s{} t{}: {}", sequencing, shards, threads, report.render()
+                );
+            }
+        }
+    }
+
+    /// Update-history equivalence, in lockstep: the same random
+    /// insert/remove/compact sequence applied to an N-shard and a 1-shard
+    /// database mints the same global ids, returns the same compaction
+    /// remaps, and answers every query identically after every step.
+    #[test]
+    fn sharded_update_histories_match_single_shard(
+        seed in 0u64..1_000,
+        ninitial in 1usize..5,
+        npending in 1usize..8,
+        nops in 1usize..14,
+        threads in 1usize..=4,
+    ) {
+        let xmls = SyntheticDataset::generate_xml(&params(), ninitial + npending, seed);
+        for sequencing in [Sequencing::DepthFirst, Sequencing::Probability] {
+            for shards in SHARDED {
+                let build = |n: usize| {
+                    DatabaseBuilder::new()
+                        .sequencing(sequencing)
+                        .threads(threads)
+                        .shards(n)
+                        .build_from_xml(xmls[..ninitial].iter().map(String::as_str))
+                        .unwrap()
+                };
+                let mut db = build(shards);
+                let mut reference = build(1);
+                let mut len = ninitial;
+                let mut pending = xmls[ninitial..].iter();
+                let mut rng = seed ^ 0x9e3779b97f4a7c15;
+                for _ in 0..nops {
+                    match lcg(&mut rng) % 10 {
+                        0..=4 => {
+                            if let Some(xml) = pending.next() {
+                                let a = db.insert_document(xml).unwrap();
+                                let b = reference.insert_document(xml).unwrap();
+                                prop_assert_eq!(a, b, "insert ids agree");
+                                len = db.len();
+                            }
+                        }
+                        5..=7 => {
+                            let id = (lcg(&mut rng) as usize % len) as DocId;
+                            prop_assert_eq!(
+                                db.remove_document(id),
+                                reference.remove_document(id),
+                                "remove verdicts agree"
+                            );
+                        }
+                        _ => {
+                            let a = db.compact();
+                            let b = reference.compact();
+                            prop_assert_eq!(a.docs_after, b.docs_after);
+                            prop_assert_eq!(a.tombstones_dropped, b.tombstones_dropped);
+                            prop_assert_eq!(a.delta_merged, b.delta_merged);
+                            prop_assert_eq!(a.remap, b.remap, "compaction remaps agree");
+                            len = db.len();
+                        }
+                    }
+                    for q in QUERIES {
+                        prop_assert_eq!(
+                            db.query_xpath(q).unwrap(),
+                            reference.query_xpath(q).unwrap(),
+                            "{:?} s{} t{}: {}", sequencing, shards, threads, q
+                        );
+                    }
+                }
+                prop_assert_eq!(db.len(), reference.len());
+                prop_assert_eq!(db.stats().docs, reference.stats().docs);
+                prop_assert!(db.verify_integrity().is_clean());
+                prop_assert!(reference.verify_integrity().is_clean());
+            }
+        }
+    }
+
+    /// Per-shard compaction: independently scheduled `compact_shard`
+    /// calls keep global ids dense and answers equal to a from-scratch
+    /// single-shard build over the surviving documents.
+    #[test]
+    fn per_shard_compaction_matches_rebuild_over_survivors(
+        seed in 0u64..1_000,
+        ninitial in 2usize..6,
+        npending in 1usize..6,
+        nops in 1usize..12,
+        shard_pick in 0usize..SHARDED.len(),
+    ) {
+        let shards = SHARDED[shard_pick];
+        let xmls = SyntheticDataset::generate_xml(&params(), ninitial + npending, seed);
+        let mut db = DatabaseBuilder::new()
+            .sequencing(Sequencing::DepthFirst)
+            .shards(shards)
+            .build_from_xml(xmls[..ninitial].iter().map(String::as_str))
+            .unwrap();
+        // Model: global id → xml, pruned/renumbered through every remap.
+        let mut model: Vec<&str> = xmls[..ninitial].iter().map(String::as_str).collect();
+        let mut alive: Vec<bool> = vec![true; ninitial];
+        let mut pending = xmls[ninitial..].iter();
+        let mut rng = seed ^ 0x51a4d;
+        for _ in 0..nops {
+            match lcg(&mut rng) % 10 {
+                0..=3 => {
+                    if let Some(xml) = pending.next() {
+                        let id = db.insert_document(xml).unwrap() as usize;
+                        prop_assert_eq!(id, model.len(), "ids stay dense");
+                        model.push(xml);
+                        alive.push(true);
+                    }
+                }
+                4..=6 => {
+                    let id = lcg(&mut rng) as usize % model.len();
+                    let did = db.remove_document(id as DocId);
+                    prop_assert_eq!(did, alive[id], "remove reports liveness");
+                    alive[id] = false;
+                }
+                _ => {
+                    let s = lcg(&mut rng) as usize % shards;
+                    let report = db.compact_shard(s);
+                    // Renumber the model through the returned remap: a
+                    // dropped id must be a tombstoned doc of shard s.
+                    let mut next_model = Vec::with_capacity(model.len());
+                    let mut next_alive = Vec::with_capacity(alive.len());
+                    for (g, new) in report.remap.iter().enumerate() {
+                        match new {
+                            Some(n) => {
+                                prop_assert_eq!(*n as usize, next_model.len());
+                                next_model.push(model[g]);
+                                next_alive.push(alive[g]);
+                            }
+                            None => prop_assert!(!alive[g], "only dead docs drop"),
+                        }
+                    }
+                    model = next_model;
+                    alive = next_alive;
+                }
+            }
+            prop_assert_eq!(db.len(), model.len());
+        }
+        // Final full compaction, then compare with a fresh single-shard
+        // build over the survivors in surviving-id order.
+        let report = db.compact();
+        let mut survivors = Vec::new();
+        for (g, new) in report.remap.iter().enumerate() {
+            if new.is_some() {
+                survivors.push(model[g]);
+            }
+        }
+        let reference = DatabaseBuilder::new()
+            .sequencing(Sequencing::DepthFirst)
+            .shards(1)
+            .build_from_xml(survivors.iter().copied())
+            .unwrap();
+        prop_assert_eq!(db.len(), reference.len());
+        for q in QUERIES {
+            prop_assert_eq!(
+                db.query_xpath(q).unwrap(),
+                reference.query_xpath(q).unwrap(),
+                "s{} after per-shard compaction: {}", shards, q
+            );
+        }
+        prop_assert!(db.verify_integrity().is_clean());
+    }
+
+    /// `query_batch` fleets over sharded databases: batch answers equal
+    /// the serial loop, including provably-empty and syntax-error cases.
+    #[test]
+    fn sharded_query_batch_equals_serial_loop(
+        seed in 0u64..1_000,
+        ndocs in 1usize..16,
+        threads in 1usize..=4,
+    ) {
+        let xmls = SyntheticDataset::generate_xml(&params(), ndocs, seed);
+        let mut exprs: Vec<&str> = QUERIES.to_vec();
+        exprs.push("/nosuchelement/anywhere");
+        exprs.push("not an xpath");
+        for shards in SHARDED {
+            let db = DatabaseBuilder::new()
+                .threads(threads)
+                .shards(shards)
+                .build_from_xml(xmls.iter().map(String::as_str))
+                .unwrap();
+            let batch = db.query_batch(&exprs);
+            prop_assert_eq!(batch.len(), exprs.len());
+            for (expr, got) in exprs.iter().zip(&batch) {
+                prop_assert_eq!(got, &db.query_xpath(expr), "s{}: {}", shards, expr);
+            }
+            prop_assert_eq!(&batch[exprs.len() - 2], &Ok(Vec::new()), "unknown symbol");
+            prop_assert!(matches!(batch[exprs.len() - 1], Err(Error::Query(_))));
+        }
+    }
+}
+
+/// More shards than documents: the surplus shards hold empty corpora and
+/// empty tries, queries still answer, and inserts can land on a
+/// previously empty shard.
+#[test]
+fn empty_shards_are_inert() {
+    let mut db = DatabaseBuilder::new()
+        .shards(8)
+        .build_from_xml(["<a><b>x</b></a>", "<a><c/></a>"])
+        .unwrap();
+    assert_eq!(db.shard_count(), 8);
+    assert_eq!(db.len(), 2);
+    assert_eq!(db.query_xpath("//a").unwrap(), vec![0, 1]);
+    assert_eq!(db.query_xpath("/a/b[text='x']").unwrap(), vec![0]);
+    // Route a few inserts around the ring; every doc stays queryable.
+    for i in 0..8 {
+        let xml = format!("<a><d{i}/></a>");
+        let id = db.insert_document(&xml).unwrap();
+        assert_eq!(id as usize, 2 + i);
+    }
+    assert_eq!(db.len(), 10);
+    assert_eq!(db.query_xpath("//a").unwrap(), (0..10).collect::<Vec<_>>());
+    assert_eq!(db.query_xpath("/a/d3").unwrap(), vec![5]);
+    let report = db.verify_integrity();
+    assert!(report.is_clean(), "{}", report.render());
+    let report = db.compact();
+    assert_eq!(report.docs_after, 10);
+    assert_eq!(db.query_xpath("/a/d7").unwrap(), vec![9]);
+}
+
+/// The scatter path and the sequential fallback agree: the same sharded
+/// database queried with a parallel pool and with one thread returns
+/// identical answers.
+#[test]
+fn scatter_and_sequential_gather_agree() {
+    let xmls = SyntheticDataset::generate_xml(&params(), 12, 7);
+    let parallel = DatabaseBuilder::new()
+        .threads(4)
+        .shards(4)
+        .build_from_xml(xmls.iter().map(String::as_str))
+        .unwrap();
+    let sequential = DatabaseBuilder::new()
+        .threads(1)
+        .shards(4)
+        .build_from_xml(xmls.iter().map(String::as_str))
+        .unwrap();
+    for q in QUERIES {
+        assert_eq!(
+            parallel.query_xpath(q).unwrap(),
+            sequential.query_xpath(q).unwrap(),
+            "{q}"
+        );
+    }
+}

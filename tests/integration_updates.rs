@@ -187,9 +187,12 @@ proptest! {
         let docs = SyntheticDataset::generate(&params, ninitial + npending, seed, &mut symbols).docs;
         let xmls: Vec<String> = docs.iter().map(|d| write_document(d, &symbols)).collect();
         for sequencing in [Sequencing::DepthFirst, Sequencing::Probability] {
+            // shards(1): compact ≡ rebuild bit-identity is a single-shard
+            // property — sharded histories live in integration_sharding.rs.
             let mut db = DatabaseBuilder::new()
                 .sequencing(sequencing)
                 .threads(threads)
+                .shards(1)
                 .build_from_xml(xmls[..ninitial].iter().map(String::as_str))
                 .unwrap();
             // Model: current id order → (xml, alive).
@@ -233,14 +236,14 @@ proptest! {
                 "{sequencing:?}: compacted trie diverges from rebuild"
             );
             prop_assert_eq!(db.index().data_paths(), reference.index().data_paths());
-            prop_assert_eq!(db.corpus.paths.len(), reference.corpus.paths.len());
+            prop_assert_eq!(db.corpus().paths.len(), reference.corpus().paths.len());
             prop_assert_eq!(
-                db.corpus.symbols.designator_count(),
-                reference.corpus.symbols.designator_count()
+                db.corpus().symbols.designator_count(),
+                reference.corpus().symbols.designator_count()
             );
             prop_assert_eq!(
-                db.corpus.symbols.values.len(),
-                reference.corpus.symbols.values.len()
+                db.corpus().symbols.values.len(),
+                reference.corpus().symbols.values.len()
             );
             for q in ["/e0", "//e1", "//e2", "/e0/e1", "/e0/e2", "//e4"] {
                 prop_assert_eq!(
