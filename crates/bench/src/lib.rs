@@ -707,7 +707,9 @@ pub fn scaling(scale: f64) {
         registry
             .gauge(&format!("ingest.docs_per_s.s{s}.t{t}"))
             .set(ingest as i64);
-        registry.gauge(&format!("query.qps.s{s}.t{t}")).set(qps as i64);
+        registry
+            .gauge(&format!("query.qps.s{s}.t{t}"))
+            .set(qps as i64);
         // Speedup gauges vs the sharded series' own 1×1 cell (×100),
         // outside the gated throughput grammar like the `tN` ones.
         let (i1, q1) = *s1.get_or_insert((ingest, qps));
@@ -731,13 +733,20 @@ pub fn scaling(scale: f64) {
 /// (capped by [`set_thread_cap`]).
 ///
 /// Records `update.docs_per_s.tN` (single-writer insert throughput into
-/// the delta overlay — parse, sequence, re-freeze) and
+/// the tiered delta overlay, foreground merges drained inline) and
 /// `update.qps.post_compact.tN` (batch query throughput after the overlay
 /// has been folded back into the frozen segment on the N-thread pool).
-/// Both are `--bench-label` tracked and `--baseline` gated with the
-/// tolerant [`regress::THROUGHPUT_THRESHOLD`].  Correctness rides along:
-/// the post-compaction batch must answer exactly like the pre-compaction
-/// *frozen ∪ delta − tombstones* view did.
+/// A second **tiered series** runs the same inserts with the background
+/// merge worker enabled (`update.docs_per_s.tiered.tN`): inserts pay only
+/// the O(1) memtable push plus cuts, and whatever run-folding the worker
+/// has not absorbed by the end is drained explicitly and recorded as
+/// `update.merge.stall_ns` (the worst case a foreground caller could
+/// stall behind pending merges).  All three series are `--bench-label`
+/// tracked and `--baseline` gated with the tolerant
+/// [`regress::THROUGHPUT_THRESHOLD`].  Correctness rides along: the
+/// post-compaction batch must answer exactly like the pre-compaction
+/// *frozen ∪ delta − tombstones* view did, and background merges must not
+/// change any answer.
 pub fn updates(scale: f64) {
     println!("## Updates — delta insert and post-compaction query throughput");
     println!();
@@ -763,11 +772,12 @@ pub fn updates(scale: f64) {
     );
     println!();
     println!(
-        "| threads | insert (docs/s) | compaction (s) | post-compact queries (q/s) | speedup vs t1 |"
+        "| threads | insert (docs/s) | tiered insert (docs/s) | compaction (s) | post-compact queries (q/s) | speedup vs t1 |"
     );
-    println!("|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|");
     let registry = MetricsRegistry::global();
     let mut t1: Option<(f64, f64)> = None; // 1-thread (insert, qps) reference
+    let mut worst_stall_ns = 0u64; // max merge-drain debt across the t series
     for t in [1usize, 2, 4, 8] {
         if t > cap {
             continue;
@@ -827,9 +837,51 @@ pub fn updates(scale: f64) {
             }
         }
 
+        // Tiered series: background merge worker on a 1 ms cadence, so
+        // inserts never drain tier merges inline.  Answers must match the
+        // drained overlay exactly (snapshot consistency), and the final
+        // explicit drain bounds the merge debt as `update.merge.stall_ns`.
+        let mut tiered_rate = 0f64;
+        let mut stall_ns = 0u64;
+        for _ in 0..2 {
+            let corpus = Corpus {
+                symbols: symbols.clone(),
+                paths: xseq::PathTable::new(),
+                docs: docs[..nbase].to_vec(),
+                parse_histogram: None,
+            };
+            let mut db = DatabaseBuilder::new()
+                .threads(t)
+                .shards(1)
+                .background_merge(std::time::Duration::from_millis(1))
+                .build_from_corpus(corpus)
+                .expect("xmark corpus indexes");
+            let t0 = Instant::now();
+            for xml in &extra_xml {
+                db.insert_document(xml).expect("written xmark doc reparses");
+            }
+            tiered_rate = tiered_rate.max(extra_xml.len() as f64 / t0.elapsed().as_secs_f64());
+            let racing: Vec<_> = db.query_batch(&exprs);
+            let t0 = Instant::now();
+            db.run_pending_merges();
+            stall_ns = stall_ns.max(t0.elapsed().as_nanos() as u64);
+            let drained: Vec<_> = db.query_batch(&exprs);
+            for (r, d) in racing.iter().zip(&drained) {
+                let r = r.as_ref().expect("paper query parses");
+                let d = d.as_ref().expect("paper query parses");
+                assert_eq!(r, d, "background merges changed answers at {t} threads");
+            }
+        }
         registry
             .gauge(&format!("update.docs_per_s.t{t}"))
             .set(insert_rate as i64);
+        registry
+            .gauge(&format!("update.docs_per_s.tiered.t{t}"))
+            .set(tiered_rate as i64);
+        worst_stall_ns = worst_stall_ns.max(stall_ns);
+        registry
+            .gauge("update.merge.stall_ns")
+            .set(worst_stall_ns as i64);
         registry
             .gauge(&format!("update.qps.post_compact.t{t}"))
             .set(qps as i64);
@@ -842,7 +894,7 @@ pub fn updates(scale: f64) {
             .gauge(&format!("update.query.speedup_x100.t{t}"))
             .set((qps / q1 * 100.0) as i64);
         println!(
-            "| {t} | {insert_rate:.0} | {compact_secs:.2} | {qps:.0} | {:.2}× / {:.2}× |",
+            "| {t} | {insert_rate:.0} | {tiered_rate:.0} | {compact_secs:.2} | {qps:.0} | {:.2}× / {:.2}× |",
             insert_rate / i1,
             qps / q1
         );

@@ -41,6 +41,15 @@ fn is_throughput_key(key: &str) -> bool {
     key.contains(".docs_per_s.") || key.contains(".qps.")
 }
 
+/// True for merge-debt gauges (`update.merge.stall_ns` from the `updates`
+/// experiment): nanoseconds of tier-merge backlog a foreground caller
+/// could stall behind.  Gated on *growth* past [`THROUGHPUT_THRESHOLD`] —
+/// the same tolerant bound as the throughput series, since the drain is a
+/// wall-clock measurement with the same CI-host noise profile.
+fn is_stall_key(key: &str) -> bool {
+    key.ends_with(".stall_ns")
+}
+
 /// The profiling zero-overhead guard: the `profile_overhead` experiment's
 /// gated ratio gauge may grow by at most this fraction over the baseline.
 /// The gauge is the profiled-over-unprofiled p50 ratio measured *within
@@ -107,6 +116,7 @@ impl BenchReport {
                     MetricValue::Gauge(v)
                         if *v > 0
                             && (is_throughput_key(metric)
+                                || is_stall_key(metric)
                                 || metric.contains(".speedup_x100.")
                                 || metric.ends_with(GATED_SUFFIX)) =>
                     {
@@ -268,8 +278,10 @@ fn too_few_samples(baseline: &BenchReport, key: &str) -> bool {
 /// the bad direction.  Latency keys (`*.p50`, baseline at or above
 /// `floor_ns`, enough baseline samples) are gated on *growth* over
 /// `threshold`; throughput keys (`*.docs_per_s.*`, `*.qps.*`) are gated on
-/// a *drop* beyond [`THROUGHPUT_THRESHOLD`].  Keys absent from either
-/// report are skipped: the gate compares what both runs measured.
+/// a *drop* beyond [`THROUGHPUT_THRESHOLD`]; merge-debt keys
+/// (`*.stall_ns`) are gated on growth past the same tolerant bound.  Keys
+/// absent from either report are skipped: the gate compares what both
+/// runs measured.
 pub fn compare(
     baseline: &BenchReport,
     current: &BenchReport,
@@ -287,6 +299,8 @@ pub fn compare(
         let growth = cur as f64 / base as f64 - 1.0;
         let regressed = if is_throughput_key(key) {
             -growth > THROUGHPUT_THRESHOLD
+        } else if is_stall_key(key) {
+            growth > THROUGHPUT_THRESHOLD
         } else if is_profile_overhead_key(key) {
             growth > PROFILE_OVERHEAD_THRESHOLD
         } else if key.ends_with(GATED_SUFFIX) && base >= floor_ns && !too_few_samples(baseline, key)
@@ -495,6 +509,21 @@ mod tests {
             ("scaling/query.qps.t2", 6_000),
         ]);
         assert!(compare(&base, &ok, DEFAULT_THRESHOLD, NOISE_FLOOR_NS).is_empty());
+    }
+
+    #[test]
+    fn merge_stall_gated_on_growth_not_drop() {
+        // nanosecond merge-debt gauge: growing past the tolerant bound
+        // fires, shrinking (merges got cheaper) never does
+        let base = report(&[("updates/update.merge.stall_ns", 10_000)]);
+        let bad = report(&[("updates/update.merge.stall_ns", 17_000)]);
+        let ok = report(&[("updates/update.merge.stall_ns", 15_000)]);
+        let gone = report(&[("updates/update.merge.stall_ns", 1_000)]);
+        let regs = compare(&base, &bad, DEFAULT_THRESHOLD, NOISE_FLOOR_NS);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "updates/update.merge.stall_ns");
+        assert!(compare(&base, &ok, DEFAULT_THRESHOLD, NOISE_FLOOR_NS).is_empty());
+        assert!(compare(&base, &gone, DEFAULT_THRESHOLD, NOISE_FLOOR_NS).is_empty());
     }
 
     #[test]

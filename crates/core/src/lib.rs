@@ -70,10 +70,11 @@ pub use xseq_storage as storage;
 pub use xseq_telemetry as telemetry;
 pub use xseq_xml as xml;
 
-pub use xseq_exec::Pool;
+pub use xseq_exec::{Pool, Ticker};
 pub use xseq_index::{
-    IndexStats, IndexTelemetry, IntegrityReport, InvariantClass, PlanOptions, QueryContext,
-    QueryOutcome, QueryStats, SearchStats, SegmentStats, Violation, XmlIndex,
+    DeltaView, IndexStats, IndexTelemetry, IntegrityReport, InvariantClass, MergeOutcome,
+    PlanOptions, QueryContext, QueryOutcome, QueryStats, SearchStats, SegmentStats, TieredDelta,
+    Violation, XmlIndex,
 };
 pub use xseq_query::{parse_xpath, parse_xpath_readonly, ParseError};
 pub use xseq_schema::{ClassStats, ProbabilityModel, SchemaTree, WeightMap, WorkloadProfile};
@@ -82,7 +83,7 @@ pub use xseq_storage::{BufferPool, PagedTrie, PoolStats, PoolTelemetry};
 pub use xseq_telemetry::{
     AnomalyAlert, AnomalyDetector, AnomalyKind, Event, EventJournal, HeapSize, MetricsRegistry,
     PhaseNode, PhaseProfile, Severity, SloPolicy, Snapshot, SpanTimer, Trace, TraceConfig, TraceId,
-    TraceSpan, Tracer,
+    TraceSpan, Tracer, Watchdog,
 };
 pub use xseq_xml::{
     Axis, Corpus, DocId, Document, PathId, PathTable, PatternLabel, SymbolTable, TreePattern,
@@ -156,6 +157,9 @@ pub struct DatabaseBuilder {
     threads: usize,
     shards: usize,
     compact_threshold: Option<usize>,
+    memtable_limit: usize,
+    tier_ratio: usize,
+    background_merge: Option<Duration>,
     profiling: bool,
     event_capacity: usize,
 }
@@ -170,6 +174,8 @@ struct BuildConfig {
     sample_cap: usize,
     boosts: Vec<(String, f64)>,
     compact_threshold: Option<usize>,
+    memtable_limit: usize,
+    tier_ratio: usize,
 }
 
 impl Default for DatabaseBuilder {
@@ -194,6 +200,9 @@ impl DatabaseBuilder {
             threads: 1,
             shards: 0,
             compact_threshold: None,
+            memtable_limit: xseq_index::DEFAULT_MEMTABLE_LIMIT,
+            tier_ratio: xseq_index::DEFAULT_TIER_RATIO,
+            background_merge: None,
             profiling: true,
             event_capacity: 256,
         }
@@ -226,6 +235,39 @@ impl DatabaseBuilder {
     /// (compaction is manual).  A `threshold` of 0 is clamped to 1.
     pub fn auto_compact(mut self, threshold: usize) -> Self {
         self.compact_threshold = Some(threshold.max(1));
+        self
+    }
+
+    /// Caps how many sequences the tiered delta's raw memtable absorbs
+    /// before it is cut into a frozen L0 run (default
+    /// [`xseq_index::DEFAULT_MEMTABLE_LIMIT`], clamped to ≥ 1).  Smaller
+    /// limits bound the youngest segment a query has to rebuild lazily;
+    /// larger ones amortize the cut cost over more inserts.
+    pub fn memtable_limit(mut self, limit: usize) -> Self {
+        self.memtable_limit = limit.max(1);
+        self
+    }
+
+    /// Sets the LSM size ratio of the tiered delta: when any tier
+    /// accumulates this many runs they merge into a single run of the next
+    /// tier (default [`xseq_index::DEFAULT_TIER_RATIO`], clamped to ≥ 2).
+    /// Merges resolve tombstones as they fold runs together.
+    pub fn tier_ratio(mut self, ratio: usize) -> Self {
+        self.tier_ratio = ratio.max(2);
+        self
+    }
+
+    /// Moves tier merges off the foreground update path onto a background
+    /// `xseq-exec` worker: a ticker fires every `period`, drains every
+    /// shard's due merges, and reports liveness through the
+    /// `health.merge.*` watchdog gauges (ticked by the foreground update
+    /// path, or manually via [`Database::tick_merge_watchdog`]).  Without
+    /// this call merges run inline at the end of each insert.  In-flight
+    /// queries are never disturbed either way: they hold an epoch-stamped
+    /// snapshot of the segment list, and a merge only swaps the published
+    /// list.
+    pub fn background_merge(mut self, period: Duration) -> Self {
+        self.background_merge = Some(period);
         self
     }
 
@@ -496,6 +538,8 @@ impl DatabaseBuilder {
             sample_cap: self.sample_cap,
             boosts: self.boosts,
             compact_threshold: self.compact_threshold,
+            memtable_limit: self.memtable_limit,
+            tier_ratio: self.tier_ratio,
         };
         let pool = Pool::new(self.threads);
         let nshards = corpora.len();
@@ -567,11 +611,59 @@ impl DatabaseBuilder {
                 .attr("docs", doc_map.len() as u64)
                 .attr(
                     "paths",
-                    shards.iter().map(|sh| sh.corpus.paths.len() as u64).sum::<u64>(),
+                    shards
+                        .iter()
+                        .map(|sh| sh.corpus.paths.len() as u64)
+                        .sum::<u64>(),
                 )
                 .attr("threads", pool.threads() as u64)
                 .attr("shards", nshards as u64),
         );
+        // Tiered update path: apply the LSM knobs per shard, publish the
+        // per-shard delta handles for the merge worker, and (optionally)
+        // start the background merge ticker under watchdog supervision.
+        let merge_hist = self.registry.histogram("index.merge");
+        for sh in &shards {
+            sh.index
+                .configure_delta(config.memtable_limit, config.tier_ratio);
+        }
+        let merge_handles: Arc<Mutex<Vec<Arc<TieredDelta>>>> = Arc::new(Mutex::new(
+            shards.iter().map(|sh| sh.index.delta_handle()).collect(),
+        ));
+        let (merge_watchdog, merge_ticker) = match self.background_merge {
+            None => (None, None),
+            Some(period) => {
+                let watchdog = Arc::new(
+                    Watchdog::new(self.registry.clone(), MERGE_STALL_TICKS).events(events.clone()),
+                );
+                let worker = watchdog.register("merge");
+                let handles = merge_handles.clone();
+                let registry = self.registry.clone();
+                let journal = events.clone();
+                let hist = merge_hist.clone();
+                let ticker = Ticker::spawn_named("xseq-merge", period, move || {
+                    worker.set_active(true);
+                    // Clone the handle list out and drop the guard before
+                    // merging: compaction swaps handles under this lock and
+                    // must never wait on a long merge.
+                    let deltas: Vec<Arc<TieredDelta>> = {
+                        let guard = handles.lock().unwrap_or_else(|p| p.into_inner());
+                        guard.clone()
+                    };
+                    let nshards = deltas.len();
+                    let mut merges = 0;
+                    for (s, delta) in deltas.iter().enumerate() {
+                        merges += drain_shard_merges(s, nshards, delta, &registry, &journal, &hist);
+                        worker.beat();
+                    }
+                    if merges > 0 {
+                        refresh_aggregate_gauges(&deltas, &registry);
+                    }
+                    worker.set_active(false);
+                });
+                (Some(watchdog), Some(ticker))
+            }
+        };
         Ok(Database {
             shards,
             doc_map,
@@ -591,10 +683,105 @@ impl DatabaseBuilder {
             update_insert_hist,
             update_remove_hist,
             compact_hist,
+            merge_hist,
+            merge_handles,
+            merge_ticker,
+            merge_watchdog,
             events,
             slow_threshold_ns: AtomicU64::new(slow_threshold_ns),
         })
     }
+}
+
+/// Watchdog patience for the background merge worker: flagged stalled
+/// after this many foreground ticks with a frozen heartbeat while active.
+const MERGE_STALL_TICKS: u64 = 3;
+
+/// Drains every size-ratio-triggered merge currently due in one shard's
+/// tiered delta, recording each as an `index.merge` latency sample
+/// bracketed by `compact.tier.start` / `compact.tier.finish`
+/// flight-recorder events, then refreshes the shard's occupancy gauges.
+/// Returns the number of merges performed.  Shared by the background
+/// ticker and the inline (foreground) drain in [`Database::insert_document`].
+fn drain_shard_merges(
+    s: usize,
+    nshards: usize,
+    delta: &TieredDelta,
+    registry: &MetricsRegistry,
+    events: &EventJournal,
+    hist: &Arc<Histogram>,
+) -> usize {
+    let mut merges = 0;
+    while delta.merge_due() {
+        events.record(
+            Event::new("compact.tier.start")
+                .severity(Severity::Debug)
+                .attr("shard", s as u64),
+        );
+        let t0 = Instant::now();
+        let outcome = delta.maybe_merge();
+        let total_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // None: another thread merged (or cleared) first — `merge_due` is
+        // advisory.  Record the abort and stop; the winner owns the drain.
+        let Some(out) = outcome else {
+            events.record(
+                Event::new("compact.tier.finish")
+                    .severity(Severity::Debug)
+                    .attr("shard", s as u64)
+                    .attr("runs", 0u64),
+            );
+            break;
+        };
+        hist.record(total_ns);
+        merges += 1;
+        events.record(
+            Event::new("compact.tier.finish")
+                .severity(Severity::Debug)
+                .attr("shard", s as u64)
+                .attr("tier", u64::from(out.tier))
+                .attr("runs", out.runs_merged as u64)
+                .attr("docs", out.docs_in as u64)
+                .attr("dropped", out.docs_dropped as u64)
+                .attr("total_ns", total_ns),
+        );
+    }
+    if merges > 0 {
+        let seqs = delta.sequence_count() as i64;
+        let runs = delta.run_count() as i64;
+        if nshards <= 1 {
+            registry.gauge("index.delta.sequences").set(seqs);
+            registry.gauge("index.delta.runs").set(runs);
+        } else {
+            registry
+                .gauge(&format!("index.shard{s}.delta.sequences"))
+                .set(seqs);
+            registry
+                .gauge(&format!("index.shard{s}.delta.runs"))
+                .set(runs);
+        }
+    }
+    merges
+}
+
+/// Re-derives the aggregate `index.delta.*` / `index.tombstones` gauges
+/// from the per-shard delta handles — the multi-shard convention: shards
+/// own their `index.shardN.*` family, whoever mutates maintains the sums.
+/// A no-op with one shard (the plain gauges are the shard's own).
+fn refresh_aggregate_gauges(deltas: &[Arc<TieredDelta>], registry: &MetricsRegistry) {
+    if deltas.len() <= 1 {
+        return;
+    }
+    let mut seqs = 0usize;
+    let mut runs = 0usize;
+    let mut tombs = 0usize;
+    for d in deltas.iter() {
+        seqs += d.sequence_count();
+        runs += d.run_count();
+        tombs += d.tombstones().len();
+    }
+    registry.gauge("index.delta.sequences").set(seqs as i64);
+    registry.gauge("index.delta.runs").set(runs as i64);
+    registry.gauge("index.tombstones").set(tombs as i64);
 }
 
 /// Derives the sequencing strategy the way the original build did — shared
@@ -682,7 +869,9 @@ fn split_corpus(
                         continue;
                     }
                     let mut doc = doc.clone();
-                    doc.remap_symbols(|sym| reintern_symbol(sym, &corpus.symbols, &mut shard.symbols));
+                    doc.remap_symbols(|sym| {
+                        reintern_symbol(sym, &corpus.symbols, &mut shard.symbols)
+                    });
                     shard.push(doc);
                     gids.push(gid as DocId);
                 }
@@ -946,6 +1135,19 @@ pub struct Database {
     update_remove_hist: Arc<Histogram>,
     /// `index.compact` — full compaction latency.
     compact_hist: Arc<Histogram>,
+    /// `index.merge` — per-tier-merge latency (its own family, so merge
+    /// time never double-counts under `index.compact`).
+    merge_hist: Arc<Histogram>,
+    /// Per-shard tiered-delta handles shared with the background merge
+    /// worker; compaction swaps a rebuilt shard's handle in under the lock.
+    merge_handles: Arc<Mutex<Vec<Arc<TieredDelta>>>>,
+    /// The background merge worker, when the builder enabled
+    /// [`DatabaseBuilder::background_merge`]; dropping the database stops
+    /// and joins it.
+    merge_ticker: Option<Ticker>,
+    /// Liveness monitor over the background merge worker
+    /// (`health.merge.*`), ticked by the foreground update path.
+    merge_watchdog: Option<Arc<Watchdog>>,
     /// The flight recorder: a bounded journal of severity-levelled
     /// lifecycle events (always on).
     events: Arc<EventJournal>,
@@ -1009,6 +1211,10 @@ pub const PHASE_TREE: &[PhaseNode] = &[
     PhaseNode {
         metric: "update.remove",
         stack: &["update", "update.remove"],
+    },
+    PhaseNode {
+        metric: "index.merge",
+        stack: &["update", "index.merge"],
     },
     PhaseNode {
         metric: "index.compact",
@@ -1760,8 +1966,8 @@ impl Database {
     pub fn insert_document(&mut self, xml: &str) -> Result<DocId, Error> {
         let id = self.insert_one(xml)?;
         if let Some(remap) = self.auto_compact_if_needed() {
-            let new_id = remap[id as usize]
-                .expect("freshly inserted document survives its own compaction");
+            let new_id =
+                remap[id as usize].expect("freshly inserted document survives its own compaction");
             return Ok(new_id);
         }
         Ok(id)
@@ -1784,6 +1990,22 @@ impl Database {
         sh.index.insert_delta(doc, local, &mut sh.corpus.paths);
         sh.global_ids.push(global);
         self.doc_map.push((s as u32, local));
+        if self.merge_ticker.is_none() {
+            // Inline mode: fold due merges right here, keeping the run
+            // count logarithmic without a background worker.  Only this
+            // shard's memtable was cut, so only it can be due.
+            let sh = &self.shards[s];
+            drain_shard_merges(
+                s,
+                self.shards.len(),
+                sh.index.delta(),
+                &self.registry,
+                &self.events,
+                &self.merge_hist,
+            );
+        } else {
+            self.tick_merge_watchdog();
+        }
         self.refresh_update_gauges();
         let total_ns = timer.finish();
         self.events.record(
@@ -1830,6 +2052,7 @@ impl Database {
         let fresh = self.shards[s as usize].index.remove_doc(local);
         let total_ns = timer.finish();
         if fresh {
+            self.tick_merge_watchdog();
             self.refresh_update_gauges();
             self.events.record(
                 Event::new("ingest.remove")
@@ -1869,6 +2092,47 @@ impl Database {
             return None;
         }
         Some(self.compact_shards(&due).remap)
+    }
+
+    /// Drains every pending tier merge across all shards on the calling
+    /// thread, returning the number of merges performed.  This is exactly
+    /// what the background worker does once per period; call it directly
+    /// to quiesce the tiered delta deterministically (tests and benchmarks
+    /// do).  Queries holding an older [`DeltaView`] keep their segment set
+    /// — a merge only swaps the published list.
+    pub fn run_pending_merges(&self) -> usize {
+        let nshards = self.shards.len();
+        let mut merges = 0;
+        for (s, sh) in self.shards.iter().enumerate() {
+            merges += drain_shard_merges(
+                s,
+                nshards,
+                sh.index.delta(),
+                &self.registry,
+                &self.events,
+                &self.merge_hist,
+            );
+        }
+        if merges > 0 {
+            self.refresh_update_gauges();
+        }
+        merges
+    }
+
+    /// Advances the background-merge watchdog one tick and returns the
+    /// names of any workers currently flagged stalled (empty without
+    /// [`DatabaseBuilder::background_merge`]).  The foreground update path
+    /// ticks automatically on every insert/remove; call this from an
+    /// external supervision loop when the database is otherwise idle.
+    pub fn tick_merge_watchdog(&self) -> Vec<String> {
+        self.merge_watchdog
+            .as_ref()
+            .map_or_else(Vec::new, |w| w.tick())
+    }
+
+    /// True when a background merge worker is running.
+    pub fn has_background_merge(&self) -> bool {
+        self.merge_ticker.is_some()
     }
 
     /// Folds the delta segment and tombstones back into a single frozen
@@ -1980,17 +2244,33 @@ impl Database {
             };
             sh.corpus = fresh;
             sh.index = index;
+            sh.index
+                .configure_delta(self.config.memtable_limit, self.config.tier_ratio);
             local_remaps[s] = Some(remap);
             if nshards == 1 {
                 self.registry.gauge("index.delta.sequences").set(0);
+                self.registry.gauge("index.delta.runs").set(0);
                 self.registry.gauge("index.tombstones").set(0);
             } else {
                 self.registry
                     .gauge(&format!("index.shard{s}.delta.sequences"))
                     .set(0);
                 self.registry
+                    .gauge(&format!("index.shard{s}.delta.runs"))
+                    .set(0);
+                self.registry
                     .gauge(&format!("index.shard{s}.tombstones"))
                     .set(0);
+            }
+        }
+        // Swap the rebuilt shards' fresh delta handles in for the
+        // background merge worker (the old handles die with the last
+        // in-flight snapshot).
+        {
+            let mut handles = self.merge_handles.lock().unwrap_or_else(|p| p.into_inner());
+            for &s in which {
+                // PANIC-FREE: handles is built with one entry per shard
+                handles[s] = self.shards[s].index.delta_handle();
             }
         }
         // Dense global renumbering: walk the old global order.  A shard's
@@ -2050,12 +2330,20 @@ impl Database {
             .iter()
             .map(|sh| sh.index.delta().sequence_count())
             .sum();
+        let runs: usize = self
+            .shards
+            .iter()
+            .map(|sh| sh.index.delta().run_count())
+            .sum();
         let tomb: usize = self
             .shards
             .iter()
             .map(|sh| sh.index.tombstones().len())
             .sum();
-        self.registry.gauge("index.delta.sequences").set(delta as i64);
+        self.registry
+            .gauge("index.delta.sequences")
+            .set(delta as i64);
+        self.registry.gauge("index.delta.runs").set(runs as i64);
         self.registry.gauge("index.tombstones").set(tomb as i64);
     }
 
@@ -2586,6 +2874,125 @@ mod tests {
         assert_eq!(snap.histogram("index.compact").unwrap().count, 1);
         assert_eq!(snap.gauge("index.delta.sequences"), Some(0));
         assert_eq!(snap.gauge("index.tombstones"), Some(0));
+    }
+
+    #[test]
+    fn inline_tier_merges_fold_runs_and_keep_answers() {
+        let mut db = DatabaseBuilder::new()
+            .sequencing(Sequencing::DepthFirst)
+            .memtable_limit(1)
+            .tier_ratio(2)
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        for i in 0..8 {
+            db.insert_document(&format!("<a><b/><c{i}/></a>")).unwrap();
+        }
+        // limit 1 / ratio 2 is a binary counter: 8 single-sequence runs
+        // cascade into popcount(8) = 1 published run.
+        assert_eq!(db.index().delta().run_count(), 1);
+        assert_eq!(db.index().delta().sequence_count(), 8);
+        let snap = db.metrics();
+        assert!(
+            snap.histogram("index.merge").unwrap().count >= 7,
+            "7 binary-counter merges expected, saw {}",
+            snap.histogram("index.merge").unwrap().count
+        );
+        assert_eq!(snap.gauge("index.delta.runs"), Some(1));
+        let names: Vec<&str> = db.events().events().iter().map(|e| e.name).collect();
+        assert!(names.contains(&"compact.tier.start"), "{names:?}");
+        assert!(names.contains(&"compact.tier.finish"), "{names:?}");
+        assert_eq!(db.query_xpath("/a/b").unwrap().len(), 9);
+        assert_eq!(db.query_xpath("/a/c3").unwrap(), vec![4]);
+        assert!(db.verify_integrity().is_clean());
+    }
+
+    #[test]
+    fn background_merge_worker_folds_runs() {
+        let mut db = DatabaseBuilder::new()
+            .sequencing(Sequencing::DepthFirst)
+            .memtable_limit(1)
+            .tier_ratio(2)
+            .background_merge(std::time::Duration::from_millis(1))
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        assert!(db.has_background_merge());
+        for i in 0..8 {
+            db.insert_document(&format!("<a><c{i}/></a>")).unwrap();
+        }
+        // The worker fires every 1 ms; wait for it to quiesce the tiers.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while db.index().delta().merge_due() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!db.index().delta().merge_due(), "worker never caught up");
+        assert!(db.index().delta().run_count() <= 2);
+        assert_eq!(db.index().delta().sequence_count(), 8);
+        let snap = db.metrics();
+        assert!(snap.counter("health.merge.heartbeat") > 0, "worker beats");
+        assert!(db.tick_merge_watchdog().is_empty(), "worker not stalled");
+        assert_eq!(db.query_xpath("/a/c5").unwrap(), vec![6]);
+        assert!(db.verify_integrity().is_clean());
+    }
+
+    #[test]
+    fn merge_time_has_its_own_phase_family() {
+        let mut db = DatabaseBuilder::new()
+            .sequencing(Sequencing::DepthFirst)
+            .memtable_limit(1)
+            .tier_ratio(2)
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        for i in 0..4 {
+            db.insert_document(&format!("<a><c{i}/></a>")).unwrap();
+        }
+        db.compact();
+        let snap = db.metrics();
+        let merges = snap.histogram("index.merge").unwrap().count;
+        assert!(merges >= 3, "binary-counter merges before compaction");
+        // Merge latency lives in its own family: compaction's single
+        // sample does not absorb (double-count) the merge spans.
+        assert_eq!(snap.histogram("index.compact").unwrap().count, 1);
+        let collapsed = db.phase_profile().to_collapsed();
+        assert!(
+            collapsed
+                .lines()
+                .any(|l| l.starts_with("update;index.merge ")),
+            "merge frame missing:\n{collapsed}"
+        );
+        assert!(
+            collapsed
+                .lines()
+                .any(|l| l.starts_with("update;index.compact ")),
+            "compact frame missing:\n{collapsed}"
+        );
+        let profile = db.phase_profile();
+        let merge_entry = profile
+            .entries
+            .iter()
+            .find(|e| e.stack.last() == Some(&"index.merge"))
+            .expect("index.merge is in PHASE_TREE");
+        assert_eq!(merge_entry.samples, merges, "one sample per tier merge");
+    }
+
+    #[test]
+    fn compaction_replays_the_tier_knobs() {
+        let mut db = DatabaseBuilder::new()
+            .sequencing(Sequencing::DepthFirst)
+            .memtable_limit(2)
+            .tier_ratio(2)
+            .build_from_xml(["<a><b/></a>"])
+            .unwrap();
+        assert_eq!(db.index().delta().memtable_limit(), 2);
+        db.insert_document("<a><c/></a>").unwrap();
+        db.insert_document("<a><d/></a>").unwrap();
+        assert_eq!(db.index().delta().run_count(), 1, "cut at limit 2");
+        db.compact();
+        assert_eq!(db.index().delta().memtable_limit(), 2, "knobs survive");
+        assert_eq!(db.index().delta().tier_ratio(), 2);
+        db.insert_document("<a><e/></a>").unwrap();
+        db.insert_document("<a><f/></a>").unwrap();
+        assert_eq!(db.index().delta().run_count(), 1, "cut again post-compact");
+        assert_eq!(db.query_xpath("/a/f").unwrap(), vec![4]);
     }
 
     #[test]

@@ -294,36 +294,52 @@ impl Ticker {
     /// Spawns a thread running `f` now and then every `period` until
     /// [`Ticker::stop`] or drop.  The period is polled in small slices so
     /// stopping takes milliseconds even with long periods.
-    pub fn spawn<F>(period: Duration, mut f: F) -> Ticker
+    pub fn spawn<F>(period: Duration, f: F) -> Ticker
+    where
+        F: FnMut() + Send + 'static,
+    {
+        Self::spawn_named("xseq-ticker", period, f)
+    }
+
+    /// [`Ticker::spawn`] with an OS thread name — background workers (the
+    /// merge scheduler, the metrics journal) show up under their own names
+    /// in `ps`/debuggers instead of an anonymous thread id.
+    pub fn spawn_named<F>(name: &str, period: Duration, mut f: F) -> Ticker
     where
         F: FnMut() + Send + 'static,
     {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || {
-            loop {
-                // ORDERING: latch — standalone shutdown flag; the join
-                // below is the only ordering anyone relies on.
-                if stop_flag.load(Ordering::Relaxed) {
-                    return;
-                }
-                f();
-                let mut remaining = period;
-                while remaining > Duration::ZERO {
-                    // ORDERING: latch — same standalone shutdown flag as above
+        let handle = std::thread::Builder::new()
+            .name(name.to_owned())
+            .spawn(move || {
+                loop {
+                    // ORDERING: latch — standalone shutdown flag; the join
+                    // below is the only ordering anyone relies on.
                     if stop_flag.load(Ordering::Relaxed) {
                         return;
                     }
-                    let slice = remaining.min(Duration::from_millis(5));
-                    std::thread::sleep(slice);
-                    remaining = remaining.saturating_sub(slice);
+                    f();
+                    let mut remaining = period;
+                    while remaining > Duration::ZERO {
+                        // ORDERING: latch — same standalone shutdown flag as above
+                        if stop_flag.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let slice = remaining.min(Duration::from_millis(5));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
                 }
-            }
-        });
-        Ticker {
-            stop,
-            handle: Some(handle),
-        }
+            });
+        let handle = match handle {
+            Ok(h) => Some(h),
+            // OS refused a thread: degrade to a dead ticker (no cadence)
+            // rather than poisoning startup — callers drive ticks at their
+            // own risk of staleness, and stop()/drop stay no-ops.
+            Err(_) => None,
+        };
+        Ticker { stop, handle }
     }
 
     /// Signals the thread to stop and joins it.  Idempotent; also runs on

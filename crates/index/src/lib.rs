@@ -31,7 +31,10 @@ pub mod telemetry;
 pub mod trie;
 pub mod verify;
 
-pub use delta::{check_updates, DeltaSegment, Tombstones, UpdateOp};
+pub use delta::{
+    check_updates, check_updates_tiered, DeltaRun, DeltaView, MergeOutcome, TieredDelta,
+    Tombstones, UpdateOp, DEFAULT_MEMTABLE_LIMIT, DEFAULT_TIER_RATIO,
+};
 pub use plan::{instantiate, PlanOptions};
 pub use search::{
     constraint_search, constraint_search_with, filter_tombstones, naive_search, naive_search_with,
@@ -252,25 +255,26 @@ impl QueryContext {
 
 /// The sequence-based XML index.
 ///
-/// Since the update subsystem (DESIGN.md §11) an index is **two segments**:
-/// the bulk-built frozen trie plus a small mutable [`DeltaSegment`] fed by
-/// [`XmlIndex::insert_delta`], with removed documents tracked in
-/// [`Tombstones`].  Every query runs over *frozen ∪ delta − tombstones*;
-/// compaction (at the `Database` layer) folds the overlay back into a
-/// single frozen segment.
+/// Since the update subsystem (DESIGN.md §11, tiered in §16) an index is
+/// the bulk-built frozen trie plus a tiered [`TieredDelta`] overlay fed by
+/// [`XmlIndex::insert_delta`] — a raw-sequence memtable, frozen runs and
+/// merged tiers — with removed documents tracked in its copy-on-write
+/// [`Tombstones`] set.  Every query snapshots the overlay once
+/// ([`TieredDelta::delta_view`]) and runs over *frozen ∪ segments −
+/// tombstones*; compaction (at the `Database` layer) folds the overlay
+/// back into a single frozen segment.
 #[derive(Debug)]
 pub struct XmlIndex {
     trie: SequenceTrie,
     strategy: Strategy,
     /// Distinct path encodings of indexed data — the path dictionary used
-    /// for wildcard instantiation.  Covers both segments.
+    /// for wildcard instantiation.  Covers every segment.
     data_paths: HashSet<PathId>,
     options: PlanOptions,
     telemetry: Option<IndexTelemetry>,
-    /// Post-build insertions, always frozen (queryable).
-    delta: DeltaSegment,
-    /// Removed document ids, filtered at result collection.
-    tombstones: Tombstones,
+    /// The tiered update overlay (post-build insertions + tombstones),
+    /// shared by `Arc` with the background merge worker.
+    delta: Arc<TieredDelta>,
 }
 
 impl XmlIndex {
@@ -304,8 +308,7 @@ impl XmlIndex {
             data_paths: HashSet::new(),
             options,
             telemetry,
-            delta: DeltaSegment::new(),
-            tombstones: Tombstones::new(),
+            delta: Arc::new(TieredDelta::new()),
         };
         let mut seqs = Vec::with_capacity(docs.len());
         for (id, doc) in docs.iter().enumerate() {
@@ -350,8 +353,7 @@ impl XmlIndex {
             data_paths: HashSet::new(),
             options,
             telemetry,
-            delta: DeltaSegment::new(),
-            tombstones: Tombstones::new(),
+            delta: Arc::new(TieredDelta::new()),
         };
         let base_len = paths.len();
         let chunk = pool.chunk_for(docs.len());
@@ -451,13 +453,15 @@ impl XmlIndex {
         self.trie.freeze();
     }
 
-    /// Appends one document to the **delta segment** — the update path that
-    /// keeps the frozen trie untouched and the whole index queryable.
+    /// Appends one document to the **update overlay** — an `O(1)` amortized
+    /// memtable push that keeps the frozen trie untouched and the whole
+    /// index queryable.
     ///
     /// The document is sequenced with the index's own strategy against the
     /// shared path table (new paths intern here, never at query time), its
-    /// paths join the wildcard dictionary, and the delta trie re-freezes —
-    /// so the very next query sees *frozen ∪ delta*.
+    /// paths join the wildcard dictionary, and the raw sequence lands in
+    /// the overlay's memtable — so the very next query sees *frozen ∪
+    /// segments*.
     pub fn insert_delta(&mut self, doc: &Document, id: DocId, paths: &mut PathTable) {
         let t0 = self.telemetry.as_ref().map(|_| Instant::now());
         let seq = sequence_document(doc, paths, &self.strategy);
@@ -468,36 +472,77 @@ impl XmlIndex {
         self.delta.insert(&seq, id);
         if let Some(tel) = &self.telemetry {
             tel.delta_sequences.set(self.delta.sequence_count() as i64);
+            tel.delta_runs.set(self.delta.run_count() as i64);
         }
     }
 
     /// Tombstones a document id: it stops appearing in query results
-    /// immediately, and compaction drops it for good.  Returns `false` when
-    /// `id` was already tombstoned.
+    /// immediately, background merges resolve it out of the runs they fold,
+    /// and compaction drops it for good.  Returns `false` when `id` was
+    /// already tombstoned.
     pub fn remove_doc(&mut self, id: DocId) -> bool {
-        let fresh = self.tombstones.insert(id);
+        let fresh = self.delta.remove(id);
         if fresh {
             if let Some(tel) = &self.telemetry {
-                tel.tombstones.set(self.tombstones.len() as i64);
+                tel.tombstones.set(self.delta.tombstones().len() as i64);
             }
         }
         fresh
     }
 
-    /// The delta segment (post-build insertions).
-    pub fn delta(&self) -> &DeltaSegment {
+    /// The tiered update overlay (post-build insertions + tombstones).
+    pub fn delta(&self) -> &TieredDelta {
         &self.delta
     }
 
-    /// The tombstoned document ids.
-    pub fn tombstones(&self) -> &Tombstones {
-        &self.tombstones
+    /// A shared handle onto the overlay, for the background merge worker.
+    pub fn delta_handle(&self) -> Arc<TieredDelta> {
+        Arc::clone(&self.delta)
     }
 
-    /// Outstanding update volume: delta sequences plus tombstones — the
+    /// An epoch-stamped immutable snapshot of the overlay's segment set —
+    /// what every query pins for its whole run.
+    pub fn delta_view(&self) -> DeltaView {
+        self.delta.delta_view()
+    }
+
+    /// The current overlay epoch (bumped by every insert/remove/merge).
+    pub fn delta_epoch(&self) -> u64 {
+        self.delta.epoch()
+    }
+
+    /// Applies tiering knobs (memtable cut threshold, per-tier fan-in) to
+    /// the overlay.
+    pub fn configure_delta(&self, memtable_limit: usize, tier_ratio: usize) {
+        self.delta.configure(memtable_limit, tier_ratio);
+    }
+
+    /// Attempts one overlay tier merge — see [`TieredDelta::maybe_merge`].
+    pub fn maybe_merge(&self) -> Option<MergeOutcome> {
+        self.delta.maybe_merge()
+    }
+
+    /// Re-publishes the overlay gauges (`index.delta.sequences`,
+    /// `index.delta.runs`, `index.tombstones`) from current state — called
+    /// after background merges, which shrink the overlay outside the
+    /// insert/remove paths that normally maintain them.
+    pub fn refresh_delta_gauges(&self) {
+        if let Some(tel) = &self.telemetry {
+            tel.delta_sequences.set(self.delta.sequence_count() as i64);
+            tel.delta_runs.set(self.delta.run_count() as i64);
+            tel.tombstones.set(self.delta.tombstones().len() as i64);
+        }
+    }
+
+    /// A snapshot of the tombstoned document ids.
+    pub fn tombstones(&self) -> Arc<Tombstones> {
+        self.delta.tombstones()
+    }
+
+    /// Outstanding update volume: overlay sequences plus tombstones — the
     /// quantity auto-compaction thresholds measure.
     pub fn pending_updates(&self) -> usize {
-        self.delta.sequence_count() + self.tombstones.len()
+        self.delta.sequence_count() + self.delta.tombstones().len()
     }
 
     /// Answers a tree-pattern query by order-free constraint matching
@@ -609,6 +654,10 @@ impl XmlIndex {
                 },
             );
         }
+        // One epoch-stamped overlay snapshot for the whole query: every
+        // variant searches the same pinned segment set, however many merges
+        // swap runs underneath while the query runs.
+        let delta_view = self.delta.delta_view();
         // Phase timings accumulate in plain locals; the registry (if any) is
         // touched exactly once, after the loop.
         let mut encode_ns = 0u64;
@@ -644,10 +693,10 @@ impl XmlIndex {
                         record_descent(t, sp, &st, ctx.scratch.docs.len());
                     }
                     outcome.absorb(&ctx.scratch.docs, st);
-                    if !self.delta.is_empty() {
+                    for segment in delta_view.segments() {
                         let descent = tr.as_mut().map(|t| t.start_span("trie.descent.delta"));
                         let t0 = Instant::now();
-                        let st = search::tree_search_with(self.delta.trie(), &qs, &mut ctx.scratch);
+                        let st = search::tree_search_with(segment, &qs, &mut ctx.scratch);
                         search_ns += elapsed_ns(t0);
                         if let (Some(t), Some(sp)) = (tr.as_mut(), descent) {
                             record_descent(t, sp, &st, ctx.scratch.docs.len());
@@ -687,13 +736,13 @@ impl XmlIndex {
                             record_descent(t, sp, &st, ctx.scratch.docs.len());
                         }
                         outcome.absorb(&ctx.scratch.docs, st);
-                        if !self.delta.is_empty() {
+                        for segment in delta_view.segments() {
                             let descent = tr.as_mut().map(|t| t.start_span("trie.descent.delta"));
                             let t0 = Instant::now();
                             let st = if matches!(mode, Mode::Ordered) {
-                                constraint_search_with(self.delta.trie(), &qs, &mut ctx.scratch)
+                                constraint_search_with(segment, &qs, &mut ctx.scratch)
                             } else {
-                                naive_search_with(self.delta.trie(), &qs, &mut ctx.scratch)
+                                naive_search_with(segment, &qs, &mut ctx.scratch)
                             };
                             search_ns += elapsed_ns(t0);
                             if let (Some(t), Some(sp)) = (tr.as_mut(), descent) {
@@ -718,7 +767,7 @@ impl XmlIndex {
         outcome.docs.dedup();
         outcome.classes.sort_unstable();
         outcome.classes.dedup();
-        search::filter_tombstones(&mut outcome.docs, &self.tombstones);
+        search::filter_tombstones(&mut outcome.docs, &self.delta.tombstones());
         if let Some(tel) = &self.telemetry {
             tel.observe(&outcome.stats);
         }
@@ -731,18 +780,21 @@ impl XmlIndex {
     /// query.
     pub fn query_sequence(&self, q: &QuerySequence) -> (Vec<DocId>, SearchStats) {
         let (mut docs, mut st) = search::tree_search(&self.trie, q);
-        if !self.delta.is_empty() {
-            let (delta_docs, delta_st) = search::tree_search(self.delta.trie(), q);
-            docs.extend_from_slice(&delta_docs);
+        let view = self.delta.delta_view();
+        if !view.is_empty() {
+            for segment in view.segments() {
+                let (delta_docs, delta_st) = search::tree_search(segment, q);
+                docs.extend_from_slice(&delta_docs);
+                st.candidates += delta_st.candidates;
+                st.cover_rejections += delta_st.cover_rejections;
+                st.completions += delta_st.completions;
+                st.link_probes += delta_st.link_probes;
+                st.scratch_reuses += delta_st.scratch_reuses;
+            }
             docs.sort_unstable();
             docs.dedup();
-            st.candidates += delta_st.candidates;
-            st.cover_rejections += delta_st.cover_rejections;
-            st.completions += delta_st.completions;
-            st.link_probes += delta_st.link_probes;
-            st.scratch_reuses += delta_st.scratch_reuses;
         }
-        search::filter_tombstones(&mut docs, &self.tombstones);
+        search::filter_tombstones(&mut docs, &self.delta.tombstones());
         (docs, st)
     }
 
@@ -780,24 +832,25 @@ impl XmlIndex {
     /// end-node registry.  Needs no path table, so it is cheap enough for
     /// sampled post-query spot checks.
     ///
-    /// Covers **both segments**: the frozen trie and (when non-empty) the
-    /// delta segment, merged into one report.
+    /// Covers **every segment**: the frozen trie and each overlay segment
+    /// (runs + memtable view) of one consistent snapshot, merged into one
+    /// report.
     pub fn verify_structure(&self) -> IntegrityReport {
         let mut report = verify_trie_structure(&self.trie);
-        if !self.delta.is_empty() {
-            report.merge(verify_trie_structure(self.delta.trie()));
+        for segment in self.delta.delta_view().segments() {
+            report.merge(verify_trie_structure(segment));
         }
         report
     }
 
     /// Full integrity check: [`XmlIndex::verify_structure`] plus `f2`
     /// validity (Eq. 3) and the Theorem 1 round-trip of every distinct
-    /// stored constraint sequence — over the frozen trie *and* the delta
-    /// segment, merged into one report.
+    /// stored constraint sequence — over the frozen trie *and* every
+    /// overlay segment, merged into one report.
     pub fn verify_integrity(&self, paths: &mut PathTable) -> IntegrityReport {
         let mut report = verify_trie(&self.trie, paths, &self.strategy);
-        if !self.delta.is_empty() {
-            report.merge(verify_trie(self.delta.trie(), paths, &self.strategy));
+        for segment in self.delta.delta_view().segments() {
+            report.merge(verify_trie(segment, paths, &self.strategy));
         }
         report
     }
@@ -813,15 +866,15 @@ impl XmlIndex {
     }
 }
 
-/// Heap attribution for the whole index: both trie segments, the tombstone
-/// set, the wildcard dictionary and the strategy's priority tables.  The
-/// telemetry handles are excluded — they are `Arc`s shared with the
-/// registry, which accounts for itself.
+/// Heap attribution for the whole index: the frozen trie, the full tiered
+/// overlay (memtable + cached view + runs + tombstones), the wildcard
+/// dictionary and the strategy's priority tables.  The telemetry handles
+/// are excluded — they are `Arc`s shared with the registry, which accounts
+/// for itself.
 impl xseq_telemetry::HeapSize for XmlIndex {
     fn heap_bytes(&self) -> usize {
         self.trie.heap_bytes()
             + self.delta.heap_bytes()
-            + self.tombstones.heap_bytes()
             + self.data_paths.heap_bytes()
             + self.strategy.heap_bytes()
     }

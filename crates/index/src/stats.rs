@@ -12,7 +12,7 @@
 //! histograms ([`bucket_of`]/[`bucket_bounds`]), so the report composes
 //! with the rest of the observability surface.
 
-use crate::delta::DeltaSegment;
+use crate::delta::TieredDelta;
 use crate::trie::{SequenceTrie, NIL};
 use crate::XmlIndex;
 use std::fmt::Write as _;
@@ -270,21 +270,30 @@ impl IndexStats {
     }
 }
 
-/// Collects [`IndexStats`] over both segments of an index.
+/// Collects [`IndexStats`] over every segment of an index: the frozen trie
+/// in the `frozen` slot, and the overlay's segments — tier runs plus the
+/// memtable view, from one consistent snapshot — merged into the `delta`
+/// slot.
 pub fn index_stats(index: &XmlIndex) -> IndexStats {
+    let mut delta = SegmentStats::default();
+    for segment in index.delta().delta_view().segments() {
+        delta.merge(&SegmentStats::collect(segment));
+    }
     IndexStats {
         strategy: index.strategy().short_name().to_string(),
         frozen: SegmentStats::collect(index.trie()),
-        delta: SegmentStats::collect(index.delta().trie()),
+        delta,
         tombstones: index.tombstones().len(),
         data_paths: index.data_paths().len(),
     }
 }
 
-/// Heap attribution for the delta segment: its trie.
-impl xseq_telemetry::HeapSize for DeltaSegment {
+/// Heap attribution for the tiered overlay: memtable raw sequences, the
+/// cached memtable view, every run's trie + retained sequences, and the
+/// tombstone set.
+impl xseq_telemetry::HeapSize for TieredDelta {
     fn heap_bytes(&self) -> usize {
-        self.trie().heap_bytes()
+        self.heap_bytes_now()
     }
 }
 

@@ -33,9 +33,12 @@ pub struct IndexTelemetry {
     pub completions: Arc<Counter>,
     /// `index.search.link_probes` — path-link binary searches performed.
     pub link_probes: Arc<Counter>,
-    /// `index.delta.sequences` — sequences currently in the delta segment
-    /// (0 when compacted).
+    /// `index.delta.sequences` — sequences currently in the tiered update
+    /// overlay, all segments (0 when compacted).
     pub delta_sequences: Arc<Gauge>,
+    /// `index.delta.runs` — frozen runs currently published by the overlay
+    /// (the memtable excluded; background merges keep this logarithmic).
+    pub delta_runs: Arc<Gauge>,
     /// `index.tombstones` — document ids currently tombstoned
     /// (0 when compacted).
     pub tombstones: Arc<Gauge>,
@@ -55,6 +58,7 @@ impl IndexTelemetry {
             completions: registry.counter("index.search.completions"),
             link_probes: registry.counter("index.search.link_probes"),
             delta_sequences: registry.gauge("index.delta.sequences"),
+            delta_runs: registry.gauge("index.delta.runs"),
             tombstones: registry.gauge("index.tombstones"),
         }
     }
@@ -72,6 +76,7 @@ impl IndexTelemetry {
         let mut tel = Self::register(registry);
         if n > 1 {
             tel.delta_sequences = registry.gauge(&format!("index.shard{s}.delta.sequences"));
+            tel.delta_runs = registry.gauge(&format!("index.shard{s}.delta.runs"));
             tel.tombstones = registry.gauge(&format!("index.shard{s}.tombstones"));
         }
         tel

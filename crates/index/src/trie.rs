@@ -270,7 +270,7 @@ impl SequenceTrie {
                     });
                     // PANIC-FREE: cur is always an existing arena id
                     self.nodes[cur as usize].first_child = id;
-                    self.edges.insert((cur, p), id);
+                    std::collections::HashMap::insert(&mut self.edges, (cur, p), id);
                     id
                 }
             };

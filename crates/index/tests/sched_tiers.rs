@@ -1,0 +1,92 @@
+//! Interleaving model checks for the **tiered** segment-list swap, using
+//! the `xseq-telemetry::sched` harness that validated `BoundedRing`, the
+//! exec pool's chunk queue, and the flat delta overlay (`sched_delta.rs`).
+//!
+//! `xseq_index::check_updates_tiered` replays scripted op lists — now
+//! including [`UpdateOp::Merge`] (one background tier merge) and
+//! [`UpdateOp::Compact`] — over every interleaving (or a seeded sample of
+//! a too-large space) with aggressive tiering knobs, so memtable cuts and
+//! run merges fire *inside* the schedules.  Every `Query` op snapshots the
+//! overlay through `delta_view()` and checks the full reader invariant
+//! battery: the visible set matches the reference model (no torn segment
+//! set), every overlay-era tombstone is present (none dropped), a
+//! once-inserted id appears in exactly one segment (no document visible in
+//! two tiers), snapshot epochs are monotonic, and all segments are frozen.
+//!
+//! Schedule counts are pinned: a drop means the interleaving space
+//! silently shrank and coverage regressed.
+
+use xseq_index::{check_updates_tiered, UpdateOp};
+
+use UpdateOp::{Compact, Insert, Merge, Query, Remove};
+
+#[test]
+fn exhaustive_reader_races_background_merger() {
+    // memtable_limit = 1: every insert cuts a tier-0 run; tier_ratio = 2:
+    // two runs of a tier fold into one a tier up.  One inserting writer,
+    // one merging "background worker" thread, one reader:
+    // C(8; 3, 2, 3) = 560 schedules, enumerated exhaustively.
+    let threads = vec![
+        vec![Insert(0), Insert(1), Insert(2)],
+        vec![Merge, Merge],
+        vec![Query, Query, Query],
+    ];
+    let checked = check_updates_tiered(&threads, usize::MAX, 0, 1, 2)
+        .expect("reader snapshots consistent in every interleaving");
+    assert_eq!(checked, 560, "full space enumerated");
+}
+
+#[test]
+fn merges_never_drop_tombstones_or_double_publish() {
+    // A remove racing its own insert while merges fold the runs it may or
+    // may not be in yet: tombstones are permanent until compaction, so
+    // every interleaving must keep doc 0 invisible once removed, and the
+    // splice must never leave it visible in two tiers.
+    // C(9; 4, 2, 3) = 1260 schedules, enumerated exhaustively.
+    let threads = vec![
+        vec![Insert(0), Insert(1), Remove(0), Insert(2)],
+        vec![Merge, Merge],
+        vec![Query, Query, Query],
+    ];
+    let checked = check_updates_tiered(&threads, usize::MAX, 1, 1, 2)
+        .expect("tombstone resolution consistent in every interleaving");
+    assert_eq!(checked, 1260, "full space enumerated");
+}
+
+#[test]
+fn sampled_compaction_races_merges_and_readers() {
+    // Compaction (clear + model fold) interleaved against merges and
+    // reader snapshots: the merge validation-by-pointer-identity must
+    // abort stale splices instead of resurrecting pre-compaction runs.
+    // C(12; 5, 3, 4) = 27720 schedules — a seeded 768-schedule sample.
+    let threads = vec![
+        vec![Insert(0), Insert(1), Insert(2), Insert(3), Query],
+        vec![Merge, Compact, Merge],
+        vec![Query, Remove(2), Query],
+    ];
+    let checked = check_updates_tiered(&threads, 768, 0x7ee5, 2, 2)
+        .expect("sampled interleavings consistent");
+    assert_eq!(checked, 768, "sample budget exhausted");
+}
+
+#[test]
+fn deep_tier_cascade_under_interleaved_reads() {
+    // Enough inserts at limit 1 / ratio 2 to cascade merges through three
+    // tiers, with reads cutting in anywhere: C(10; 6, 2, 2) = 1260
+    // schedules (merges beyond the script run in the final drain's view).
+    let threads = vec![
+        vec![
+            Insert(0),
+            Insert(1),
+            Insert(2),
+            Insert(3),
+            Insert(4),
+            Insert(5),
+        ],
+        vec![Merge, Merge],
+        vec![Query, Query],
+    ];
+    let checked = check_updates_tiered(&threads, usize::MAX, 2, 1, 2)
+        .expect("cascading merges consistent in every interleaving");
+    assert_eq!(checked, 1260, "full space enumerated");
+}

@@ -7,6 +7,8 @@ pub fn emit(journal: &EventJournal) {
     journal.record(Event::new("Compact.Start")); // bad: uppercase segments
     journal.record(Event::new("compact..finish")); // bad: empty segment
     journal.record(Event::new("compact.start")); // good
+    journal.record(Event::new("compact.tier.start")); // good: background tier merge
+    journal.record(Event::new("compact.tier.finish")); // good: background tier merge
     journal.record(
         Event::new("anomaly.latency") // good
             .severity(Severity::Warn)

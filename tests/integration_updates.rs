@@ -259,6 +259,208 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases(6)))]
+
+    /// Sharded database level: random insert/remove/merge histories run
+    /// through the tiered path at 1/2/4 shards with aggressive tiering
+    /// knobs (memtable cuts and tier merges fire inside even short
+    /// histories), then one final `compact()`, must be bit-identical —
+    /// per shard — to a bulk-built database that never saw the tiered
+    /// path: build every document at once, replay the same removes,
+    /// compact.  Ids stay dense insertion indices until the final
+    /// compact, so both databases route every doc to the same shard and
+    /// renumber identically; any trace the memtable, a tier-0 run, or a
+    /// background merge leaves behind shows up as a trie divergence.
+    /// (Mid-history compacts renumber ids and deliberately leave docs in
+    /// their original shard, so cross-database placement only matches
+    /// rebuild routing for never-renumbered histories; interleaved
+    /// compacts are covered at shards(1) by
+    /// `update_histories_compact_to_rebuild` above.)
+    #[test]
+    fn sharded_update_histories_compact_to_rebuild(
+        seed in 0u64..1_000,
+        ninitial in 1usize..6,
+        npending in 1usize..8,
+        nops in 1usize..16,
+        threads in 1usize..=4,
+        shards_sel in 0usize..3,
+    ) {
+        let shards = [1usize, 2, 4][shards_sel];
+        let params = SyntheticParams {
+            max_height: 4,
+            max_fanout: 3,
+            value_pct: 25,
+            identical_pct: 0,
+            prob_floor_pct: 30,
+        };
+        let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+        let docs = SyntheticDataset::generate(&params, ninitial + npending, seed, &mut symbols).docs;
+        let xmls: Vec<String> = docs.iter().map(|d| write_document(d, &symbols)).collect();
+        for sequencing in [Sequencing::DepthFirst, Sequencing::Probability] {
+            let mut db = DatabaseBuilder::new()
+                .sequencing(sequencing)
+                .threads(threads)
+                .shards(shards)
+                .memtable_limit(2)
+                .tier_ratio(2)
+                .build_from_xml(xmls[..ninitial].iter().map(String::as_str))
+                .unwrap();
+            // Model: insertion-order xml list + liveness; ids are dense
+            // insertion indices for the whole (compact-free) history.
+            let mut inserted: Vec<&str> =
+                xmls[..ninitial].iter().map(String::as_str).collect();
+            let mut alive: Vec<bool> = vec![true; ninitial];
+            let mut pending = xmls[ninitial..].iter().map(String::as_str);
+            let mut rng = seed ^ 0x517e5;
+            for _ in 0..nops {
+                match lcg(&mut rng) % 10 {
+                    0..=4 => {
+                        if let Some(xml) = pending.next() {
+                            let id = db.insert_document(xml).unwrap();
+                            prop_assert_eq!(id as usize, inserted.len(), "ids stay dense");
+                            inserted.push(xml);
+                            alive.push(true);
+                        }
+                    }
+                    5..=7 => {
+                        if alive.iter().filter(|a| **a).count() > 1 {
+                            let id = (lcg(&mut rng) as usize) % inserted.len();
+                            let did = db.remove_document(id as DocId);
+                            prop_assert_eq!(did, alive[id], "remove reports liveness");
+                            alive[id] = false;
+                        }
+                    }
+                    _ => {
+                        // Fold pending tier merges mid-history: merges
+                        // must be invisible to everything checked below.
+                        db.run_pending_merges();
+                    }
+                }
+            }
+            let report = db.compact();
+            // Bulk-built twin: same docs, same dense ids (→ same shard
+            // routing), same removes, one compact.
+            let mut reference = DatabaseBuilder::new()
+                .sequencing(sequencing)
+                .shards(shards)
+                .build_from_xml(inserted.iter().copied())
+                .unwrap();
+            for (id, live) in alive.iter().enumerate() {
+                if !live {
+                    prop_assert!(reference.remove_document(id as DocId));
+                }
+            }
+            let ref_report = reference.compact();
+            prop_assert_eq!(report.remap, ref_report.remap, "compaction remaps agree");
+            for s in 0..shards {
+                prop_assert!(
+                    db.shard_index(s).trie().identical_to(reference.shard_index(s).trie()),
+                    "{sequencing:?} s{shards}: shard {s} trie diverges from rebuild"
+                );
+            }
+            for q in ["/e0", "//e1", "//e2", "/e0/e1", "/e0/e2", "//e4"] {
+                prop_assert_eq!(
+                    db.query_xpath(q).unwrap(),
+                    reference.query_xpath(q).unwrap(),
+                    "{:?} s{}: {}", sequencing, shards, q
+                );
+            }
+            let report = db.verify_integrity();
+            prop_assert!(report.is_clean(), "{sequencing:?} s{shards}: {}", report.render());
+        }
+    }
+}
+
+/// Snapshot consistency: `query_batch` fleets racing **background tier
+/// merges** (ISSUE 10 satellite).
+///
+/// The database runs with aggressive tiering knobs and a 1 ms background
+/// merge worker, so inserts never drain merges inline and the worker keeps
+/// splicing runs while the reader fleet is in flight.  Epoch-stamped
+/// snapshots make every merge invisible to answers: each fleet batch must
+/// equal the serial pre-fleet answers, `verify_integrity` must pass on the
+/// intermediate (mid-merge-history) segment sets, and the fully quiesced
+/// database — pending merges drained — must agree once more.
+#[test]
+fn query_batch_fleets_agree_while_background_merges_race() {
+    let params = SyntheticParams {
+        max_height: 4,
+        max_fanout: 3,
+        value_pct: 25,
+        identical_pct: 0,
+        prob_floor_pct: 30,
+    };
+    let mut symbols = SymbolTable::with_value_mode(ValueMode::Intern);
+    let docs = SyntheticDataset::generate(&params, 24, 0x71e2, &mut symbols).docs;
+    let xmls: Vec<String> = docs.iter().map(|d| write_document(d, &symbols)).collect();
+    let exprs = ["/e0", "//e1", "//e2", "/e0/e1", "/e0/e2", "//e3"];
+    let mut db = DatabaseBuilder::new()
+        .threads(4)
+        .memtable_limit(2)
+        .tier_ratio(2)
+        .background_merge(std::time::Duration::from_millis(1))
+        .build_from_xml(xmls[..4].iter().map(String::as_str))
+        .expect("initial corpus parses");
+    assert!(db.has_background_merge(), "worker is wired");
+    let mut next_victim: DocId = 0;
+    for round in 0..4 {
+        // A burst of inserts piles up tier-0 runs faster than the worker
+        // folds them; a remove keeps tombstone resolution in the race.
+        for xml in &xmls[4 + round * 5..4 + (round + 1) * 5] {
+            db.insert_document(xml).expect("pending document parses");
+        }
+        db.remove_document(next_victim);
+        next_victim += 1;
+        let expected: Vec<Vec<DocId>> = exprs
+            .iter()
+            .map(|e| db.query_xpath(e).expect("query parses"))
+            .collect();
+        // Reader fleet: 4 threads × repeated batches, racing the merge
+        // worker's splices.  Every batch must see exactly `expected`.
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut batches = Vec::new();
+                        for _ in 0..8 {
+                            batches.push(db.query_batch(&exprs));
+                        }
+                        batches
+                    })
+                })
+                .collect();
+            for reader in readers {
+                for batch in reader.join().expect("reader thread") {
+                    let got: Vec<Vec<DocId>> = batch
+                        .into_iter()
+                        .map(|r| r.expect("query parses"))
+                        .collect();
+                    assert_eq!(got, expected, "reader diverged in round {round}");
+                }
+            }
+        });
+        // Integrity of the intermediate segment set, whatever merge state
+        // the worker left it in.
+        let report = db.verify_integrity();
+        assert!(report.is_clean(), "round {round}: {}", report.render());
+    }
+    // Quiesce: drain the merge debt and re-check — folding runs must not
+    // change a single answer.
+    let expected: Vec<Vec<DocId>> = exprs
+        .iter()
+        .map(|e| db.query_xpath(e).expect("query parses"))
+        .collect();
+    db.run_pending_merges();
+    let quiesced: Vec<Vec<DocId>> = exprs
+        .iter()
+        .map(|e| db.query_xpath(e).expect("query parses"))
+        .collect();
+    assert_eq!(quiesced, expected, "drained merges changed answers");
+    let report = db.verify_integrity();
+    assert!(report.is_clean(), "quiesced: {}", report.render());
+}
+
 /// Concurrent readers vs. updates: `query_batch` racing the update path.
 ///
 /// Rust's borrow rules make a *torn* read statically impossible —
